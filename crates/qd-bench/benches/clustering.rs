@@ -1,0 +1,53 @@
+//! Clustering microbenchmarks: k-means costs at RFS-representative-selection
+//! scale (a leaf's images or an internal node's representative pool) and the
+//! full RFS build.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qd_bench::{bench_corpus, BenchScale};
+use qd_cluster::KMeans;
+use qd_core::rfs::{RfsConfig, RfsStructure};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn blobs(n: usize, dims: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let base = (i % 8) as f32 * 3.0;
+            (0..dims)
+                .map(|_| base + rng.random::<f32>() * 0.5)
+                .collect()
+        })
+        .collect()
+}
+
+fn kmeans_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans_37d");
+    for n in [100usize, 400, 1600] {
+        let data = blobs(n, 37, 1);
+        group.bench_with_input(BenchmarkId::new("k8", n), &data, |b, data| {
+            b.iter(|| black_box(KMeans::new(8).with_seed(2).fit(data)))
+        });
+    }
+    group.finish();
+}
+
+fn rfs_build(c: &mut Criterion) {
+    let corpus = bench_corpus(BenchScale::Sweep(2_000), 11);
+    let mut group = c.benchmark_group("rfs_build_2k");
+    group.sample_size(10);
+    for (name, bulk) in [("rstar_insert", false), ("kd_bulk", true)] {
+        group.bench_function(name, |b| {
+            let cfg = RfsConfig {
+                bulk_load: bulk,
+                ..RfsConfig::paper()
+            };
+            b.iter(|| black_box(RfsStructure::build(corpus.features(), &cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, kmeans_scaling, rfs_build);
+criterion_main!(benches);

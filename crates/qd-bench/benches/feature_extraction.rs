@@ -1,0 +1,57 @@
+//! Feature-pipeline microbenchmarks: the cost of the 37-dimensional
+//! extraction (per group and combined) and of the MV viewpoint transforms —
+//! the corpus-construction side of the system.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qd_features::{color_moments, edge, wavelet, FeatureExtractor};
+use qd_imagery::{draw, Image, Viewpoint};
+use std::hint::black_box;
+
+fn busy_image(size: usize) -> Image {
+    let mut img = Image::filled(size, size, [0.3, 0.5, 0.7]);
+    draw::fill_ellipse(
+        &mut img,
+        size as f32 / 2.0,
+        size as f32 / 2.0,
+        size as f32 / 4.0,
+        size as f32 / 6.0,
+        0.4,
+        [0.9, 0.4, 0.2],
+    );
+    draw::checker(&mut img, [0.8, 0.8, 0.2], [0.1, 0.2, 0.3], size / 8);
+    img
+}
+
+fn extraction(c: &mut Criterion) {
+    let extractor = FeatureExtractor::new();
+    let mut group = c.benchmark_group("feature_extraction");
+    for size in [32usize, 48, 64] {
+        let img = busy_image(size);
+        group.bench_with_input(BenchmarkId::new("full_37d", size), &img, |b, img| {
+            b.iter(|| black_box(extractor.extract(img)))
+        });
+    }
+    let img = busy_image(48);
+    group.bench_function("color_moments_48", |b| {
+        b.iter(|| black_box(color_moments::color_moments(&img)))
+    });
+    group.bench_function("wavelet_48", |b| {
+        b.iter(|| black_box(wavelet::wavelet_features(&img)))
+    });
+    group.bench_function("edge_48", |b| {
+        b.iter(|| black_box(edge::edge_features(&img)))
+    });
+    group.finish();
+}
+
+fn viewpoints(c: &mut Criterion) {
+    let img = busy_image(48);
+    let mut group = c.benchmark_group("viewpoint_transform");
+    for vp in Viewpoint::ALL {
+        group.bench_function(vp.name(), |b| b.iter(|| black_box(vp.apply(&img))));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, extraction, viewpoints);
+criterion_main!(benches);

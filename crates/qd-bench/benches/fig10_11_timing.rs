@@ -1,0 +1,118 @@
+//! Criterion versions of Figures 10 and 11: QD query/iteration processing
+//! time as the database grows, plus the traditional global-k-NN feedback
+//! round it replaces.
+//!
+//! The single-shot large-database sweep lives in `repro fig10`/`repro fig11`;
+//! these benches give statistically solid numbers at moderate sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qd_bench::simqueries::random_queries;
+use qd_bench::{bench_corpus, bench_rfs, BenchScale};
+use qd_core::session::{run_session, QdConfig};
+use qd_core::user::SimulatedUser;
+use qd_linalg::metric::euclidean;
+use qd_linalg::vector::centroid;
+use std::hint::black_box;
+
+const SIZES: [usize; 3] = [1_000, 2_000, 4_000];
+
+/// Figure 10: one complete QD session (3 rounds + localized k-NN).
+fn overall_query_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_overall_query_time");
+    group.sample_size(20);
+    for size in SIZES {
+        let corpus = bench_corpus(BenchScale::Sweep(size), 7);
+        let rfs = bench_rfs(BenchScale::Sweep(size), 7);
+        let queries = random_queries(corpus.taxonomy(), 16, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                let k = corpus.ground_truth(q).len().clamp(1, 100);
+                let mut user = SimulatedUser::oracle(q, i as u64);
+                black_box(run_session(
+                    &corpus,
+                    &rfs,
+                    q,
+                    &mut user,
+                    k,
+                    &QdConfig::default(),
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Figure 11's comparison point: one traditional relevance-feedback round —
+/// a global k-NN scan of the whole database.
+fn global_feedback_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_global_knn_round");
+    group.sample_size(20);
+    for size in SIZES {
+        let corpus = bench_corpus(BenchScale::Sweep(size), 7);
+        let queries = random_queries(corpus.taxonomy(), 16, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            let features = corpus.features();
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &queries[i % queries.len()];
+                i += 1;
+                let gt = corpus.ground_truth(q);
+                let rel: Vec<&[f32]> =
+                    gt.iter().take(5).map(|&id| features[id].as_slice()).collect();
+                let qp = centroid(&rel);
+                let k = gt.len().clamp(1, 100);
+                let mut scored: Vec<(f32, usize)> = features
+                    .iter()
+                    .enumerate()
+                    .map(|(id, f)| (euclidean(f, &qp), id))
+                    .collect();
+                scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                scored.truncate(k);
+                black_box(scored)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Figure 11: one QD feedback iteration — representative display plus child
+/// mapping, no k-NN. Measured as a whole session divided by its rounds to
+/// keep the protocol realistic.
+fn iteration_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_iteration_time");
+    group.sample_size(20);
+    for size in SIZES {
+        let corpus = bench_corpus(BenchScale::Sweep(size), 7);
+        let rfs = bench_rfs(BenchScale::Sweep(size), 7);
+        let queries = random_queries(corpus.taxonomy(), 16, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            let mut i = 0usize;
+            b.iter_custom(|iters| {
+                let mut total = std::time::Duration::ZERO;
+                let mut rounds = 0u32;
+                while rounds < iters as u32 {
+                    let q = &queries[i % queries.len()];
+                    i += 1;
+                    let k = corpus.ground_truth(q).len().clamp(1, 100);
+                    let mut user = SimulatedUser::oracle(q, i as u64);
+                    let out = run_session(&corpus, &rfs, q, &mut user, k, &QdConfig::default());
+                    total += out.round_durations.iter().sum::<std::time::Duration>();
+                    rounds += out.round_durations.len() as u32;
+                }
+                total * (iters as u32) / rounds.max(1)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    overall_query_time,
+    global_feedback_round,
+    iteration_time
+);
+criterion_main!(benches);

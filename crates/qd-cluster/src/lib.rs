@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! Clustering substrate.
+//!
+//! The RFS structure selects a node's representative images by running
+//! "an unsupervised k-mean clustering algorithm" over the node's images (or
+//! its children's representatives) and taking the images nearest each cluster
+//! center (§3.1). The Multipoint-Query and Qcluster baselines likewise group
+//! relevance-feedback points by k-means. This crate provides:
+//!
+//! * [`kmeans`] — Lloyd's algorithm with k-means++ seeding and empty-cluster
+//!   repair;
+//! * [`silhouette`] — cluster-quality diagnostics (silhouette coefficient,
+//!   within-cluster SSE);
+//! * [`agglomerative`] — a small average-linkage hierarchical clusterer used
+//!   by tests and diagnostics as an independent cross-check.
+
+pub mod agglomerative;
+pub mod kmeans;
+pub mod silhouette;
+
+pub use kmeans::{KMeans, KMeansResult};

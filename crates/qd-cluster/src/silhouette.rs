@@ -1,0 +1,132 @@
+//! Cluster-quality diagnostics.
+
+use qd_linalg::metric::euclidean;
+
+/// Mean silhouette coefficient of a clustering, in `[-1, 1]`; higher means
+/// tighter, better-separated clusters. Points in singleton clusters
+/// contribute 0 (the standard convention). O(n²) — diagnostics only.
+///
+/// # Panics
+/// Panics if lengths disagree or fewer than 2 clusters are present.
+pub fn silhouette<V: AsRef<[f32]>>(data: &[V], assignments: &[usize]) -> f64 {
+    assert_eq!(data.len(), assignments.len(), "length mismatch");
+    let k = assignments.iter().copied().max().map_or(0, |m| m + 1);
+    assert!(k >= 2, "silhouette needs at least two clusters");
+    let sizes = {
+        let mut s = vec![0usize; k];
+        for &a in assignments {
+            s[a] += 1;
+        }
+        s
+    };
+
+    let n = data.len();
+    let mut total = 0.0f64;
+    for i in 0..n {
+        let ci = assignments[i];
+        if sizes[ci] <= 1 {
+            continue; // silhouette of a singleton is 0
+        }
+        // Mean distance to each cluster.
+        let mut sums = vec![0.0f64; k];
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            sums[assignments[j]] += euclidean(data[i].as_ref(), data[j].as_ref()) as f64;
+        }
+        let a = sums[ci] / (sizes[ci] - 1) as f64;
+        let b = (0..k)
+            .filter(|&c| c != ci && sizes[c] > 0)
+            .map(|c| sums[c] / sizes[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        if b.is_finite() {
+            total += (b - a) / a.max(b);
+        }
+    }
+    total / n as f64
+}
+
+/// Within-cluster sum of squared Euclidean distances to the given centroids.
+pub fn sse<V: AsRef<[f32]>>(data: &[V], assignments: &[usize], centroids: &[Vec<f32>]) -> f64 {
+    assert_eq!(data.len(), assignments.len(), "length mismatch");
+    data.iter()
+        .zip(assignments)
+        .map(|(row, &a)| {
+            let d = euclidean(row.as_ref(), &centroids[a]) as f64;
+            d * d
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmeans::KMeans;
+
+    fn two_blobs() -> (Vec<Vec<f32>>, Vec<usize>) {
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..10 {
+            data.push(vec![0.0 + i as f32 * 0.01, 0.0]);
+            labels.push(0);
+            data.push(vec![100.0 + i as f32 * 0.01, 0.0]);
+            labels.push(1);
+        }
+        (data, labels)
+    }
+
+    #[test]
+    fn well_separated_clusters_score_high() {
+        let (data, labels) = two_blobs();
+        let s = silhouette(&data, &labels);
+        assert!(s > 0.95, "s = {s}");
+    }
+
+    #[test]
+    fn shuffled_labels_score_low() {
+        let (data, mut labels) = two_blobs();
+        // Scramble: every fourth point flipped to the other cluster.
+        for (i, l) in labels.iter_mut().enumerate() {
+            if i % 4 == 0 {
+                *l = 1 - *l;
+            }
+        }
+        let s_bad = silhouette(&data, &labels);
+        let (_, good) = two_blobs();
+        let s_good = silhouette(&data, &good);
+        assert!(s_bad < s_good);
+        assert!(s_bad < 0.5, "s_bad = {s_bad}");
+    }
+
+    #[test]
+    fn silhouette_of_kmeans_fit_is_positive_on_blobs() {
+        let (data, _) = two_blobs();
+        let result = KMeans::new(2).with_seed(3).fit(&data);
+        assert!(silhouette(&data, &result.assignments) > 0.9);
+    }
+
+    #[test]
+    fn sse_matches_kmeans_reported_value() {
+        let (data, _) = two_blobs();
+        let result = KMeans::new(2).with_seed(5).fit(&data);
+        let recomputed = sse(&data, &result.assignments, &result.centroids);
+        assert!((recomputed - result.sse).abs() < 1e-6);
+    }
+
+    #[test]
+    fn singleton_cluster_contributes_zero() {
+        let data = vec![vec![0.0f32], vec![0.1], vec![100.0]];
+        let labels = vec![0, 0, 1];
+        let s = silhouette(&data, &labels);
+        // The two members of cluster 0 have near-perfect silhouettes; the
+        // singleton adds 0 — so the mean is about 2/3 of a perfect score.
+        assert!(s > 0.6 && s < 0.7, "s = {s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "two clusters")]
+    fn single_cluster_panics() {
+        silhouette(&[vec![0.0f32], vec![1.0]], &[0, 0]);
+    }
+}

@@ -1,0 +1,98 @@
+//! Multipoint query (Porkaew et al., MARS, ACM MM 1999).
+//!
+//! Relevant examples are grouped into clusters; the image nearest each
+//! cluster centroid becomes a *representative*, and an image's distance to
+//! the multipoint query is the weighted sum of its distances to the
+//! representatives, weights proportional to cluster sizes. The query contour
+//! expands with the spread of the relevant examples — but a weighted *sum*
+//! still describes one connected contour, so distant relevant clusters pull
+//! the query into the empty space between them.
+
+use super::{feedback_loop, top_k_by, BaselineConfig, BaselineOutcome};
+use crate::user::SimulatedUser;
+use qd_cluster::KMeans;
+use qd_corpus::{Corpus, QuerySpec};
+use qd_linalg::metric::euclidean;
+
+/// Maximum number of representative clusters.
+pub const MAX_CLUSTERS: usize = 3;
+
+/// Runs a multipoint-query session retrieving `k` images.
+pub fn run_session(
+    corpus: &Corpus,
+    query: &QuerySpec,
+    user: &mut SimulatedUser,
+    k: usize,
+    cfg: &BaselineConfig,
+) -> BaselineOutcome {
+    let features = corpus.features();
+    let seed = cfg.seed;
+    feedback_loop(corpus, query, user, cfg, |relevant| {
+        let (reps, weights) = representatives(features, relevant, seed);
+        top_k_by(features.len(), k, |id| {
+            reps.iter()
+                .zip(&weights)
+                .map(|(rep, w)| w * euclidean(&features[id], rep))
+                .sum()
+        })
+    })
+}
+
+/// Clusters the relevant examples and returns `(representative points,
+/// normalized weights)`.
+fn representatives(
+    features: &[Vec<f32>],
+    relevant: &[usize],
+    seed: u64,
+) -> (Vec<Vec<f32>>, Vec<f32>) {
+    let rel: Vec<&[f32]> = relevant.iter().map(|&id| features[id].as_slice()).collect();
+    let c = MAX_CLUSTERS.min(rel.len());
+    let fit = KMeans::new(c).with_seed(seed).fit(&rel);
+    let medoids = fit.medoid_indices(&rel);
+    let total = rel.len() as f32;
+    let reps: Vec<Vec<f32>> = medoids.iter().map(|&i| rel[i].to_vec()).collect();
+    let weights: Vec<f32> = medoids
+        .iter()
+        .map(|&i| fit.members(fit.assignments[i]).len() as f32 / total)
+        .collect();
+    (reps, weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::precision;
+    use crate::testutil;
+
+    #[test]
+    fn mpq_returns_k_results() {
+        let (corpus, _) = testutil::shared();
+        let query = testutil::query("airplane");
+        let k = corpus.ground_truth(&query).len();
+        let mut user = SimulatedUser::oracle(&query, 1);
+        let out = run_session(corpus, &query, &mut user, k, &BaselineConfig::default());
+        assert_eq!(out.results.len(), k);
+    }
+
+    #[test]
+    fn representative_weights_are_normalized() {
+        let (corpus, _) = testutil::shared();
+        let rose = corpus.images_of(corpus.taxonomy().expect("rose/red"));
+        let (reps, weights) = representatives(corpus.features(), &rose[..6], 0);
+        assert!(!reps.is_empty());
+        assert!(reps.len() <= MAX_CLUSTERS);
+        let sum: f32 = weights.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4, "weights sum to {sum}");
+    }
+
+    #[test]
+    fn mpq_beats_random_clearly() {
+        let (corpus, _) = testutil::shared();
+        let query = testutil::query("laptop");
+        let k = corpus.ground_truth(&query).len();
+        let mut user = SimulatedUser::oracle(&query, 2);
+        let out = run_session(corpus, &query, &mut user, k, &BaselineConfig::default());
+        let p = precision(corpus, &query, &out.results);
+        assert!(p > 5.0 * k as f64 / corpus.len() as f64, "precision {p}");
+    }
+}

@@ -1,0 +1,112 @@
+//! Qcluster-style adaptive clustering (Kim & Chung, SIGMOD 2003).
+//!
+//! Like the multipoint query, the relevant examples are clustered — but the
+//! query is *disjunctive*: an image's score is its distance to the nearest
+//! cluster contour, each contour being an axis-aligned quadratic (per-
+//! dimension inverse-variance weighted) approximation of its cluster. This
+//! retrieves images near *any* endorsed cluster with better precision than a
+//! weighted-sum contour, though coverage is still bounded by the
+//! single-neighborhood feedback loop that feeds it.
+
+use super::{feedback_loop, top_k_by, BaselineConfig, BaselineOutcome};
+use crate::user::SimulatedUser;
+use qd_cluster::KMeans;
+use qd_corpus::{Corpus, QuerySpec};
+use qd_linalg::Metric;
+
+/// Maximum number of adaptive clusters.
+pub const MAX_CLUSTERS: usize = 3;
+
+/// Weight cap for degenerate dimensions.
+const MAX_WEIGHT: f32 = 1.0e4;
+
+/// One cluster contour: center plus weighted metric.
+struct Contour {
+    center: Vec<f32>,
+    metric: Metric,
+}
+
+/// Runs a Qcluster session retrieving `k` images.
+pub fn run_session(
+    corpus: &Corpus,
+    query: &QuerySpec,
+    user: &mut SimulatedUser,
+    k: usize,
+    cfg: &BaselineConfig,
+) -> BaselineOutcome {
+    let features = corpus.features();
+    let seed = cfg.seed;
+    feedback_loop(corpus, query, user, cfg, |relevant| {
+        let contours = fit_contours(features, relevant, seed);
+        top_k_by(features.len(), k, |id| {
+            contours
+                .iter()
+                .map(|c| c.metric.distance(&features[id], &c.center))
+                .fold(f32::INFINITY, f32::min)
+        })
+    })
+}
+
+fn fit_contours(features: &[Vec<f32>], relevant: &[usize], seed: u64) -> Vec<Contour> {
+    let rel: Vec<&[f32]> = relevant.iter().map(|&id| features[id].as_slice()).collect();
+    let c = MAX_CLUSTERS.min(rel.len());
+    let fit = KMeans::new(c).with_seed(seed).fit(&rel);
+    (0..fit.k())
+        .filter_map(|ci| {
+            let members = fit.members(ci);
+            if members.is_empty() {
+                return None;
+            }
+            let cluster: Vec<&[f32]> = members.iter().map(|&i| rel[i]).collect();
+            let metric = if cluster.len() >= 2 {
+                Metric::WeightedEuclidean(Metric::mindreader_weights(&cluster, MAX_WEIGHT))
+            } else {
+                Metric::Euclidean
+            };
+            Some(Contour {
+                center: fit.centroids[ci].clone(),
+                metric,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::precision;
+    use crate::testutil;
+
+    #[test]
+    fn qcluster_returns_k_results() {
+        let (corpus, _) = testutil::shared();
+        let query = testutil::query("water sports");
+        let k = corpus.ground_truth(&query).len();
+        let mut user = SimulatedUser::oracle(&query, 1);
+        let out = run_session(corpus, &query, &mut user, k, &BaselineConfig::default());
+        assert_eq!(out.results.len(), k);
+        assert_eq!(out.round_trace.len(), 3);
+    }
+
+    #[test]
+    fn contours_cover_each_relevant_cluster() {
+        let (corpus, _) = testutil::shared();
+        let yellow = corpus.images_of(corpus.taxonomy().expect("rose/yellow"));
+        let red = corpus.images_of(corpus.taxonomy().expect("rose/red"));
+        let mut relevant = yellow[..4].to_vec();
+        relevant.extend_from_slice(&red[..4]);
+        let contours = fit_contours(corpus.features(), &relevant, 0);
+        assert!(contours.len() >= 2, "two distinct clusters expected");
+    }
+
+    #[test]
+    fn qcluster_beats_random_clearly() {
+        let (corpus, _) = testutil::shared();
+        let query = testutil::query("rose");
+        let k = corpus.ground_truth(&query).len();
+        let mut user = SimulatedUser::oracle(&query, 2);
+        let out = run_session(corpus, &query, &mut user, k, &BaselineConfig::default());
+        let p = precision(corpus, &query, &out.results);
+        assert!(p > 5.0 * k as f64 / corpus.len() as f64, "precision {p}");
+    }
+}

@@ -1,0 +1,79 @@
+//! Query point movement (Ishikawa et al., "MindReader", VLDB 1998).
+//!
+//! Every round the query point moves to the centroid of the relevant
+//! examples, and the distance function is re-weighted per dimension with the
+//! inverse variance of the relevant set — dimensions the user's relevant
+//! images agree on count more.
+
+use super::{feedback_loop, top_k_by, BaselineConfig, BaselineOutcome};
+use crate::user::SimulatedUser;
+use qd_corpus::{Corpus, QuerySpec};
+use qd_linalg::vector::centroid;
+use qd_linalg::Metric;
+
+/// Weight cap keeping near-zero-variance dimensions from dominating.
+const MAX_WEIGHT: f32 = 1.0e4;
+
+/// Runs a query-point-movement session retrieving `k` images.
+pub fn run_session(
+    corpus: &Corpus,
+    query: &QuerySpec,
+    user: &mut SimulatedUser,
+    k: usize,
+    cfg: &BaselineConfig,
+) -> BaselineOutcome {
+    let features = corpus.features();
+    feedback_loop(corpus, query, user, cfg, |relevant| {
+        let rel: Vec<&[f32]> = relevant.iter().map(|&id| features[id].as_slice()).collect();
+        let query_point = centroid(&rel);
+        let metric = if rel.len() >= 2 {
+            Metric::WeightedEuclidean(Metric::mindreader_weights(&rel, MAX_WEIGHT))
+        } else {
+            Metric::Euclidean
+        };
+        top_k_by(features.len(), k, |id| {
+            metric.distance(&features[id], &query_point)
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::precision;
+    use crate::testutil;
+
+    #[test]
+    fn qpm_returns_k_results() {
+        let (corpus, _) = testutil::shared();
+        let query = testutil::query("horse");
+        let k = corpus.ground_truth(&query).len();
+        let mut user = SimulatedUser::oracle(&query, 1);
+        let out = run_session(corpus, &query, &mut user, k, &BaselineConfig::default());
+        assert_eq!(out.results.len(), k);
+        assert_eq!(out.round_trace.len(), 3);
+    }
+
+    #[test]
+    fn qpm_beats_random_clearly() {
+        let (corpus, _) = testutil::shared();
+        let query = testutil::query("rose");
+        let k = corpus.ground_truth(&query).len();
+        let mut user = SimulatedUser::oracle(&query, 2);
+        let out = run_session(corpus, &query, &mut user, k, &BaselineConfig::default());
+        let p = precision(corpus, &query, &out.results);
+        assert!(p > 5.0 * k as f64 / corpus.len() as f64, "precision {p}");
+    }
+
+    #[test]
+    fn qpm_quality_does_not_collapse_over_rounds() {
+        let (corpus, _) = testutil::shared();
+        let query = testutil::query("mountain view");
+        let k = corpus.ground_truth(&query).len();
+        let mut user = SimulatedUser::oracle(&query, 3);
+        let out = run_session(corpus, &query, &mut user, k, &BaselineConfig::default());
+        let first = out.round_trace[0].precision.unwrap();
+        let last = out.round_trace[2].precision.unwrap();
+        assert!(last >= first - 0.15, "first {first}, last {last}");
+    }
+}

@@ -1,0 +1,256 @@
+//! The paper's client–server configuration (§4, "More Scalable" in §6).
+//!
+//! "Since these [representative] images are substantially smaller than the
+//! total database size, in practice our software can be configured such that
+//! the RFS structure and relevance feedback mechanisms may run in the user
+//! computer. In this client-server configuration, the user would first
+//! identify the final query images on the client machine and only then
+//! submit them to the server to initiate the localized k-NN computations."
+//!
+//! [`ClientRfs`] is that client-side replica: the cluster hierarchy and the
+//! representative lists — **no feature vectors, no image data** — roughly 5 %
+//! of the database by object count and a small constant per node. Feedback
+//! rounds run against it byte-for-byte identically to the server (both go
+//! through [`run_feedback_rounds`]); the resulting [`RemoteQuery`] is the
+//! only thing shipped to the server, which answers it with the usual
+//! localized k-NN execution.
+
+use crate::rfs::{FeedbackHierarchy, RfsStructure};
+use crate::session::{
+    execute_subqueries, run_feedback_rounds, FinalExecution, QdConfig,
+};
+use crate::user::SimulatedUser;
+use qd_corpus::taxonomy::SubconceptId;
+use qd_corpus::Corpus;
+use qd_index::NodeId;
+use std::collections::HashMap;
+
+/// One node of the client replica.
+#[derive(Debug, Clone)]
+struct ClientNode {
+    leaf: bool,
+    reps: Vec<usize>,
+    /// Child cluster each representative traces to (absent for leaves).
+    rep_child: HashMap<usize, NodeId>,
+}
+
+/// The thin client-side copy of the RFS structure: hierarchy +
+/// representative ids only.
+#[derive(Debug, Clone)]
+pub struct ClientRfs {
+    root: NodeId,
+    nodes: HashMap<NodeId, ClientNode>,
+}
+
+impl ClientRfs {
+    /// Extracts the client replica from a full server-side structure.
+    pub fn replicate(rfs: &RfsStructure) -> Self {
+        let tree = rfs.tree();
+        let mut nodes = HashMap::with_capacity(tree.node_count());
+        for n in tree.node_ids() {
+            let reps = rfs.representatives(n).to_vec();
+            let leaf = tree.is_leaf(n);
+            let rep_child = if leaf {
+                HashMap::new()
+            } else {
+                reps.iter()
+                    .filter_map(|&rep| rfs.child_containing(n, rep).map(|c| (rep, c)))
+                    .collect()
+            };
+            nodes.insert(
+                n,
+                ClientNode {
+                    leaf,
+                    reps,
+                    rep_child,
+                },
+            );
+        }
+        Self {
+            root: tree.root(),
+            nodes,
+        }
+    }
+
+    /// Number of replicated hierarchy nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of distinct representative image ids the client holds.
+    pub fn representative_count(&self) -> usize {
+        let mut ids: Vec<usize> = self
+            .nodes
+            .values()
+            .flat_map(|n| n.reps.iter().copied())
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// Rough in-memory footprint of the replica in bytes (ids + maps). The
+    /// point of the estimate is the *ratio* against the server-side feature
+    /// table, which carries `n × 37` floats.
+    pub fn estimated_bytes(&self) -> usize {
+        self.nodes
+            .values()
+            .map(|n| {
+                std::mem::size_of::<ClientNode>()
+                    + n.reps.len() * std::mem::size_of::<usize>()
+                    + n.rep_child.len() * (std::mem::size_of::<usize>() + std::mem::size_of::<NodeId>())
+            })
+            .sum::<usize>()
+            + self.nodes.len() * std::mem::size_of::<NodeId>()
+    }
+}
+
+impl FeedbackHierarchy for ClientRfs {
+    fn root(&self) -> NodeId {
+        self.root
+    }
+
+    fn is_leaf(&self, n: NodeId) -> bool {
+        self.nodes[&n].leaf
+    }
+
+    fn representatives(&self, n: NodeId) -> &[usize] {
+        &self.nodes[&n].reps
+    }
+
+    fn child_containing(&self, n: NodeId, image: usize) -> Option<NodeId> {
+        self.nodes[&n].rep_child.get(&image).copied()
+    }
+}
+
+/// The message a client sends to the server after its feedback rounds: the
+/// final localized subqueries (subcluster handle + marked image ids).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemoteQuery {
+    /// `(subcluster, marked relevant image ids)` per surviving subquery.
+    pub subqueries: Vec<(NodeId, Vec<usize>)>,
+}
+
+impl RemoteQuery {
+    /// Total marked images across subqueries — the size of the payload.
+    pub fn mark_count(&self) -> usize {
+        self.subqueries.iter().map(|(_, m)| m.len()).sum()
+    }
+}
+
+/// Runs the feedback rounds entirely on the client replica and returns the
+/// query to ship to the server.
+pub fn client_feedback(
+    client: &ClientRfs,
+    labels: &[SubconceptId],
+    user: &mut SimulatedUser,
+    cfg: &QdConfig,
+) -> RemoteQuery {
+    let rounds = run_feedback_rounds(client, labels, user, cfg);
+    RemoteQuery {
+        subqueries: rounds.final_marks,
+    }
+}
+
+/// Answers a client's query on the server: localized multipoint k-NN per
+/// subquery plus the merge of §3.4.
+pub fn server_execute(
+    corpus: &Corpus,
+    rfs: &RfsStructure,
+    remote: &RemoteQuery,
+    k: usize,
+    cfg: &QdConfig,
+) -> FinalExecution {
+    execute_subqueries(corpus, rfs, &remote.subqueries, k, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::run_session;
+    use crate::testutil;
+
+    fn client_fixture() -> (&'static Corpus, &'static RfsStructure, ClientRfs) {
+        let (corpus, rfs) = testutil::shared();
+        (corpus, rfs, ClientRfs::replicate(rfs))
+    }
+
+    #[test]
+    fn replica_mirrors_the_hierarchy() {
+        let (_, rfs, client) = client_fixture();
+        let tree = rfs.tree();
+        assert_eq!(client.node_count(), tree.node_count());
+        assert_eq!(
+            client.representative_count(),
+            rfs.all_representatives().len()
+        );
+        for n in tree.node_ids() {
+            assert_eq!(
+                FeedbackHierarchy::representatives(&client, n),
+                rfs.representatives(n)
+            );
+            assert_eq!(FeedbackHierarchy::is_leaf(&client, n), tree.is_leaf(n));
+        }
+    }
+
+    #[test]
+    fn replica_rep_child_mapping_matches_server() {
+        let (_, rfs, client) = client_fixture();
+        let tree = rfs.tree();
+        for n in tree.node_ids() {
+            if tree.is_leaf(n) {
+                continue;
+            }
+            for &rep in rfs.representatives(n) {
+                assert_eq!(
+                    FeedbackHierarchy::child_containing(&client, n, rep),
+                    rfs.child_containing(n, rep),
+                    "node {n:?} rep {rep}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn client_server_split_reproduces_monolithic_session_exactly() {
+        let (corpus, rfs, client) = client_fixture();
+        let query = testutil::query("bird");
+        let k = corpus.ground_truth(&query).len();
+        let cfg = QdConfig::default();
+
+        let mut mono_user = SimulatedUser::oracle(&query, 21);
+        let monolithic = run_session(corpus, rfs, &query, &mut mono_user, k, &cfg);
+
+        let mut split_user = SimulatedUser::oracle(&query, 21);
+        let remote = client_feedback(&client, corpus.labels(), &mut split_user, &cfg);
+        let execution = server_execute(corpus, rfs, &remote, k, &cfg);
+
+        assert_eq!(execution.results, monolithic.results);
+        assert_eq!(execution.subquery_count, monolithic.subquery_count);
+    }
+
+    #[test]
+    fn client_footprint_is_a_small_fraction_of_the_feature_table() {
+        let (corpus, _, client) = client_fixture();
+        let server_bytes = corpus.len() * corpus.dim() * std::mem::size_of::<f32>();
+        let client_bytes = client.estimated_bytes();
+        assert!(
+            client_bytes * 2 < server_bytes,
+            "client {client_bytes}B vs server features {server_bytes}B"
+        );
+        // And the replicated image-id universe is a sliver of the database.
+        assert!(client.representative_count() * 3 < corpus.len());
+    }
+
+    #[test]
+    fn remote_query_carries_only_marks() {
+        let (corpus, _, client) = client_fixture();
+        let query = testutil::query("rose");
+        let mut user = SimulatedUser::oracle(&query, 5);
+        let remote = client_feedback(&client, corpus.labels(), &mut user, &QdConfig::default());
+        assert!(!remote.subqueries.is_empty());
+        assert!(remote.mark_count() > 0);
+        // The payload is tiny relative to the database.
+        assert!(remote.mark_count() < corpus.len() / 10);
+    }
+}

@@ -1,0 +1,342 @@
+//! Localized multipoint k-NN computation (§3.3).
+//!
+//! In the final feedback round, each subset of relevant images belonging to
+//! one subcluster becomes a *localized multipoint query*. The query is
+//! answered inside that subcluster alone — unless some query image sits near
+//! the subcluster's boundary, in which case the search area is expanded to
+//! the parent cluster (and onward up the hierarchy) so that relevant images
+//! just across the boundary in sibling clusters are not missed.
+//!
+//! The boundary test is the paper's ratio criterion: an image is "near the
+//! boundary" when `distance(image, node center) / node diagonal` exceeds a
+//! threshold (0.4 for the paper's database).
+
+use qd_index::{Neighbor, NodeId, RStarTree};
+use qd_linalg::metric::euclidean;
+use qd_linalg::vector::centroid;
+
+/// One localized subquery: the relevant images the user marked inside a
+/// single subcluster.
+#[derive(Debug, Clone)]
+pub struct LocalQuery {
+    /// The subcluster (tree node) the feedback came from.
+    pub home: NodeId,
+    /// Relevant image ids marked in this subcluster.
+    pub query_points: Vec<usize>,
+}
+
+/// The answer to one localized subquery.
+#[derive(Debug, Clone)]
+pub struct LocalResult {
+    /// The subcluster the feedback came from.
+    pub home: NodeId,
+    /// The node actually searched after boundary expansion.
+    pub scope: NodeId,
+    /// Candidate images, ascending by distance to the local query centroid.
+    pub neighbors: Vec<Neighbor>,
+    /// Number of user-marked relevant images backing this subquery — the
+    /// merge step allocates result slots proportionally to this (§3.4).
+    pub support: usize,
+}
+
+/// Applies the boundary-ratio test: starting at `home`, expands to the parent
+/// while any query image lies within `threshold` of the boundary (i.e. its
+/// center-distance ratio exceeds `threshold`).
+pub fn resolve_scope(
+    tree: &RStarTree,
+    home: NodeId,
+    query_features: &[&[f32]],
+    threshold: f32,
+) -> NodeId {
+    let mut scope = home;
+    while let Some(rect) = tree.node_rect(scope) {
+        let center = rect.center();
+        let diagonal = rect.diagonal();
+        let worst = query_features
+            .iter()
+            .map(|q| euclidean(q, &center))
+            .fold(0.0f32, f32::max);
+        // A degenerate (point) node has zero diagonal: any off-center query
+        // image forces expansion.
+        let near_boundary = if diagonal <= f32::EPSILON {
+            worst > 0.0
+        } else {
+            worst / diagonal > threshold
+        };
+        if !near_boundary {
+            break;
+        }
+        match tree.parent(scope) {
+            Some(parent) => scope = parent,
+            None => break,
+        }
+    }
+    scope
+}
+
+/// Executes one localized multipoint k-NN query: resolves the scope, forms
+/// the multipoint query centroid, and fetches the `fetch` nearest images
+/// inside the scope.
+///
+/// `min_pool` guards against starving the merge step: when the resolved
+/// scope holds fewer than `min_pool` images the scope is expanded to
+/// ancestors until it can supply that many candidates (or the root is
+/// reached). Pass 0 to disable.
+///
+/// # Panics
+/// Panics if the query has no query points.
+pub fn run_local_query(
+    tree: &RStarTree,
+    features: &[Vec<f32>],
+    query: &LocalQuery,
+    threshold: f32,
+    fetch: usize,
+    min_pool: usize,
+) -> LocalResult {
+    assert!(
+        !query.query_points.is_empty(),
+        "localized query without query points"
+    );
+    let query_features: Vec<&[f32]> = query
+        .query_points
+        .iter()
+        .map(|&id| features[id].as_slice())
+        .collect();
+    let mut scope = resolve_scope(tree, query.home, &query_features, threshold);
+    while tree.subtree_len(scope) < min_pool {
+        match tree.parent(scope) {
+            Some(parent) => scope = parent,
+            None => break,
+        }
+    }
+    let multipoint: Vec<f32> = centroid(&query_features);
+    let neighbors = tree.knn_in(scope, &multipoint, fetch);
+    LocalResult {
+        home: query.home,
+        scope,
+        neighbors,
+        support: query.query_points.len(),
+    }
+}
+
+/// [`run_local_query`] under a user-defined per-dimension importance
+/// weighting (the §6 extension: "the user may define color as the most
+/// important feature"). Because scopes are small subclusters, the weighted
+/// ranking scans the scope's items directly rather than threading a weighted
+/// MINDIST through the tree.
+///
+/// # Panics
+/// Panics if the query has no query points or `weights` has the wrong
+/// dimensionality.
+pub fn run_local_query_weighted(
+    tree: &RStarTree,
+    features: &[Vec<f32>],
+    query: &LocalQuery,
+    threshold: f32,
+    fetch: usize,
+    min_pool: usize,
+    weights: &[f32],
+) -> LocalResult {
+    assert!(
+        !query.query_points.is_empty(),
+        "localized query without query points"
+    );
+    let query_features: Vec<&[f32]> = query
+        .query_points
+        .iter()
+        .map(|&id| features[id].as_slice())
+        .collect();
+    assert_eq!(
+        weights.len(),
+        query_features[0].len(),
+        "weight dimensionality mismatch"
+    );
+    let mut scope = resolve_scope(tree, query.home, &query_features, threshold);
+    while tree.subtree_len(scope) < min_pool {
+        match tree.parent(scope) {
+            Some(parent) => scope = parent,
+            None => break,
+        }
+    }
+    let multipoint: Vec<f32> = centroid(&query_features);
+    let metric = qd_linalg::Metric::WeightedEuclidean(weights.to_vec());
+    let mut scored: Vec<Neighbor> = tree
+        .subtree_items(scope)
+        .into_iter()
+        .map(|(id, point)| Neighbor {
+            id,
+            distance: metric.distance(point, &multipoint),
+        })
+        .collect();
+    scored.sort_by(|a, b| {
+        a.distance
+            .partial_cmp(&b.distance)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.id.cmp(&b.id))
+    });
+    scored.truncate(fetch);
+    LocalResult {
+        home: query.home,
+        scope,
+        neighbors: scored,
+        support: query.query_points.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qd_index::TreeConfig;
+
+    /// Two blobs far apart; tree with tiny nodes so the hierarchy is deep.
+    fn setup() -> (RStarTree, Vec<Vec<f32>>) {
+        let mut features = Vec::new();
+        for i in 0..40 {
+            let j = (i % 8) as f32 * 0.05;
+            features.push(vec![j, i as f32 * 0.01]); // blob A near origin
+        }
+        for i in 0..40 {
+            let j = (i % 8) as f32 * 0.05;
+            features.push(vec![20.0 + j, i as f32 * 0.01]); // blob B
+        }
+        let items = features
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (i as u64, f.clone()))
+            .collect();
+        (RStarTree::bulk_load(TreeConfig::small(2), items), features)
+    }
+
+    #[test]
+    fn central_query_stays_in_home_node() {
+        let (tree, features) = setup();
+        let home = tree.root(); // root center covers everything
+        let q = [features[0].as_slice()];
+        // With the root as home there is nowhere to expand; scope == root.
+        assert_eq!(resolve_scope(&tree, home, &q, 0.4), home);
+    }
+
+    #[test]
+    fn boundary_query_expands_to_parent() {
+        let (tree, features) = setup();
+        // Pick a leaf and a query image far from that leaf's center: use an
+        // image from the other blob.
+        let leaf = {
+            let mut found = None;
+            for n in tree.node_ids() {
+                if tree.is_leaf(n) {
+                    let (id, _) = tree.leaf_entries(n).next().unwrap();
+                    if (id as usize) < 40 {
+                        found = Some(n);
+                        break;
+                    }
+                }
+            }
+            found.unwrap()
+        };
+        let far_image = features[79].as_slice(); // other blob
+        let scope = resolve_scope(&tree, leaf, &[far_image], 0.4);
+        assert_ne!(scope, leaf, "far query must expand beyond the leaf");
+        // Expansion walks the ancestor chain.
+        let mut cur = leaf;
+        let mut is_ancestor = false;
+        while let Some(p) = tree.parent(cur) {
+            if p == scope {
+                is_ancestor = true;
+                break;
+            }
+            cur = p;
+        }
+        assert!(is_ancestor || scope == tree.root());
+    }
+
+    #[test]
+    fn threshold_zero_always_expands_to_root() {
+        let (tree, features) = setup();
+        let leaf = tree
+            .node_ids()
+            .into_iter()
+            .find(|&n| tree.is_leaf(n))
+            .unwrap();
+        let q = [features[1].as_slice()];
+        assert_eq!(resolve_scope(&tree, leaf, &q, 0.0), tree.root());
+    }
+
+    #[test]
+    fn threshold_one_rarely_expands() {
+        let (tree, features) = setup();
+        // A query image inside its own leaf: ratio ≤ 1 always (the image is
+        // inside the rect, so distance-to-center ≤ diagonal… in fact ≤ D/2).
+        for n in tree.node_ids() {
+            if !tree.is_leaf(n) {
+                continue;
+            }
+            let (id, _) = tree.leaf_entries(n).next().unwrap();
+            let q = [features[id as usize].as_slice()];
+            assert_eq!(resolve_scope(&tree, n, &q, 1.0), n);
+        }
+    }
+
+    #[test]
+    fn local_query_returns_neighbors_from_scope_only() {
+        let (tree, features) = setup();
+        let leaf = {
+            // A leaf wholly inside blob A.
+            tree.node_ids()
+                .into_iter()
+                .find(|&n| {
+                    tree.is_leaf(n) && tree.leaf_entries(n).all(|(id, _)| (id as usize) < 40)
+                })
+                .unwrap()
+        };
+        let member = tree.leaf_entries(leaf).next().unwrap().0 as usize;
+        let lq = LocalQuery {
+            home: leaf,
+            query_points: vec![member],
+        };
+        let result = run_local_query(&tree, &features, &lq, 0.9, 5, 0);
+        assert_eq!(result.support, 1);
+        assert!(!result.neighbors.is_empty());
+        // All neighbors come from the resolved scope's subtree.
+        let scope_members: std::collections::HashSet<u64> = tree
+            .subtree_items(result.scope)
+            .iter()
+            .map(|(id, _)| *id)
+            .collect();
+        for n in &result.neighbors {
+            assert!(scope_members.contains(&n.id));
+        }
+        // Neighbors ascend by distance.
+        for w in result.neighbors.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+    }
+
+    #[test]
+    fn multipoint_centroid_attracts_between_query_points() {
+        let (tree, features) = setup();
+        // Two query points at opposite ends of blob A; the centroid sits
+        // between them, so the nearest neighbor should be a middle image.
+        let lq = LocalQuery {
+            home: tree.root(),
+            query_points: vec![0, 39],
+        };
+        let result = run_local_query(&tree, &features, &lq, 1.0, 40, 0);
+        assert_eq!(result.neighbors.len(), 40);
+        // Everything retrieved first is from blob A (ids < 40).
+        for n in &result.neighbors[..10] {
+            assert!(n.id < 40, "blob B leaked into local result");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "without query points")]
+    fn empty_local_query_panics() {
+        let (tree, features) = setup();
+        let lq = LocalQuery {
+            home: tree.root(),
+            query_points: vec![],
+        };
+        run_local_query(&tree, &features, &lq, 0.4, 5, 0);
+    }
+}

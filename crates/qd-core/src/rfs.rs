@@ -1,0 +1,584 @@
+//! The Relevance Feedback Support structure (§3.1).
+//!
+//! An R\*-tree hierarchically clusters the image database; every tree node is
+//! then decorated with *representative images* selected bottom-up:
+//!
+//! * each **leaf**'s images are clustered by unsupervised k-means and the
+//!   image nearest each subcluster center becomes a representative;
+//! * each **internal** node aggregates its children's representatives,
+//!   re-clusters them, and keeps the images nearest the new centers.
+//!
+//! Representative counts are proportional to cluster size (the paper
+//! designates ~5 % of the database as representatives). All information
+//! needed to process relevance feedback — the hierarchy and the
+//! representative lists — is self-contained in this structure, so feedback
+//! rounds cost pure tree navigation, no k-NN.
+
+use qd_cluster::KMeans;
+use qd_index::{NodeId, RStarTree, TreeConfig};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// RFS construction parameters.
+#[derive(Debug, Clone)]
+pub struct RfsConfig {
+    /// Minimum entries per tree node.
+    pub node_min: usize,
+    /// Maximum entries per tree node (the paper uses 100).
+    pub node_max: usize,
+    /// Fraction of a leaf's images selected as its representatives (the
+    /// paper designates 5 % of the database).
+    pub representative_fraction: f32,
+    /// Fraction of the aggregated child representatives an internal node
+    /// keeps. The paper keeps representative counts proportional to cluster
+    /// size at every level ("clusters in the upper levels … have more
+    /// representative images"), which corresponds to 1.0: an internal node
+    /// carries the full pool of its children's representatives. Values < 1
+    /// make upper nodes *summarize* instead — an ablation trading root-level
+    /// browsing load against first-round subconcept coverage.
+    pub upper_fraction: f32,
+    /// Build the tree by kd-style bulk loading (cheap but its median splits
+    /// slice through clusters, hurting leaf purity) instead of repeated R\*
+    /// insertion (the default; this *is* the paper's "hierarchical
+    /// clustering … similar to the R\*-tree"). The build-strategy ablation
+    /// quantifies the difference.
+    pub bulk_load: bool,
+    /// Select representatives by k-means medoids (true) or uniformly at
+    /// random (the ablation of DESIGN.md §5.5).
+    pub kmeans_representatives: bool,
+    /// Seed for clustering and random selection.
+    pub seed: u64,
+}
+
+impl RfsConfig {
+    /// The paper's configuration: capacity-100 nodes, 5 % representatives.
+    pub fn paper() -> Self {
+        Self {
+            node_min: 40,
+            node_max: 100,
+            representative_fraction: 0.05,
+            upper_fraction: 1.0,
+            bulk_load: false,
+            kmeans_representatives: true,
+            seed: 0,
+        }
+    }
+
+    /// A small-fan-out configuration for tests (deeper trees on small data).
+    pub fn test_small() -> Self {
+        Self {
+            node_min: 8,
+            node_max: 20,
+            representative_fraction: 0.10,
+            upper_fraction: 1.0,
+            bulk_load: false,
+            kmeans_representatives: true,
+            seed: 0,
+        }
+    }
+}
+
+/// The navigation interface relevance-feedback rounds need. Implemented by
+/// the full server-side [`RfsStructure`] and by the thin client-side replica
+/// (`crate::client::ClientRfs`) — the paper's client–server configuration
+/// (§4) runs all feedback rounds against the latter.
+pub trait FeedbackHierarchy {
+    /// The root cluster of the hierarchy.
+    fn root(&self) -> NodeId;
+    /// True if `n` has no child clusters.
+    fn is_leaf(&self, n: NodeId) -> bool;
+    /// Representative images of `n`.
+    fn representatives(&self, n: NodeId) -> &[usize];
+    /// The child of `n` whose subtree contains `image`, if any.
+    fn child_containing(&self, n: NodeId, image: usize) -> Option<NodeId>;
+}
+
+/// The built RFS structure: the clustering tree plus per-node representative
+/// image lists.
+#[derive(Debug)]
+pub struct RfsStructure {
+    tree: RStarTree,
+    reps: HashMap<NodeId, Vec<usize>>,
+    leaf_of: HashMap<usize, NodeId>,
+}
+
+impl RfsStructure {
+    /// Builds the RFS structure over the corpus feature vectors (image id =
+    /// index into `features`).
+    ///
+    /// # Panics
+    /// Panics if `features` is empty or rows differ in length.
+    pub fn build(features: &[Vec<f32>], config: &RfsConfig) -> Self {
+        assert!(!features.is_empty(), "cannot build an RFS over no images");
+        let dims = features[0].len();
+        let tree_config = TreeConfig {
+            dims,
+            min_entries: config.node_min,
+            max_entries: config.node_max,
+            reinsert_fraction: 0.3,
+        };
+        let items: Vec<(u64, Vec<f32>)> = features
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (i as u64, f.clone()))
+            .collect();
+        let tree = if config.bulk_load {
+            RStarTree::bulk_load(tree_config, items)
+        } else {
+            let mut t = RStarTree::new(tree_config);
+            for (id, f) in items {
+                t.insert(f, id);
+            }
+            t
+        };
+
+        let mut leaf_of = HashMap::with_capacity(features.len());
+        for n in tree.node_ids() {
+            if tree.is_leaf(n) {
+                for (id, _) in tree.leaf_entries(n) {
+                    leaf_of.insert(id as usize, n);
+                }
+            }
+        }
+
+        // Bottom-up representative selection, level by level.
+        let mut by_level: HashMap<u32, Vec<NodeId>> = HashMap::new();
+        for n in tree.node_ids() {
+            by_level.entry(tree.level(n)).or_default().push(n);
+        }
+        let mut levels: Vec<u32> = by_level.keys().copied().collect();
+        levels.sort_unstable();
+
+        let mut reps: HashMap<NodeId, Vec<usize>> = HashMap::new();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        for level in levels {
+            let mut nodes = by_level.remove(&level).unwrap_or_default();
+            nodes.sort_unstable(); // deterministic order
+            for n in nodes {
+                let pool: Vec<usize> = if level == 0 {
+                    tree.leaf_entries(n).map(|(id, _)| id as usize).collect()
+                } else {
+                    tree.children(n)
+                        .iter()
+                        .flat_map(|c| reps.get(c).cloned().unwrap_or_default())
+                        .collect()
+                };
+                if pool.is_empty() {
+                    reps.insert(n, Vec::new());
+                    continue;
+                }
+                let target = if level == 0 {
+                    // At least two representatives per leaf: a single medoid
+                    // of a mixed leaf silences its minority categories, and
+                    // a category invisible at the leaf level is invisible
+                    // everywhere above it.
+                    ((config.representative_fraction * pool.len() as f32).round() as usize).max(2)
+                } else {
+                    (config.upper_fraction * pool.len() as f32).round() as usize
+                };
+                let target = target.clamp(1, pool.len());
+
+                let selected = if target == pool.len() {
+                    pool.clone()
+                } else if config.kmeans_representatives {
+                    let pool_features: Vec<&[f32]> =
+                        pool.iter().map(|&id| features[id].as_slice()).collect();
+                    let fit = KMeans::new(target)
+                        .with_seed(config.seed ^ (n.index() as u64) << 1)
+                        .fit(&pool_features);
+                    fit.medoid_indices(&pool_features)
+                        .into_iter()
+                        .map(|i| pool[i])
+                        .collect()
+                } else {
+                    let mut shuffled = pool.clone();
+                    shuffled.shuffle(&mut rng);
+                    shuffled.truncate(target);
+                    shuffled
+                };
+                reps.insert(n, selected);
+            }
+        }
+
+        Self {
+            tree,
+            reps,
+            leaf_of,
+        }
+    }
+
+    /// The underlying clustering tree.
+    pub fn tree(&self) -> &RStarTree {
+        &self.tree
+    }
+
+    /// Representative images of a node.
+    pub fn representatives(&self, n: NodeId) -> &[usize] {
+        self.reps.get(&n).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All distinct representative image ids in the structure.
+    pub fn all_representatives(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self.reps.values().flatten().copied().collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The leaf node storing `image`.
+    ///
+    /// # Panics
+    /// Panics if `image` is not in the corpus.
+    pub fn leaf_of(&self, image: usize) -> NodeId {
+        self.leaf_of[&image]
+    }
+
+    /// The child of `node` whose subtree contains `image`, or `None` if
+    /// `image` is not under `node` (or `node` is a leaf).
+    pub fn child_containing(&self, node: NodeId, image: usize) -> Option<NodeId> {
+        let mut cur = *self.leaf_of.get(&image)?;
+        if cur == node {
+            return None; // `node` is the leaf itself; it has no children
+        }
+        while let Some(parent) = self.tree.parent(cur) {
+            if parent == node {
+                return Some(cur);
+            }
+            cur = parent;
+        }
+        None
+    }
+
+    /// Number of images in the corpus this structure indexes.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// True if the structure is empty (never the case once built).
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// Saves the structure (tree + representative lists) to `path`.
+    ///
+    /// A deployment builds the RFS once over its image database and serves
+    /// every session from it; loading is orders of magnitude cheaper than
+    /// the R\*-insertion + k-means build.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let tree_bytes = qd_index::persist::to_bytes(&self.tree);
+        let mut out = Vec::with_capacity(tree_bytes.len() + 1024);
+        out.extend_from_slice(b"QDR1");
+        out.extend_from_slice(&(tree_bytes.len() as u64).to_le_bytes());
+        out.extend_from_slice(&tree_bytes);
+        let mut nodes: Vec<(&NodeId, &Vec<usize>)> = self.reps.iter().collect();
+        nodes.sort_by_key(|(n, _)| **n);
+        out.extend_from_slice(&(nodes.len() as u64).to_le_bytes());
+        for (node, reps) in nodes {
+            out.extend_from_slice(&(node.index() as u64).to_le_bytes());
+            out.extend_from_slice(&(reps.len() as u64).to_le_bytes());
+            for &r in reps {
+                out.extend_from_slice(&(r as u64).to_le_bytes());
+            }
+        }
+        std::fs::write(path, out)
+    }
+
+    /// Loads a structure saved by [`Self::save`].
+    pub fn load(path: &std::path::Path) -> std::io::Result<Self> {
+        use std::io::{Error, ErrorKind};
+        let bad = |msg: &str| Error::new(ErrorKind::InvalidData, msg.to_string());
+        let data = std::fs::read(path)?;
+        if data.len() < 12 || &data[..4] != b"QDR1" {
+            return Err(bad("not an RFS file"));
+        }
+        let tree_len = u64::from_le_bytes(data[4..12].try_into().unwrap()) as usize;
+        if data.len() < 12 + tree_len {
+            return Err(bad("truncated RFS file"));
+        }
+        let tree = qd_index::persist::from_bytes(&data[12..12 + tree_len])?;
+
+        let mut pos = 12 + tree_len;
+        let u64_at = |data: &[u8], pos: &mut usize| -> std::io::Result<u64> {
+            if *pos + 8 > data.len() {
+                return Err(Error::new(ErrorKind::UnexpectedEof, "truncated RFS file"));
+            }
+            let v = u64::from_le_bytes(data[*pos..*pos + 8].try_into().unwrap());
+            *pos += 8;
+            Ok(v)
+        };
+        let node_ids: HashMap<usize, NodeId> =
+            tree.node_ids().into_iter().map(|n| (n.index(), n)).collect();
+        let node_count = u64_at(&data, &mut pos)? as usize;
+        let mut reps: HashMap<NodeId, Vec<usize>> = HashMap::with_capacity(node_count);
+        for _ in 0..node_count {
+            let raw = u64_at(&data, &mut pos)? as usize;
+            let node = *node_ids
+                .get(&raw)
+                .ok_or_else(|| bad("representative list for unknown node"))?;
+            let count = u64_at(&data, &mut pos)? as usize;
+            let mut list = Vec::with_capacity(count);
+            for _ in 0..count {
+                let image = u64_at(&data, &mut pos)? as usize;
+                if image >= tree.len() {
+                    return Err(bad("representative id out of range"));
+                }
+                list.push(image);
+            }
+            reps.insert(node, list);
+        }
+        if pos != data.len() {
+            return Err(bad("trailing bytes in RFS file"));
+        }
+
+        let mut leaf_of = HashMap::with_capacity(tree.len());
+        for n in tree.node_ids() {
+            if tree.is_leaf(n) {
+                for (id, _) in tree.leaf_entries(n) {
+                    leaf_of.insert(id as usize, n);
+                }
+            }
+        }
+        Ok(Self {
+            tree,
+            reps,
+            leaf_of,
+        })
+    }
+}
+
+
+impl FeedbackHierarchy for RfsStructure {
+    fn root(&self) -> NodeId {
+        self.tree.root()
+    }
+
+    fn is_leaf(&self, n: NodeId) -> bool {
+        self.tree.is_leaf(n)
+    }
+
+    fn representatives(&self, n: NodeId) -> &[usize] {
+        RfsStructure::representatives(self, n)
+    }
+
+    fn child_containing(&self, n: NodeId, image: usize) -> Option<NodeId> {
+        RfsStructure::child_containing(self, n, image)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+
+    /// Clustered synthetic features: `clusters` blobs of `per` points in
+    /// `dims` dimensions.
+    fn blob_features(clusters: usize, per: usize, dims: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::new();
+        for c in 0..clusters {
+            let center: Vec<f32> = (0..dims).map(|d| ((c * 7 + d) % 13) as f32 * 3.0).collect();
+            for _ in 0..per {
+                out.push(
+                    center
+                        .iter()
+                        .map(|&x| x + rng.random::<f32>() * 0.5)
+                        .collect(),
+                );
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn build_produces_representatives_everywhere() {
+        let features = blob_features(6, 40, 5, 1);
+        let rfs = RfsStructure::build(&features, &RfsConfig::test_small());
+        assert_eq!(rfs.len(), 240);
+        for n in rfs.tree().node_ids() {
+            assert!(
+                !rfs.representatives(n).is_empty(),
+                "node {n:?} has no representatives"
+            );
+        }
+    }
+
+    #[test]
+    fn representative_fraction_is_respected() {
+        let features = blob_features(6, 50, 4, 2);
+        let mut config = RfsConfig::test_small();
+        config.representative_fraction = 0.10;
+        let rfs = RfsStructure::build(&features, &config);
+        let total: usize = rfs
+            .tree()
+            .node_ids()
+            .into_iter()
+            .filter(|&n| rfs.tree().is_leaf(n))
+            .map(|n| rfs.representatives(n).len())
+            .sum();
+        let expected = (features.len() as f32 * 0.10) as usize;
+        assert!(
+            total >= expected / 2 && total <= expected * 2,
+            "leaf reps {total}, expected ≈{expected}"
+        );
+    }
+
+    #[test]
+    fn representatives_belong_to_their_subtree() {
+        let features = blob_features(5, 40, 4, 3);
+        let rfs = RfsStructure::build(&features, &RfsConfig::test_small());
+        for n in rfs.tree().node_ids() {
+            let members: std::collections::HashSet<usize> = rfs
+                .tree()
+                .subtree_items(n)
+                .iter()
+                .map(|(id, _)| *id as usize)
+                .collect();
+            for &r in rfs.representatives(n) {
+                assert!(members.contains(&r), "rep {r} outside node {n:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn upper_levels_summarize_child_representatives() {
+        let features = blob_features(8, 40, 4, 4);
+        let rfs = RfsStructure::build(&features, &RfsConfig::test_small());
+        let tree = rfs.tree();
+        for n in tree.node_ids() {
+            if tree.is_leaf(n) {
+                continue;
+            }
+            let child_reps: std::collections::HashSet<usize> = tree
+                .children(n)
+                .iter()
+                .flat_map(|&c| rfs.representatives(c).iter().copied())
+                .collect();
+            for &r in rfs.representatives(n) {
+                assert!(
+                    child_reps.contains(&r),
+                    "internal rep {r} not among child reps"
+                );
+            }
+            assert!(rfs.representatives(n).len() <= child_reps.len());
+        }
+    }
+
+    #[test]
+    fn leaf_of_is_consistent_with_tree() {
+        let features = blob_features(4, 30, 3, 5);
+        let rfs = RfsStructure::build(&features, &RfsConfig::test_small());
+        for id in 0..features.len() {
+            let leaf = rfs.leaf_of(id);
+            assert!(rfs.tree().is_leaf(leaf));
+            assert!(rfs
+                .tree()
+                .leaf_entries(leaf)
+                .any(|(eid, _)| eid as usize == id));
+        }
+    }
+
+    #[test]
+    fn child_containing_traces_descent() {
+        let features = blob_features(6, 40, 4, 6);
+        let rfs = RfsStructure::build(&features, &RfsConfig::test_small());
+        let tree = rfs.tree();
+        let root = tree.root();
+        if tree.is_leaf(root) {
+            return; // degenerate tiny tree
+        }
+        for id in (0..features.len()).step_by(17) {
+            let child = rfs.child_containing(root, id).expect("image under root");
+            assert_eq!(tree.parent(child), Some(root));
+            let members: Vec<usize> = tree
+                .subtree_items(child)
+                .iter()
+                .map(|(i, _)| *i as usize)
+                .collect();
+            assert!(members.contains(&id));
+        }
+    }
+
+    #[test]
+    fn child_containing_rejects_foreign_images() {
+        let features = blob_features(6, 40, 4, 7);
+        let rfs = RfsStructure::build(&features, &RfsConfig::test_small());
+        let tree = rfs.tree();
+        let root = tree.root();
+        if tree.is_leaf(root) || tree.children(root).len() < 2 {
+            return;
+        }
+        let a = tree.children(root)[0];
+        let b = tree.children(root)[1];
+        let in_b = tree.subtree_items(b)[0].0 as usize;
+        // Asking `a` for an image stored under `b` must fail.
+        assert_eq!(rfs.child_containing(a, in_b), None);
+    }
+
+    #[test]
+    fn random_representative_ablation_works() {
+        let features = blob_features(5, 40, 4, 8);
+        let mut config = RfsConfig::test_small();
+        config.kmeans_representatives = false;
+        let rfs = RfsStructure::build(&features, &config);
+        for n in rfs.tree().node_ids() {
+            assert!(!rfs.representatives(n).is_empty());
+        }
+    }
+
+    #[test]
+    fn bulk_loaded_tree_also_builds() {
+        let features = blob_features(3, 30, 3, 9);
+        let mut config = RfsConfig::test_small();
+        config.bulk_load = true;
+        let rfs = RfsStructure::build(&features, &config);
+        assert_eq!(rfs.len(), features.len());
+        rfs.tree().validate();
+    }
+
+    #[test]
+    fn save_load_roundtrips_structure() {
+        let features = blob_features(5, 40, 4, 11);
+        let rfs = RfsStructure::build(&features, &RfsConfig::test_small());
+        let dir = std::env::temp_dir().join("qd_rfs_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rfs.qdr");
+        rfs.save(&path).unwrap();
+        let loaded = RfsStructure::load(&path).unwrap();
+        assert_eq!(loaded.len(), rfs.len());
+        assert_eq!(loaded.all_representatives(), rfs.all_representatives());
+        let mut nodes = rfs.tree().node_ids();
+        nodes.sort_unstable();
+        let mut loaded_nodes = loaded.tree().node_ids();
+        loaded_nodes.sort_unstable();
+        assert_eq!(nodes, loaded_nodes);
+        for n in nodes {
+            assert_eq!(loaded.representatives(n), rfs.representatives(n));
+        }
+        for id in (0..features.len()).step_by(13) {
+            assert_eq!(loaded.leaf_of(id), rfs.leaf_of(id));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_corrupt_rfs_file() {
+        let dir = std::env::temp_dir().join("qd_rfs_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.qdr");
+        std::fs::write(&path, b"QDR1garbage").unwrap();
+        assert!(RfsStructure::load(&path).is_err());
+        std::fs::write(&path, b"nope").unwrap();
+        assert!(RfsStructure::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn deterministic_build() {
+        let features = blob_features(4, 30, 4, 10);
+        let a = RfsStructure::build(&features, &RfsConfig::test_small());
+        let b = RfsStructure::build(&features, &RfsConfig::test_small());
+        assert_eq!(a.all_representatives(), b.all_representatives());
+    }
+}

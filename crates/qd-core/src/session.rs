@@ -1,0 +1,562 @@
+//! The Query Decomposition feedback session (§3.2).
+//!
+//! Round 1 presents representative images from the RFS root; the user marks
+//! the relevant ones; the system maps each marked representative to the
+//! child cluster it came from and *splits* the query into one subquery per
+//! relevant child. Each later round repeats the process on the active
+//! subclusters, refining or discarding subqueries. No k-NN computation
+//! happens until the final round, when each subquery becomes a localized
+//! multipoint k-NN over its (possibly boundary-expanded) subcluster and the
+//! local results are merged proportionally to user support.
+
+use crate::localknn::{run_local_query, LocalQuery};
+use crate::metrics::{gtir, precision, RoundTrace};
+use crate::ranking::{flatten_groups, merge_local_results};
+use crate::rfs::{FeedbackHierarchy, RfsStructure};
+use crate::user::SimulatedUser;
+use qd_corpus::taxonomy::SubconceptId;
+use qd_corpus::{Corpus, QuerySpec};
+use qd_index::NodeId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+pub use crate::ranking::ResultGroup;
+
+/// How final result slots are split across subqueries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeStrategy {
+    /// Proportional to the number of relevant images the user marked in each
+    /// subcluster — the paper's rule (§3.4).
+    Proportional,
+    /// One share per subquery regardless of support (ablation).
+    Uniform,
+    /// §3.4's alternative presentation: all local results merged into a
+    /// single list ranked by individual similarity score (no quotas, one
+    /// result group).
+    SingleList,
+}
+
+/// Session parameters.
+#[derive(Debug, Clone)]
+pub struct QdConfig {
+    /// Number of feedback rounds (the paper evaluates 3).
+    pub rounds: usize,
+    /// Boundary-ratio threshold for expanding localized queries (§3.3; the
+    /// paper uses 0.4 for its database).
+    pub boundary_threshold: f32,
+    /// Result merge rule.
+    pub merge: MergeStrategy,
+    /// Shuffle seed for the "Random" representative browsing order.
+    pub seed: u64,
+    /// Per-round inspection budget applied to users created by the `eval`
+    /// runners (`usize::MAX` = the user pages through every display). The
+    /// paper's GUI shows 21 images at a time; a budget of a few pages per
+    /// round reproduces Table 2's gradual GTIR growth.
+    pub user_patience: usize,
+    /// Optional user-defined per-dimension importance weights (the §6
+    /// extension, e.g. "color is the most important feature"). Must have the
+    /// corpus feature dimensionality when set.
+    pub feature_weights: Option<Vec<f32>>,
+}
+
+impl QdConfig {
+    /// Sets per-feature-group importance weights: the triple is expanded
+    /// over the color/texture/edge dimension ranges of the 37-d vector.
+    pub fn with_group_weights(mut self, color: f32, texture: f32, edge: f32) -> Self {
+        use qd_features::pipeline::FeatureGroup;
+        let mut w = vec![0.0f32; qd_features::FEATURE_DIM];
+        for (group, value) in [
+            (FeatureGroup::Color, color),
+            (FeatureGroup::Texture, texture),
+            (FeatureGroup::Edge, edge),
+        ] {
+            assert!(value >= 0.0, "importance weights must be non-negative");
+            for d in group.range() {
+                w[d] = value;
+            }
+        }
+        self.feature_weights = Some(w);
+        self
+    }
+}
+
+impl Default for QdConfig {
+    fn default() -> Self {
+        Self {
+            rounds: 3,
+            boundary_threshold: 0.4,
+            merge: MergeStrategy::Proportional,
+            seed: 0,
+            user_patience: usize::MAX,
+            feature_weights: None,
+        }
+    }
+}
+
+/// The outcome of a QD session.
+#[derive(Debug, Clone)]
+pub struct QdOutcome {
+    /// Final result image ids, in on-screen (group-major) order; at most `k`.
+    pub results: Vec<usize>,
+    /// Grouped presentation (§3.4), ascending by ranking score.
+    pub groups: Vec<ResultGroup>,
+    /// Per-round quality trace (Table 2's QD columns).
+    pub round_trace: Vec<RoundTrace>,
+    /// RFS node reads performed by feedback processing (one per subcluster
+    /// whose representatives were displayed per round) — the I/O measure of
+    /// §5.2.2.
+    pub feedback_accesses: u64,
+    /// Index node reads performed by the final localized k-NN computations.
+    pub knn_accesses: u64,
+    /// Number of localized subqueries executed in the final round.
+    pub subquery_count: usize,
+    /// Wall-clock duration of each feedback round's processing (user think
+    /// time excluded) — the Figure 11 measurement.
+    pub round_durations: Vec<Duration>,
+    /// Wall-clock duration of the final localized k-NN computation and
+    /// merge; total query processing time (Figure 10) is the sum of the
+    /// round durations plus this.
+    pub final_knn_duration: Duration,
+}
+
+/// The product of the feedback rounds alone — everything the final
+/// (server-side) k-NN execution needs. Produced identically by the full
+/// server structure and the thin client replica, which is what makes the
+/// paper's client–server split (§4) possible.
+#[derive(Debug, Clone)]
+pub struct FeedbackRounds {
+    /// `(subcluster, user-marked relevant images)` per surviving subquery,
+    /// sorted by node id for determinism.
+    pub final_marks: Vec<(NodeId, Vec<usize>)>,
+    /// Cumulative relevant images seen after each round (for GTIR traces).
+    pub relevant_snapshots: Vec<Vec<usize>>,
+    /// RFS node reads performed (one per displayed subcluster per round).
+    pub feedback_accesses: u64,
+    /// Wall-clock duration of each round's processing.
+    pub round_durations: Vec<Duration>,
+}
+
+/// Runs the feedback rounds of a QD session over any [`FeedbackHierarchy`]:
+/// display representatives, collect user marks, split into child subqueries,
+/// repeat. Performs **no k-NN work** — this is the part of the protocol the
+/// paper runs on the client.
+pub fn run_feedback_rounds(
+    hierarchy: &impl FeedbackHierarchy,
+    labels: &[SubconceptId],
+    user: &mut SimulatedUser,
+    cfg: &QdConfig,
+) -> FeedbackRounds {
+    assert!(cfg.rounds >= 1, "at least one feedback round required");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut active: Vec<NodeId> = vec![hierarchy.root()];
+    let mut relevant_seen: Vec<usize> = Vec::new();
+    let mut relevant_snapshots = Vec::with_capacity(cfg.rounds);
+    let mut feedback_accesses = 0u64;
+    let mut round_durations: Vec<Duration> = Vec::with_capacity(cfg.rounds);
+    let mut final_marks: HashMap<NodeId, Vec<usize>> = HashMap::new();
+
+    for round in 1..=cfg.rounds {
+        let round_start = Instant::now();
+        let is_final = round == cfg.rounds;
+        let mut next_active: Vec<NodeId> = Vec::new();
+        for &node in &active {
+            // Displaying a node's representatives reads exactly that node.
+            feedback_accesses += 1;
+            let mut shown: Vec<usize> = hierarchy.representatives(node).to_vec();
+            shown.shuffle(&mut rng); // the GUI's "Random" browsing order
+            let marked = user.mark_relevant(&shown, labels);
+            if marked.is_empty() {
+                continue; // irrelevant subquery: discarded
+            }
+            relevant_seen.extend_from_slice(&marked);
+
+            if is_final {
+                final_marks.entry(node).or_default().extend(marked);
+            } else {
+                // Split: one subquery per child cluster a marked
+                // representative traces to. Leaves cannot split further and
+                // stay active with their marks carried into the final round.
+                if hierarchy.is_leaf(node) {
+                    if !next_active.contains(&node) {
+                        next_active.push(node);
+                    }
+                } else {
+                    for &rep in &marked {
+                        if let Some(child) = hierarchy.child_containing(node, rep) {
+                            if !next_active.contains(&child) {
+                                next_active.push(child);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        round_durations.push(round_start.elapsed());
+        relevant_snapshots.push(relevant_seen.clone());
+        if !is_final {
+            if next_active.is_empty() {
+                break; // the user found nothing relevant: the query dies here
+            }
+            active = next_active;
+        }
+    }
+
+    let mut final_marks: Vec<(NodeId, Vec<usize>)> = final_marks.into_iter().collect();
+    final_marks.sort_by_key(|(n, _)| *n);
+    FeedbackRounds {
+        final_marks,
+        relevant_snapshots,
+        feedback_accesses,
+        round_durations,
+    }
+}
+
+/// The server-side tail of a QD session: localized multipoint k-NN per
+/// subquery, quota allocation, and result merging.
+#[derive(Debug, Clone)]
+pub struct FinalExecution {
+    /// Final result image ids, group-major; at most `k`.
+    pub results: Vec<usize>,
+    /// Grouped presentation (§3.4), ascending by ranking score.
+    pub groups: Vec<ResultGroup>,
+    /// Index node reads performed by the localized k-NN computations.
+    pub knn_accesses: u64,
+    /// Number of localized subqueries executed.
+    pub subquery_count: usize,
+    /// Wall-clock duration of the k-NN + merge phase.
+    pub duration: Duration,
+}
+
+/// Executes the final localized subqueries against the full RFS structure.
+/// Quotas are known before the queries run (they depend only on the mark
+/// counts), so each subquery fetches just enough candidates to fill its
+/// share plus slack for cross-subquery deduplication.
+pub fn execute_subqueries(
+    corpus: &Corpus,
+    rfs: &RfsStructure,
+    subqueries: &[(NodeId, Vec<usize>)],
+    k: usize,
+    cfg: &QdConfig,
+) -> FinalExecution {
+    let start = Instant::now();
+    if subqueries.is_empty() || k == 0 {
+        return FinalExecution {
+            results: Vec::new(),
+            groups: Vec::new(),
+            knn_accesses: 0,
+            subquery_count: 0,
+            duration: start.elapsed(),
+        };
+    }
+    let tree = rfs.tree();
+    let supports: Vec<usize> = subqueries
+        .iter()
+        .map(|(_, marks)| match cfg.merge {
+            MergeStrategy::Proportional => marks.len(),
+            MergeStrategy::Uniform | MergeStrategy::SingleList => 1,
+        })
+        .collect();
+    let quotas = crate::ranking::allocate_quotas(&supports, k);
+
+    let mut locals = Vec::with_capacity(subqueries.len());
+    tree.reset_accesses();
+    for (((home, marks), support), &quota) in
+        subqueries.iter().zip(supports).zip(&quotas)
+    {
+        let fetch = quota + (quota / 2).max(5);
+        let lq = LocalQuery {
+            home: *home,
+            query_points: marks.clone(),
+        };
+        let mut result = match &cfg.feature_weights {
+            Some(weights) => crate::localknn::run_local_query_weighted(
+                tree,
+                corpus.features(),
+                &lq,
+                cfg.boundary_threshold,
+                fetch,
+                quota,
+                weights,
+            ),
+            None => run_local_query(
+                tree,
+                corpus.features(),
+                &lq,
+                cfg.boundary_threshold,
+                fetch,
+                quota,
+            ),
+        };
+        result.support = support;
+        locals.push(result);
+    }
+    let knn_accesses = tree.accesses();
+    let (groups, results) = match cfg.merge {
+        MergeStrategy::SingleList => {
+            let ranked = crate::ranking::merge_single_list(&locals, k);
+            let results: Vec<usize> = ranked.iter().map(|&(id, _)| id).collect();
+            let group = crate::ranking::ResultGroup {
+                home: locals[0].home,
+                ranking_score: ranked.iter().map(|&(_, s)| s as f64).sum(),
+                images: ranked,
+            };
+            (vec![group], results)
+        }
+        _ => {
+            let groups = merge_local_results(&locals, k);
+            let results = flatten_groups(&groups);
+            (groups, results)
+        }
+    };
+    FinalExecution {
+        results,
+        groups,
+        knn_accesses,
+        subquery_count: locals.len(),
+        duration: start.elapsed(),
+    }
+}
+
+/// Runs one complete QD session for `query`, retrieving `k` images.
+pub fn run_session(
+    corpus: &Corpus,
+    rfs: &RfsStructure,
+    query: &QuerySpec,
+    user: &mut SimulatedUser,
+    k: usize,
+    cfg: &QdConfig,
+) -> QdOutcome {
+    let rounds = run_feedback_rounds(rfs, corpus.labels(), user, cfg);
+    let execution = execute_subqueries(corpus, rfs, &rounds.final_marks, k, cfg);
+
+    // Quality trace: GTIR of the relevant images seen so far per round, and
+    // the final round's retrieval quality. A session that died early keeps
+    // its last snapshot for the remaining rounds with zero precision.
+    let mut round_trace = Vec::with_capacity(cfg.rounds);
+    let last_snapshot = rounds
+        .relevant_snapshots
+        .last()
+        .cloned()
+        .unwrap_or_default();
+    for round in 1..=cfg.rounds {
+        let is_final = round == cfg.rounds;
+        let snapshot = rounds
+            .relevant_snapshots
+            .get(round - 1)
+            .unwrap_or(&last_snapshot);
+        round_trace.push(RoundTrace {
+            round,
+            precision: if is_final {
+                Some(precision(corpus, query, &execution.results))
+            } else if round > rounds.relevant_snapshots.len() {
+                Some(0.0) // dead session: the paper would show empty panels
+            } else {
+                None
+            },
+            gtir: if is_final && !execution.results.is_empty() {
+                gtir(corpus, query, &execution.results)
+            } else {
+                gtir(corpus, query, snapshot)
+            },
+        });
+    }
+
+    QdOutcome {
+        results: execution.results,
+        groups: execution.groups,
+        round_trace,
+        feedback_accesses: rounds.feedback_accesses,
+        knn_accesses: execution.knn_accesses,
+        subquery_count: execution.subquery_count,
+        round_durations: rounds.round_durations,
+        final_knn_duration: execution.duration,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+
+    #[test]
+    fn qd_retrieves_multiple_subconcepts() {
+        let (corpus, rfs) = testutil::shared();
+        let query = testutil::query("bird");
+        let k = corpus.ground_truth(&query).len();
+        let mut user = SimulatedUser::oracle(&query, 1);
+        let out = run_session(corpus, rfs, &query, &mut user, k, &QdConfig::default());
+        assert!(!out.results.is_empty());
+        assert!(out.results.len() <= k);
+        let g = gtir(corpus, &query, &out.results);
+        assert!(g >= 2.0 / 3.0, "bird GTIR = {g}");
+        let p = precision(corpus, &query, &out.results);
+        assert!(p > 0.3, "bird precision = {p}");
+        assert!(out.subquery_count >= 2, "expected decomposition into ≥2 subqueries");
+    }
+
+    #[test]
+    fn trace_has_one_entry_per_round_with_final_precision() {
+        let (corpus, rfs) = testutil::shared();
+        let query = testutil::query("rose");
+        let k = corpus.ground_truth(&query).len();
+        let mut user = SimulatedUser::oracle(&query, 2);
+        let out = run_session(corpus, rfs, &query, &mut user, k, &QdConfig::default());
+        assert_eq!(out.round_trace.len(), 3);
+        assert!(out.round_trace[0].precision.is_none());
+        assert!(out.round_trace[1].precision.is_none());
+        assert!(out.round_trace[2].precision.is_some());
+        // GTIR is monotone non-decreasing across rounds.
+        for w in out.round_trace.windows(2) {
+            assert!(w[1].gtir >= w[0].gtir - 1e-9);
+        }
+    }
+
+    #[test]
+    fn session_is_deterministic() {
+        let (corpus, rfs) = testutil::shared();
+        let query = testutil::query("car");
+        let k = corpus.ground_truth(&query).len();
+        let run = || {
+            let mut user = SimulatedUser::oracle(&query, 7);
+            run_session(corpus, rfs, &query, &mut user, k, &QdConfig::default())
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.feedback_accesses, b.feedback_accesses);
+    }
+
+    #[test]
+    fn impatient_user_yields_empty_outcome() {
+        let (corpus, rfs) = testutil::shared();
+        let query = testutil::query("horse");
+        let mut user = SimulatedUser::oracle(&query, 3).with_patience(0);
+        let out = run_session(corpus, rfs, &query, &mut user, 10, &QdConfig::default());
+        assert!(out.results.is_empty());
+        assert_eq!(out.subquery_count, 0);
+        assert_eq!(out.round_trace.len(), 3);
+        assert_eq!(out.round_trace[2].precision, Some(0.0));
+    }
+
+    #[test]
+    fn uniform_merge_also_fills_k() {
+        let (corpus, rfs) = testutil::shared();
+        let query = testutil::query("computer");
+        let k = corpus.ground_truth(&query).len();
+        let cfg = QdConfig {
+            merge: MergeStrategy::Uniform,
+            ..QdConfig::default()
+        };
+        let mut user = SimulatedUser::oracle(&query, 4);
+        let out = run_session(corpus, rfs, &query, &mut user, k, &cfg);
+        // Localized scopes bound the candidate pool, so QD may return fewer
+        // than k images on a small corpus, but never more — and the pool
+        // should cover most of the request.
+        assert!(out.results.len() <= k);
+        assert!(
+            out.results.len() >= k / 2,
+            "only {} of {k} slots filled",
+            out.results.len()
+        );
+    }
+
+    #[test]
+    fn groups_partition_results() {
+        let (corpus, rfs) = testutil::shared();
+        let query = testutil::query("a person");
+        let k = corpus.ground_truth(&query).len();
+        let mut user = SimulatedUser::oracle(&query, 5);
+        let out = run_session(corpus, rfs, &query, &mut user, k, &QdConfig::default());
+        let from_groups: Vec<usize> = crate::ranking::flatten_groups(&out.groups);
+        assert_eq!(from_groups, out.results);
+        // No duplicates across groups.
+        let mut sorted = out.results.clone();
+        sorted.sort_unstable();
+        let before = sorted.len();
+        sorted.dedup();
+        assert_eq!(sorted.len(), before);
+    }
+
+    #[test]
+    fn feedback_touches_few_nodes() {
+        let (corpus, rfs) = testutil::shared();
+        let query = testutil::query("airplane");
+        let k = corpus.ground_truth(&query).len();
+        let mut user = SimulatedUser::oracle(&query, 6);
+        let out = run_session(corpus, rfs, &query, &mut user, k, &QdConfig::default());
+        // Feedback node reads stay a tiny fraction of the node count: the
+        // paper's scalability claim.
+        let nodes = rfs.tree().node_count() as u64;
+        assert!(
+            out.feedback_accesses < nodes / 2,
+            "feedback touched {} of {} nodes",
+            out.feedback_accesses,
+            nodes
+        );
+    }
+
+    #[test]
+    fn unit_feature_weights_match_unweighted_session() {
+        let (corpus, rfs) = testutil::shared();
+        let query = testutil::query("rose");
+        let k = corpus.ground_truth(&query).len();
+        let plain = QdConfig::default();
+        let weighted = QdConfig::default().with_group_weights(1.0, 1.0, 1.0);
+        let mut u1 = SimulatedUser::oracle(&query, 9);
+        let a = run_session(corpus, rfs, &query, &mut u1, k, &plain);
+        let mut u2 = SimulatedUser::oracle(&query, 9);
+        let b = run_session(corpus, rfs, &query, &mut u2, k, &weighted);
+        // Unit weights rank identically to plain Euclidean (ties broken the
+        // same way), so results agree as sets.
+        let mut ra = a.results.clone();
+        let mut rb = b.results.clone();
+        ra.sort_unstable();
+        rb.sort_unstable();
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn color_only_weights_change_the_ranking() {
+        let (corpus, rfs) = testutil::shared();
+        let query = testutil::query("rose");
+        let k = corpus.ground_truth(&query).len();
+        let color_cfg = QdConfig::default().with_group_weights(1.0, 0.0, 0.0);
+        let mut u1 = SimulatedUser::oracle(&query, 9);
+        let plain = run_session(corpus, rfs, &query, &mut u1, k, &QdConfig::default());
+        let mut u2 = SimulatedUser::oracle(&query, 9);
+        let colored = run_session(corpus, rfs, &query, &mut u2, k, &color_cfg);
+        assert!(!colored.results.is_empty());
+        // The color-only session still performs respectably on a
+        // color-dominated query.
+        let p = crate::metrics::precision(corpus, &query, &colored.results);
+        assert!(p > 0.2, "color-weighted precision {p}");
+        // And the rankings are not byte-identical (texture/edge mattered).
+        assert_ne!(plain.results, colored.results);
+    }
+
+    #[test]
+    fn wider_threshold_expands_scopes() {
+        let (corpus, rfs) = testutil::shared();
+        let query = testutil::query("water sports");
+        let k = corpus.ground_truth(&query).len();
+        let tight = QdConfig {
+            boundary_threshold: 1.0,
+            ..QdConfig::default()
+        };
+        let loose = QdConfig {
+            boundary_threshold: 0.0,
+            ..QdConfig::default()
+        };
+        let mut u1 = SimulatedUser::oracle(&query, 8);
+        let a = run_session(corpus, rfs, &query, &mut u1, k, &tight);
+        let mut u2 = SimulatedUser::oracle(&query, 8);
+        let b = run_session(corpus, rfs, &query, &mut u2, k, &loose);
+        // Threshold 0 forces every subquery to the root: strictly more k-NN
+        // node reads than the tight setting.
+        assert!(b.knn_accesses >= a.knn_accesses);
+    }
+}

@@ -1,0 +1,25 @@
+//! Shared test fixtures: one corpus + RFS pair built once per test binary.
+
+use crate::rfs::{RfsConfig, RfsStructure};
+use qd_corpus::{queries, Corpus, CorpusConfig, QuerySpec};
+use std::sync::OnceLock;
+
+/// A small corpus (with MV viewpoints) and its RFS structure.
+pub(crate) fn shared() -> (&'static Corpus, &'static RfsStructure) {
+    static FIXTURE: OnceLock<(Corpus, RfsStructure)> = OnceLock::new();
+    let (c, r) = FIXTURE.get_or_init(|| {
+        let corpus = Corpus::build(&CorpusConfig::test_small(42));
+        let rfs = RfsStructure::build(corpus.features(), &RfsConfig::test_small());
+        (corpus, rfs)
+    });
+    (c, r)
+}
+
+/// Looks up one of the eleven standard queries by name.
+pub(crate) fn query(name: &str) -> QuerySpec {
+    let (corpus, _) = shared();
+    queries::standard_queries(corpus.taxonomy())
+        .into_iter()
+        .find(|q| q.name == name)
+        .unwrap_or_else(|| panic!("no standard query named {name:?}"))
+}

@@ -1,0 +1,330 @@
+//! Corpus disk cache.
+//!
+//! Building the 15,000-image corpus renders and feature-extracts every image
+//! (~10 s in release, much longer in debug); the database-size sweeps of
+//! Figures 10/11 build several corpora per run. This module persists a built
+//! corpus to a compact little-endian binary file and reloads it instantly,
+//! verifying that the cached file matches the requested configuration.
+//!
+//! Format (`QDC1`): header magic, the five config fields, the normalizer,
+//! the feature table, the labels, and the optional per-viewpoint tables.
+//! The taxonomy is *not* stored — it is deterministic in `(filler_count,
+//! seed)` and is rebuilt on load.
+
+use crate::corpus::{Corpus, CorpusConfig};
+use crate::taxonomy::{SubconceptId, Taxonomy};
+use qd_imagery::Viewpoint;
+use qd_linalg::Normalizer;
+use std::io;
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"QDC1";
+
+/// Saves a corpus to `path`.
+pub fn save(corpus: &Corpus, path: &Path) -> io::Result<()> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    let cfg = corpus.config();
+    write_u64(&mut out, cfg.size as u64);
+    write_u64(&mut out, cfg.image_size as u64);
+    write_u64(&mut out, cfg.seed);
+    write_u64(&mut out, cfg.filler_count as u64);
+    out.push(cfg.with_viewpoints as u8);
+
+    let (means, inv_stds) = corpus.normalizer().to_parts();
+    write_u64(&mut out, means.len() as u64);
+    write_f32s(&mut out, means);
+    write_f32s(&mut out, inv_stds);
+
+    write_u64(&mut out, corpus.len() as u64);
+    write_u64(&mut out, corpus.dim() as u64);
+    for row in corpus.features() {
+        write_f32s(&mut out, row);
+    }
+    for &label in corpus.labels() {
+        out.extend_from_slice(&label.0.to_le_bytes());
+    }
+
+    let viewpoints: Vec<Viewpoint> = [
+        Viewpoint::Negative,
+        Viewpoint::Grayscale,
+        Viewpoint::GrayNegative,
+    ]
+    .into_iter()
+    .filter(|&vp| corpus.viewpoint_features(vp).is_some())
+    .collect();
+    write_u64(&mut out, viewpoints.len() as u64);
+    for vp in viewpoints {
+        out.push(viewpoint_tag(vp));
+        for row in corpus.viewpoint_features(vp).unwrap() {
+            write_f32s(&mut out, row);
+        }
+    }
+    std::fs::write(path, out)
+}
+
+/// Loads a corpus from `path` with whatever configuration it was built
+/// under (the config travels in the file header).
+pub fn load_any(path: &Path) -> io::Result<Corpus> {
+    let header = read_header(path)?;
+    load(path, &header)
+}
+
+/// Reads just the configuration header of a cache file.
+pub fn read_header(path: &Path) -> io::Result<CorpusConfig> {
+    let mut file = std::fs::File::open(path)?;
+    let mut head = [0u8; 4 + 8 * 4 + 1];
+    std::io::Read::read_exact(&mut file, &mut head)?;
+    if &head[..4] != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a corpus cache file",
+        ));
+    }
+    let u = |i: usize| u64::from_le_bytes(head[4 + i * 8..12 + i * 8].try_into().unwrap());
+    Ok(CorpusConfig {
+        size: u(0) as usize,
+        image_size: u(1) as usize,
+        seed: u(2),
+        filler_count: u(3) as usize,
+        with_viewpoints: head[4 + 32] != 0,
+    })
+}
+
+/// Loads a corpus from `path`, verifying it was built with `config`.
+pub fn load(path: &Path, config: &CorpusConfig) -> io::Result<Corpus> {
+    let data = std::fs::read(path)?;
+    let mut r = Reader { data: &data, pos: 0 };
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+
+    if r.bytes(4)? != MAGIC {
+        return Err(bad("not a corpus cache file"));
+    }
+    let size = r.u64()? as usize;
+    let image_size = r.u64()? as usize;
+    let seed = r.u64()?;
+    let filler_count = r.u64()? as usize;
+    let with_viewpoints = r.bytes(1)?[0] != 0;
+    if size != config.size
+        || image_size != config.image_size
+        || seed != config.seed
+        || filler_count != config.filler_count
+        || with_viewpoints != config.with_viewpoints
+    {
+        return Err(bad("cached corpus was built with a different config"));
+    }
+
+    let dim_n = r.u64()? as usize;
+    if dim_n == 0 || dim_n > 4096 {
+        return Err(bad("corrupt dimensionality"));
+    }
+    let means = r.f32s(dim_n)?;
+    let inv_stds = r.f32s(dim_n)?;
+    let normalizer = Normalizer::from_parts(means, inv_stds);
+
+    let n = r.u64()? as usize;
+    let dim = r.u64()? as usize;
+    if n != size || dim != dim_n {
+        return Err(bad("inconsistent table dimensions"));
+    }
+    let mut features = Vec::with_capacity(n);
+    for _ in 0..n {
+        features.push(r.f32s(dim)?);
+    }
+    let taxonomy = Taxonomy::standard(filler_count, seed);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let raw = u32::from_le_bytes(r.bytes(4)?.try_into().unwrap());
+        if raw as usize >= taxonomy.len() {
+            return Err(bad("label out of taxonomy range"));
+        }
+        labels.push(SubconceptId(raw));
+    }
+
+    let vp_count = r.u64()? as usize;
+    if vp_count > 3 {
+        return Err(bad("corrupt viewpoint count"));
+    }
+    let mut viewpoint_features = Vec::with_capacity(vp_count);
+    for _ in 0..vp_count {
+        let vp = viewpoint_from_tag(r.bytes(1)?[0]).ok_or_else(|| bad("unknown viewpoint tag"))?;
+        let mut table = Vec::with_capacity(n);
+        for _ in 0..n {
+            table.push(r.f32s(dim)?);
+        }
+        viewpoint_features.push((vp, table));
+    }
+    if r.pos != data.len() {
+        return Err(bad("trailing bytes in corpus cache"));
+    }
+
+    Ok(Corpus::from_parts(
+        config.clone(),
+        taxonomy,
+        features,
+        labels,
+        normalizer,
+        viewpoint_features,
+    ))
+}
+
+/// Loads the cache when present and valid; otherwise builds the corpus and
+/// writes the cache (best-effort).
+pub fn load_or_build(config: &CorpusConfig, path: &Path) -> Corpus {
+    if let Ok(corpus) = load(path, config) {
+        return corpus;
+    }
+    let corpus = Corpus::build(config);
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    if let Err(e) = save(&corpus, path) {
+        eprintln!("warning: could not write corpus cache {}: {e}", path.display());
+    }
+    corpus
+}
+
+fn viewpoint_tag(vp: Viewpoint) -> u8 {
+    match vp {
+        Viewpoint::Normal => 0,
+        Viewpoint::Negative => 1,
+        Viewpoint::Grayscale => 2,
+        Viewpoint::GrayNegative => 3,
+    }
+}
+
+fn viewpoint_from_tag(tag: u8) -> Option<Viewpoint> {
+    match tag {
+        0 => Some(Viewpoint::Normal),
+        1 => Some(Viewpoint::Negative),
+        2 => Some(Viewpoint::Grayscale),
+        3 => Some(Viewpoint::GrayNegative),
+        _ => None,
+    }
+}
+
+fn write_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn write_f32s(out: &mut Vec<u8>, vs: &[f32]) {
+    for v in vs {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn bytes(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.data.len())
+            .ok_or_else(|| {
+                io::Error::new(io::ErrorKind::UnexpectedEof, "truncated corpus cache")
+            })?;
+        let s = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    fn f32s(&mut self, n: usize) -> io::Result<Vec<f32>> {
+        let byte_len = n.checked_mul(4).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, "corrupt length field")
+        })?;
+        let raw = self.bytes(byte_len)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> CorpusConfig {
+        CorpusConfig {
+            size: 40,
+            image_size: 16,
+            seed: 5,
+            filler_count: 1,
+            with_viewpoints: true,
+        }
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("qd_corpus_cache_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn save_load_roundtrips_exactly() {
+        let config = tiny_config();
+        let corpus = Corpus::build(&config);
+        let path = tmp("roundtrip.qdc");
+        save(&corpus, &path).unwrap();
+        let loaded = load(&path, &config).unwrap();
+        assert_eq!(loaded.features(), corpus.features());
+        assert_eq!(loaded.labels(), corpus.labels());
+        for vp in Viewpoint::ALL {
+            assert_eq!(
+                loaded.viewpoint_features(vp).map(<[Vec<f32>]>::to_vec),
+                corpus.viewpoint_features(vp).map(<[Vec<f32>]>::to_vec),
+                "{vp:?}"
+            );
+        }
+        // The reloaded corpus can still re-render images.
+        assert_eq!(loaded.render_image(3), corpus.render_image(3));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_mismatched_config() {
+        let config = tiny_config();
+        let corpus = Corpus::build(&config);
+        let path = tmp("mismatch.qdc");
+        save(&corpus, &path).unwrap();
+        let mut other = config.clone();
+        other.seed = 6;
+        assert!(load(&path, &other).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_corruption() {
+        let config = tiny_config();
+        let corpus = Corpus::build(&config);
+        let path = tmp("corrupt.qdc");
+        save(&corpus, &path).unwrap();
+        let mut data = std::fs::read(&path).unwrap();
+        data.truncate(data.len() / 2);
+        std::fs::write(&path, &data).unwrap();
+        assert!(load(&path, &config).is_err());
+        std::fs::write(&path, b"garbage").unwrap();
+        assert!(load(&path, &config).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_or_build_builds_then_caches() {
+        let config = tiny_config();
+        let path = tmp("load_or_build.qdc");
+        std::fs::remove_file(&path).ok();
+        let first = load_or_build(&config, &path);
+        assert!(path.exists(), "cache file not written");
+        let second = load_or_build(&config, &path);
+        assert_eq!(first.features(), second.features());
+        std::fs::remove_file(&path).ok();
+    }
+}

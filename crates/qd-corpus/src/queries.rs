@@ -1,0 +1,229 @@
+//! The evaluation query set (Table 1 of the paper).
+//!
+//! Each query names a semantic concept and lists its ground-truth
+//! *subconcept groups*. A group corresponds to one "subconcept" in the
+//! paper's GTIR metric and may map to several leaf categories — e.g. the
+//! "desktop" subconcept of the "personal computer" query covers both
+//! "computer on a table" and "computer on the floor" (§5.2.1, Figures 6–7).
+
+use crate::taxonomy::{SubconceptId, Taxonomy};
+
+/// One ground-truth subconcept group of a query.
+#[derive(Debug, Clone)]
+pub struct QueryGroup {
+    /// Display name ("eagle", "desktop", …).
+    pub name: String,
+    /// Leaf categories whose images belong to this group.
+    pub members: Vec<SubconceptId>,
+}
+
+/// An evaluation query: a concept plus its ground-truth subconcept groups.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    /// Query name as listed in Table 1.
+    pub name: String,
+    /// Ground-truth subconcept groups (the GTIR units).
+    pub groups: Vec<QueryGroup>,
+}
+
+impl QuerySpec {
+    fn build(name: &str, taxonomy: &Taxonomy, groups: &[(&str, &[&str])]) -> Self {
+        Self {
+            name: name.to_string(),
+            groups: groups
+                .iter()
+                .map(|(gname, members)| QueryGroup {
+                    name: gname.to_string(),
+                    members: members.iter().map(|m| taxonomy.expect(m)).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// All leaf categories in the query's ground truth.
+    pub fn leaf_ids(&self) -> Vec<SubconceptId> {
+        let mut out: Vec<SubconceptId> =
+            self.groups.iter().flat_map(|g| g.members.clone()).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Number of ground-truth subconcepts (the GTIR denominator).
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+}
+
+/// The eleven test queries of Table 1, in table order.
+pub fn standard_queries(t: &Taxonomy) -> Vec<QuerySpec> {
+    vec![
+        QuerySpec::build(
+            "a person",
+            t,
+            &[
+                ("hair-model", &["person/hair-model"]),
+                ("fitness", &["person/fitness"]),
+                ("kungfu", &["person/kungfu"]),
+            ],
+        ),
+        QuerySpec::build(
+            "airplane",
+            t,
+            &[
+                ("single", &["airplane/single"]),
+                ("multiple", &["airplane/multiple"]),
+            ],
+        ),
+        QuerySpec::build(
+            "bird",
+            t,
+            &[
+                ("eagle", &["bird/eagle"]),
+                ("owl", &["bird/owl"]),
+                ("sparrow", &["bird/sparrow"]),
+            ],
+        ),
+        QuerySpec::build(
+            "car",
+            t,
+            &[
+                ("modern sedan", &["car/modern-sedan"]),
+                ("antique car", &["car/antique"]),
+                ("steamed car", &["car/steamed"]),
+            ],
+        ),
+        QuerySpec::build(
+            "horse",
+            t,
+            &[
+                ("polo", &["horse/polo"]),
+                ("wild horse", &["horse/wild"]),
+                ("race", &["horse/race"]),
+            ],
+        ),
+        QuerySpec::build(
+            "mountain view",
+            t,
+            &[
+                ("snow", &["mountain/snow"]),
+                ("with water", &["mountain/water"]),
+            ],
+        ),
+        QuerySpec::build(
+            "rose",
+            t,
+            &[("yellow", &["rose/yellow"]), ("red", &["rose/red"])],
+        ),
+        QuerySpec::build(
+            "water sports",
+            t,
+            &[
+                ("surfing", &["watersports/surfing"]),
+                ("sailing", &["watersports/sailing"]),
+            ],
+        ),
+        QuerySpec::build(
+            "computer",
+            t,
+            &[
+                ("server", &["computer/server"]),
+                (
+                    "desktop",
+                    &["computer/desktop-table", "computer/desktop-floor"],
+                ),
+                (
+                    "laptop",
+                    &["computer/laptop-clear", "computer/laptop-cluttered"],
+                ),
+            ],
+        ),
+        QuerySpec::build(
+            "personal computer",
+            t,
+            &[
+                (
+                    "desktop",
+                    &["computer/desktop-table", "computer/desktop-floor"],
+                ),
+                (
+                    "laptop",
+                    &["computer/laptop-clear", "computer/laptop-cluttered"],
+                ),
+            ],
+        ),
+        QuerySpec::build(
+            "laptop",
+            t,
+            &[
+                ("with clear background", &["computer/laptop-clear"]),
+                ("with complicated background", &["computer/laptop-cluttered"]),
+            ],
+        ),
+    ]
+}
+
+/// The "white sedan" query of §1.1 / Figure 1: one concept, four pose
+/// clusters.
+pub fn white_sedan_query(t: &Taxonomy) -> QuerySpec {
+    QuerySpec::build(
+        "white sedan",
+        t,
+        &[
+            ("side-view", &["white-sedan/side"]),
+            ("front-view", &["white-sedan/front"]),
+            ("back-view", &["white-sedan/back"]),
+            ("angle-view", &["white-sedan/angle"]),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_eleven_standard_queries() {
+        let t = Taxonomy::standard(0, 0);
+        let qs = standard_queries(&t);
+        assert_eq!(qs.len(), 11);
+        assert_eq!(qs[0].name, "a person");
+        assert_eq!(qs[10].name, "laptop");
+    }
+
+    #[test]
+    fn group_counts_match_table_1() {
+        let t = Taxonomy::standard(0, 0);
+        let qs = standard_queries(&t);
+        let counts: Vec<usize> = qs.iter().map(|q| q.group_count()).collect();
+        assert_eq!(counts, vec![3, 2, 3, 3, 3, 2, 2, 2, 3, 2, 2]);
+    }
+
+    #[test]
+    fn leaf_ids_are_deduplicated_and_sorted() {
+        let t = Taxonomy::standard(0, 0);
+        let computer = &standard_queries(&t)[8];
+        let ids = computer.leaf_ids();
+        assert_eq!(ids.len(), 5); // server + 2 desktops + 2 laptops
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn nested_queries_share_leaves() {
+        let t = Taxonomy::standard(0, 0);
+        let qs = standard_queries(&t);
+        let computer = qs[8].leaf_ids();
+        let pc = qs[9].leaf_ids();
+        let laptop = qs[10].leaf_ids();
+        assert!(pc.iter().all(|id| computer.contains(id)));
+        assert!(laptop.iter().all(|id| pc.contains(id)));
+    }
+
+    #[test]
+    fn white_sedan_query_has_four_poses() {
+        let t = Taxonomy::standard(0, 0);
+        let q = white_sedan_query(&t);
+        assert_eq!(q.group_count(), 4);
+        assert_eq!(q.leaf_ids().len(), 4);
+    }
+}

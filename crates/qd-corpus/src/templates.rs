@@ -1,0 +1,625 @@
+//! Scene templates for every named subconcept, plus the filler generator.
+//!
+//! Template design principles (these carry the paper's experimental setup):
+//!
+//! * Subconcepts of one semantic concept get *deliberately different* visual
+//!   treatments — different backgrounds, palettes, poses — so their feature
+//!   clusters are far apart (the scattering of §1.1).
+//! * Renders within a subconcept share a template and differ only by jitter,
+//!   so each subconcept forms one tight cluster.
+//! * The four "white sedan" poses share a white-car palette but differ in
+//!   geometry and orientation, reproducing the four distinct clusters of
+//!   Figure 1.
+//! * Fillers sample the same visual vocabulary at random, scattering points
+//!   between the named clusters.
+
+use qd_imagery::{Background, ObjectSpec, SceneTemplate, Shape};
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+type Rgb = [f32; 3];
+
+const SKY: Rgb = [0.55, 0.75, 0.95];
+const GRASS: Rgb = [0.25, 0.60, 0.25];
+const ROAD: Rgb = [0.45, 0.45, 0.48];
+const SKIN: Rgb = [0.90, 0.75, 0.62];
+const WHITE: Rgb = [0.95, 0.95, 0.95];
+
+fn obj(shape: Shape, color: Rgb, center: (f32, f32), angle: f32) -> ObjectSpec {
+    ObjectSpec::new(shape, color, center, angle)
+}
+
+/// A low-jitter object: the four white-sedan pose templates use this so each
+/// pose forms the tight, clearly separated cluster Figure 1 shows.
+fn calm(shape: Shape, color: Rgb, center: (f32, f32), angle: f32) -> ObjectSpec {
+    let mut o = ObjectSpec::new(shape, color, center, angle);
+    o.pos_jitter = 0.015;
+    o.size_jitter = 0.05;
+    o.angle_jitter = 0.03;
+    o.color_jitter = 0.02;
+    o
+}
+
+fn ellipse(rx: f32, ry: f32) -> Shape {
+    Shape::Ellipse { rx, ry }
+}
+
+fn rect(hw: f32, hh: f32) -> Shape {
+    Shape::Rect { hw, hh }
+}
+
+fn tri(hw: f32, hh: f32) -> Shape {
+    Shape::Triangle { hw, hh }
+}
+
+fn bar(len: f32, half_thick: f32) -> Shape {
+    Shape::Bar { len, half_thick }
+}
+
+/// All named subconcepts with their templates, in stable order.
+pub fn named_subconcepts() -> Vec<(&'static str, SceneTemplate)> {
+    vec![
+        // ----- person -------------------------------------------------
+        (
+            "person/hair-model",
+            SceneTemplate::new(
+                Background::Gradient([0.85, 0.70, 0.75], [0.55, 0.40, 0.50]),
+                vec![
+                    obj(ellipse(0.16, 0.20), SKIN, (0.5, 0.42), 0.0),
+                    obj(ellipse(0.20, 0.12), [0.30, 0.18, 0.10], (0.5, 0.28), 0.0),
+                    obj(rect(0.12, 0.18), [0.70, 0.20, 0.40], (0.5, 0.78), 0.0),
+                ],
+            ),
+        ),
+        (
+            "person/fitness",
+            SceneTemplate::new(
+                Background::Checker([0.60, 0.60, 0.62], [0.50, 0.50, 0.52], 0.12),
+                vec![
+                    obj(ellipse(0.07, 0.07), SKIN, (0.5, 0.22), 0.0),
+                    obj(rect(0.07, 0.18), [0.20, 0.35, 0.80], (0.5, 0.52), 0.0),
+                    obj(bar(0.45, 0.025), [0.15, 0.15, 0.15], (0.5, 0.30), 0.0),
+                    obj(ellipse(0.05, 0.05), [0.15, 0.15, 0.15], (0.28, 0.30), 0.0),
+                    obj(ellipse(0.05, 0.05), [0.15, 0.15, 0.15], (0.72, 0.30), 0.0),
+                ],
+            ),
+        ),
+        (
+            "person/kungfu",
+            SceneTemplate::new(
+                Background::Stripes([0.75, 0.15, 0.15], [0.55, 0.10, 0.10], 0.25),
+                vec![
+                    obj(ellipse(0.06, 0.06), SKIN, (0.45, 0.25), 0.0),
+                    obj(rect(0.06, 0.14), [0.95, 0.95, 0.90], (0.45, 0.48), 0.15),
+                    obj(bar(0.30, 0.03), [0.95, 0.95, 0.90], (0.62, 0.42), 0.8),
+                    obj(bar(0.28, 0.03), [0.10, 0.10, 0.10], (0.40, 0.75), -0.6),
+                ],
+            ),
+        ),
+        // ----- airplane -----------------------------------------------
+        (
+            "airplane/single",
+            SceneTemplate::new(
+                Background::Solid(SKY),
+                vec![
+                    obj(bar(0.55, 0.045), [0.80, 0.80, 0.85], (0.5, 0.5), 0.0),
+                    obj(tri(0.22, 0.10), [0.72, 0.72, 0.78], (0.5, 0.48), 0.0),
+                    obj(tri(0.08, 0.07), [0.72, 0.72, 0.78], (0.26, 0.45), 0.0),
+                ],
+            ),
+        ),
+        (
+            "airplane/multiple",
+            SceneTemplate::new(
+                Background::Solid(SKY),
+                vec![
+                    obj(bar(0.30, 0.025), [0.80, 0.80, 0.85], (0.30, 0.30), 0.1),
+                    obj(tri(0.12, 0.06), [0.72, 0.72, 0.78], (0.30, 0.29), 0.1),
+                    obj(bar(0.30, 0.025), [0.80, 0.80, 0.85], (0.65, 0.50), 0.1),
+                    obj(tri(0.12, 0.06), [0.72, 0.72, 0.78], (0.65, 0.49), 0.1),
+                    obj(bar(0.30, 0.025), [0.80, 0.80, 0.85], (0.40, 0.72), 0.1),
+                    obj(tri(0.12, 0.06), [0.72, 0.72, 0.78], (0.40, 0.71), 0.1),
+                ],
+            ),
+        ),
+        // ----- bird ----------------------------------------------------
+        (
+            "bird/eagle",
+            SceneTemplate::new(
+                Background::Gradient([0.70, 0.82, 0.95], [0.85, 0.88, 0.95]),
+                vec![
+                    obj(tri(0.30, 0.08), [0.35, 0.22, 0.12], (0.5, 0.40), 0.0),
+                    obj(ellipse(0.07, 0.10), [0.30, 0.20, 0.10], (0.5, 0.45), 0.0),
+                    obj(ellipse(0.04, 0.04), WHITE, (0.5, 0.34), 0.0),
+                ],
+            ),
+        ),
+        (
+            "bird/owl",
+            SceneTemplate::new(
+                Background::Clutter {
+                    base: [0.12, 0.20, 0.12],
+                    palette: vec![[0.18, 0.28, 0.16], [0.10, 0.15, 0.10]],
+                    density: 4.0,
+                    max_radius: 0.06,
+                },
+                vec![
+                    obj(ellipse(0.16, 0.22), [0.45, 0.35, 0.22], (0.5, 0.55), 0.0),
+                    obj(ellipse(0.05, 0.05), [0.95, 0.85, 0.30], (0.42, 0.42), 0.0),
+                    obj(ellipse(0.05, 0.05), [0.95, 0.85, 0.30], (0.58, 0.42), 0.0),
+                    obj(bar(0.35, 0.03), [0.30, 0.22, 0.14], (0.5, 0.85), 0.0),
+                ],
+            ),
+        ),
+        (
+            "bird/sparrow",
+            SceneTemplate::new(
+                Background::Clutter {
+                    base: [0.80, 0.82, 0.75],
+                    palette: vec![[0.70, 0.72, 0.62], [0.85, 0.85, 0.80]],
+                    density: 3.0,
+                    max_radius: 0.05,
+                },
+                vec![
+                    obj(ellipse(0.10, 0.07), [0.55, 0.45, 0.32], (0.48, 0.58), 0.2),
+                    obj(ellipse(0.05, 0.05), [0.50, 0.40, 0.28], (0.60, 0.50), 0.0),
+                    obj(tri(0.05, 0.04), [0.40, 0.32, 0.20], (0.36, 0.60), 1.3),
+                ],
+            ),
+        ),
+        // ----- car -----------------------------------------------------
+        (
+            "car/modern-sedan",
+            SceneTemplate::new(
+                Background::Gradient(SKY, ROAD),
+                vec![
+                    obj(rect(0.30, 0.10), [0.20, 0.35, 0.75], (0.5, 0.62), 0.0),
+                    obj(rect(0.16, 0.07), [0.55, 0.70, 0.90], (0.5, 0.48), 0.0),
+                    obj(ellipse(0.06, 0.06), [0.08, 0.08, 0.08], (0.30, 0.76), 0.0),
+                    obj(ellipse(0.06, 0.06), [0.08, 0.08, 0.08], (0.70, 0.76), 0.0),
+                ],
+            ),
+        ),
+        (
+            "car/antique",
+            SceneTemplate::new(
+                Background::Gradient([0.75, 0.68, 0.55], [0.50, 0.42, 0.32]),
+                vec![
+                    obj(rect(0.22, 0.12), [0.40, 0.12, 0.10], (0.48, 0.55), 0.0),
+                    obj(rect(0.10, 0.10), [0.30, 0.10, 0.08], (0.62, 0.42), 0.0),
+                    obj(ellipse(0.09, 0.09), [0.10, 0.10, 0.08], (0.30, 0.74), 0.0),
+                    obj(ellipse(0.09, 0.09), [0.10, 0.10, 0.08], (0.68, 0.74), 0.0),
+                ],
+            ),
+        ),
+        (
+            "car/steamed",
+            SceneTemplate::new(
+                Background::Solid([0.62, 0.62, 0.60]),
+                vec![
+                    obj(rect(0.26, 0.09), [0.12, 0.12, 0.12], (0.5, 0.65), 0.0),
+                    obj(bar(0.18, 0.035), [0.20, 0.20, 0.20], (0.32, 0.42), 1.57),
+                    obj(ellipse(0.10, 0.06), [0.85, 0.85, 0.88], (0.30, 0.22), 0.3),
+                    obj(ellipse(0.08, 0.08), [0.05, 0.05, 0.05], (0.35, 0.80), 0.0),
+                    obj(ellipse(0.08, 0.08), [0.05, 0.05, 0.05], (0.68, 0.80), 0.0),
+                ],
+            ),
+        ),
+        // ----- horse ---------------------------------------------------
+        (
+            "horse/polo",
+            SceneTemplate::new(
+                Background::Solid(GRASS),
+                vec![
+                    obj(ellipse(0.18, 0.10), [0.45, 0.28, 0.15], (0.5, 0.58), 0.0),
+                    obj(bar(0.16, 0.02), [0.40, 0.25, 0.12], (0.38, 0.75), 1.3),
+                    obj(bar(0.16, 0.02), [0.40, 0.25, 0.12], (0.62, 0.75), 1.3),
+                    obj(ellipse(0.05, 0.06), [0.90, 0.20, 0.20], (0.52, 0.38), 0.0),
+                    obj(bar(0.20, 0.015), [0.90, 0.90, 0.85], (0.64, 0.42), -0.9),
+                ],
+            ),
+        ),
+        (
+            "horse/wild",
+            SceneTemplate::new(
+                Background::Clutter {
+                    base: [0.72, 0.62, 0.42],
+                    palette: vec![[0.62, 0.52, 0.35], [0.80, 0.72, 0.50]],
+                    density: 3.5,
+                    max_radius: 0.07,
+                },
+                vec![
+                    obj(ellipse(0.20, 0.11), [0.35, 0.22, 0.12], (0.5, 0.55), 0.1),
+                    obj(ellipse(0.06, 0.08), [0.32, 0.20, 0.10], (0.68, 0.40), 0.0),
+                    obj(bar(0.18, 0.02), [0.30, 0.18, 0.10], (0.40, 0.74), 1.4),
+                    obj(bar(0.18, 0.02), [0.30, 0.18, 0.10], (0.58, 0.74), 1.4),
+                ],
+            ),
+        ),
+        (
+            "horse/race",
+            SceneTemplate::new(
+                Background::Stripes([0.30, 0.70, 0.30], [0.95, 0.95, 0.95], 0.3),
+                vec![
+                    obj(ellipse(0.17, 0.09), [0.25, 0.15, 0.08], (0.5, 0.55), -0.15),
+                    obj(ellipse(0.05, 0.05), [0.90, 0.80, 0.20], (0.55, 0.38), 0.0),
+                    obj(bar(0.50, 0.02), [0.85, 0.85, 0.85], (0.5, 0.82), 0.0),
+                ],
+            ),
+        ),
+        // ----- mountain view --------------------------------------------
+        (
+            "mountain/snow",
+            SceneTemplate::new(
+                Background::Gradient([0.55, 0.70, 0.95], [0.75, 0.82, 0.95]),
+                vec![
+                    obj(tri(0.40, 0.28), [0.55, 0.55, 0.62], (0.5, 0.62), 0.0),
+                    obj(tri(0.14, 0.10), WHITE, (0.5, 0.44), 0.0),
+                    obj(tri(0.28, 0.18), [0.48, 0.48, 0.56], (0.22, 0.72), 0.0),
+                ],
+            ),
+        ),
+        (
+            "mountain/water",
+            SceneTemplate::new(
+                Background::Gradient([0.60, 0.75, 0.95], [0.25, 0.45, 0.70]),
+                vec![
+                    obj(tri(0.35, 0.22), [0.45, 0.48, 0.45], (0.45, 0.45), 0.0),
+                    obj(rect(0.50, 0.14), [0.22, 0.42, 0.68], (0.5, 0.86), 0.0),
+                    obj(tri(0.20, 0.12), [0.40, 0.44, 0.42], (0.75, 0.50), 0.0),
+                ],
+            ),
+        ),
+        // ----- rose -----------------------------------------------------
+        (
+            "rose/yellow",
+            SceneTemplate::new(
+                Background::Clutter {
+                    base: [0.15, 0.40, 0.18],
+                    palette: vec![[0.12, 0.32, 0.14], [0.20, 0.48, 0.22]],
+                    density: 5.0,
+                    max_radius: 0.05,
+                },
+                vec![
+                    obj(ellipse(0.14, 0.14), [0.95, 0.85, 0.15], (0.5, 0.42), 0.0),
+                    obj(ellipse(0.08, 0.08), [0.85, 0.72, 0.10], (0.5, 0.42), 0.5),
+                    obj(bar(0.30, 0.02), [0.15, 0.45, 0.18], (0.5, 0.75), 1.57),
+                ],
+            ),
+        ),
+        (
+            "rose/red",
+            SceneTemplate::new(
+                Background::Clutter {
+                    base: [0.15, 0.40, 0.18],
+                    palette: vec![[0.12, 0.32, 0.14], [0.20, 0.48, 0.22]],
+                    density: 5.0,
+                    max_radius: 0.05,
+                },
+                vec![
+                    obj(ellipse(0.14, 0.14), [0.85, 0.10, 0.15], (0.5, 0.42), 0.0),
+                    obj(ellipse(0.08, 0.08), [0.70, 0.06, 0.10], (0.5, 0.42), 0.5),
+                    obj(bar(0.30, 0.02), [0.15, 0.45, 0.18], (0.5, 0.75), 1.57),
+                ],
+            ),
+        ),
+        // ----- water sports ---------------------------------------------
+        (
+            "watersports/surfing",
+            SceneTemplate::new(
+                Background::Stripes([0.20, 0.55, 0.80], [0.30, 0.65, 0.88], 0.15),
+                vec![
+                    obj(bar(0.30, 0.03), [0.95, 0.90, 0.60], (0.5, 0.62), 0.3),
+                    obj(ellipse(0.05, 0.05), SKIN, (0.52, 0.44), 0.0),
+                    obj(rect(0.04, 0.09), [0.10, 0.10, 0.12], (0.52, 0.54), 0.2),
+                    obj(ellipse(0.20, 0.05), WHITE, (0.35, 0.72), 0.2),
+                ],
+            ),
+        ),
+        (
+            "watersports/sailing",
+            SceneTemplate::new(
+                Background::Gradient([0.60, 0.78, 0.95], [0.15, 0.40, 0.65]),
+                vec![
+                    obj(tri(0.16, 0.20), WHITE, (0.5, 0.42), 0.0),
+                    obj(rect(0.20, 0.05), [0.45, 0.28, 0.15], (0.5, 0.68), 0.0),
+                    obj(bar(0.35, 0.015), [0.30, 0.20, 0.12], (0.5, 0.45), 1.57),
+                ],
+            ),
+        ),
+        // ----- computer --------------------------------------------------
+        (
+            "computer/server",
+            SceneTemplate::new(
+                Background::Solid([0.35, 0.35, 0.40]),
+                vec![
+                    obj(rect(0.14, 0.32), [0.15, 0.15, 0.18], (0.5, 0.5), 0.0),
+                    obj(bar(0.22, 0.015), [0.30, 0.80, 0.35], (0.5, 0.30), 0.0),
+                    obj(bar(0.22, 0.015), [0.30, 0.80, 0.35], (0.5, 0.42), 0.0),
+                    obj(bar(0.22, 0.015), [0.80, 0.50, 0.20], (0.5, 0.54), 0.0),
+                    obj(bar(0.22, 0.015), [0.30, 0.80, 0.35], (0.5, 0.66), 0.0),
+                ],
+            ),
+        ),
+        (
+            "computer/desktop-table",
+            SceneTemplate::new(
+                Background::Gradient([0.90, 0.88, 0.82], [0.75, 0.70, 0.62]),
+                vec![
+                    obj(rect(0.45, 0.06), [0.55, 0.38, 0.20], (0.5, 0.80), 0.0),
+                    obj(rect(0.16, 0.12), [0.80, 0.80, 0.75], (0.42, 0.52), 0.0),
+                    obj(rect(0.12, 0.09), [0.30, 0.45, 0.60], (0.42, 0.51), 0.0),
+                    obj(rect(0.08, 0.14), [0.75, 0.75, 0.70], (0.72, 0.56), 0.0),
+                ],
+            ),
+        ),
+        (
+            "computer/desktop-floor",
+            SceneTemplate::new(
+                Background::Gradient([0.45, 0.42, 0.40], [0.25, 0.22, 0.20]),
+                vec![
+                    obj(rect(0.10, 0.20), [0.78, 0.78, 0.72], (0.35, 0.68), 0.0),
+                    obj(rect(0.14, 0.10), [0.80, 0.80, 0.75], (0.65, 0.40), 0.0),
+                    obj(rect(0.10, 0.07), [0.25, 0.40, 0.55], (0.65, 0.39), 0.0),
+                ],
+            ),
+        ),
+        (
+            "computer/laptop-clear",
+            SceneTemplate::new(
+                Background::Solid([0.93, 0.93, 0.93]),
+                vec![
+                    obj(rect(0.20, 0.12), [0.55, 0.55, 0.58], (0.5, 0.42), 0.0),
+                    obj(rect(0.17, 0.09), [0.25, 0.50, 0.70], (0.5, 0.42), 0.0),
+                    obj(rect(0.22, 0.04), [0.50, 0.50, 0.52], (0.5, 0.62), 0.0),
+                ],
+            ),
+        ),
+        (
+            "computer/laptop-cluttered",
+            SceneTemplate::new(
+                Background::Clutter {
+                    base: [0.55, 0.48, 0.40],
+                    palette: vec![
+                        [0.70, 0.30, 0.25],
+                        [0.30, 0.55, 0.35],
+                        [0.80, 0.75, 0.45],
+                        [0.35, 0.35, 0.60],
+                    ],
+                    density: 6.0,
+                    max_radius: 0.08,
+                },
+                vec![
+                    obj(rect(0.20, 0.12), [0.55, 0.55, 0.58], (0.5, 0.42), 0.0),
+                    obj(rect(0.17, 0.09), [0.25, 0.50, 0.70], (0.5, 0.42), 0.0),
+                    obj(rect(0.22, 0.04), [0.50, 0.50, 0.52], (0.5, 0.62), 0.0),
+                ],
+            ),
+        ),
+        // ----- white sedan (Figure 1's four pose clusters) ----------------
+        (
+            "white-sedan/side",
+            SceneTemplate::new(
+                Background::Gradient(SKY, ROAD),
+                vec![
+                    calm(rect(0.32, 0.09), WHITE, (0.5, 0.60), 0.0),
+                    calm(rect(0.16, 0.06), [0.80, 0.85, 0.90], (0.5, 0.47), 0.0),
+                    calm(ellipse(0.06, 0.06), [0.08, 0.08, 0.08], (0.28, 0.74), 0.0),
+                    calm(ellipse(0.06, 0.06), [0.08, 0.08, 0.08], (0.72, 0.74), 0.0),
+                ],
+            ),
+        ),
+        (
+            // Head-on in front of a pale showroom wall: square silhouette,
+            // dark grille and bumper band, no visible wheels.
+            "white-sedan/front",
+            SceneTemplate::new(
+                Background::Gradient([0.82, 0.82, 0.85], [0.60, 0.60, 0.64]),
+                vec![
+                    calm(rect(0.18, 0.16), WHITE, (0.5, 0.52), 0.0),
+                    calm(rect(0.13, 0.06), [0.35, 0.45, 0.60], (0.5, 0.40), 0.0),
+                    calm(rect(0.10, 0.035), [0.15, 0.15, 0.15], (0.5, 0.58), 0.0),
+                    calm(ellipse(0.035, 0.035), [0.95, 0.92, 0.60], (0.38, 0.58), 0.0),
+                    calm(ellipse(0.035, 0.035), [0.95, 0.92, 0.60], (0.62, 0.58), 0.0),
+                    calm(rect(0.16, 0.025), [0.25, 0.25, 0.25], (0.5, 0.68), 0.0),
+                ],
+            ),
+        ),
+        (
+            // Rear shot at dusk: warmer light, wide low body, a full-width
+            // taillight bar — deliberately far from the front view in color
+            // *and* edge structure so Figure 1's four clusters reproduce.
+            "white-sedan/back",
+            SceneTemplate::new(
+                Background::Gradient([0.85, 0.65, 0.50], [0.30, 0.28, 0.32]),
+                vec![
+                    calm(rect(0.22, 0.10), WHITE, (0.5, 0.60), 0.0),
+                    calm(rect(0.16, 0.05), [0.20, 0.22, 0.28], (0.5, 0.46), 0.0),
+                    calm(rect(0.18, 0.02), [0.90, 0.12, 0.10], (0.5, 0.62), 0.0),
+                    calm(rect(0.06, 0.02), [0.75, 0.75, 0.75], (0.5, 0.72), 0.0),
+                ],
+            ),
+        ),
+        (
+            "white-sedan/angle",
+            SceneTemplate::new(
+                Background::Gradient(SKY, ROAD),
+                vec![
+                    calm(rect(0.26, 0.10), WHITE, (0.5, 0.58), 0.35),
+                    calm(rect(0.13, 0.06), [0.70, 0.78, 0.88], (0.46, 0.46), 0.35),
+                    calm(ellipse(0.055, 0.055), [0.08, 0.08, 0.08], (0.32, 0.72), 0.0),
+                    calm(ellipse(0.055, 0.055), [0.08, 0.08, 0.08], (0.66, 0.78), 0.0),
+                ],
+            ),
+        ),
+    ]
+}
+
+/// Procedurally generates the template for filler category `index`
+/// (deterministic in `(seed, index)`).
+pub fn filler_template(seed: u64, index: u64) -> SceneTemplate {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ index);
+    let background = match rng.random_range(0..5u32) {
+        0 => Background::Solid(random_color(&mut rng)),
+        1 => Background::Gradient(random_color(&mut rng), random_color(&mut rng)),
+        2 => Background::Stripes(
+            random_color(&mut rng),
+            random_color(&mut rng),
+            0.1 + rng.random::<f32>() * 0.3,
+        ),
+        3 => Background::Checker(
+            random_color(&mut rng),
+            random_color(&mut rng),
+            0.05 + rng.random::<f32>() * 0.15,
+        ),
+        _ => Background::Clutter {
+            base: random_color(&mut rng),
+            palette: vec![random_color(&mut rng), random_color(&mut rng)],
+            density: 2.0 + rng.random::<f32>() * 5.0,
+            max_radius: 0.03 + rng.random::<f32>() * 0.06,
+        },
+    };
+    let object_count = rng.random_range(1..=3usize);
+    let objects = (0..object_count)
+        .map(|_| {
+            let shape = match rng.random_range(0..4u32) {
+                0 => ellipse(
+                    0.05 + rng.random::<f32>() * 0.25,
+                    0.05 + rng.random::<f32>() * 0.25,
+                ),
+                1 => rect(
+                    0.05 + rng.random::<f32>() * 0.30,
+                    0.05 + rng.random::<f32>() * 0.25,
+                ),
+                2 => tri(
+                    0.08 + rng.random::<f32>() * 0.25,
+                    0.08 + rng.random::<f32>() * 0.25,
+                ),
+                _ => bar(
+                    0.15 + rng.random::<f32>() * 0.40,
+                    0.01 + rng.random::<f32>() * 0.04,
+                ),
+            };
+            obj(
+                shape,
+                random_color(&mut rng),
+                (
+                    0.25 + rng.random::<f32>() * 0.5,
+                    0.25 + rng.random::<f32>() * 0.5,
+                ),
+                rng.random::<f32>() * std::f32::consts::PI,
+            )
+        })
+        .collect();
+    SceneTemplate::new(background, objects)
+}
+
+fn random_color<R: Rng>(rng: &mut R) -> Rgb {
+    [rng.random(), rng.random(), rng.random()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qd_features::FeatureExtractor;
+    use qd_linalg::metric::euclidean;
+
+    #[test]
+    fn there_are_29_named_subconcepts() {
+        assert_eq!(named_subconcepts().len(), 29);
+    }
+
+    #[test]
+    fn named_subconcept_names_are_unique_and_namespaced() {
+        let subs = named_subconcepts();
+        let mut names: Vec<&str> = subs.iter().map(|(n, _)| *n).collect();
+        assert!(names.iter().all(|n| n.contains('/')));
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), subs.len());
+    }
+
+    #[test]
+    fn all_templates_render() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for (name, template) in named_subconcepts() {
+            let img = template.render(32, 32, &mut rng);
+            assert_eq!(img.width(), 32, "{name}");
+        }
+    }
+
+    #[test]
+    fn filler_templates_vary_with_index() {
+        let a = filler_template(1, 0);
+        let b = filler_template(1, 1);
+        assert_ne!(a, b);
+        // And are reproducible.
+        assert_eq!(filler_template(1, 0), a);
+    }
+
+    /// The load-bearing property: within-subconcept feature scatter must be
+    /// far smaller than the distance between subconcepts of the same concept.
+    #[test]
+    fn sedan_poses_form_separated_clusters() {
+        let ex = FeatureExtractor::new();
+        let subs = named_subconcepts();
+        let poses: Vec<&SceneTemplate> = subs
+            .iter()
+            .filter(|(n, _)| n.starts_with("white-sedan/"))
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(poses.len(), 4);
+        let mut rng = StdRng::seed_from_u64(11);
+        let raw: Vec<Vec<f32>> = poses
+            .iter()
+            .flat_map(|t| {
+                (0..6)
+                    .map(|_| ex.extract(&t.render(48, 48, &mut rng)))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        // Separation is a property of the *normalized* space the retrieval
+        // system operates in; raw dimensions have wildly different scales.
+        let norm = qd_linalg::Normalizer::fit(&raw);
+        let normalized: Vec<Vec<f32>> = raw.iter().map(|v| norm.transform(v)).collect();
+        let clusters: Vec<Vec<Vec<f32>>> =
+            normalized.chunks(6).map(|c| c.to_vec()).collect();
+        // Mean intra-cluster distance.
+        let mut intra = 0.0f64;
+        let mut intra_n = 0;
+        for c in &clusters {
+            for i in 0..c.len() {
+                for j in (i + 1)..c.len() {
+                    intra += euclidean(&c[i], &c[j]) as f64;
+                    intra_n += 1;
+                }
+            }
+        }
+        let intra = intra / intra_n as f64;
+        // Mean inter-cluster centroid distance.
+        let centroids: Vec<Vec<f32>> =
+            clusters.iter().map(|c| qd_linalg::vector::centroid(c)).collect();
+        let mut inter = f64::INFINITY;
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                inter = inter.min(euclidean(&centroids[i], &centroids[j]) as f64);
+            }
+        }
+        assert!(
+            inter > intra,
+            "pose clusters not separated: intra={intra:.3}, min inter={inter:.3}"
+        );
+        // And the typical pose pair is far better separated than that.
+        let mut inter_sum = 0.0f64;
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                inter_sum += euclidean(&centroids[i], &centroids[j]) as f64;
+            }
+        }
+        let mean_inter = inter_sum / 6.0;
+        assert!(
+            mean_inter > 1.5 * intra,
+            "mean inter-pose distance too small: intra={intra:.3}, mean inter={mean_inter:.3}"
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! Color moment features (Stricker & Orengo, 1995).
+//!
+//! For each HSV channel the first three moments of the pixel distribution are
+//! computed: the mean, the standard deviation, and the signed cube root of
+//! the third central moment (keeping all three on a comparable scale). This
+//! yields the 9 color dimensions of the paper's 37-dimensional vector.
+
+use qd_imagery::color::rgb_to_hsv;
+use qd_imagery::Image;
+use qd_linalg::RunningStats;
+
+/// Number of color-moment features.
+pub const DIMS: usize = 9;
+
+/// Computes the 9 color-moment features of `img`.
+///
+/// Layout: `[h_mean, h_std, h_skew, s_mean, s_std, s_skew, v_mean, v_std,
+/// v_skew]`.
+pub fn color_moments(img: &Image) -> Vec<f32> {
+    let mut stats = [
+        RunningStats::new(),
+        RunningStats::new(),
+        RunningStats::new(),
+    ];
+    for &p in img.pixels() {
+        let hsv = rgb_to_hsv(p);
+        for (s, &c) in stats.iter_mut().zip(hsv.iter()) {
+            s.push(c);
+        }
+    }
+    let mut out = Vec::with_capacity(DIMS);
+    for s in &stats {
+        out.push(s.mean() as f32);
+        out.push(s.std_dev() as f32);
+        out.push(s.skewness_root() as f32);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qd_imagery::draw;
+
+    #[test]
+    fn output_has_nine_dimensions() {
+        let img = Image::filled(8, 8, [0.2, 0.4, 0.6]);
+        assert_eq!(color_moments(&img).len(), DIMS);
+    }
+
+    #[test]
+    fn uniform_image_has_zero_spread() {
+        let img = Image::filled(8, 8, [0.2, 0.4, 0.6]);
+        let f = color_moments(&img);
+        // std and skew of every channel are zero for a constant image
+        for ch in 0..3 {
+            assert_eq!(f[ch * 3 + 1], 0.0, "channel {ch} std");
+            assert_eq!(f[ch * 3 + 2], 0.0, "channel {ch} skew");
+        }
+    }
+
+    #[test]
+    fn value_mean_tracks_brightness() {
+        let dark = color_moments(&Image::filled(8, 8, [0.1, 0.1, 0.1]));
+        let bright = color_moments(&Image::filled(8, 8, [0.9, 0.9, 0.9]));
+        // v_mean is feature index 6
+        assert!(bright[6] > dark[6]);
+    }
+
+    #[test]
+    fn saturation_mean_separates_gray_from_vivid() {
+        let gray = color_moments(&Image::filled(8, 8, [0.5, 0.5, 0.5]));
+        let vivid = color_moments(&Image::filled(8, 8, [1.0, 0.0, 0.0]));
+        // s_mean is feature index 3
+        assert_eq!(gray[3], 0.0);
+        assert!(vivid[3] > 0.9);
+    }
+
+    #[test]
+    fn hue_mean_separates_red_from_blue() {
+        let red = color_moments(&Image::filled(8, 8, [1.0, 0.05, 0.05]));
+        let blue = color_moments(&Image::filled(8, 8, [0.05, 0.05, 1.0]));
+        assert!((red[0] - blue[0]).abs() > 0.3);
+    }
+
+    #[test]
+    fn two_tone_image_has_positive_value_std() {
+        let mut img = Image::filled(8, 8, [0.0, 0.0, 0.0]);
+        draw::fill_rect(&mut img, 2.0, 4.0, 2.0, 4.0, 0.0, [1.0, 1.0, 1.0]);
+        let f = color_moments(&img);
+        assert!(f[7] > 0.1, "v_std = {}", f[7]);
+    }
+
+    #[test]
+    fn skew_sign_reflects_asymmetry() {
+        // Mostly dark with a few bright pixels → right-skewed value channel.
+        let mut img = Image::filled(10, 10, [0.1, 0.1, 0.1]);
+        draw::fill_rect(&mut img, 1.0, 1.0, 1.0, 1.0, 0.0, [1.0, 1.0, 1.0]);
+        let f = color_moments(&img);
+        assert!(f[8] > 0.0, "v_skew = {}", f[8]);
+    }
+
+    #[test]
+    fn features_are_finite() {
+        let mut img = Image::filled(16, 16, [0.3, 0.6, 0.9]);
+        draw::checker(&mut img, [1.0, 0.2, 0.1], [0.0, 0.9, 0.3], 3);
+        assert!(color_moments(&img).iter().all(|x| x.is_finite()));
+    }
+}

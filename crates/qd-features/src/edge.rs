@@ -1,0 +1,223 @@
+//! Edge-based structural features (after Zhou & Huang, 2000).
+//!
+//! A Sobel operator yields per-pixel gradient magnitude and orientation; a
+//! relative threshold selects edge pixels. The 18 structural features are a
+//! 16-bin edge orientation histogram (normalized by edge count, so it
+//! describes edge *structure* independent of edge quantity) plus the edge
+//! density and the mean edge strength (which carry the quantity).
+
+use qd_imagery::Image;
+
+/// Number of edge features.
+pub const DIMS: usize = 18;
+
+/// Number of orientation histogram bins.
+pub const ORIENTATION_BINS: usize = 16;
+
+/// Fraction of the maximum gradient magnitude below which a pixel is not an
+/// edge.
+pub const EDGE_THRESHOLD: f32 = 0.20;
+
+/// Sobel gradient field of a luminance plane.
+#[derive(Debug, Clone)]
+pub struct GradientField {
+    /// Gradient magnitude per interior pixel, row-major, `(w-2) × (h-2)`.
+    pub magnitude: Vec<f32>,
+    /// Gradient orientation in `[0, π)` per interior pixel (edges have an
+    /// orientation, not a direction).
+    pub orientation: Vec<f32>,
+    /// Interior width.
+    pub width: usize,
+    /// Interior height.
+    pub height: usize,
+}
+
+/// Computes the Sobel gradient field of `img`'s luminance plane.
+///
+/// Images smaller than 3×3 produce an empty field.
+pub fn sobel(img: &Image) -> GradientField {
+    let w = img.width();
+    let h = img.height();
+    if w < 3 || h < 3 {
+        return GradientField {
+            magnitude: Vec::new(),
+            orientation: Vec::new(),
+            width: 0,
+            height: 0,
+        };
+    }
+    let lum = img.luminance();
+    let iw = w - 2;
+    let ih = h - 2;
+    let mut magnitude = Vec::with_capacity(iw * ih);
+    let mut orientation = Vec::with_capacity(iw * ih);
+    let at = |x: usize, y: usize| lum[y * w + x];
+    for y in 1..h - 1 {
+        for x in 1..w - 1 {
+            let gx = -at(x - 1, y - 1) - 2.0 * at(x - 1, y) - at(x - 1, y + 1)
+                + at(x + 1, y - 1)
+                + 2.0 * at(x + 1, y)
+                + at(x + 1, y + 1);
+            let gy = -at(x - 1, y - 1) - 2.0 * at(x, y - 1) - at(x + 1, y - 1)
+                + at(x - 1, y + 1)
+                + 2.0 * at(x, y + 1)
+                + at(x + 1, y + 1);
+            magnitude.push((gx * gx + gy * gy).sqrt());
+            orientation.push(gy.atan2(gx).rem_euclid(std::f32::consts::PI));
+        }
+    }
+    GradientField {
+        magnitude,
+        orientation,
+        width: iw,
+        height: ih,
+    }
+}
+
+/// Computes the 18 edge-based structural features of `img`.
+///
+/// Layout: `[hist_0 … hist_15, edge_density, mean_edge_strength]`. The
+/// histogram sums to 1 when any edge pixels exist and is all zeros otherwise.
+pub fn edge_features(img: &Image) -> Vec<f32> {
+    let field = sobel(img);
+    let mut out = vec![0.0f32; DIMS];
+    if field.magnitude.is_empty() {
+        return out;
+    }
+    let max_mag = field.magnitude.iter().fold(0.0f32, |a, &b| a.max(b));
+    if max_mag <= 1e-9 {
+        return out; // perfectly flat image: no edges
+    }
+    let threshold = EDGE_THRESHOLD * max_mag;
+    let mut edge_count = 0usize;
+    let mut strength_sum = 0.0f64;
+    for (&mag, &ori) in field.magnitude.iter().zip(&field.orientation) {
+        if mag >= threshold {
+            let bin = ((ori / std::f32::consts::PI) * ORIENTATION_BINS as f32) as usize;
+            out[bin.min(ORIENTATION_BINS - 1)] += 1.0;
+            edge_count += 1;
+            strength_sum += mag as f64;
+        }
+    }
+    if edge_count > 0 {
+        let inv = 1.0 / edge_count as f32;
+        for bin in out[..ORIENTATION_BINS].iter_mut() {
+            *bin *= inv;
+        }
+        out[ORIENTATION_BINS] = edge_count as f32 / field.magnitude.len() as f32;
+        out[ORIENTATION_BINS + 1] = (strength_sum / edge_count as f64) as f32;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qd_imagery::draw;
+
+    #[test]
+    fn output_has_eighteen_dimensions() {
+        let img = Image::filled(16, 16, [0.5; 3]);
+        assert_eq!(edge_features(&img).len(), DIMS);
+    }
+
+    #[test]
+    fn flat_image_has_no_edges() {
+        let img = Image::filled(16, 16, [0.5; 3]);
+        let f = edge_features(&img);
+        assert!(f.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn tiny_image_yields_zero_features() {
+        let img = Image::filled(2, 2, [0.5; 3]);
+        assert!(edge_features(&img).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn vertical_boundary_has_horizontal_gradient() {
+        // Left half black, right half white → gradient along x → orientation
+        // near 0 (mod π).
+        let img = Image::from_fn(16, 16, |x, _| if x < 8 { [0.0; 3] } else { [1.0; 3] });
+        let f = edge_features(&img);
+        let hist = &f[..ORIENTATION_BINS];
+        let peak = hist
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(
+            peak == 0 || peak == ORIENTATION_BINS - 1,
+            "peak bin {peak}, hist {hist:?}"
+        );
+    }
+
+    #[test]
+    fn horizontal_boundary_has_vertical_gradient() {
+        let img = Image::from_fn(16, 16, |_, y| if y < 8 { [0.0; 3] } else { [1.0; 3] });
+        let f = edge_features(&img);
+        let hist = &f[..ORIENTATION_BINS];
+        let peak = hist
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        // Orientation π/2 lands in the middle bin.
+        assert_eq!(peak, ORIENTATION_BINS / 2, "hist {hist:?}");
+    }
+
+    #[test]
+    fn histogram_is_normalized() {
+        let mut img = Image::filled(24, 24, [0.1; 3]);
+        draw::fill_rect(&mut img, 12.0, 12.0, 6.0, 4.0, 0.4, [0.9, 0.9, 0.9]);
+        let f = edge_features(&img);
+        let sum: f32 = f[..ORIENTATION_BINS].iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4, "sum = {sum}");
+    }
+
+    #[test]
+    fn busier_scene_has_higher_edge_density() {
+        let mut plain = Image::filled(32, 32, [0.2; 3]);
+        draw::fill_rect(&mut plain, 16.0, 16.0, 5.0, 5.0, 0.0, [0.9; 3]);
+        let mut busy = Image::filled(32, 32, [0.2; 3]);
+        draw::checker(&mut busy, [0.9; 3], [0.1; 3], 2);
+        let fp = edge_features(&plain);
+        let fb = edge_features(&busy);
+        assert!(
+            fb[ORIENTATION_BINS] > fp[ORIENTATION_BINS],
+            "busy {} vs plain {}",
+            fb[ORIENTATION_BINS],
+            fp[ORIENTATION_BINS]
+        );
+    }
+
+    #[test]
+    fn stronger_contrast_raises_mean_strength() {
+        let soft = Image::from_fn(16, 16, |x, _| if x < 8 { [0.4; 3] } else { [0.6; 3] });
+        let hard = Image::from_fn(16, 16, |x, _| if x < 8 { [0.0; 3] } else { [1.0; 3] });
+        let fs = edge_features(&soft);
+        let fh = edge_features(&hard);
+        assert!(fh[ORIENTATION_BINS + 1] > fs[ORIENTATION_BINS + 1]);
+    }
+
+    #[test]
+    fn sobel_dimensions_shrink_by_two() {
+        let img = Image::filled(10, 7, [0.5; 3]);
+        let field = sobel(&img);
+        assert_eq!(field.width, 8);
+        assert_eq!(field.height, 5);
+        assert_eq!(field.magnitude.len(), 40);
+    }
+
+    #[test]
+    fn orientations_are_in_half_circle() {
+        let mut img = Image::filled(20, 20, [0.3; 3]);
+        draw::fill_ellipse(&mut img, 10.0, 10.0, 6.0, 4.0, 0.7, [0.9; 3]);
+        let field = sobel(&img);
+        for &o in &field.orientation {
+            assert!((0.0..std::f32::consts::PI + 1e-6).contains(&o));
+        }
+    }
+}

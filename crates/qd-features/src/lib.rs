@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! The paper's 37-dimensional visual feature vector (§4, "Feature Extraction
+//! Module"):
+//!
+//! * **9 color moment features** (Stricker & Orengo, SPIE 1995) — mean,
+//!   standard deviation, and cube-rooted third central moment of each HSV
+//!   channel ([`color_moments`]);
+//! * **10 wavelet-based texture features** (Smith & Chang, ICIP 1994) — mean
+//!   absolute coefficient energy of the nine detail subbands of a 3-level
+//!   Haar decomposition plus the coarse approximation energy ([`wavelet`]);
+//! * **18 edge-based structural features** (after Zhou & Huang, PRL 2000) —
+//!   a 16-bin edge orientation histogram plus edge density and mean edge
+//!   strength from a Sobel edge map ([`edge`]).
+//!
+//! [`pipeline::FeatureExtractor`] concatenates the three groups. Per-dimension
+//! corpus normalization lives in `qd_linalg::Normalizer`.
+
+pub mod color_moments;
+pub mod edge;
+pub mod pipeline;
+pub mod wavelet;
+
+pub use pipeline::{
+    FeatureExtractor, FeatureGroup, COLOR_DIMS, EDGE_DIMS, FEATURE_DIM, TEXTURE_DIMS,
+};

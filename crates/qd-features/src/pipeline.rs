@@ -1,0 +1,219 @@
+//! The combined 37-dimensional extraction pipeline.
+
+use crate::{color_moments, edge, wavelet};
+use qd_imagery::{Image, Viewpoint};
+
+/// Color-moment dimensions (indices `0..9`).
+pub const COLOR_DIMS: usize = color_moments::DIMS;
+/// Wavelet-texture dimensions (indices `9..19`).
+pub const TEXTURE_DIMS: usize = wavelet::DIMS;
+/// Edge-structure dimensions (indices `19..37`).
+pub const EDGE_DIMS: usize = edge::DIMS;
+/// Total feature dimensionality — the paper's 37.
+pub const FEATURE_DIM: usize = COLOR_DIMS + TEXTURE_DIMS + EDGE_DIMS;
+
+/// One of the three feature groups making up the 37-dimensional vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatureGroup {
+    /// HSV color moments.
+    Color,
+    /// Haar wavelet texture energies.
+    Texture,
+    /// Edge-based structural features.
+    Edge,
+}
+
+impl FeatureGroup {
+    /// Index range of this group within the 37-dimensional vector.
+    pub fn range(self) -> std::ops::Range<usize> {
+        match self {
+            FeatureGroup::Color => 0..COLOR_DIMS,
+            FeatureGroup::Texture => COLOR_DIMS..COLOR_DIMS + TEXTURE_DIMS,
+            FeatureGroup::Edge => COLOR_DIMS + TEXTURE_DIMS..FEATURE_DIM,
+        }
+    }
+}
+
+/// Human-readable name of feature dimension `d` — for debug output, CSV
+/// headers, and the feature-importance tooling.
+///
+/// # Panics
+/// Panics if `d >= FEATURE_DIM`.
+pub fn dimension_name(d: usize) -> String {
+    assert!(d < FEATURE_DIM, "dimension {d} out of range");
+    match d {
+        0..=8 => {
+            let channel = ["hue", "saturation", "value"][d / 3];
+            let moment = ["mean", "std", "skew"][d % 3];
+            format!("color/{channel}-{moment}")
+        }
+        9..=17 => {
+            let i = d - 9;
+            let band = ["lh", "hl", "hh"][i % 3];
+            format!("texture/{}-level{}", band, i / 3 + 1)
+        }
+        18 => "texture/ll-level3".to_string(),
+        19..=34 => format!("edge/orientation-bin{:02}", d - 19),
+        35 => "edge/density".to_string(),
+        _ => "edge/mean-strength".to_string(),
+    }
+}
+
+/// The feature extractor. Stateless today, but a struct so extraction options
+/// (alternative color spaces, decomposition depth) have an obvious home.
+///
+/// ```
+/// use qd_features::{FeatureExtractor, FEATURE_DIM};
+/// use qd_imagery::Image;
+///
+/// let img = Image::filled(16, 16, [0.2, 0.5, 0.8]);
+/// let features = FeatureExtractor::new().extract(&img);
+/// assert_eq!(features.len(), FEATURE_DIM); // the paper's 37 dimensions
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FeatureExtractor;
+
+impl FeatureExtractor {
+    /// Creates the default extractor.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Extracts the full 37-dimensional (un-normalized) feature vector.
+    pub fn extract(&self, img: &Image) -> Vec<f32> {
+        let mut out = Vec::with_capacity(FEATURE_DIM);
+        out.extend(color_moments::color_moments(img));
+        out.extend(wavelet::wavelet_features(img));
+        out.extend(edge::edge_features(img));
+        debug_assert_eq!(out.len(), FEATURE_DIM);
+        out
+    }
+
+    /// Extracts features from the image as seen through an MV viewpoint
+    /// (channel transform applied before extraction).
+    pub fn extract_viewpoint(&self, img: &Image, viewpoint: Viewpoint) -> Vec<f32> {
+        match viewpoint {
+            Viewpoint::Normal => self.extract(img),
+            other => self.extract(&other.apply(img)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qd_imagery::draw;
+
+    fn sample_image() -> Image {
+        let mut img = Image::filled(32, 32, [0.2, 0.5, 0.7]);
+        draw::fill_ellipse(&mut img, 16.0, 16.0, 8.0, 5.0, 0.3, [0.9, 0.3, 0.2]);
+        draw::fill_rect(&mut img, 8.0, 24.0, 4.0, 3.0, 0.0, [0.1, 0.8, 0.3]);
+        img
+    }
+
+    #[test]
+    fn dimension_names_cover_the_vector_uniquely() {
+        let names: Vec<String> = (0..FEATURE_DIM).map(dimension_name).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), FEATURE_DIM);
+        // Group prefixes line up with the group ranges.
+        for d in FeatureGroup::Color.range() {
+            assert!(names[d].starts_with("color/"), "{}", names[d]);
+        }
+        for d in FeatureGroup::Texture.range() {
+            assert!(names[d].starts_with("texture/"), "{}", names[d]);
+        }
+        for d in FeatureGroup::Edge.range() {
+            assert!(names[d].starts_with("edge/"), "{}", names[d]);
+        }
+        assert_eq!(dimension_name(0), "color/hue-mean");
+        assert_eq!(dimension_name(18), "texture/ll-level3");
+        assert_eq!(dimension_name(36), "edge/mean-strength");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn dimension_name_rejects_out_of_range() {
+        dimension_name(FEATURE_DIM);
+    }
+
+    #[test]
+    fn vector_has_exactly_37_dimensions() {
+        let f = FeatureExtractor::new().extract(&sample_image());
+        assert_eq!(f.len(), 37);
+        assert_eq!(f.len(), FEATURE_DIM);
+    }
+
+    #[test]
+    fn groups_partition_the_vector() {
+        let c = FeatureGroup::Color.range();
+        let t = FeatureGroup::Texture.range();
+        let e = FeatureGroup::Edge.range();
+        assert_eq!(c.start, 0);
+        assert_eq!(c.end, t.start);
+        assert_eq!(t.end, e.start);
+        assert_eq!(e.end, FEATURE_DIM);
+    }
+
+    #[test]
+    fn extraction_is_deterministic() {
+        let img = sample_image();
+        let ex = FeatureExtractor::new();
+        assert_eq!(ex.extract(&img), ex.extract(&img));
+    }
+
+    #[test]
+    fn features_are_finite() {
+        let f = FeatureExtractor::new().extract(&sample_image());
+        assert!(f.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn different_scenes_produce_different_vectors() {
+        let ex = FeatureExtractor::new();
+        let a = ex.extract(&sample_image());
+        let b = ex.extract(&Image::filled(32, 32, [0.9, 0.9, 0.1]));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn normal_viewpoint_equals_plain_extraction() {
+        let img = sample_image();
+        let ex = FeatureExtractor::new();
+        assert_eq!(ex.extract(&img), ex.extract_viewpoint(&img, Viewpoint::Normal));
+    }
+
+    #[test]
+    fn viewpoints_see_different_features() {
+        let img = sample_image();
+        let ex = FeatureExtractor::new();
+        let normal = ex.extract_viewpoint(&img, Viewpoint::Normal);
+        let negative = ex.extract_viewpoint(&img, Viewpoint::Negative);
+        let gray = ex.extract_viewpoint(&img, Viewpoint::Grayscale);
+        assert_ne!(normal, negative);
+        assert_ne!(normal, gray);
+        // Grayscale kills saturation: s_mean (index 3) must be ~0.
+        assert!(gray[3].abs() < 1e-5);
+    }
+
+    #[test]
+    fn grayscale_roughly_preserves_edge_structure() {
+        // The Sobel operator already works on luminance, so a grayscale
+        // transform keeps edge geometry. Rounding near the edge threshold can
+        // flip individual pixels, so compare densities with a tolerance
+        // rather than bins exactly.
+        let img = sample_image();
+        let ex = FeatureExtractor::new();
+        let normal = ex.extract_viewpoint(&img, Viewpoint::Normal);
+        let gray = ex.extract_viewpoint(&img, Viewpoint::Grayscale);
+        let density = FeatureGroup::Edge.range().start + crate::edge::ORIENTATION_BINS;
+        assert!(
+            (normal[density] - gray[density]).abs() < 0.05,
+            "{} vs {}",
+            normal[density],
+            gray[density]
+        );
+    }
+}

@@ -1,0 +1,218 @@
+//! Wavelet texture features (Smith & Chang, 1994).
+//!
+//! A 3-level 2-D Haar decomposition of the luminance plane. Each level splits
+//! the current approximation into four subbands — LL (approximation), LH
+//! (horizontal detail), HL (vertical detail), HH (diagonal detail) — and
+//! recursion continues on LL. The texture signature is the mean absolute
+//! coefficient ("energy") of the nine detail subbands plus the final
+//! approximation band: 10 features, matching the paper's count.
+
+use qd_imagery::Image;
+
+/// Number of texture features.
+pub const DIMS: usize = 10;
+
+/// Decomposition depth.
+pub const LEVELS: usize = 3;
+
+/// One level of 2-D Haar subband data.
+#[derive(Debug, Clone)]
+pub struct Subbands {
+    /// Approximation (LL), row-major, `w × h`.
+    pub ll: Vec<f32>,
+    /// Horizontal detail (LH).
+    pub lh: Vec<f32>,
+    /// Vertical detail (HL).
+    pub hl: Vec<f32>,
+    /// Diagonal detail (HH).
+    pub hh: Vec<f32>,
+    /// Subband width.
+    pub width: usize,
+    /// Subband height.
+    pub height: usize,
+}
+
+/// One step of the 2-D Haar transform on a `w × h` row-major plane.
+///
+/// Odd trailing rows/columns are dropped (the planes are cropped to even
+/// dimensions), which loses at most one pixel line per level — irrelevant for
+/// texture statistics.
+///
+/// # Panics
+/// Panics if the plane is smaller than 2×2.
+pub fn haar_step(plane: &[f32], w: usize, h: usize) -> Subbands {
+    assert!(w >= 2 && h >= 2, "plane too small for a Haar step");
+    let ow = w / 2;
+    let oh = h / 2;
+    let mut ll = vec![0.0; ow * oh];
+    let mut lh = vec![0.0; ow * oh];
+    let mut hl = vec![0.0; ow * oh];
+    let mut hh = vec![0.0; ow * oh];
+    for y in 0..oh {
+        for x in 0..ow {
+            let a = plane[(2 * y) * w + 2 * x];
+            let b = plane[(2 * y) * w + 2 * x + 1];
+            let c = plane[(2 * y + 1) * w + 2 * x];
+            let d = plane[(2 * y + 1) * w + 2 * x + 1];
+            let i = y * ow + x;
+            // Orthonormal 2-D Haar butterfly.
+            ll[i] = (a + b + c + d) / 2.0;
+            lh[i] = (a + b - c - d) / 2.0;
+            hl[i] = (a - b + c - d) / 2.0;
+            hh[i] = (a - b - c + d) / 2.0;
+        }
+    }
+    Subbands {
+        ll,
+        lh,
+        hl,
+        hh,
+        width: ow,
+        height: oh,
+    }
+}
+
+/// Mean absolute value of a coefficient band; 0 for an empty band.
+fn energy(band: &[f32]) -> f32 {
+    if band.is_empty() {
+        0.0
+    } else {
+        band.iter().map(|c| c.abs() as f64).sum::<f64>() as f32 / band.len() as f32
+    }
+}
+
+/// Computes the 10 wavelet texture features of `img`.
+///
+/// Layout: `[lh1, hl1, hh1, lh2, hl2, hh2, lh3, hl3, hh3, ll3]`. Images too
+/// small for the full 3 levels get zeros for the missing levels (and the
+/// last computed approximation energy in the final slot).
+pub fn wavelet_features(img: &Image) -> Vec<f32> {
+    let mut plane = img.luminance();
+    let mut w = img.width();
+    let mut h = img.height();
+    let mut out = Vec::with_capacity(DIMS);
+    let mut last_ll_energy = energy(&plane);
+
+    for _ in 0..LEVELS {
+        if w < 2 || h < 2 {
+            out.extend_from_slice(&[0.0, 0.0, 0.0]);
+            continue;
+        }
+        let sb = haar_step(&plane, w, h);
+        out.push(energy(&sb.lh));
+        out.push(energy(&sb.hl));
+        out.push(energy(&sb.hh));
+        last_ll_energy = energy(&sb.ll);
+        plane = sb.ll;
+        w = sb.width;
+        h = sb.height;
+    }
+    out.push(last_ll_energy);
+    debug_assert_eq!(out.len(), DIMS);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qd_imagery::draw;
+
+    #[test]
+    fn output_has_ten_dimensions() {
+        let img = Image::filled(32, 32, [0.5; 3]);
+        assert_eq!(wavelet_features(&img).len(), DIMS);
+    }
+
+    #[test]
+    fn flat_image_has_zero_detail_energy() {
+        let img = Image::filled(32, 32, [0.7; 3]);
+        let f = wavelet_features(&img);
+        for (i, &e) in f[..9].iter().enumerate() {
+            assert!(e.abs() < 1e-6, "detail band {i} = {e}");
+        }
+        // Approximation energy reflects overall brightness.
+        assert!(f[9] > 0.0);
+    }
+
+    #[test]
+    fn haar_step_preserves_total_energy() {
+        // Orthonormal transform: sum of squares is invariant.
+        let plane: Vec<f32> = (0..64).map(|i| ((i * 37) % 11) as f32 / 11.0).collect();
+        let before: f64 = plane.iter().map(|x| (*x as f64).powi(2)).sum();
+        let sb = haar_step(&plane, 8, 8);
+        let after: f64 = [&sb.ll, &sb.lh, &sb.hl, &sb.hh]
+            .iter()
+            .flat_map(|b| b.iter())
+            .map(|x| (*x as f64).powi(2))
+            .sum();
+        assert!((before - after).abs() < 1e-4, "{before} vs {after}");
+    }
+
+    #[test]
+    fn horizontal_stripes_excite_lh_band() {
+        // Single-pixel rows alternate, so every 2×2 block straddles a stripe
+        // boundary and the row-difference (LH) band lights up.
+        let img = Image::from_fn(32, 32, |_, y| if y % 2 == 0 { [1.0; 3] } else { [0.0; 3] });
+        let f = wavelet_features(&img);
+        let (lh1, hl1) = (f[0], f[1]);
+        assert!(lh1 > 5.0 * (hl1 + 1e-6), "lh1={lh1}, hl1={hl1}");
+    }
+
+    #[test]
+    fn vertical_stripes_excite_hl_band() {
+        let img = Image::from_fn(32, 32, |x, _| {
+            if x % 2 == 0 {
+                [1.0; 3]
+            } else {
+                [0.0; 3]
+            }
+        });
+        let f = wavelet_features(&img);
+        let (lh1, hl1) = (f[0], f[1]);
+        assert!(hl1 > 5.0 * (lh1 + 1e-6), "lh1={lh1}, hl1={hl1}");
+    }
+
+    #[test]
+    fn checkerboard_excites_diagonal_band() {
+        let mut img = Image::filled(32, 32, [0.0; 3]);
+        draw::checker(&mut img, [1.0; 3], [0.0; 3], 1);
+        let f = wavelet_features(&img);
+        let hh1 = f[2];
+        assert!(hh1 > f[0] && hh1 > f[1], "{f:?}");
+    }
+
+    #[test]
+    fn fine_texture_concentrates_in_level_one() {
+        // 1-px checker is pure finest-scale texture; a 4-px checker is
+        // uniform inside every 2×2 block until the third level, where its
+        // cells shrink to single coefficients.
+        let mut fine = Image::filled(64, 64, [0.0; 3]);
+        draw::checker(&mut fine, [1.0; 3], [0.0; 3], 1);
+        let mut coarse = Image::filled(64, 64, [0.0; 3]);
+        draw::checker(&mut coarse, [1.0; 3], [0.0; 3], 4);
+        let ff = wavelet_features(&fine);
+        let cf = wavelet_features(&coarse);
+        let fine_l1 = ff[0] + ff[1] + ff[2];
+        let fine_l3 = ff[6] + ff[7] + ff[8];
+        let coarse_l1 = cf[0] + cf[1] + cf[2];
+        let coarse_l3 = cf[6] + cf[7] + cf[8];
+        assert!(fine_l1 > fine_l3);
+        assert!(coarse_l3 > coarse_l1);
+    }
+
+    #[test]
+    fn tiny_images_do_not_panic() {
+        for (w, h) in [(1, 1), (2, 2), (3, 5), (4, 4), (5, 3)] {
+            let img = Image::from_fn(w, h, |x, y| [((x + y) % 2) as f32; 3]);
+            let f = wavelet_features(&img);
+            assert_eq!(f.len(), DIMS);
+            assert!(f.iter().all(|x| x.is_finite()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn haar_step_rejects_degenerate_plane() {
+        haar_step(&[0.0], 1, 1);
+    }
+}

@@ -1,0 +1,106 @@
+//! RGB ↔ HSV conversion.
+//!
+//! The color-moment features of Stricker & Orengo (the first 9 of the paper's
+//! 37 dimensions) are computed in HSV space, which decorrelates chromatic
+//! content from illumination better than raw RGB.
+
+/// Converts an RGB triple (channels in `[0, 1]`) to HSV with
+/// `h ∈ [0, 1)` (hue as a fraction of the full circle), `s, v ∈ [0, 1]`.
+pub fn rgb_to_hsv(rgb: [f32; 3]) -> [f32; 3] {
+    let [r, g, b] = rgb;
+    let max = r.max(g).max(b);
+    let min = r.min(g).min(b);
+    let delta = max - min;
+
+    let v = max;
+    let s = if max <= 0.0 { 0.0 } else { delta / max };
+    let h = if delta <= 1e-9 {
+        0.0
+    } else if max == r {
+        ((g - b) / delta).rem_euclid(6.0)
+    } else if max == g {
+        (b - r) / delta + 2.0
+    } else {
+        (r - g) / delta + 4.0
+    } / 6.0;
+
+    [h.rem_euclid(1.0), s, v]
+}
+
+/// Converts an HSV triple (`h ∈ [0, 1)`, `s, v ∈ [0, 1]`) back to RGB.
+pub fn hsv_to_rgb(hsv: [f32; 3]) -> [f32; 3] {
+    let [h, s, v] = hsv;
+    let h6 = h.rem_euclid(1.0) * 6.0;
+    let c = v * s;
+    let x = c * (1.0 - (h6.rem_euclid(2.0) - 1.0).abs());
+    let m = v - c;
+    let (r, g, b) = match h6 as u32 {
+        0 => (c, x, 0.0),
+        1 => (x, c, 0.0),
+        2 => (0.0, c, x),
+        3 => (0.0, x, c),
+        4 => (x, 0.0, c),
+        _ => (c, 0.0, x),
+    };
+    [r + m, g + m, b + m]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: [f32; 3], b: [f32; 3]) -> bool {
+        a.iter().zip(&b).all(|(x, y)| (x - y).abs() < 1e-5)
+    }
+
+    #[test]
+    fn primaries_have_expected_hue() {
+        assert!(close(rgb_to_hsv([1.0, 0.0, 0.0]), [0.0, 1.0, 1.0])); // red
+        assert!(close(rgb_to_hsv([0.0, 1.0, 0.0]), [1.0 / 3.0, 1.0, 1.0])); // green
+        assert!(close(rgb_to_hsv([0.0, 0.0, 1.0]), [2.0 / 3.0, 1.0, 1.0])); // blue
+    }
+
+    #[test]
+    fn grays_have_zero_saturation() {
+        for g in [0.0, 0.25, 0.5, 1.0] {
+            let hsv = rgb_to_hsv([g, g, g]);
+            assert_eq!(hsv[1], 0.0);
+            assert!((hsv[2] - g).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn hsv_roundtrips_rgb() {
+        for r in 0..5 {
+            for g in 0..5 {
+                for b in 0..5 {
+                    let rgb = [r as f32 / 4.0, g as f32 / 4.0, b as f32 / 4.0];
+                    let back = hsv_to_rgb(rgb_to_hsv(rgb));
+                    assert!(close(rgb, back), "{rgb:?} -> {back:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hue_wraps_around() {
+        let a = hsv_to_rgb([0.0, 1.0, 1.0]);
+        let b = hsv_to_rgb([1.0, 1.0, 1.0]);
+        assert!(close(a, b));
+    }
+
+    #[test]
+    fn hsv_output_is_in_range() {
+        for i in 0..50 {
+            let rgb = [
+                (i as f32 * 0.137).fract(),
+                (i as f32 * 0.311).fract(),
+                (i as f32 * 0.733).fract(),
+            ];
+            let [h, s, v] = rgb_to_hsv(rgb);
+            assert!((0.0..1.0).contains(&h), "h={h}");
+            assert!((0.0..=1.0).contains(&s), "s={s}");
+            assert!((0.0..=1.0).contains(&v), "v={v}");
+        }
+    }
+}

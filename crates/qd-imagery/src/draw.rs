@@ -1,0 +1,308 @@
+//! Rasterization primitives used by the synthetic scene renderer.
+//!
+//! All primitives clip against the image bounds, so templates can place
+//! objects partially off-canvas (the renderer jitters positions).
+
+use crate::raster::{Image, Rgb};
+use rand::{Rng, RngExt};
+
+/// Fills the whole image with `color`.
+pub fn fill(img: &mut Image, color: Rgb) {
+    for y in 0..img.height() {
+        for x in 0..img.width() {
+            img.set(x, y, color);
+        }
+    }
+}
+
+/// Fills a vertical gradient from `top` (row 0) to `bottom` (last row).
+pub fn vertical_gradient(img: &mut Image, top: Rgb, bottom: Rgb) {
+    let h = img.height().max(2) as f32;
+    for y in 0..img.height() {
+        let t = y as f32 / (h - 1.0);
+        let c = [
+            top[0] + t * (bottom[0] - top[0]),
+            top[1] + t * (bottom[1] - top[1]),
+            top[2] + t * (bottom[2] - top[2]),
+        ];
+        for x in 0..img.width() {
+            img.set(x, y, c);
+        }
+    }
+}
+
+/// Axis-aligned filled rectangle centered at `(cx, cy)` with half-extents
+/// `(hw, hh)`, rotated by `angle` radians.
+pub fn fill_rect(img: &mut Image, cx: f32, cy: f32, hw: f32, hh: f32, angle: f32, color: Rgb) {
+    let (sin, cos) = angle.sin_cos();
+    let reach = hw.abs().max(hh.abs()) * 1.5 + 1.0;
+    scan_region(img, cx, cy, reach, |x, y| {
+        // Rotate the pixel into the rectangle's local frame.
+        let dx = x - cx;
+        let dy = y - cy;
+        let lx = dx * cos + dy * sin;
+        let ly = -dx * sin + dy * cos;
+        lx.abs() <= hw && ly.abs() <= hh
+    }, color);
+}
+
+/// Filled ellipse centered at `(cx, cy)` with radii `(rx, ry)`, rotated by
+/// `angle` radians.
+pub fn fill_ellipse(img: &mut Image, cx: f32, cy: f32, rx: f32, ry: f32, angle: f32, color: Rgb) {
+    let (sin, cos) = angle.sin_cos();
+    let reach = rx.abs().max(ry.abs()) + 1.0;
+    scan_region(img, cx, cy, reach, |x, y| {
+        let dx = x - cx;
+        let dy = y - cy;
+        let lx = dx * cos + dy * sin;
+        let ly = -dx * sin + dy * cos;
+        (lx / rx).powi(2) + (ly / ry).powi(2) <= 1.0
+    }, color);
+}
+
+/// Filled isoceles triangle: apex up, centered at `(cx, cy)`, half-width `hw`
+/// at the base, half-height `hh`, rotated by `angle` radians.
+pub fn fill_triangle(img: &mut Image, cx: f32, cy: f32, hw: f32, hh: f32, angle: f32, color: Rgb) {
+    let (sin, cos) = angle.sin_cos();
+    let reach = hw.abs().max(hh.abs()) * 1.5 + 1.0;
+    scan_region(img, cx, cy, reach, |x, y| {
+        let dx = x - cx;
+        let dy = y - cy;
+        let lx = dx * cos + dy * sin;
+        let ly = -dx * sin + dy * cos;
+        // In local frame: apex at (0, -hh), base from (-hw, hh) to (hw, hh).
+        if ly < -hh || ly > hh {
+            return false;
+        }
+        let t = (ly + hh) / (2.0 * hh); // 0 at apex, 1 at base
+        lx.abs() <= hw * t
+    }, color);
+}
+
+/// Thick line segment ("bar") from `(x0, y0)` to `(x1, y1)` with the given
+/// half-thickness.
+pub fn fill_bar(img: &mut Image, x0: f32, y0: f32, x1: f32, y1: f32, half_thick: f32, color: Rgb) {
+    let cx = (x0 + x1) / 2.0;
+    let cy = (y0 + y1) / 2.0;
+    let len = ((x1 - x0).powi(2) + (y1 - y0).powi(2)).sqrt();
+    let angle = (y1 - y0).atan2(x1 - x0);
+    fill_rect(img, cx, cy, len / 2.0 + half_thick, half_thick, angle, color);
+}
+
+/// Adds uniform speckle noise: each pixel is perturbed by up to `±amplitude`
+/// per channel.
+pub fn speckle<R: Rng>(img: &mut Image, amplitude: f32, rng: &mut R) {
+    for y in 0..img.height() {
+        for x in 0..img.width() {
+            let p = img.get(x, y);
+            let jitter = |c: f32, r: &mut R| c + (r.random::<f32>() * 2.0 - 1.0) * amplitude;
+            let q = [jitter(p[0], rng), jitter(p[1], rng), jitter(p[2], rng)];
+            img.set(x, y, q);
+        }
+    }
+}
+
+/// Horizontal stripes of alternating colors with the given period in pixels.
+pub fn stripes(img: &mut Image, a: Rgb, b: Rgb, period: usize) {
+    let period = period.max(2);
+    for y in 0..img.height() {
+        let c = if (y / (period / 2)).is_multiple_of(2) { a } else { b };
+        for x in 0..img.width() {
+            img.set(x, y, c);
+        }
+    }
+}
+
+/// Checkerboard of alternating colors with the given cell size in pixels.
+pub fn checker(img: &mut Image, a: Rgb, b: Rgb, cell: usize) {
+    let cell = cell.max(1);
+    for y in 0..img.height() {
+        for x in 0..img.width() {
+            let c = if (x / cell + y / cell).is_multiple_of(2) { a } else { b };
+            img.set(x, y, c);
+        }
+    }
+}
+
+/// Scatters `count` small random blobs from `palette` over the image —
+/// the "cluttered background" used by some subconcept templates.
+pub fn clutter<R: Rng>(img: &mut Image, palette: &[Rgb], count: usize, max_radius: f32, rng: &mut R) {
+    if palette.is_empty() {
+        return;
+    }
+    let (w, h) = (img.width() as f32, img.height() as f32);
+    for _ in 0..count {
+        let color = palette[rng.random_range(0..palette.len())];
+        let cx = rng.random::<f32>() * w;
+        let cy = rng.random::<f32>() * h;
+        let r = 1.0 + rng.random::<f32>() * max_radius;
+        fill_ellipse(img, cx, cy, r, r, 0.0, color);
+    }
+}
+
+/// Visits the clipped bounding box around `(cx, cy)` with radius `reach` and
+/// writes `color` where `inside` holds.
+fn scan_region(
+    img: &mut Image,
+    cx: f32,
+    cy: f32,
+    reach: f32,
+    inside: impl Fn(f32, f32) -> bool,
+    color: Rgb,
+) {
+    let x0 = ((cx - reach).floor().max(0.0)) as usize;
+    let y0 = ((cy - reach).floor().max(0.0)) as usize;
+    let x1 = ((cx + reach).ceil() as usize).min(img.width().saturating_sub(1));
+    let y1 = ((cy + reach).ceil() as usize).min(img.height().saturating_sub(1));
+    if x0 > x1 || y0 > y1 {
+        return;
+    }
+    for y in y0..=y1 {
+        for x in x0..=x1 {
+            if inside(x as f32 + 0.5, y as f32 + 0.5) {
+                img.set(x, y, color);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const RED: Rgb = [1.0, 0.0, 0.0];
+    const BLACK: Rgb = [0.0, 0.0, 0.0];
+    const WHITE: Rgb = [1.0, 1.0, 1.0];
+
+    fn count_color(img: &Image, c: Rgb) -> usize {
+        img.pixels().iter().filter(|&&p| p == c).count()
+    }
+
+    #[test]
+    fn fill_covers_everything() {
+        let mut img = Image::filled(5, 5, BLACK);
+        fill(&mut img, RED);
+        assert_eq!(count_color(&img, RED), 25);
+    }
+
+    #[test]
+    fn gradient_endpoints_match() {
+        let mut img = Image::filled(3, 10, BLACK);
+        vertical_gradient(&mut img, WHITE, BLACK);
+        assert_eq!(img.get(0, 0), WHITE);
+        assert_eq!(img.get(0, 9), BLACK);
+        // Monotone decreasing in y.
+        for y in 1..10 {
+            assert!(img.get(1, y)[0] <= img.get(1, y - 1)[0]);
+        }
+    }
+
+    #[test]
+    fn rect_center_is_colored_and_corners_are_not() {
+        let mut img = Image::filled(20, 20, BLACK);
+        fill_rect(&mut img, 10.0, 10.0, 4.0, 2.0, 0.0, RED);
+        assert_eq!(img.get(10, 10), RED);
+        assert_eq!(img.get(0, 0), BLACK);
+        assert_eq!(img.get(19, 19), BLACK);
+        // Wider than tall.
+        assert_eq!(img.get(13, 10), RED);
+        assert_eq!(img.get(10, 13), BLACK);
+    }
+
+    #[test]
+    fn rotated_rect_swaps_extents() {
+        let mut img = Image::filled(20, 20, BLACK);
+        fill_rect(&mut img, 10.0, 10.0, 6.0, 1.5, std::f32::consts::FRAC_PI_2, RED);
+        // After a 90° rotation the long axis is vertical.
+        assert_eq!(img.get(10, 14), RED);
+        assert_eq!(img.get(14, 10), BLACK);
+    }
+
+    #[test]
+    fn ellipse_is_inside_bounding_rect() {
+        let mut img = Image::filled(30, 30, BLACK);
+        fill_ellipse(&mut img, 15.0, 15.0, 8.0, 4.0, 0.0, RED);
+        let painted = count_color(&img, RED);
+        assert!(painted > 0);
+        // Area ≈ π·rx·ry ≈ 100; must be below the bounding box area 16·8=128.
+        assert!(painted < 128, "painted = {painted}");
+        assert_eq!(img.get(15, 15), RED);
+        assert_eq!(img.get(22, 18), BLACK); // outside the ellipse
+    }
+
+    #[test]
+    fn triangle_is_narrow_at_apex() {
+        let mut img = Image::filled(20, 20, BLACK);
+        fill_triangle(&mut img, 10.0, 10.0, 6.0, 6.0, 0.0, RED);
+        // Near the base (bottom) the triangle is wide; near the apex narrow.
+        let base_row: usize = (0..20).filter(|&x| img.get(x, 15) == RED).count();
+        let apex_row: usize = (0..20).filter(|&x| img.get(x, 5) == RED).count();
+        assert!(base_row > apex_row);
+    }
+
+    #[test]
+    fn bar_connects_endpoints() {
+        let mut img = Image::filled(20, 20, BLACK);
+        fill_bar(&mut img, 2.0, 2.0, 17.0, 17.0, 1.0, RED);
+        assert_eq!(img.get(2, 2), RED);
+        assert_eq!(img.get(17, 17), RED);
+        assert_eq!(img.get(10, 10), RED);
+        assert_eq!(img.get(17, 2), BLACK);
+    }
+
+    #[test]
+    fn primitives_clip_offscreen_without_panicking() {
+        let mut img = Image::filled(10, 10, BLACK);
+        fill_rect(&mut img, -5.0, -5.0, 3.0, 3.0, 0.3, RED);
+        fill_ellipse(&mut img, 20.0, 5.0, 15.0, 2.0, 0.0, RED);
+        fill_triangle(&mut img, 5.0, 30.0, 4.0, 4.0, 0.0, RED);
+        // The second ellipse reaches into frame.
+        assert!(count_color(&img, RED) > 0);
+    }
+
+    #[test]
+    fn speckle_stays_in_range_and_changes_pixels() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut img = Image::filled(8, 8, [0.5, 0.5, 0.5]);
+        speckle(&mut img, 0.2, &mut rng);
+        assert!(img.pixels().iter().any(|&p| p != [0.5, 0.5, 0.5]));
+        for p in img.pixels() {
+            for channel in p {
+                assert!((0.3 - 1e-6..=0.7 + 1e-6).contains(channel));
+            }
+        }
+    }
+
+    #[test]
+    fn stripes_alternate() {
+        let mut img = Image::filled(4, 8, BLACK);
+        stripes(&mut img, WHITE, RED, 4);
+        assert_eq!(img.get(0, 0), WHITE);
+        assert_eq!(img.get(0, 2), RED);
+        assert_eq!(img.get(0, 4), WHITE);
+    }
+
+    #[test]
+    fn checker_alternates_in_both_axes() {
+        let mut img = Image::filled(8, 8, BLACK);
+        checker(&mut img, WHITE, RED, 2);
+        assert_eq!(img.get(0, 0), WHITE);
+        assert_eq!(img.get(2, 0), RED);
+        assert_eq!(img.get(0, 2), RED);
+        assert_eq!(img.get(2, 2), WHITE);
+    }
+
+    #[test]
+    fn clutter_paints_something_and_empty_palette_is_noop() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut img = Image::filled(16, 16, BLACK);
+        clutter(&mut img, &[RED, WHITE], 10, 3.0, &mut rng);
+        assert!(img.pixels().iter().any(|&p| p != BLACK));
+
+        let mut img2 = Image::filled(16, 16, BLACK);
+        clutter(&mut img2, &[], 10, 3.0, &mut rng);
+        assert_eq!(count_color(&img2, BLACK), 256);
+    }
+}

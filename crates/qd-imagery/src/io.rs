@@ -1,0 +1,315 @@
+//! Image inspection outputs: binary PPM files and ANSI terminal previews.
+//!
+//! The paper's prototype displays result images in a GUI (Figure 3). This
+//! reproduction is headless, so images are inspectable two ways: written to
+//! disk as PPM (viewable by any image tool) or rendered inline in a
+//! truecolor terminal as half-block cells.
+
+use crate::raster::Image;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Writes the image as a binary PPM (P6) file.
+pub fn write_ppm(img: &Image, path: &Path) -> io::Result<()> {
+    let mut out = Vec::with_capacity(img.width() * img.height() * 3 + 64);
+    write!(out, "P6\n{} {}\n255\n", img.width(), img.height())?;
+    for p in img.pixels() {
+        for c in p {
+            out.push((c.clamp(0.0, 1.0) * 255.0).round() as u8);
+        }
+    }
+    std::fs::write(path, out)
+}
+
+/// Reads a binary PPM (P6) file produced by [`write_ppm`].
+///
+/// Supports the subset this crate writes: one whitespace-separated header,
+/// maxval 255.
+pub fn read_ppm(path: &Path) -> io::Result<Image> {
+    let data = std::fs::read(path)?;
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let mut fields = Vec::new();
+    let mut pos = 0usize;
+    // Parse exactly 4 header fields (magic, width, height, maxval), skipping
+    // whitespace and comments.
+    while fields.len() < 4 {
+        while pos < data.len() && data[pos].is_ascii_whitespace() {
+            pos += 1;
+        }
+        if pos < data.len() && data[pos] == b'#' {
+            while pos < data.len() && data[pos] != b'\n' {
+                pos += 1;
+            }
+            continue;
+        }
+        let start = pos;
+        while pos < data.len() && !data[pos].is_ascii_whitespace() {
+            pos += 1;
+        }
+        if start == pos {
+            return Err(bad("truncated PPM header"));
+        }
+        fields.push(std::str::from_utf8(&data[start..pos]).map_err(|_| bad("non-ASCII header"))?);
+    }
+    if fields[0] != "P6" {
+        return Err(bad("not a binary PPM (P6)"));
+    }
+    let width: usize = fields[1].parse().map_err(|_| bad("bad width"))?;
+    let height: usize = fields[2].parse().map_err(|_| bad("bad height"))?;
+    if fields[3] != "255" {
+        return Err(bad("only maxval 255 is supported"));
+    }
+    pos += 1; // single whitespace after maxval
+    let need = width * height * 3;
+    if data.len() < pos + need {
+        return Err(bad("truncated pixel data"));
+    }
+    let mut pixels = Vec::with_capacity(width * height);
+    for chunk in data[pos..pos + need].chunks_exact(3) {
+        pixels.push([
+            chunk[0] as f32 / 255.0,
+            chunk[1] as f32 / 255.0,
+            chunk[2] as f32 / 255.0,
+        ]);
+    }
+    Ok(Image::from_fn(width, height, |x, y| pixels[y * width + x]))
+}
+
+/// Encodes the image as an uncompressed 24-bit BMP — the format browsers
+/// accept in `data:` URIs without any compression dependency, which is how
+/// the benchmark harness embeds thumbnails into its HTML reports.
+pub fn bmp_bytes(img: &Image) -> Vec<u8> {
+    let width = img.width();
+    let height = img.height();
+    let row_bytes = width * 3;
+    let padding = (4 - row_bytes % 4) % 4;
+    let pixel_bytes = (row_bytes + padding) * height;
+    let file_size = 54 + pixel_bytes;
+
+    let mut out = Vec::with_capacity(file_size);
+    // BITMAPFILEHEADER
+    out.extend_from_slice(b"BM");
+    out.extend_from_slice(&(file_size as u32).to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes()); // reserved
+    out.extend_from_slice(&54u32.to_le_bytes()); // pixel data offset
+    // BITMAPINFOHEADER
+    out.extend_from_slice(&40u32.to_le_bytes());
+    out.extend_from_slice(&(width as i32).to_le_bytes());
+    out.extend_from_slice(&(height as i32).to_le_bytes());
+    out.extend_from_slice(&1u16.to_le_bytes()); // planes
+    out.extend_from_slice(&24u16.to_le_bytes()); // bits per pixel
+    out.extend_from_slice(&0u32.to_le_bytes()); // no compression
+    out.extend_from_slice(&(pixel_bytes as u32).to_le_bytes());
+    out.extend_from_slice(&2835u32.to_le_bytes()); // 72 DPI
+    out.extend_from_slice(&2835u32.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes()); // palette colors
+    out.extend_from_slice(&0u32.to_le_bytes()); // important colors
+    // Pixel rows, bottom-up, BGR order.
+    for y in (0..height).rev() {
+        for x in 0..width {
+            let p = img.get(x, y);
+            out.push((p[2].clamp(0.0, 1.0) * 255.0).round() as u8);
+            out.push((p[1].clamp(0.0, 1.0) * 255.0).round() as u8);
+            out.push((p[0].clamp(0.0, 1.0) * 255.0).round() as u8);
+        }
+        out.extend(std::iter::repeat_n(0u8, padding));
+    }
+    debug_assert_eq!(out.len(), file_size);
+    out
+}
+
+/// Base64-encodes bytes (standard alphabet, padded) — enough for `data:`
+/// URIs without an external crate.
+pub fn base64(data: &[u8]) -> String {
+    const ALPHABET: &[u8; 64] =
+        b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b = [
+            chunk[0],
+            chunk.get(1).copied().unwrap_or(0),
+            chunk.get(2).copied().unwrap_or(0),
+        ];
+        let n = u32::from_be_bytes([0, b[0], b[1], b[2]]);
+        out.push(ALPHABET[(n >> 18) as usize & 63] as char);
+        out.push(ALPHABET[(n >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(n >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            ALPHABET[n as usize & 63] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+/// The image as an HTML `data:` URI (`<img src="…">`-ready).
+pub fn data_uri(img: &Image) -> String {
+    format!("data:image/bmp;base64,{}", base64(&bmp_bytes(img)))
+}
+
+/// Renders the image as ANSI truecolor half-blocks (two pixel rows per text
+/// line), downsampled to at most `max_cols` columns. The prototype's
+/// "thumbnail" for terminal sessions.
+pub fn ansi_preview(img: &Image, max_cols: usize) -> String {
+    let max_cols = max_cols.max(1);
+    let step = img.width().div_ceil(max_cols).max(1);
+    let cols = img.width() / step;
+    let rows = img.height() / step;
+    let sample = |cx: usize, cy: usize| -> [u8; 3] {
+        // Box-average the step×step cell.
+        let (mut r, mut g, mut b) = (0.0f32, 0.0f32, 0.0f32);
+        let mut n = 0.0f32;
+        for y in cy * step..((cy + 1) * step).min(img.height()) {
+            for x in cx * step..((cx + 1) * step).min(img.width()) {
+                let p = img.get(x, y);
+                r += p[0];
+                g += p[1];
+                b += p[2];
+                n += 1.0;
+            }
+        }
+        [
+            (r / n * 255.0) as u8,
+            (g / n * 255.0) as u8,
+            (b / n * 255.0) as u8,
+        ]
+    };
+    let mut out = String::new();
+    let mut cy = 0;
+    while cy + 1 < rows || (rows == 1 && cy == 0) {
+        for cx in 0..cols {
+            let top = sample(cx, cy);
+            let bottom = if cy + 1 < rows { sample(cx, cy + 1) } else { top };
+            out.push_str(&format!(
+                "\x1b[38;2;{};{};{}m\x1b[48;2;{};{};{}m▀",
+                top[0], top[1], top[2], bottom[0], bottom[1], bottom[2]
+            ));
+        }
+        out.push_str("\x1b[0m\n");
+        cy += 2;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::draw;
+
+    fn sample() -> Image {
+        let mut img = Image::filled(12, 10, [0.2, 0.4, 0.6]);
+        draw::fill_rect(&mut img, 6.0, 5.0, 3.0, 2.0, 0.0, [0.9, 0.1, 0.1]);
+        img
+    }
+
+    #[test]
+    fn ppm_roundtrips() {
+        let dir = std::env::temp_dir().join("qd_ppm_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.ppm");
+        let img = sample();
+        write_ppm(&img, &path).unwrap();
+        let back = read_ppm(&path).unwrap();
+        assert_eq!(back.width(), img.width());
+        assert_eq!(back.height(), img.height());
+        for (a, b) in back.pixels().iter().zip(img.pixels()) {
+            for c in 0..3 {
+                assert!((a[c] - b[c]).abs() < 1.0 / 254.0, "{a:?} vs {b:?}");
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ppm_header_is_well_formed() {
+        let dir = std::env::temp_dir().join("qd_ppm_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hdr.ppm");
+        write_ppm(&sample(), &path).unwrap();
+        let data = std::fs::read(&path).unwrap();
+        assert!(data.starts_with(b"P6\n12 10\n255\n"));
+        assert_eq!(data.len(), b"P6\n12 10\n255\n".len() + 12 * 10 * 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn read_rejects_garbage() {
+        let dir = std::env::temp_dir().join("qd_ppm_test3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.ppm");
+        std::fs::write(&path, b"P3\n1 1\n255\n0 0 0\n").unwrap();
+        assert!(read_ppm(&path).is_err());
+        std::fs::write(&path, b"P6\n4 4\n255\nxx").unwrap();
+        assert!(read_ppm(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bmp_has_valid_header_and_size() {
+        let img = sample(); // 12 × 10
+        let bmp = bmp_bytes(&img);
+        assert_eq!(&bmp[..2], b"BM");
+        let file_size = u32::from_le_bytes(bmp[2..6].try_into().unwrap()) as usize;
+        assert_eq!(file_size, bmp.len());
+        let width = i32::from_le_bytes(bmp[18..22].try_into().unwrap());
+        let height = i32::from_le_bytes(bmp[22..26].try_into().unwrap());
+        assert_eq!(width, 12);
+        assert_eq!(height, 10);
+        // 12 px × 3 B = 36 B per row: already 4-aligned, no padding.
+        assert_eq!(bmp.len(), 54 + 36 * 10);
+    }
+
+    #[test]
+    fn bmp_pads_rows_to_four_bytes() {
+        let img = Image::filled(5, 3, [1.0, 0.0, 0.0]);
+        let bmp = bmp_bytes(&img);
+        // 5 px × 3 B = 15 B → padded to 16.
+        assert_eq!(bmp.len(), 54 + 16 * 3);
+        // Bottom-up BGR: first pixel byte after header is blue channel of
+        // the bottom-left pixel.
+        assert_eq!(&bmp[54..57], &[0, 0, 255]);
+    }
+
+    #[test]
+    fn base64_matches_known_vectors() {
+        assert_eq!(base64(b""), "");
+        assert_eq!(base64(b"f"), "Zg==");
+        assert_eq!(base64(b"fo"), "Zm8=");
+        assert_eq!(base64(b"foo"), "Zm9v");
+        assert_eq!(base64(b"foobar"), "Zm9vYmFy");
+    }
+
+    #[test]
+    fn data_uri_is_well_formed() {
+        let uri = data_uri(&sample());
+        assert!(uri.starts_with("data:image/bmp;base64,"));
+        assert!(!uri.contains('\n'));
+        // Base64 payload length is a multiple of 4.
+        let payload = uri.rsplit(',').next().unwrap();
+        assert_eq!(payload.len() % 4, 0);
+    }
+
+    #[test]
+    fn ansi_preview_has_expected_shape() {
+        let img = sample();
+        let preview = ansi_preview(&img, 12);
+        // 10 rows → 5 text lines; each ends with a reset.
+        assert_eq!(preview.lines().count(), 5);
+        for line in preview.lines() {
+            assert!(line.ends_with("\x1b[0m"));
+            assert_eq!(line.matches('▀').count(), 12);
+        }
+    }
+
+    #[test]
+    fn ansi_preview_downsamples() {
+        let img = Image::filled(64, 64, [0.5; 3]);
+        let preview = ansi_preview(&img, 16);
+        assert!(preview.lines().next().unwrap().matches('▀').count() <= 16);
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! Image substrate for the Query Decomposition reproduction.
+//!
+//! The original system was evaluated on 15,000 Corel photographs, which are
+//! proprietary. This crate provides the substitution documented in DESIGN.md:
+//! a deterministic synthetic scene renderer whose (category, subconcept)
+//! templates produce rasters that — after the genuine 37-dimensional feature
+//! extraction of `qd-features` — exhibit exactly the feature-space geometry
+//! the paper's argument rests on: one semantic label scattered over several
+//! visually distinct clusters.
+//!
+//! Modules:
+//! * [`raster`] — the RGB image type (f32 channels in `[0, 1]`),
+//! * [`color`] — RGB↔HSV conversion used by the color-moment features,
+//! * [`transform`] — the four "viewpoint" channel transforms of the Multiple
+//!   Viewpoints baseline (normal, color-negative, gray, gray-negative),
+//! * [`draw`] — rasterization primitives (rects, ellipses, triangles, bars,
+//!   gradients, speckle, stripes),
+//! * [`synth`] — parametric scene templates and the renderer.
+
+pub mod color;
+pub mod draw;
+pub mod io;
+pub mod raster;
+pub mod synth;
+pub mod transform;
+
+pub use raster::Image;
+pub use synth::{Background, ObjectSpec, SceneTemplate, Shape};
+pub use transform::Viewpoint;

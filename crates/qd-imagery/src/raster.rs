@@ -1,0 +1,171 @@
+//! The RGB raster type.
+
+/// An RGB pixel with `f32` channels in `[0, 1]`.
+pub type Rgb = [f32; 3];
+
+/// A dense row-major RGB image.
+///
+/// Channels are `f32` in `[0, 1]`; the feature extractors consume floating
+/// point values directly, so there is no reason to round-trip through `u8`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    pixels: Vec<Rgb>,
+}
+
+impl Image {
+    /// Creates a `width × height` image filled with `fill`.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn filled(width: usize, height: usize, fill: Rgb) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        Self {
+            width,
+            height,
+            pixels: vec![fill; width * height],
+        }
+    }
+
+    /// Creates an image by evaluating `f(x, y)` at every pixel.
+    pub fn from_fn(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> Rgb) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        let mut pixels = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                pixels.push(f(x, y));
+            }
+        }
+        Self {
+            width,
+            height,
+            pixels,
+        }
+    }
+
+    /// Image width in pixels.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if out of bounds.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> Rgb {
+        debug_assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.pixels[y * self.width + x]
+    }
+
+    /// Sets the pixel at `(x, y)`, clamping each channel to `[0, 1]`.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, p: Rgb) {
+        debug_assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.pixels[y * self.width + x] = [
+            p[0].clamp(0.0, 1.0),
+            p[1].clamp(0.0, 1.0),
+            p[2].clamp(0.0, 1.0),
+        ];
+    }
+
+    /// Raw pixel slice, row-major.
+    #[inline]
+    pub fn pixels(&self) -> &[Rgb] {
+        &self.pixels
+    }
+
+    /// Applies `f` to every pixel, producing a new image.
+    pub fn map(&self, f: impl Fn(Rgb) -> Rgb) -> Image {
+        Image {
+            width: self.width,
+            height: self.height,
+            pixels: self
+                .pixels
+                .iter()
+                .map(|&p| {
+                    let q = f(p);
+                    [
+                        q[0].clamp(0.0, 1.0),
+                        q[1].clamp(0.0, 1.0),
+                        q[2].clamp(0.0, 1.0),
+                    ]
+                })
+                .collect(),
+        }
+    }
+
+    /// Per-pixel luminance (Rec. 601 weights), row-major.
+    pub fn luminance(&self) -> Vec<f32> {
+        self.pixels
+            .iter()
+            .map(|p| 0.299 * p[0] + 0.587 * p[1] + 0.114 * p[2])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filled_image_has_uniform_pixels() {
+        let img = Image::filled(4, 3, [0.5, 0.25, 1.0]);
+        assert_eq!(img.width(), 4);
+        assert_eq!(img.height(), 3);
+        assert!(img.pixels().iter().all(|&p| p == [0.5, 0.25, 1.0]));
+    }
+
+    #[test]
+    fn from_fn_addresses_row_major() {
+        let img = Image::from_fn(3, 2, |x, y| [x as f32 / 4.0, y as f32 / 4.0, 0.0]);
+        assert_eq!(img.get(2, 1), [0.5, 0.25, 0.0]);
+        assert_eq!(img.get(0, 0), [0.0, 0.0, 0.0]);
+        assert_eq!(img.get(1, 0), [0.25, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn set_clamps_channels() {
+        let mut img = Image::filled(2, 2, [0.0; 3]);
+        img.set(0, 0, [2.0, -1.0, 0.5]);
+        assert_eq!(img.get(0, 0), [1.0, 0.0, 0.5]);
+    }
+
+    #[test]
+    fn map_applies_per_pixel_and_clamps() {
+        let img = Image::filled(2, 2, [0.4, 0.4, 0.4]);
+        let doubled = img.map(|p| [p[0] * 2.0, p[1] * 3.0, p[2] - 1.0]);
+        assert_eq!(doubled.get(1, 1), [0.8, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn luminance_of_white_is_one() {
+        let img = Image::filled(2, 1, [1.0; 3]);
+        let lum = img.luminance();
+        assert_eq!(lum.len(), 2);
+        assert!((lum[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn luminance_weights_green_most() {
+        let r = Image::filled(1, 1, [1.0, 0.0, 0.0]).luminance()[0];
+        let g = Image::filled(1, 1, [0.0, 1.0, 0.0]).luminance()[0];
+        let b = Image::filled(1, 1, [0.0, 0.0, 1.0]).luminance()[0];
+        assert!(g > r && r > b);
+        assert!((r + g + b - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dimension_panics() {
+        Image::filled(0, 5, [0.0; 3]);
+    }
+}

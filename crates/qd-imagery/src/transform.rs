@@ -1,0 +1,105 @@
+//! The four channel "viewpoints" of the Multiple Viewpoints baseline.
+//!
+//! French & Jin's MV technique (§2, §5.2 of the paper) issues one k-NN query
+//! per viewpoint — the paper evaluates four *color channels*: the normal
+//! image, its color negative, a black-and-white rendering, and the
+//! black-and-white negative — and combines the returned images into the final
+//! result set. Each viewpoint is a per-pixel channel transform applied before
+//! feature extraction.
+
+use crate::raster::Image;
+
+/// One of the four MV color-channel viewpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Viewpoint {
+    /// The untransformed image.
+    Normal,
+    /// Per-channel color negative: `c → 1 - c`.
+    Negative,
+    /// Black-and-white (luminance replicated to all channels).
+    Grayscale,
+    /// Negative of the black-and-white rendering.
+    GrayNegative,
+}
+
+impl Viewpoint {
+    /// All four viewpoints, in the order the MV result channels are merged.
+    pub const ALL: [Viewpoint; 4] = [
+        Viewpoint::Normal,
+        Viewpoint::Negative,
+        Viewpoint::Grayscale,
+        Viewpoint::GrayNegative,
+    ];
+
+    /// Applies this viewpoint's channel transform.
+    pub fn apply(self, img: &Image) -> Image {
+        match self {
+            Viewpoint::Normal => img.clone(),
+            Viewpoint::Negative => img.map(|p| [1.0 - p[0], 1.0 - p[1], 1.0 - p[2]]),
+            Viewpoint::Grayscale => img.map(|p| {
+                let l = 0.299 * p[0] + 0.587 * p[1] + 0.114 * p[2];
+                [l, l, l]
+            }),
+            Viewpoint::GrayNegative => img.map(|p| {
+                let l = 1.0 - (0.299 * p[0] + 0.587 * p[1] + 0.114 * p[2]);
+                [l, l, l]
+            }),
+        }
+    }
+
+    /// Stable display name (used by benches and examples).
+    pub fn name(self) -> &'static str {
+        match self {
+            Viewpoint::Normal => "normal",
+            Viewpoint::Negative => "color-negative",
+            Viewpoint::Grayscale => "black-white",
+            Viewpoint::GrayNegative => "black-white-negative",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_is_identity() {
+        let img = Image::from_fn(3, 3, |x, y| [x as f32 / 3.0, y as f32 / 3.0, 0.5]);
+        assert_eq!(Viewpoint::Normal.apply(&img), img);
+    }
+
+    #[test]
+    fn negative_is_involution() {
+        let img = Image::from_fn(4, 2, |x, _| [x as f32 / 4.0, 0.25, 0.75]);
+        let back = Viewpoint::Negative.apply(&Viewpoint::Negative.apply(&img));
+        for (a, b) in back.pixels().iter().zip(img.pixels()) {
+            for c in 0..3 {
+                assert!((a[c] - b[c]).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn grayscale_has_equal_channels() {
+        let img = Image::filled(2, 2, [0.9, 0.1, 0.4]);
+        let gray = Viewpoint::Grayscale.apply(&img);
+        let p = gray.get(0, 0);
+        assert_eq!(p[0], p[1]);
+        assert_eq!(p[1], p[2]);
+    }
+
+    #[test]
+    fn gray_negative_is_negative_of_grayscale() {
+        let img = Image::filled(1, 1, [0.2, 0.6, 0.8]);
+        let g = Viewpoint::Grayscale.apply(&img).get(0, 0)[0];
+        let gn = Viewpoint::GrayNegative.apply(&img).get(0, 0)[0];
+        assert!((g + gn - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_lists_four_distinct_viewpoints() {
+        let mut names: Vec<&str> = Viewpoint::ALL.iter().map(|v| v.name()).collect();
+        names.dedup();
+        assert_eq!(names.len(), 4);
+    }
+}

@@ -1,0 +1,319 @@
+//! Axis-aligned minimum bounding rectangles in D dimensions.
+
+/// An axis-aligned bounding box in `dim()` dimensions.
+///
+/// Degenerate boxes (`min == max`) represent points. Extent products are
+/// accumulated in `f64`: with 37 dimensions the volume of a normalized
+/// feature-space rectangle under- or overflows `f32` easily.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rect {
+    min: Vec<f32>,
+    max: Vec<f32>,
+}
+
+impl Rect {
+    /// Creates a rectangle from corner vectors.
+    ///
+    /// # Panics
+    /// Panics if lengths differ, are zero, or any `min > max`.
+    pub fn new(min: Vec<f32>, max: Vec<f32>) -> Self {
+        assert_eq!(min.len(), max.len(), "corner length mismatch");
+        assert!(!min.is_empty(), "zero-dimensional rectangle");
+        for (lo, hi) in min.iter().zip(&max) {
+            assert!(lo <= hi, "inverted rectangle: {lo} > {hi}");
+        }
+        Self { min, max }
+    }
+
+    /// A degenerate rectangle containing exactly `point`.
+    pub fn point(point: &[f32]) -> Self {
+        Self::new(point.to_vec(), point.to_vec())
+    }
+
+    /// Dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.min.len()
+    }
+
+    /// Lower corner.
+    #[inline]
+    pub fn min(&self) -> &[f32] {
+        &self.min
+    }
+
+    /// Upper corner.
+    #[inline]
+    pub fn max(&self) -> &[f32] {
+        &self.max
+    }
+
+    /// Geometric center.
+    pub fn center(&self) -> Vec<f32> {
+        self.min
+            .iter()
+            .zip(&self.max)
+            .map(|(lo, hi)| (lo + hi) / 2.0)
+            .collect()
+    }
+
+    /// Volume (product of extents).
+    pub fn area(&self) -> f64 {
+        self.min
+            .iter()
+            .zip(&self.max)
+            .map(|(lo, hi)| (hi - lo) as f64)
+            .product()
+    }
+
+    /// Margin (sum of extents) — the R\* split quality measure.
+    pub fn margin(&self) -> f64 {
+        self.min
+            .iter()
+            .zip(&self.max)
+            .map(|(lo, hi)| (hi - lo) as f64)
+            .sum()
+    }
+
+    /// Length of the main diagonal — the scale used by the paper's boundary
+    /// ratio test (§3.3).
+    pub fn diagonal(&self) -> f32 {
+        self.min
+            .iter()
+            .zip(&self.max)
+            .map(|(lo, hi)| ((hi - lo) as f64).powi(2))
+            .sum::<f64>()
+            .sqrt() as f32
+    }
+
+    /// Smallest rectangle containing both `self` and `other`.
+    pub fn union(&self, other: &Rect) -> Rect {
+        debug_assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        Rect {
+            min: self
+                .min
+                .iter()
+                .zip(&other.min)
+                .map(|(a, b)| a.min(*b))
+                .collect(),
+            max: self
+                .max
+                .iter()
+                .zip(&other.max)
+                .map(|(a, b)| a.max(*b))
+                .collect(),
+        }
+    }
+
+    /// Grows `self` in place to cover `other`.
+    pub fn enlarge(&mut self, other: &Rect) {
+        debug_assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        for (a, b) in self.min.iter_mut().zip(&other.min) {
+            *a = a.min(*b);
+        }
+        for (a, b) in self.max.iter_mut().zip(&other.max) {
+            *a = a.max(*b);
+        }
+    }
+
+    /// Increase in area needed to cover `other`.
+    pub fn enlargement(&self, other: &Rect) -> f64 {
+        self.union(other).area() - self.area()
+    }
+
+    /// True if the rectangles share any point (boundary contact counts).
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.min
+            .iter()
+            .zip(&self.max)
+            .zip(other.min.iter().zip(&other.max))
+            .all(|((alo, ahi), (blo, bhi))| alo <= bhi && blo <= ahi)
+    }
+
+    /// Volume of the intersection; 0 when disjoint.
+    pub fn overlap(&self, other: &Rect) -> f64 {
+        let mut v = 1.0f64;
+        for ((alo, ahi), (blo, bhi)) in self
+            .min
+            .iter()
+            .zip(&self.max)
+            .zip(other.min.iter().zip(&other.max))
+        {
+            let lo = alo.max(*blo);
+            let hi = ahi.min(*bhi);
+            if lo >= hi {
+                return 0.0;
+            }
+            v *= (hi - lo) as f64;
+        }
+        v
+    }
+
+    /// True if `point` lies inside (boundary inclusive).
+    pub fn contains_point(&self, point: &[f32]) -> bool {
+        debug_assert_eq!(self.dim(), point.len(), "dimension mismatch");
+        self.min
+            .iter()
+            .zip(&self.max)
+            .zip(point)
+            .all(|((lo, hi), p)| lo <= p && p <= hi)
+    }
+
+    /// True if `other` lies entirely inside `self`.
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        self.min
+            .iter()
+            .zip(&self.max)
+            .zip(other.min.iter().zip(&other.max))
+            .all(|((alo, ahi), (blo, bhi))| alo <= blo && bhi <= ahi)
+    }
+
+    /// Squared Euclidean distance from `point` to the nearest point of the
+    /// rectangle (0 when inside) — the MINDIST bound of branch-and-bound
+    /// k-NN search.
+    pub fn min_dist2(&self, point: &[f32]) -> f64 {
+        debug_assert_eq!(self.dim(), point.len(), "dimension mismatch");
+        self.min
+            .iter()
+            .zip(&self.max)
+            .zip(point)
+            .map(|((lo, hi), p)| {
+                let d = if p < lo {
+                    lo - p
+                } else if p > hi {
+                    p - hi
+                } else {
+                    0.0
+                };
+                (d as f64).powi(2)
+            })
+            .sum()
+    }
+
+    /// Squared distance from `point` to the rectangle's center.
+    pub fn center_dist2(&self, point: &[f32]) -> f64 {
+        self.min
+            .iter()
+            .zip(&self.max)
+            .zip(point)
+            .map(|((lo, hi), p)| {
+                let c = (lo + hi) / 2.0;
+                ((p - c) as f64).powi(2)
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(min: &[f32], max: &[f32]) -> Rect {
+        Rect::new(min.to_vec(), max.to_vec())
+    }
+
+    #[test]
+    fn point_rect_has_zero_extent() {
+        let p = Rect::point(&[1.0, 2.0, 3.0]);
+        assert_eq!(p.area(), 0.0);
+        assert_eq!(p.margin(), 0.0);
+        assert_eq!(p.diagonal(), 0.0);
+        assert!(p.contains_point(&[1.0, 2.0, 3.0]));
+        assert!(!p.contains_point(&[1.0, 2.0, 3.1]));
+    }
+
+    #[test]
+    fn area_and_margin_match_hand_computation() {
+        let b = r(&[0.0, 0.0], &[2.0, 3.0]);
+        assert_eq!(b.area(), 6.0);
+        assert_eq!(b.margin(), 5.0);
+        assert!((b.diagonal() - 13.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = r(&[0.0, 0.0], &[1.0, 1.0]);
+        let b = r(&[2.0, -1.0], &[3.0, 0.5]);
+        let u = a.union(&b);
+        assert!(u.contains_rect(&a));
+        assert!(u.contains_rect(&b));
+        assert_eq!(u, r(&[0.0, -1.0], &[3.0, 1.0]));
+    }
+
+    #[test]
+    fn enlarge_matches_union() {
+        let mut a = r(&[0.0, 0.0], &[1.0, 1.0]);
+        let b = r(&[-1.0, 0.5], &[0.5, 2.0]);
+        let u = a.union(&b);
+        a.enlarge(&b);
+        assert_eq!(a, u);
+    }
+
+    #[test]
+    fn enlargement_is_zero_for_contained_rect() {
+        let a = r(&[0.0, 0.0], &[4.0, 4.0]);
+        let b = r(&[1.0, 1.0], &[2.0, 2.0]);
+        assert_eq!(a.enlargement(&b), 0.0);
+        assert!(b.enlargement(&a) > 0.0);
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = r(&[0.0, 0.0], &[2.0, 2.0]);
+        assert!(a.intersects(&r(&[1.0, 1.0], &[3.0, 3.0])));
+        assert!(a.intersects(&r(&[2.0, 0.0], &[3.0, 1.0]))); // touching
+        assert!(!a.intersects(&r(&[2.1, 0.0], &[3.0, 1.0])));
+    }
+
+    #[test]
+    fn overlap_volume() {
+        let a = r(&[0.0, 0.0], &[2.0, 2.0]);
+        let b = r(&[1.0, 1.0], &[3.0, 3.0]);
+        assert_eq!(a.overlap(&b), 1.0);
+        assert_eq!(b.overlap(&a), 1.0);
+        assert_eq!(a.overlap(&r(&[5.0, 5.0], &[6.0, 6.0])), 0.0);
+        // Touching rectangles have zero overlap volume.
+        assert_eq!(a.overlap(&r(&[2.0, 0.0], &[3.0, 2.0])), 0.0);
+    }
+
+    #[test]
+    fn min_dist2_is_zero_inside_and_positive_outside() {
+        let a = r(&[0.0, 0.0], &[2.0, 2.0]);
+        assert_eq!(a.min_dist2(&[1.0, 1.0]), 0.0);
+        assert_eq!(a.min_dist2(&[2.0, 2.0]), 0.0); // on the boundary
+        assert_eq!(a.min_dist2(&[3.0, 2.0]), 1.0);
+        assert_eq!(a.min_dist2(&[3.0, 3.0]), 2.0);
+        assert_eq!(a.min_dist2(&[-1.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn min_dist2_lower_bounds_distance_to_any_contained_point() {
+        let a = r(&[0.0, -1.0], &[2.0, 1.0]);
+        let q = [5.0, 5.0];
+        let corner_d2 = (5.0f64 - 2.0).powi(2) + (5.0f64 - 1.0).powi(2);
+        assert!(a.min_dist2(&q) <= corner_d2);
+    }
+
+    #[test]
+    fn center_and_center_dist() {
+        let a = r(&[0.0, 0.0], &[4.0, 2.0]);
+        assert_eq!(a.center(), vec![2.0, 1.0]);
+        assert_eq!(a.center_dist2(&[2.0, 1.0]), 0.0);
+        assert_eq!(a.center_dist2(&[2.0, 3.0]), 4.0);
+    }
+
+    #[test]
+    fn high_dimensional_area_does_not_underflow() {
+        // 37 extents of 0.1 → 1e-37, below f32 normal range but fine in f64.
+        let min = vec![0.0f32; 37];
+        let max = vec![0.1f32; 37];
+        let b = Rect::new(min, max);
+        assert!(b.area() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_rect_panics() {
+        r(&[1.0], &[0.0]);
+    }
+}

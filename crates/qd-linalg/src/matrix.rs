@@ -1,0 +1,227 @@
+//! Minimal row-major dense matrix used by the PCA implementation.
+
+/// Row-major dense `f64` matrix.
+///
+/// PCA works on covariance matrices of at most 37×37, so a simple contiguous
+/// representation is both adequate and cache-friendly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major slice.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow of row `r`.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(c, r)] = self[(r, c)];
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "inner dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(r, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for c in 0..other.cols {
+                    out[(r, c)] += a * other[(k, c)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute off-diagonal element (square matrices only); used by
+    /// the Jacobi sweep convergence test.
+    pub fn max_off_diagonal(&self) -> f64 {
+        assert_eq!(self.rows, self.cols, "square matrix required");
+        let mut best = 0.0f64;
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if r != c {
+                    best = best.max(self[(r, c)].abs());
+                }
+            }
+        }
+        best
+    }
+
+    /// Sample covariance matrix (dividing by `n`) of a set of observations,
+    /// one `f32` vector per observation.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty or rows differ in length.
+    pub fn covariance<V: AsRef<[f32]>>(data: &[V]) -> Matrix {
+        assert!(!data.is_empty(), "covariance of an empty set");
+        let dim = data[0].as_ref().len();
+        let n = data.len() as f64;
+        let mut mean = vec![0.0f64; dim];
+        for row in data {
+            let row = row.as_ref();
+            assert_eq!(row.len(), dim, "vector length mismatch");
+            for (m, &x) in mean.iter_mut().zip(row) {
+                *m += x as f64;
+            }
+        }
+        for m in mean.iter_mut() {
+            *m /= n;
+        }
+        let mut cov = Matrix::zeros(dim, dim);
+        for row in data {
+            let row = row.as_ref();
+            for i in 0..dim {
+                let di = row[i] as f64 - mean[i];
+                for j in i..dim {
+                    let dj = row[j] as f64 - mean[j];
+                    cov[(i, j)] += di * dj;
+                }
+            }
+        }
+        for i in 0..dim {
+            for j in i..dim {
+                cov[(i, j)] /= n;
+                cov[(j, i)] = cov[(i, j)];
+            }
+        }
+        cov
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_times_anything_is_identity_map() {
+        let m = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let out = Matrix::identity(2).matmul(&m);
+        assert_eq!(out, m);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_rows(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(2, 2, vec![19.0, 22.0, 43.0, 50.0]));
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let m = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn covariance_of_independent_axes_is_diagonal() {
+        // x varies, y constant: cov = [[var(x), 0], [0, 0]]
+        let data = vec![vec![0.0f32, 7.0], vec![2.0, 7.0], vec![4.0, 7.0]];
+        let cov = Matrix::covariance(&data);
+        assert!((cov[(0, 0)] - 8.0 / 3.0).abs() < 1e-9);
+        assert_eq!(cov[(0, 1)], 0.0);
+        assert_eq!(cov[(1, 1)], 0.0);
+    }
+
+    #[test]
+    fn covariance_is_symmetric() {
+        let data = vec![
+            vec![1.0f32, 2.0, 0.5],
+            vec![-1.0, 0.0, 2.5],
+            vec![3.0, 1.0, -0.5],
+            vec![0.0, -2.0, 1.0],
+        ];
+        let cov = Matrix::covariance(&data);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(cov[(i, j)], cov[(j, i)]);
+            }
+        }
+    }
+
+    #[test]
+    fn covariance_captures_perfect_correlation() {
+        let data: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32, 2.0 * i as f32]).collect();
+        let cov = Matrix::covariance(&data);
+        // cov(x, y) = 2 var(x) for y = 2x
+        assert!((cov[(0, 1)] - 2.0 * cov[(0, 0)]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_off_diagonal_ignores_diagonal() {
+        let m = Matrix::from_rows(2, 2, vec![100.0, -3.0, 2.0, 50.0]);
+        assert_eq!(m.max_off_diagonal(), 3.0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Distance measures used by retrieval, clustering, and the RFS structure.
+//!
+//! The paper scores images by Euclidean distance to a (multipoint) query
+//! centroid (§3.4). The baselines need more: MindReader-style query point
+//! movement re-weights dimensions by feedback variance, and Qcluster evaluates
+//! disjunctive per-cluster contours. [`Metric`] covers all of these behind one
+//! enum so query processors can be generic over the measure without dynamic
+//! dispatch in the hot loop.
+
+/// A distance measure over equal-length `f32` vectors.
+///
+/// ```
+/// use qd_linalg::Metric;
+///
+/// let d = Metric::Euclidean.distance(&[0.0, 0.0], &[3.0, 4.0]);
+/// assert!((d - 5.0).abs() < 1e-6);
+///
+/// // Weighted: zero out the first dimension entirely.
+/// let w = Metric::WeightedEuclidean(vec![0.0, 1.0]);
+/// assert_eq!(w.distance(&[100.0, 2.0], &[0.0, 2.0]), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// Standard Euclidean (L2) distance.
+    Euclidean,
+    /// Squared Euclidean distance. Monotone with [`Metric::Euclidean`]; cheaper
+    /// when only the ranking matters (k-means, nearest-centroid assignment).
+    SquaredEuclidean,
+    /// Manhattan (L1) distance.
+    Manhattan,
+    /// Chebyshev (L∞) distance.
+    Chebyshev,
+    /// Cosine distance `1 - cos(a, b)`; zero vectors are at distance 1 from
+    /// everything except other zero vectors.
+    Cosine,
+    /// Per-dimension weighted Euclidean distance
+    /// `sqrt(Σ w_j (a_j - b_j)^2)`, the form used by MindReader-style
+    /// relevance feedback. Weights must be non-negative.
+    WeightedEuclidean(Vec<f32>),
+}
+
+impl Metric {
+    /// Distance between `a` and `b`.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length, or (for
+    /// [`Metric::WeightedEuclidean`]) if the weight vector length does not
+    /// match the data.
+    pub fn distance(&self, a: &[f32], b: &[f32]) -> f32 {
+        assert_eq!(a.len(), b.len(), "vector length mismatch");
+        match self {
+            Metric::Euclidean => sq_l2(a, b).sqrt(),
+            Metric::SquaredEuclidean => sq_l2(a, b),
+            Metric::Manhattan => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).abs() as f64)
+                .sum::<f64>() as f32,
+            Metric::Chebyshev => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0f32, f32::max),
+            Metric::Cosine => {
+                let (mut dot, mut na, mut nb) = (0.0f64, 0.0f64, 0.0f64);
+                for (x, y) in a.iter().zip(b) {
+                    dot += *x as f64 * *y as f64;
+                    na += (*x as f64).powi(2);
+                    nb += (*y as f64).powi(2);
+                }
+                if na == 0.0 && nb == 0.0 {
+                    0.0
+                } else if na == 0.0 || nb == 0.0 {
+                    1.0
+                } else {
+                    (1.0 - dot / (na.sqrt() * nb.sqrt())).max(0.0) as f32
+                }
+            }
+            Metric::WeightedEuclidean(w) => {
+                assert_eq!(w.len(), a.len(), "weight length mismatch");
+                a.iter()
+                    .zip(b)
+                    .zip(w)
+                    .map(|((x, y), wj)| {
+                        debug_assert!(*wj >= 0.0, "negative metric weight");
+                        *wj as f64 * ((x - y) as f64).powi(2)
+                    })
+                    .sum::<f64>()
+                    .sqrt() as f32
+            }
+        }
+    }
+
+    /// True if `distance` satisfies the triangle inequality and symmetry
+    /// (i.e. is a true metric). Squared Euclidean is not.
+    pub fn is_metric(&self) -> bool {
+        !matches!(self, Metric::SquaredEuclidean | Metric::Cosine)
+    }
+
+    /// MindReader-style weights: the reciprocal of the per-dimension variance
+    /// of the relevant examples, so dimensions on which the user's relevant
+    /// set agrees count more. Dimensions with (near-)zero variance receive the
+    /// largest finite weight observed, capped at `max_weight`.
+    pub fn mindreader_weights<V: AsRef<[f32]>>(relevant: &[V], max_weight: f32) -> Vec<f32> {
+        assert!(!relevant.is_empty(), "no relevant examples");
+        let dim = relevant[0].as_ref().len();
+        let n = relevant.len() as f64;
+        let mut mean = vec![0.0f64; dim];
+        for v in relevant {
+            for (m, x) in mean.iter_mut().zip(v.as_ref()) {
+                *m += *x as f64;
+            }
+        }
+        for m in mean.iter_mut() {
+            *m /= n;
+        }
+        let mut var = vec![0.0f64; dim];
+        for v in relevant {
+            for ((s, x), m) in var.iter_mut().zip(v.as_ref()).zip(&mean) {
+                *s += (*x as f64 - m).powi(2);
+            }
+        }
+        var.iter()
+            .map(|s| {
+                let v = s / n;
+                if v < 1e-12 {
+                    max_weight
+                } else {
+                    ((1.0 / v) as f32).min(max_weight)
+                }
+            })
+            .collect()
+    }
+}
+
+#[inline]
+fn sq_l2(a: &[f32], b: &[f32]) -> f32 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| ((x - y) as f64).powi(2))
+        .sum::<f64>() as f32
+}
+
+/// Convenience: Euclidean distance without constructing a [`Metric`].
+#[inline]
+pub fn euclidean(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    sq_l2(a, b).sqrt()
+}
+
+/// Convenience: squared Euclidean distance without constructing a [`Metric`].
+#[inline]
+pub fn squared_euclidean(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    sq_l2(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: [f32; 3] = [1.0, 2.0, 3.0];
+    const B: [f32; 3] = [4.0, 6.0, 3.0];
+
+    #[test]
+    fn euclidean_matches_hand_computation() {
+        // sqrt(9 + 16 + 0) = 5
+        assert!((Metric::Euclidean.distance(&A, &B) - 5.0).abs() < 1e-6);
+        assert!((euclidean(&A, &B) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn squared_euclidean_is_square_of_euclidean() {
+        assert!((Metric::SquaredEuclidean.distance(&A, &B) - 25.0).abs() < 1e-5);
+        assert!((squared_euclidean(&A, &B) - 25.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn manhattan_matches_hand_computation() {
+        assert_eq!(Metric::Manhattan.distance(&A, &B), 7.0);
+    }
+
+    #[test]
+    fn chebyshev_matches_hand_computation() {
+        assert_eq!(Metric::Chebyshev.distance(&A, &B), 4.0);
+    }
+
+    #[test]
+    fn cosine_of_parallel_vectors_is_zero() {
+        let d = Metric::Cosine.distance(&[1.0, 2.0], &[2.0, 4.0]);
+        assert!(d.abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_of_orthogonal_vectors_is_one() {
+        let d = Metric::Cosine.distance(&[1.0, 0.0], &[0.0, 1.0]);
+        assert!((d - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_handles_zero_vectors() {
+        assert_eq!(Metric::Cosine.distance(&[0.0, 0.0], &[0.0, 0.0]), 0.0);
+        assert_eq!(Metric::Cosine.distance(&[0.0, 0.0], &[1.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn weighted_euclidean_with_unit_weights_is_euclidean() {
+        let w = Metric::WeightedEuclidean(vec![1.0; 3]);
+        assert!((w.distance(&A, &B) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weighted_euclidean_ignores_zero_weight_dimensions() {
+        let w = Metric::WeightedEuclidean(vec![0.0, 0.0, 1.0]);
+        assert_eq!(w.distance(&[9.0, 9.0, 1.0], &[0.0, 0.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn all_metrics_are_symmetric_and_zero_on_identity() {
+        let metrics = [
+            Metric::Euclidean,
+            Metric::SquaredEuclidean,
+            Metric::Manhattan,
+            Metric::Chebyshev,
+            Metric::Cosine,
+            Metric::WeightedEuclidean(vec![0.5, 2.0, 1.0]),
+        ];
+        for m in metrics {
+            assert!((m.distance(&A, &B) - m.distance(&B, &A)).abs() < 1e-6, "{m:?}");
+            assert!(m.distance(&A, &A).abs() < 1e-6, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn is_metric_classification() {
+        assert!(Metric::Euclidean.is_metric());
+        assert!(Metric::Manhattan.is_metric());
+        assert!(!Metric::SquaredEuclidean.is_metric());
+        assert!(!Metric::Cosine.is_metric());
+    }
+
+    #[test]
+    fn mindreader_weights_emphasize_agreeing_dimensions() {
+        // Dimension 0 is constant among relevant examples, dimension 1 varies.
+        let relevant = vec![vec![5.0, 0.0], vec![5.0, 10.0], vec![5.0, -10.0]];
+        let w = Metric::mindreader_weights(&relevant, 1e6);
+        assert!(w[0] > w[1]);
+        assert_eq!(w[0], 1e6); // zero variance saturates at the cap
+    }
+
+    #[test]
+    fn mindreader_weights_are_capped() {
+        let relevant = vec![vec![1.0], vec![1.0 + 1e-9]];
+        let w = Metric::mindreader_weights(&relevant, 100.0);
+        assert!(w[0] <= 100.0);
+    }
+}

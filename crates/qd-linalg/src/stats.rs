@@ -1,0 +1,347 @@
+//! Moment accumulation and per-dimension normalization.
+//!
+//! [`RunningStats`] implements Welford/West single-pass accumulation of mean,
+//! variance, and the third central moment; the color-moment features of
+//! `qd-features` are defined directly in terms of these. [`Normalizer`]
+//! applies per-dimension z-scoring so that the 37 heterogeneous feature
+//! dimensions (color moments, wavelet energies, edge statistics) contribute
+//! comparably to Euclidean distances, as any practical CBIR system must do.
+
+/// Single-pass accumulator for the first three central moments.
+#[derive(Debug, Clone, Default)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    m3: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one observation.
+    pub fn push(&mut self, x: f32) {
+        let x = x as f64;
+        let n1 = self.n as f64;
+        self.n += 1;
+        let n = self.n as f64;
+        let delta = x - self.mean;
+        let delta_n = delta / n;
+        let term1 = delta * delta_n * n1;
+        self.mean += delta_n;
+        self.m3 += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * self.m2;
+        self.m2 += term1;
+    }
+
+    /// Number of observations seen.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean; 0 for an empty accumulator.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance; 0 for fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Third central moment `E[(x - μ)^3]`; 0 for fewer than two observations.
+    pub fn third_central_moment(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m3 / self.n as f64
+        }
+    }
+
+    /// Signed cube root of the third central moment — the "skewness" feature
+    /// of Stricker & Orengo's color moments, which keeps the feature on the
+    /// same scale as the mean and standard deviation.
+    pub fn skewness_root(&self) -> f64 {
+        let m3 = self.third_central_moment();
+        m3.signum() * m3.abs().cbrt()
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let (na, nb) = (self.n as f64, other.n as f64);
+        let n = na + nb;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * nb / n;
+        let m2 = self.m2 + other.m2 + delta * delta * na * nb / n;
+        let m3 = self.m3
+            + other.m3
+            + delta.powi(3) * na * nb * (na - nb) / (n * n)
+            + 3.0 * delta * (na * other.m2 - nb * self.m2) / n;
+        self.n += other.n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.m3 = m3;
+    }
+}
+
+/// Per-dimension z-score normalizer fitted on a corpus of feature vectors.
+#[derive(Debug, Clone)]
+pub struct Normalizer {
+    means: Vec<f32>,
+    inv_stds: Vec<f32>,
+}
+
+impl Normalizer {
+    /// Fits means and standard deviations over `data`. Dimensions whose
+    /// standard deviation is below `1e-9` are passed through centered but
+    /// unscaled (their inverse std is treated as 1), so constant dimensions
+    /// do not blow up.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty or rows differ in length.
+    pub fn fit<V: AsRef<[f32]>>(data: &[V]) -> Self {
+        assert!(!data.is_empty(), "cannot fit a normalizer on no data");
+        let dim = data[0].as_ref().len();
+        let mut stats = vec![RunningStats::new(); dim];
+        for row in data {
+            let row = row.as_ref();
+            assert_eq!(row.len(), dim, "vector length mismatch");
+            for (s, &x) in stats.iter_mut().zip(row) {
+                s.push(x);
+            }
+        }
+        let means = stats.iter().map(|s| s.mean() as f32).collect();
+        let inv_stds = stats
+            .iter()
+            .map(|s| {
+                let sd = s.std_dev();
+                if sd < 1e-9 {
+                    1.0
+                } else {
+                    (1.0 / sd) as f32
+                }
+            })
+            .collect();
+        Self { means, inv_stds }
+    }
+
+    /// Identity normalizer for `dim` dimensions (used by tests and synthetic
+    /// corpora that are already standardized).
+    pub fn identity(dim: usize) -> Self {
+        Self {
+            means: vec![0.0; dim],
+            inv_stds: vec![1.0; dim],
+        }
+    }
+
+    /// Dimensionality this normalizer was fitted for.
+    pub fn dim(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Applies the z-score transform to one vector.
+    ///
+    /// # Panics
+    /// Panics if `v` has the wrong dimensionality.
+    pub fn transform(&self, v: &[f32]) -> Vec<f32> {
+        assert_eq!(v.len(), self.dim(), "vector length mismatch");
+        v.iter()
+            .zip(&self.means)
+            .zip(&self.inv_stds)
+            .map(|((x, m), s)| (x - m) * s)
+            .collect()
+    }
+
+    /// Applies the transform to every row of `data`, in place.
+    pub fn transform_all(&self, data: &mut [Vec<f32>]) {
+        for row in data {
+            let t = self.transform(row);
+            *row = t;
+        }
+    }
+
+    /// Decomposes the normalizer into `(means, inverse standard deviations)`
+    /// for serialization.
+    pub fn to_parts(&self) -> (&[f32], &[f32]) {
+        (&self.means, &self.inv_stds)
+    }
+
+    /// Rebuilds a normalizer from serialized parts.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length or are empty.
+    pub fn from_parts(means: Vec<f32>, inv_stds: Vec<f32>) -> Self {
+        assert_eq!(means.len(), inv_stds.len(), "parts length mismatch");
+        assert!(!means.is_empty(), "empty normalizer");
+        Self { means, inv_stds }
+    }
+
+    /// Inverts the transform (up to floating point error).
+    pub fn inverse(&self, v: &[f32]) -> Vec<f32> {
+        assert_eq!(v.len(), self.dim(), "vector length mismatch");
+        v.iter()
+            .zip(&self.means)
+            .zip(&self.inv_stds)
+            .map(|((z, m), s)| z / s + m)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stats_match_closed_form() {
+        let xs = [2.0f32, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = RunningStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-9);
+        assert!((s.std_dev() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn third_moment_of_symmetric_data_is_zero() {
+        let mut s = RunningStats::new();
+        for x in [-2.0f32, -1.0, 0.0, 1.0, 2.0] {
+            s.push(x);
+        }
+        assert!(s.third_central_moment().abs() < 1e-9);
+        assert!(s.skewness_root().abs() < 1e-3);
+    }
+
+    #[test]
+    fn third_moment_sign_follows_skew() {
+        let mut right = RunningStats::new();
+        for x in [0.0f32, 0.0, 0.0, 10.0] {
+            right.push(x);
+        }
+        assert!(right.third_central_moment() > 0.0);
+        let mut left = RunningStats::new();
+        for x in [0.0f32, 0.0, 0.0, -10.0] {
+            left.push(x);
+        }
+        assert!(left.third_central_moment() < 0.0);
+    }
+
+    #[test]
+    fn empty_and_singleton_stats_are_safe() {
+        let s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        let mut s1 = RunningStats::new();
+        s1.push(42.0);
+        assert_eq!(s1.mean(), 42.0);
+        assert_eq!(s1.variance(), 0.0);
+        assert_eq!(s1.third_central_moment(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f32> = (0..50).map(|i| (i as f32 * 0.7).sin() * 3.0 + 1.0).collect();
+        let mut whole = RunningStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        for &x in &xs[..20] {
+            a.push(x);
+        }
+        for &x in &xs[20..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert!((a.third_central_moment() - whole.third_central_moment()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = RunningStats::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = a.clone();
+        a.merge(&RunningStats::new());
+        assert_eq!(a.mean(), before.mean());
+        let mut empty = RunningStats::new();
+        empty.merge(&before);
+        assert_eq!(empty.mean(), before.mean());
+        assert_eq!(empty.count(), before.count());
+    }
+
+    #[test]
+    fn normalizer_standardizes_each_dimension() {
+        let data = vec![
+            vec![0.0f32, 100.0],
+            vec![2.0, 200.0],
+            vec![4.0, 300.0],
+            vec![6.0, 400.0],
+        ];
+        let norm = Normalizer::fit(&data);
+        let mut transformed: Vec<Vec<f32>> = data.iter().map(|v| norm.transform(v)).collect();
+        for d in 0..2 {
+            let mut s = RunningStats::new();
+            for row in &transformed {
+                s.push(row[d]);
+            }
+            assert!(s.mean().abs() < 1e-6, "dim {d} mean");
+            assert!((s.std_dev() - 1.0).abs() < 1e-5, "dim {d} std");
+        }
+        // transform_all agrees with per-row transform
+        let mut data2 = data.clone();
+        norm.transform_all(&mut data2);
+        assert_eq!(data2, std::mem::take(&mut transformed));
+    }
+
+    #[test]
+    fn normalizer_inverse_roundtrips() {
+        let data = vec![vec![1.0f32, -3.0], vec![5.0, 7.0], vec![2.0, 0.5]];
+        let norm = Normalizer::fit(&data);
+        for row in &data {
+            let back = norm.inverse(&norm.transform(row));
+            for (a, b) in back.iter().zip(row) {
+                assert!((a - b).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn normalizer_constant_dimension_does_not_explode() {
+        let data = vec![vec![5.0f32, 1.0], vec![5.0, 2.0], vec![5.0, 3.0]];
+        let norm = Normalizer::fit(&data);
+        let t = norm.transform(&[5.0, 2.0]);
+        assert!(t[0].is_finite());
+        assert_eq!(t[0], 0.0);
+    }
+
+    #[test]
+    fn identity_normalizer_is_noop() {
+        let norm = Normalizer::identity(3);
+        assert_eq!(norm.transform(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+    }
+}

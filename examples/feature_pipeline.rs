@@ -1,0 +1,71 @@
+//! Walks the 37-dimensional feature pipeline on a single rendered scene:
+//! HSV color moments, Haar wavelet texture energies, and edge-based
+//! structural features — and shows how the MV baseline's four viewpoints
+//! transform them.
+//!
+//! ```text
+//! cargo run --release --example feature_pipeline
+//! ```
+
+use query_decomposition::features::pipeline::FeatureGroup;
+use query_decomposition::imagery::{Background, ObjectSpec, Shape};
+use query_decomposition::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // A small hand-built scene: a white sedan on a road.
+    let template = SceneTemplate::new(
+        Background::Gradient([0.55, 0.75, 0.95], [0.45, 0.45, 0.48]),
+        vec![
+            ObjectSpec::new(
+                Shape::Rect { hw: 0.32, hh: 0.09 },
+                [0.95, 0.95, 0.95],
+                (0.5, 0.6),
+                0.0,
+            ),
+            ObjectSpec::new(
+                Shape::Ellipse { rx: 0.06, ry: 0.06 },
+                [0.08, 0.08, 0.08],
+                (0.3, 0.74),
+                0.0,
+            ),
+            ObjectSpec::new(
+                Shape::Ellipse { rx: 0.06, ry: 0.06 },
+                [0.08, 0.08, 0.08],
+                (0.7, 0.74),
+                0.0,
+            ),
+        ],
+    );
+    let mut rng = StdRng::seed_from_u64(1);
+    let image = template.render(48, 48, &mut rng);
+    println!("Rendered a {}×{} scene.", image.width(), image.height());
+
+    let extractor = FeatureExtractor::new();
+    let features = extractor.extract(&image);
+    assert_eq!(features.len(), FEATURE_DIM);
+
+    let show = |name: &str, group: FeatureGroup| {
+        let r = group.range();
+        let vals: Vec<String> = features[r].iter().map(|v| format!("{v:+.3}")).collect();
+        println!("\n{name} ({} dims):\n  {}", vals.len(), vals.join(" "));
+    };
+    show("Color moments (HSV mean/std/skew)", FeatureGroup::Color);
+    show("Wavelet texture energies (3-level Haar)", FeatureGroup::Texture);
+    show("Edge structure (16-bin orientation histogram + density + strength)", FeatureGroup::Edge);
+
+    println!("\nMV viewpoints shift the color features but keep edge geometry:");
+    for vp in Viewpoint::ALL {
+        let f = extractor.extract_viewpoint(&image, vp);
+        let color = &f[FeatureGroup::Color.range()];
+        let edge_density = f[FeatureGroup::Edge.range()][16];
+        println!(
+            "  {:<22} v-mean {:+.3}  saturation {:+.3}  edge density {:.3}",
+            vp.name(),
+            color[6],
+            color[3],
+            edge_density
+        );
+    }
+}

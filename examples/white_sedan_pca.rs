@@ -1,0 +1,88 @@
+//! Reproduces the observation behind Figure 1: the four "white sedan" pose
+//! clusters are distinct neighborhoods in feature space, with unrelated
+//! images scattered between them — so no single k-NN neighborhood can cover
+//! the concept.
+//!
+//! ```text
+//! cargo run --release --example white_sedan_pca
+//! ```
+
+use query_decomposition::linalg::metric::euclidean;
+use query_decomposition::linalg::vector::centroid;
+use query_decomposition::linalg::Pca;
+use query_decomposition::prelude::*;
+
+fn main() {
+    let corpus = Corpus::build(&CorpusConfig::test_small(42));
+    let query = queries::white_sedan_query(corpus.taxonomy());
+
+    println!("Fitting PCA (37 → 3 dimensions) over {} images…", corpus.len());
+    let pca = Pca::fit(corpus.features(), 3);
+    println!(
+        "  top-3 components capture {:.1}% of the variance",
+        pca.explained_variance_ratio() * 100.0
+    );
+    let projected = pca.project_all(corpus.features());
+
+    let mut centroids = Vec::new();
+    println!("\nPose clusters in the 3-D PCA subspace:");
+    for group in &query.groups {
+        let ids = corpus.images_of(group.members[0]);
+        let pts: Vec<&[f32]> = ids.iter().map(|&id| projected[id].as_slice()).collect();
+        let c = centroid(&pts);
+        let radius: f32 =
+            pts.iter().map(|p| euclidean(p, &c)).sum::<f32>() / pts.len() as f32;
+        println!(
+            "  {:<11} {:>3} images  centroid ({:+.2}, {:+.2}, {:+.2})  mean radius {:.2}",
+            group.name,
+            ids.len(),
+            c[0],
+            c[1],
+            c[2],
+            radius
+        );
+        centroids.push((group.name.clone(), c, radius));
+    }
+
+    println!("\nPairwise pose separation (distance / larger radius):");
+    for i in 0..centroids.len() {
+        for j in (i + 1)..centroids.len() {
+            let d = euclidean(&centroids[i].1, &centroids[j].1);
+            let scale = centroids[i].2.max(centroids[j].2);
+            println!(
+                "  {:<11} ↔ {:<11} distance {:.2}  ({:.1}× cluster radius)",
+                centroids[i].0,
+                centroids[j].0,
+                d,
+                d / scale
+            );
+        }
+    }
+
+    // The single-neighborhood failure: k-NN around one pose image misses the
+    // other poses almost entirely.
+    let side = corpus.images_of(query.groups[0].members[0]);
+    let tree = {
+        let items = corpus
+            .features()
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (i as u64, f.clone()))
+            .collect();
+        RStarTree::bulk_load(TreeConfig::paper(corpus.dim()), items)
+    };
+    let k = corpus.ground_truth(&query).len();
+    let nn = tree.knn(corpus.feature(side[0]), k);
+    let mut covered: Vec<usize> = nn
+        .iter()
+        .filter_map(|n| corpus.group_of(n.id as usize, &query))
+        .collect();
+    covered.sort_unstable();
+    covered.dedup();
+    println!(
+        "\nSingle k-NN (k = {k}) around one side-view image covers {}/{} poses — \
+         the confinement QD removes.",
+        covered.len(),
+        query.groups.len()
+    );
+}

@@ -1,0 +1,312 @@
+//! `qd` — the command-line face of the Query Decomposition library.
+//!
+//! ```text
+//! qd build-corpus --out corpus.qdc [--size N] [--image-size PX] [--seed S] [--fillers N] [--no-viewpoints]
+//! qd build-rfs    --corpus corpus.qdc --out rfs.qdr [--node-max N] [--rep-fraction F] [--bulk]
+//! qd stats        --corpus corpus.qdc [--rfs rfs.qdr]
+//! qd query        --corpus corpus.qdc --rfs rfs.qdr --query <name> [--k N] [--seed S] [--rounds N]
+//! qd list-queries --corpus corpus.qdc
+//! qd export       --corpus corpus.qdc --ids 0,17,42 --dir out/
+//! ```
+//!
+//! `query` runs a full QD session with the simulated oracle user (the CLI
+//! has no human in the loop; use `--example interactive` for that) and
+//! prints the grouped results plus precision/GTIR against ground truth.
+
+use query_decomposition::core::eval::Baseline;
+use query_decomposition::corpus::cache;
+use query_decomposition::imagery::io::write_ppm;
+use query_decomposition::prelude::*;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("usage: qd <build-corpus|build-rfs|stats|query|list-queries|export> [options]");
+        eprintln!("       see the module docs (or `src/bin/qd.rs`) for per-command options");
+        return ExitCode::from(2);
+    };
+    let opts = Options::parse(&args[1..]);
+    let result = match command.as_str() {
+        "build-corpus" => build_corpus(&opts),
+        "build-rfs" => build_rfs(&opts),
+        "stats" => stats(&opts),
+        "query" => query(&opts),
+        "list-queries" => list_queries(&opts),
+        "export" => export(&opts),
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Minimal `--key value` / `--flag` option bag.
+struct Options {
+    values: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Self {
+        let mut values = Vec::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = &args[i];
+            if let Some(key) = arg.strip_prefix("--") {
+                if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                    values.push((key.to_string(), args[i + 1].clone()));
+                    i += 2;
+                } else {
+                    flags.push(key.to_string());
+                    i += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        Self { values, flags }
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing --{key}"))
+    }
+
+    fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid --{key} {v:?}")),
+        }
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+fn load_corpus(opts: &Options) -> Result<Corpus, String> {
+    let path = opts.require("corpus")?;
+    cache::load_any(Path::new(path)).map_err(|e| format!("cannot load corpus {path}: {e}"))
+}
+
+fn build_corpus(opts: &Options) -> Result<(), String> {
+    let out = PathBuf::from(opts.require("out")?);
+    let config = CorpusConfig {
+        size: opts.parse_or("size", 740usize)?,
+        image_size: opts.parse_or("image-size", 32usize)?,
+        seed: opts.parse_or("seed", 42u64)?,
+        filler_count: opts.parse_or("fillers", 8usize)?,
+        with_viewpoints: !opts.flag("no-viewpoints"),
+    };
+    eprintln!(
+        "building corpus: {} images, {}px, seed {}…",
+        config.size, config.image_size, config.seed
+    );
+    let start = std::time::Instant::now();
+    let corpus = Corpus::build(&config);
+    cache::save(&corpus, &out).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    println!(
+        "wrote {} ({} images, {} categories) in {:.1}s",
+        out.display(),
+        corpus.len(),
+        corpus.taxonomy().len(),
+        start.elapsed().as_secs_f64()
+    );
+    Ok(())
+}
+
+fn build_rfs(opts: &Options) -> Result<(), String> {
+    let corpus = load_corpus(opts)?;
+    let out = PathBuf::from(opts.require("out")?);
+    // Default node capacity adapts to the corpus so small test databases
+    // still get a multi-level hierarchy (the paper's 100 suits 15k images).
+    let default_node_max = (corpus.len() / 8).clamp(10, 100);
+    let node_max = opts.parse_or("node-max", default_node_max)?;
+    let config = RfsConfig {
+        node_min: (node_max * 2 / 5).max(2),
+        node_max,
+        representative_fraction: opts.parse_or("rep-fraction", 0.05f32)?,
+        bulk_load: opts.flag("bulk"),
+        ..RfsConfig::paper()
+    };
+    eprintln!(
+        "building RFS: node capacity {}, rep fraction {:.2}…",
+        config.node_max, config.representative_fraction
+    );
+    let start = std::time::Instant::now();
+    let rfs = RfsStructure::build(corpus.features(), &config);
+    rfs.save(&out).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    println!(
+        "wrote {} ({}-level tree, {} nodes, {} representatives) in {:.1}s",
+        out.display(),
+        rfs.tree().height(),
+        rfs.tree().node_count(),
+        rfs.all_representatives().len(),
+        start.elapsed().as_secs_f64()
+    );
+    Ok(())
+}
+
+fn stats(opts: &Options) -> Result<(), String> {
+    let corpus = load_corpus(opts)?;
+    println!("corpus:");
+    println!("  images      : {}", corpus.len());
+    println!("  categories  : {}", corpus.taxonomy().len());
+    println!("  dimensions  : {}", corpus.dim());
+    println!(
+        "  viewpoints  : {}",
+        if corpus.viewpoint_features(Viewpoint::Negative).is_some() {
+            "normal + negative + gray + gray-negative"
+        } else {
+            "normal only"
+        }
+    );
+    if let Some(rfs_path) = opts.get("rfs") {
+        let rfs = RfsStructure::load(Path::new(rfs_path))
+            .map_err(|e| format!("cannot load RFS {rfs_path}: {e}"))?;
+        let tree = rfs.tree();
+        println!("rfs:");
+        println!("  height      : {}", tree.height());
+        println!("  nodes       : {}", tree.node_count());
+        println!(
+            "  reps        : {} ({:.1}% of the database)",
+            rfs.all_representatives().len(),
+            100.0 * rfs.all_representatives().len() as f64 / corpus.len() as f64
+        );
+        for (level, nodes, fill) in tree.occupancy() {
+            println!("  level {level}     : {nodes} nodes, {:.0}% full", fill * 100.0);
+        }
+    }
+    Ok(())
+}
+
+fn list_queries(opts: &Options) -> Result<(), String> {
+    let corpus = load_corpus(opts)?;
+    for q in queries::standard_queries(corpus.taxonomy()) {
+        let gt = corpus.ground_truth(&q).len();
+        let groups: Vec<&str> = q.groups.iter().map(|g| g.name.as_str()).collect();
+        println!("{:<20} {:>5} ground-truth images  [{}]", q.name, gt, groups.join(", "));
+    }
+    Ok(())
+}
+
+fn query(opts: &Options) -> Result<(), String> {
+    let corpus = load_corpus(opts)?;
+    let rfs_path = opts.require("rfs")?;
+    let rfs = RfsStructure::load(Path::new(rfs_path))
+        .map_err(|e| format!("cannot load RFS {rfs_path}: {e}"))?;
+    if rfs.len() != corpus.len() {
+        return Err(format!(
+            "RFS indexes {} images but the corpus has {} — rebuild with `qd build-rfs`",
+            rfs.len(),
+            corpus.len()
+        ));
+    }
+    let name = opts.require("query")?;
+    let query = queries::standard_queries(corpus.taxonomy())
+        .into_iter()
+        .find(|q| q.name == name)
+        .ok_or_else(|| format!("no standard query named {name:?} (see `qd list-queries`)"))?;
+    let gt = corpus.ground_truth(&query).len();
+    let k = opts.parse_or("k", gt)?;
+    let seed = opts.parse_or("seed", 7u64)?;
+    let cfg = QdConfig {
+        rounds: opts.parse_or("rounds", 3usize)?,
+        seed,
+        ..QdConfig::default()
+    };
+    let mut user = SimulatedUser::oracle(&query, seed);
+    let out = run_session(&corpus, &rfs, &query, &mut user, k, &cfg);
+
+    println!(
+        "query {:?}: {} subqueries, {} results (k = {k})",
+        query.name, out.subquery_count, out.results.len()
+    );
+    for trace in &out.round_trace {
+        println!(
+            "  round {}: precision {}, GTIR {:.3}",
+            trace.round,
+            trace
+                .precision
+                .map(|p| format!("{p:.3}"))
+                .unwrap_or_else(|| "n/a".into()),
+            trace.gtir
+        );
+    }
+    for (i, group) in out.groups.iter().enumerate() {
+        let label = group
+            .images
+            .first()
+            .map(|&(id, _)| corpus.taxonomy().name(corpus.label(id)))
+            .unwrap_or("");
+        println!(
+            "  group {:>2}: {:>3} images, score {:>8.2}, mostly {}",
+            i + 1,
+            group.images.len(),
+            group.ranking_score,
+            label
+        );
+    }
+    println!(
+        "precision {:.3}  recall {:.3}  GTIR {:.3}  (feedback reads {}, kNN reads {})",
+        precision(&corpus, &query, &out.results),
+        recall(&corpus, &query, &out.results),
+        gtir(&corpus, &query, &out.results),
+        out.feedback_accesses,
+        out.knn_accesses
+    );
+
+    if let Some(baseline) = opts.get("baseline") {
+        let b = match baseline {
+            "mv" => Baseline::MultipleViewpoints,
+            "qpm" => Baseline::QueryPointMovement,
+            "mpq" => Baseline::MultipointQuery,
+            "qcluster" => Baseline::Qcluster,
+            other => return Err(format!("unknown baseline {other:?}")),
+        };
+        let mut b_user = SimulatedUser::oracle(&query, seed);
+        let b_out = b.run(&corpus, &query, &mut b_user, k, &BaselineConfig::default());
+        println!(
+            "{}: precision {:.3}  GTIR {:.3}",
+            b.name(),
+            precision(&corpus, &query, &b_out.results),
+            gtir(&corpus, &query, &b_out.results)
+        );
+    }
+    Ok(())
+}
+
+fn export(opts: &Options) -> Result<(), String> {
+    let corpus = load_corpus(opts)?;
+    let dir = PathBuf::from(opts.require("dir")?);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let ids: Vec<usize> = opts
+        .require("ids")?
+        .split(',')
+        .map(|t| t.trim().parse::<usize>().map_err(|_| format!("bad id {t:?}")))
+        .collect::<Result<_, _>>()?;
+    for id in ids {
+        if id >= corpus.len() {
+            return Err(format!("image id {id} out of range (corpus has {})", corpus.len()));
+        }
+        let img = corpus.render_image(id);
+        let name = corpus.taxonomy().name(corpus.label(id)).replace('/', "_");
+        let path = dir.join(format!("{id:05}-{name}.ppm"));
+        write_ppm(&img, &path).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("wrote {}", path.display());
+    }
+    Ok(())
+}

@@ -1,0 +1,132 @@
+//! End-to-end tests of the `qd` command-line binary: build artifacts on
+//! disk, inspect them, query them, export images.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn qd(dir: &std::path::Path, args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_qd"))
+        .current_dir(dir)
+        .args(args)
+        .output()
+        .expect("qd binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).to_string()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).to_string()
+}
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("qd_cli_test").join(name);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// One shared corpus+RFS build reused by the pipeline assertions below.
+fn built() -> &'static PathBuf {
+    static DIR: std::sync::OnceLock<PathBuf> = std::sync::OnceLock::new();
+    DIR.get_or_init(|| {
+        let dir = workdir("pipeline");
+        let out = qd(
+            &dir,
+            &[
+                "build-corpus", "--out", "c.qdc", "--size", "400", "--fillers", "4", "--seed",
+                "3", "--image-size", "24",
+            ],
+        );
+        assert!(out.status.success(), "{}", stderr(&out));
+        let out = qd(&dir, &["build-rfs", "--corpus", "c.qdc", "--out", "r.qdr"]);
+        assert!(out.status.success(), "{}", stderr(&out));
+        dir
+    })
+}
+
+#[test]
+fn build_writes_artifacts() {
+    let dir = built();
+    assert!(dir.join("c.qdc").exists());
+    assert!(dir.join("r.qdr").exists());
+}
+
+#[test]
+fn stats_reports_corpus_and_tree() {
+    let dir = built();
+    let out = qd(dir, &["stats", "--corpus", "c.qdc", "--rfs", "r.qdr"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("images      : 400"), "{text}");
+    assert!(text.contains("dimensions  : 37"), "{text}");
+    assert!(text.contains("height"), "{text}");
+}
+
+#[test]
+fn list_queries_names_all_eleven() {
+    let dir = built();
+    let out = qd(dir, &["list-queries", "--corpus", "c.qdc"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert_eq!(text.lines().count(), 11, "{text}");
+    assert!(text.contains("a person"));
+    assert!(text.contains("laptop"));
+}
+
+#[test]
+fn query_runs_a_session_and_reports_metrics() {
+    let dir = built();
+    let out = qd(
+        dir,
+        &["query", "--corpus", "c.qdc", "--rfs", "r.qdr", "--query", "car"],
+    );
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("round 3"), "{text}");
+    assert!(text.contains("precision"), "{text}");
+    assert!(text.contains("GTIR"), "{text}");
+}
+
+#[test]
+fn export_writes_ppm_files() {
+    let dir = built();
+    let out = qd(
+        dir,
+        &["export", "--corpus", "c.qdc", "--ids", "0,3", "--dir", "imgs"],
+    );
+    assert!(out.status.success(), "{}", stderr(&out));
+    let entries: Vec<_> = std::fs::read_dir(dir.join("imgs")).unwrap().collect();
+    assert_eq!(entries.len(), 2);
+    for e in entries {
+        let data = std::fs::read(e.unwrap().path()).unwrap();
+        assert!(data.starts_with(b"P6\n"));
+    }
+}
+
+#[test]
+fn unknown_command_fails_cleanly() {
+    let dir = workdir("errors");
+    let out = qd(&dir, &["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown command"));
+}
+
+#[test]
+fn missing_required_option_fails_cleanly() {
+    let dir = workdir("errors");
+    let out = qd(&dir, &["build-corpus"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("missing --out"));
+}
+
+#[test]
+fn query_rejects_unknown_query_name() {
+    let dir = built();
+    let out = qd(
+        dir,
+        &["query", "--corpus", "c.qdc", "--rfs", "r.qdr", "--query", "zebra"],
+    );
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("no standard query"), "{}", stderr(&out));
+}

@@ -1,0 +1,88 @@
+//! Property-based tests of the on-disk formats: arbitrary trees and corpora
+//! must round-trip exactly, and mangled files must be rejected, never
+//! mis-read.
+
+use proptest::prelude::*;
+use query_decomposition::index::{persist, RStarTree, TreeConfig};
+
+fn point(dims: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-50.0f32..50.0, dims)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any tree — built by any interleaving of inserts and removes —
+    /// round-trips through bytes with identical answers.
+    #[test]
+    fn tree_bytes_roundtrip(
+        ops in prop::collection::vec((point(3), any::<bool>()), 1..100),
+        query in point(3),
+    ) {
+        let mut tree = RStarTree::new(TreeConfig::small(3));
+        let mut live: Vec<(u64, Vec<f32>)> = Vec::new();
+        let mut next_id = 0u64;
+        for (p, remove) in ops {
+            if remove && !live.is_empty() {
+                let (id, point) = live.swap_remove(p[0].abs() as usize % live.len());
+                prop_assert!(tree.remove(&point, id));
+            } else {
+                tree.insert(p.clone(), next_id);
+                live.push((next_id, p));
+                next_id += 1;
+            }
+        }
+        let bytes = persist::to_bytes(&tree);
+        let loaded = persist::from_bytes(&bytes).expect("roundtrip");
+        loaded.validate();
+        prop_assert_eq!(loaded.len(), tree.len());
+        let k = 10.min(live.len());
+        let a: Vec<u64> = tree.knn(&query, k).into_iter().map(|n| n.id).collect();
+        let b: Vec<u64> = loaded.knn(&query, k).into_iter().map(|n| n.id).collect();
+        prop_assert_eq!(a, b);
+        // Serialization is deterministic.
+        prop_assert_eq!(persist::to_bytes(&loaded), bytes);
+    }
+
+    /// Truncating a serialized tree anywhere must produce an error, not a
+    /// broken tree (or a panic).
+    #[test]
+    fn truncated_tree_bytes_are_rejected(
+        points in prop::collection::vec(point(2), 5..60),
+        cut in 0.0f64..1.0,
+    ) {
+        let items: Vec<(u64, Vec<f32>)> = points
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (i as u64, p))
+            .collect();
+        let tree = RStarTree::bulk_load(TreeConfig::small(2), items);
+        let bytes = persist::to_bytes(&tree);
+        let cut_at = ((bytes.len() - 1) as f64 * cut) as usize;
+        prop_assert!(persist::from_bytes(&bytes[..cut_at]).is_err());
+    }
+
+    /// Flipping a byte either errors or yields a tree that still satisfies
+    /// the structural invariants (e.g. a flipped coordinate inside a point
+    /// payload is undetectable but harmless).
+    #[test]
+    fn corrupted_tree_bytes_never_yield_invalid_trees(
+        points in prop::collection::vec(point(2), 5..40),
+        at in any::<prop::sample::Index>(),
+        xor in 1u8..=255,
+    ) {
+        let items: Vec<(u64, Vec<f32>)> = points
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (i as u64, p))
+            .collect();
+        let tree = RStarTree::bulk_load(TreeConfig::small(2), items);
+        let mut bytes = persist::to_bytes(&tree);
+        let i = at.index(bytes.len());
+        bytes[i] ^= xor;
+        if let Ok(loaded) = persist::from_bytes(&bytes) {
+            // Survived the validator — must actually be structurally sound.
+            loaded.validate();
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests over the numeric pipeline: metrics, normalization,
+//! PCA, feature extraction, clustering, and QD's quota arithmetic.
+
+use proptest::prelude::*;
+use query_decomposition::cluster::KMeans;
+use query_decomposition::features::FeatureExtractor;
+use query_decomposition::imagery::{Background, Image, ObjectSpec, SceneTemplate, Shape};
+use query_decomposition::linalg::metric::euclidean;
+use query_decomposition::linalg::{Metric, Normalizer, Pca};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn vec_f32(dims: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-50.0f32..50.0, dims)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// True metrics satisfy symmetry, identity, and the triangle inequality.
+    #[test]
+    fn metric_axioms(a in vec_f32(5), b in vec_f32(5), c in vec_f32(5)) {
+        for m in [Metric::Euclidean, Metric::Manhattan, Metric::Chebyshev] {
+            let ab = m.distance(&a, &b) as f64;
+            let ba = m.distance(&b, &a) as f64;
+            prop_assert!((ab - ba).abs() < 1e-3);
+            prop_assert!(m.distance(&a, &a) < 1e-5);
+            let ac = m.distance(&a, &c) as f64;
+            let cb = m.distance(&c, &b) as f64;
+            prop_assert!(ab <= ac + cb + 1e-3, "{m:?}: {ab} > {ac} + {cb}");
+        }
+    }
+
+    /// Weighted Euclidean with non-negative weights is still symmetric and
+    /// bounded by the unweighted distance scaled by the max weight.
+    #[test]
+    fn weighted_euclidean_bounds(
+        a in vec_f32(4),
+        b in vec_f32(4),
+        w in prop::collection::vec(0.0f32..10.0, 4),
+    ) {
+        let m = Metric::WeightedEuclidean(w.clone());
+        let d = m.distance(&a, &b);
+        prop_assert!((d - m.distance(&b, &a)).abs() < 1e-3);
+        let wmax = w.iter().fold(0.0f32, |acc, &x| acc.max(x));
+        let bound = wmax.sqrt() * euclidean(&a, &b) + 1e-3;
+        prop_assert!(d <= bound * 1.001, "{d} > {bound}");
+    }
+
+    /// Normalizer: transform produces ~zero-mean/unit-variance data and
+    /// inverse undoes transform.
+    #[test]
+    fn normalizer_roundtrip(rows in prop::collection::vec(vec_f32(3), 2..40)) {
+        let norm = Normalizer::fit(&rows);
+        for row in &rows {
+            let back = norm.inverse(&norm.transform(row));
+            for (x, y) in back.iter().zip(row) {
+                prop_assert!((x - y).abs() < 1e-2 * (1.0 + y.abs()));
+            }
+        }
+    }
+
+    /// PCA components are orthonormal and explained variances descend.
+    #[test]
+    fn pca_orthonormal_components(rows in prop::collection::vec(vec_f32(4), 5..40)) {
+        let pca = Pca::fit(&rows, 3);
+        let comps = pca.components();
+        for i in 0..comps.len() {
+            let norm: f32 = comps[i].iter().map(|x| x * x).sum::<f32>().sqrt();
+            prop_assert!((norm - 1.0).abs() < 1e-3, "component {i} norm {norm}");
+            for j in (i + 1)..comps.len() {
+                let dot: f32 = comps[i].iter().zip(&comps[j]).map(|(a, b)| a * b).sum();
+                prop_assert!(dot.abs() < 1e-3, "components {i},{j} dot {dot}");
+            }
+        }
+        let ev = pca.explained_variance();
+        for w in ev.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-9);
+        }
+        let ratio = pca.explained_variance_ratio();
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&ratio));
+    }
+
+    /// Feature extraction always yields exactly 37 finite values, for any
+    /// renderable scene.
+    #[test]
+    fn features_are_37_and_finite(
+        seed in any::<u64>(),
+        bg_r in 0.0f32..1.0,
+        bg_g in 0.0f32..1.0,
+        bg_b in 0.0f32..1.0,
+        rx in 0.02f32..0.4,
+        ry in 0.02f32..0.4,
+        hue in 0.0f32..1.0,
+        size in 8usize..40,
+    ) {
+        let color = query_decomposition::imagery::color::hsv_to_rgb([hue, 0.8, 0.9]);
+        let template = SceneTemplate::new(
+            Background::Solid([bg_r, bg_g, bg_b]),
+            vec![ObjectSpec::new(
+                Shape::Ellipse { rx, ry },
+                color,
+                (0.5, 0.5),
+                0.3,
+            )],
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let img = template.render(size, size, &mut rng);
+        let f = FeatureExtractor::new().extract(&img);
+        prop_assert_eq!(f.len(), 37);
+        prop_assert!(f.iter().all(|x| x.is_finite()));
+    }
+
+    /// Grayscale images always have zero saturation moments.
+    #[test]
+    fn grayscale_kills_saturation(l in 0.0f32..1.0, size in 4usize..24) {
+        let img = Image::filled(size, size, [l, l, l]);
+        let f = FeatureExtractor::new().extract(&img);
+        prop_assert!(f[3].abs() < 1e-5); // s_mean
+        prop_assert!(f[4].abs() < 1e-5); // s_std
+    }
+
+    /// k-means always assigns every point, never leaves a cluster empty, and
+    /// its SSE never exceeds the single-cluster SSE.
+    #[test]
+    fn kmeans_invariants(rows in prop::collection::vec(vec_f32(3), 4..60), k in 1usize..6) {
+        let fit = KMeans::new(k).with_seed(1).fit(&rows);
+        prop_assert_eq!(fit.assignments.len(), rows.len());
+        for &a in &fit.assignments {
+            prop_assert!(a < fit.k());
+        }
+        for c in 0..fit.k() {
+            prop_assert!(!fit.members(c).is_empty(), "cluster {c} empty");
+        }
+        let single = KMeans::new(1).with_seed(1).fit(&rows);
+        prop_assert!(fit.sse <= single.sse + 1e-3 * single.sse.abs() + 1e-6);
+    }
+}

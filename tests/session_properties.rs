@@ -1,0 +1,113 @@
+//! Property-based tests over whole QD sessions: for arbitrary user behavior
+//! (seed, noise, patience) and session configuration, the protocol's
+//! invariants must hold.
+
+use proptest::prelude::*;
+use query_decomposition::prelude::*;
+use std::sync::OnceLock;
+
+fn fixture() -> &'static (Corpus, RfsStructure) {
+    static FIXTURE: OnceLock<(Corpus, RfsStructure)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let corpus = Corpus::build(&CorpusConfig {
+            size: 400,
+            image_size: 24,
+            seed: 17,
+            filler_count: 6,
+            with_viewpoints: false,
+        });
+        let rfs = RfsStructure::build(corpus.features(), &RfsConfig::test_small());
+        (corpus, rfs)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn session_invariants_hold_for_arbitrary_users(
+        query_idx in 0usize..11,
+        user_seed in any::<u64>(),
+        noise in 0.0f32..0.4,
+        patience in prop::sample::select(vec![5usize, 21, 100, usize::MAX]),
+        rounds in 1usize..5,
+        threshold in 0.0f32..1.0,
+    ) {
+        let (corpus, rfs) = fixture();
+        let query = &queries::standard_queries(corpus.taxonomy())[query_idx];
+        let k = corpus.ground_truth(query).len();
+        let cfg = QdConfig {
+            rounds,
+            boundary_threshold: threshold,
+            seed: user_seed,
+            ..QdConfig::default()
+        };
+        let mut user = SimulatedUser::oracle(query, user_seed)
+            .with_noise(noise)
+            .with_patience(patience);
+        let out = run_session(corpus, rfs, query, &mut user, k, &cfg);
+
+        // Results: bounded, valid, unique.
+        prop_assert!(out.results.len() <= k);
+        prop_assert!(out.results.iter().all(|&id| id < corpus.len()));
+        let mut sorted = out.results.clone();
+        sorted.sort_unstable();
+        let before = sorted.len();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), before, "duplicate result ids");
+
+        // Trace shape: one entry per round, precision only at the end (or
+        // zero-filled after early death), metrics in range.
+        prop_assert_eq!(out.round_trace.len(), rounds);
+        for t in &out.round_trace {
+            prop_assert!((0.0..=1.0).contains(&t.gtir));
+            if let Some(p) = t.precision {
+                prop_assert!((0.0..=1.0).contains(&p));
+            }
+        }
+        prop_assert!(out.round_trace[rounds - 1].precision.is_some());
+
+        // Groups partition the results.
+        let from_groups: usize = out.groups.iter().map(|g| g.images.len()).sum();
+        prop_assert_eq!(from_groups, out.results.len());
+
+        // Cost accounting is sane.
+        prop_assert!(out.feedback_accesses >= 1);
+        prop_assert_eq!(out.round_durations.len().min(rounds), out.round_durations.len());
+        prop_assert!(out.subquery_count <= rfs.tree().node_count());
+    }
+
+    #[test]
+    fn merge_strategies_agree_on_result_count_bounds(
+        query_idx in 0usize..11,
+        seed in any::<u64>(),
+    ) {
+        let (corpus, rfs) = fixture();
+        let query = &queries::standard_queries(corpus.taxonomy())[query_idx];
+        let k = corpus.ground_truth(query).len();
+        for merge in [MergeStrategy::Proportional, MergeStrategy::Uniform] {
+            let cfg = QdConfig { merge, seed, ..QdConfig::default() };
+            let mut user = SimulatedUser::oracle(query, seed);
+            let out = run_session(corpus, rfs, query, &mut user, k, &cfg);
+            prop_assert!(out.results.len() <= k, "{merge:?}");
+        }
+    }
+
+    #[test]
+    fn group_ranking_scores_ascend(seed in any::<u64>()) {
+        let (corpus, rfs) = fixture();
+        let query = &queries::standard_queries(corpus.taxonomy())[2]; // bird
+        let k = corpus.ground_truth(query).len();
+        let cfg = QdConfig { seed, ..QdConfig::default() };
+        let mut user = SimulatedUser::oracle(query, seed);
+        let out = run_session(corpus, rfs, query, &mut user, k, &cfg);
+        for w in out.groups.windows(2) {
+            prop_assert!(w[0].ranking_score <= w[1].ranking_score);
+        }
+        for g in &out.groups {
+            for w in g.images.windows(2) {
+                prop_assert!(w[0].1 <= w[1].1, "images within a group must ascend by score");
+            }
+        }
+    }
+}
