@@ -60,8 +60,11 @@ fn global_feedback_round(c: &mut Criterion) {
                 let q = &queries[i % queries.len()];
                 i += 1;
                 let gt = corpus.ground_truth(q);
-                let rel: Vec<&[f32]> =
-                    gt.iter().take(5).map(|&id| features[id].as_slice()).collect();
+                let rel: Vec<&[f32]> = gt
+                    .iter()
+                    .take(5)
+                    .map(|&id| features[id].as_slice())
+                    .collect();
                 let qp = centroid(&rel);
                 let k = gt.len().clamp(1, 100);
                 let mut scored: Vec<(f32, usize)> = features

@@ -107,7 +107,13 @@ pub fn table1(scale: BenchScale, seed: u64) {
     let avg = eval::average_row(&rows);
     let mut table = Table::new(
         "Table 1: query evaluation, MV vs QD",
-        &["query", "MV precision", "MV GTIR", "QD precision", "QD GTIR"],
+        &[
+            "query",
+            "MV precision",
+            "MV GTIR",
+            "QD precision",
+            "QD GTIR",
+        ],
     );
     for r in rows.iter().chain(std::iter::once(&avg)) {
         table.row(vec![
@@ -146,7 +152,13 @@ pub fn table2(scale: BenchScale, seed: u64) {
     );
     let mut table = Table::new(
         "Table 2: quality per feedback round (averaged over 11 queries)",
-        &["round", "MV precision", "MV GTIR", "QD precision", "QD GTIR"],
+        &[
+            "round",
+            "MV precision",
+            "MV GTIR",
+            "QD precision",
+            "QD GTIR",
+        ],
     );
     for r in &rows {
         table.row(vec![
@@ -168,7 +180,11 @@ pub fn figs4to9(scale: BenchScale, seed: u64) {
     let rfs = bench_rfs(scale, seed);
     let specs = [
         ("laptop", 8usize, "Figures 4–5: top-8 'portable computer'"),
-        ("personal computer", 16, "Figures 6–7: top-16 'personal computer'"),
+        (
+            "personal computer",
+            16,
+            "Figures 6–7: top-16 'personal computer'",
+        ),
         ("computer", 24, "Figures 8–9: top-24 'computer'"),
     ];
     for (name, k, title) in specs {
@@ -241,7 +257,10 @@ fn write_figure_html(
          figcaption{{font-size:11px;max-width:96px;overflow-wrap:break-word}}</style>\
          <h1>{title}</h1>"
     );
-    for (label, items) in [("Multiple Viewpoints", &cmp.baseline), ("Query Decomposition", &cmp.qd)] {
+    for (label, items) in [
+        ("Multiple Viewpoints", &cmp.baseline),
+        ("Query Decomposition", &cmp.qd),
+    ] {
         let _ = write!(html, "<h2>{label}</h2><div>");
         for (id, category) in items {
             let img = corpus.render_image(*id);
@@ -288,6 +307,18 @@ pub fn precision_at_k(scale: BenchScale, seed: u64) {
         })
     };
 
+    // Per-query sessions are independently seeded, so each technique's
+    // query loop fans out across the qd-runtime pool; summing the returned
+    // per-query vectors in input order keeps the CSV byte-identical to a
+    // sequential run.
+    let sum4 = |per_query: Vec<[f64; 4]>| {
+        per_query.into_iter().fold([0.0f64; 4], |mut acc, p| {
+            for (a, v) in acc.iter_mut().zip(p) {
+                *a += v;
+            }
+            acc
+        })
+    };
     let mut rows: Vec<(String, [f64; 4])> = Vec::new();
     for baseline in [
         Baseline::MultipleViewpoints,
@@ -295,31 +326,31 @@ pub fn precision_at_k(scale: BenchScale, seed: u64) {
         Baseline::MultipointQuery,
         Baseline::Qcluster,
     ] {
-        let mut acc = [0.0f64; 4];
-        for query in &qs {
+        let acc = sum4(qd_runtime::par_map(&qs, |query| {
             let k = corpus.ground_truth(query).len();
             let mut user = SimulatedUser::oracle(query, seed);
             let out = baseline.run(&corpus, query, &mut user, k, &BaselineConfig::default());
-            for (a, p) in acc.iter_mut().zip(prefix_precision(&corpus, query, &out.results)) {
-                *a += p;
-            }
-        }
+            prefix_precision(&corpus, query, &out.results)
+        }));
         rows.push((baseline.name().to_string(), acc.map(|a| a / n)));
     }
     {
-        let mut acc = [0.0f64; 4];
-        for query in &qs {
+        let acc = sum4(qd_runtime::par_map(&qs, |query| {
             let k = corpus.ground_truth(query).len();
             let mut user = SimulatedUser::oracle(query, seed);
             let out = run_session(&corpus, &rfs, query, &mut user, k, &QdConfig::default());
-            for (a, p) in acc.iter_mut().zip(prefix_precision(&corpus, query, &out.results)) {
-                *a += p;
-            }
-        }
+            prefix_precision(&corpus, query, &out.results)
+        }));
         rows.push(("QD (this paper)".to_string(), acc.map(|a| a / n)));
     }
     for (name, vals) in rows {
-        table.row(vec![name, f3(vals[0]), f3(vals[1]), f3(vals[2]), f3(vals[3])]);
+        table.row(vec![
+            name,
+            f3(vals[0]),
+            f3(vals[1]),
+            f3(vals[2]),
+            f3(vals[3]),
+        ]);
     }
     table.emit("precision_at_k");
 }
@@ -332,10 +363,19 @@ pub fn ablate_patience(scale: BenchScale, seed: u64, budgets: &[usize]) {
     let rfs = bench_rfs(scale, seed);
     let mut table = Table::new(
         "Ablation: per-round inspection budget (21-image pages)",
-        &["pages/round", "round-1 GTIR", "final precision", "final GTIR"],
+        &[
+            "pages/round",
+            "round-1 GTIR",
+            "final precision",
+            "final GTIR",
+        ],
     );
     for &pages in budgets {
-        let patience = if pages == usize::MAX { usize::MAX } else { pages * 21 };
+        let patience = if pages == usize::MAX {
+            usize::MAX
+        } else {
+            pages * 21
+        };
         let qs = queries::standard_queries(corpus.taxonomy());
         let n = qs.len() as f64;
         let (mut g1, mut p3, mut g3) = (0.0, 0.0, 0.0);
@@ -348,7 +388,11 @@ pub fn ablate_patience(scale: BenchScale, seed: u64, budgets: &[usize]) {
             g3 += qd_core::metrics::gtir(&corpus, query, &out.results);
         }
         table.row(vec![
-            if pages == usize::MAX { "all".into() } else { pages.to_string() },
+            if pages == usize::MAX {
+                "all".into()
+            } else {
+                pages.to_string()
+            },
             f3(g1 / n),
             f3(p3 / n),
             f3(g3 / n),
@@ -379,11 +423,7 @@ pub fn ablate_user_noise(scale: BenchScale, seed: u64, noise_levels: &[f32]) {
             p_sum += qd_core::metrics::precision(&corpus, query, &out.results);
             g_sum += qd_core::metrics::gtir(&corpus, query, &out.results);
         }
-        table.row(vec![
-            format!("{noise:.2}"),
-            f3(p_sum / n),
-            f3(g_sum / n),
-        ]);
+        table.row(vec![format!("{noise:.2}"), f3(p_sum / n), f3(g_sum / n)]);
     }
     table.emit("ablate_user_noise");
 }
@@ -411,18 +451,28 @@ pub fn timing_sweep(sizes: &[usize], queries_per_size: usize, seed: u64) -> Vec<
             let corpus = bench_corpus(scale, seed);
             let rfs = bench_rfs(scale, seed);
             let sims = random_queries(corpus.taxonomy(), queries_per_size, seed ^ 0xBEEF);
+            // Sessions are seeded per query index, so they fan out across
+            // the qd-runtime pool; the timing totals reduce in input order.
+            let per_query: Vec<(Duration, Duration, u32)> =
+                qd_runtime::par_map_indexed(&sims, |i, q| {
+                    let k = corpus.ground_truth(q).len().clamp(1, 100);
+                    let mut user = SimulatedUser::oracle(q, seed + i as u64);
+                    let out = run_session(&corpus, &rfs, q, &mut user, k, &QdConfig::default());
+                    let rounds: Duration = out.round_durations.iter().sum();
+                    (
+                        rounds + out.final_knn_duration,
+                        rounds,
+                        out.round_durations.len() as u32,
+                    )
+                });
             let mut total = Duration::ZERO;
             let mut iteration = Duration::ZERO;
             let mut iterations = 0u32;
-            let mut sessions = 0u32;
-            for (i, q) in sims.iter().enumerate() {
-                let k = corpus.ground_truth(q).len().clamp(1, 100);
-                let mut user = SimulatedUser::oracle(q, seed + i as u64);
-                let out = run_session(&corpus, &rfs, q, &mut user, k, &QdConfig::default());
-                total += out.round_durations.iter().sum::<Duration>() + out.final_knn_duration;
-                iteration += out.round_durations.iter().sum::<Duration>();
-                iterations += out.round_durations.len() as u32;
-                sessions += 1;
+            let sessions = per_query.len() as u32;
+            for (t, it, n_rounds) in per_query {
+                total += t;
+                iteration += it;
+                iterations += n_rounds;
             }
 
             // Traditional relevance feedback: one global k-NN scan per round
@@ -436,8 +486,11 @@ pub fn timing_sweep(sizes: &[usize], queries_per_size: usize, seed: u64) -> Vec<
                     if gt.is_empty() {
                         continue;
                     }
-                    let rel: Vec<&[f32]> =
-                        gt.iter().take(5).map(|&id| features[id].as_slice()).collect();
+                    let rel: Vec<&[f32]> = gt
+                        .iter()
+                        .take(5)
+                        .map(|&id| features[id].as_slice())
+                        .collect();
                     let qp = centroid(&rel);
                     let k = gt.len().clamp(1, 100);
                     let mut scored: Vec<(f32, usize)> = features
@@ -472,14 +525,14 @@ pub fn fig10(sizes: &[usize], queries_per_size: usize, seed: u64) {
     let rows = timing_sweep(sizes, queries_per_size, seed);
     let mut table = Table::new(
         "Figure 10: overall query processing time vs database size",
-        &["db size", "QD total (ms)", "global-kNN RF round (ms, comparison)"],
+        &[
+            "db size",
+            "QD total (ms)",
+            "global-kNN RF round (ms, comparison)",
+        ],
     );
     for r in &rows {
-        table.row(vec![
-            r.size.to_string(),
-            ms(r.qd_total),
-            ms(r.global_round),
-        ]);
+        table.row(vec![r.size.to_string(), ms(r.qd_total), ms(r.global_round)]);
     }
     table.emit("fig10_overall_time");
 }
@@ -490,7 +543,11 @@ pub fn fig11(sizes: &[usize], queries_per_size: usize, seed: u64) {
     let rows = timing_sweep(sizes, queries_per_size, seed);
     let mut table = Table::new(
         "Figure 11: average iteration processing time vs database size",
-        &["db size", "QD iteration (ms)", "global-kNN RF round (ms, comparison)"],
+        &[
+            "db size",
+            "QD iteration (ms)",
+            "global-kNN RF round (ms, comparison)",
+        ],
     );
     for r in &rows {
         table.row(vec![
@@ -543,18 +600,23 @@ fn qd_average(
 ) -> (f64, f64, f64, f64) {
     let qs = queries::standard_queries(corpus.taxonomy());
     let n = qs.len() as f64;
-    let mut precision = 0.0;
-    let mut gtir = 0.0;
-    let mut knn_accesses = 0.0;
-    let mut fill = 0.0;
-    for query in &qs {
+    let per_query = qd_runtime::par_map(&qs, |query| {
         let k = corpus.ground_truth(query).len();
         let mut user = SimulatedUser::oracle(query, seed);
         let out = run_session(corpus, rfs, query, &mut user, k, cfg);
-        precision += qd_core::metrics::precision(corpus, query, &out.results);
-        gtir += qd_core::metrics::gtir(corpus, query, &out.results);
-        knn_accesses += out.knn_accesses as f64;
-        fill += out.results.len() as f64 / k as f64;
+        (
+            qd_core::metrics::precision(corpus, query, &out.results),
+            qd_core::metrics::gtir(corpus, query, &out.results),
+            out.knn_accesses as f64,
+            out.results.len() as f64 / k as f64,
+        )
+    });
+    let (mut precision, mut gtir, mut knn_accesses, mut fill) = (0.0, 0.0, 0.0, 0.0);
+    for (p, g, io, f) in per_query {
+        precision += p;
+        gtir += g;
+        knn_accesses += io;
+        fill += f;
     }
     (precision / n, gtir / n, knn_accesses / n, fill / n)
 }

@@ -1,10 +1,9 @@
 //! Cached corpus/RFS fixtures shared across experiments within one process.
 
-use parking_lot::Mutex;
 use qd_core::rfs::{RfsConfig, RfsStructure};
 use qd_corpus::{Corpus, CorpusConfig};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Experiment scale, controlling corpus size and node capacity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -72,7 +71,7 @@ fn rfs_cache() -> &'static RfsCache {
 /// in-process and persisted to `target/qd-corpus-cache/` so repeated `repro`
 /// invocations skip the render+extract phase.
 pub fn bench_corpus(scale: BenchScale, seed: u64) -> Arc<Corpus> {
-    if let Some(c) = corpus_cache().lock().get(&(scale, seed)) {
+    if let Some(c) = corpus_cache().lock().unwrap().get(&(scale, seed)) {
         return c.clone();
     }
     let config = scale.corpus_config(seed);
@@ -81,21 +80,24 @@ pub fn bench_corpus(scale: BenchScale, seed: u64) -> Arc<Corpus> {
         config.size, config.image_size, config.seed, config.filler_count, config.with_viewpoints
     ));
     let corpus = Arc::new(qd_corpus::cache::load_or_build(&config, &path));
-    corpus_cache().lock().insert((scale, seed), corpus.clone());
+    corpus_cache()
+        .lock()
+        .unwrap()
+        .insert((scale, seed), corpus.clone());
     corpus
 }
 
 /// Builds (or returns the cached) RFS structure for a scale.
 pub fn bench_rfs(scale: BenchScale, seed: u64) -> Arc<RfsStructure> {
-    if let Some(r) = rfs_cache().lock().get(&(scale, seed)) {
+    if let Some(r) = rfs_cache().lock().unwrap().get(&(scale, seed)) {
         return r.clone();
     }
     let corpus = bench_corpus(scale, seed);
-    let rfs = Arc::new(RfsStructure::build(
-        corpus.features(),
-        &scale.rfs_config(),
-    ));
-    rfs_cache().lock().insert((scale, seed), rfs.clone());
+    let rfs = Arc::new(RfsStructure::build(corpus.features(), &scale.rfs_config()));
+    rfs_cache()
+        .lock()
+        .unwrap()
+        .insert((scale, seed), rfs.clone());
     rfs
 }
 

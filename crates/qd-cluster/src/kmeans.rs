@@ -270,7 +270,10 @@ mod tests {
             assert_eq!(entry, a, "blob {t} split across clusters");
         }
         assert_eq!(
-            mapping.values().collect::<std::collections::HashSet<_>>().len(),
+            mapping
+                .values()
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
             3
         );
     }

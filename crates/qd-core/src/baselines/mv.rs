@@ -72,7 +72,12 @@ pub fn run_session_with(
 }
 
 /// One MV retrieval: per-channel centroid k-NN, merged per `rule`.
-fn retrieve(channels: &[&[Vec<f32>]], relevant: &[usize], k: usize, rule: MvMergeRule) -> Vec<usize> {
+fn retrieve(
+    channels: &[&[Vec<f32>]],
+    relevant: &[usize],
+    k: usize,
+    rule: MvMergeRule,
+) -> Vec<usize> {
     debug_assert!(!channels.is_empty());
     let n = channels[0].len();
     // Per-channel query points.
@@ -95,11 +100,14 @@ fn retrieve(channels: &[&[Vec<f32>]], relevant: &[usize], k: usize, rule: MvMerg
             // Each channel ranks the database; the final set takes the
             // channels' heads round-robin until k distinct images are
             // collected, mirroring an even k/4 split per channel.
-            let ranked: Vec<Vec<usize>> = channels
-                .iter()
-                .zip(&query_points)
-                .map(|(feats, qp)| top_k_by(n, k, |id| euclidean(&feats[id], qp)))
-                .collect();
+            // The four viewpoint k-NNs are independent; run them on the
+            // qd-runtime pool. `par_map` keeps channel order, so the
+            // round-robin fill below sees the same lists as a serial run.
+            let work: Vec<(&[Vec<f32>], &Vec<f32>)> =
+                channels.iter().copied().zip(&query_points).collect();
+            let ranked: Vec<Vec<usize>> = qd_runtime::par_map(&work, |&(feats, qp)| {
+                top_k_by(n, k, |id| euclidean(&feats[id], qp))
+            });
             let mut out = Vec::with_capacity(k);
             let mut taken = std::collections::HashSet::with_capacity(k);
             let mut cursors = vec![0usize; ranked.len()];

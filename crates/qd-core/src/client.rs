@@ -16,9 +16,7 @@
 //! localized k-NN execution.
 
 use crate::rfs::{FeedbackHierarchy, RfsStructure};
-use crate::session::{
-    execute_subqueries, run_feedback_rounds, FinalExecution, QdConfig,
-};
+use crate::session::{execute_subqueries, run_feedback_rounds, FinalExecution, QdConfig};
 use crate::user::SimulatedUser;
 use qd_corpus::taxonomy::SubconceptId;
 use qd_corpus::Corpus;
@@ -98,7 +96,8 @@ impl ClientRfs {
             .map(|n| {
                 std::mem::size_of::<ClientNode>()
                     + n.reps.len() * std::mem::size_of::<usize>()
-                    + n.rep_child.len() * (std::mem::size_of::<usize>() + std::mem::size_of::<NodeId>())
+                    + n.rep_child.len()
+                        * (std::mem::size_of::<usize>() + std::mem::size_of::<NodeId>())
             })
             .sum::<usize>()
             + self.nodes.len() * std::mem::size_of::<NodeId>()

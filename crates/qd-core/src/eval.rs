@@ -45,7 +45,9 @@ impl Baseline {
     ) -> baselines::BaselineOutcome {
         match self {
             Baseline::MultipleViewpoints => baselines::mv::run_session(corpus, query, user, k, cfg),
-            Baseline::QueryPointMovement => baselines::qpm::run_session(corpus, query, user, k, cfg),
+            Baseline::QueryPointMovement => {
+                baselines::qpm::run_session(corpus, query, user, k, cfg)
+            }
             Baseline::MultipointQuery => baselines::mpq::run_session(corpus, query, user, k, cfg),
             Baseline::Qcluster => baselines::qcluster::run_session(corpus, query, user, k, cfg),
         }
@@ -78,25 +80,26 @@ pub fn run_table1(
     qd_cfg: &QdConfig,
     baseline_cfg: &BaselineConfig,
 ) -> Vec<QualityRow> {
-    queries::standard_queries(corpus.taxonomy())
-        .into_iter()
-        .map(|query| {
-            let k = corpus.ground_truth(&query).len();
-            let mut mv_user = SimulatedUser::oracle(&query, baseline_cfg.seed)
-                .with_patience(baseline_cfg.user_patience);
-            let b = baseline.run(corpus, &query, &mut mv_user, k, baseline_cfg);
-            let mut qd_user = SimulatedUser::oracle(&query, qd_cfg.seed)
-                .with_patience(qd_cfg.user_patience);
-            let q = run_session(corpus, rfs, &query, &mut qd_user, k, qd_cfg);
-            QualityRow {
-                query: query.name.clone(),
-                baseline_precision: precision(corpus, &query, &b.results),
-                baseline_gtir: gtir(corpus, &query, &b.results),
-                qd_precision: precision(corpus, &query, &q.results),
-                qd_gtir: gtir(corpus, &query, &q.results),
-            }
-        })
-        .collect()
+    // Each Table 1 row seeds its own simulated users from the config seeds,
+    // so queries share no RNG stream and the rows fan out across the
+    // qd-runtime pool while staying byte-identical to a sequential run.
+    let queries = queries::standard_queries(corpus.taxonomy());
+    qd_runtime::par_map(&queries, |query| {
+        let k = corpus.ground_truth(query).len();
+        let mut mv_user = SimulatedUser::oracle(query, baseline_cfg.seed)
+            .with_patience(baseline_cfg.user_patience);
+        let b = baseline.run(corpus, query, &mut mv_user, k, baseline_cfg);
+        let mut qd_user =
+            SimulatedUser::oracle(query, qd_cfg.seed).with_patience(qd_cfg.user_patience);
+        let q = run_session(corpus, rfs, query, &mut qd_user, k, qd_cfg);
+        QualityRow {
+            query: query.name.clone(),
+            baseline_precision: precision(corpus, query, &b.results),
+            baseline_gtir: gtir(corpus, query, &b.results),
+            qd_precision: precision(corpus, query, &q.results),
+            qd_gtir: gtir(corpus, query, &q.results),
+        }
+    })
 }
 
 /// The "Average" line of Table 1.
@@ -138,21 +141,21 @@ pub fn run_table2(
 ) -> Vec<RoundRow> {
     let queries = queries::standard_queries(corpus.taxonomy());
     let rounds = qd_cfg.rounds.max(baseline_cfg.rounds);
-    let mut baseline_traces: Vec<Vec<RoundTrace>> = Vec::new();
-    let mut qd_traces: Vec<Vec<RoundTrace>> = Vec::new();
-    for query in &queries {
+    // As in Table 1, every query's users are seeded independently; the
+    // per-query trace pairs fan out and come back in query order.
+    let traces: Vec<(Vec<RoundTrace>, Vec<RoundTrace>)> = qd_runtime::par_map(&queries, |query| {
         let k = corpus.ground_truth(query).len();
         let mut b_user = SimulatedUser::oracle(query, baseline_cfg.seed)
             .with_patience(baseline_cfg.user_patience);
-        baseline_traces.push(
-            baseline
-                .run(corpus, query, &mut b_user, k, baseline_cfg)
-                .round_trace,
-        );
-        let mut q_user = SimulatedUser::oracle(query, qd_cfg.seed)
-            .with_patience(qd_cfg.user_patience);
-        qd_traces.push(run_session(corpus, rfs, query, &mut q_user, k, qd_cfg).round_trace);
-    }
+        let b_trace = baseline
+            .run(corpus, query, &mut b_user, k, baseline_cfg)
+            .round_trace;
+        let mut q_user =
+            SimulatedUser::oracle(query, qd_cfg.seed).with_patience(qd_cfg.user_patience);
+        let q_trace = run_session(corpus, rfs, query, &mut q_user, k, qd_cfg).round_trace;
+        (b_trace, q_trace)
+    });
+    let (baseline_traces, qd_traces): (Vec<_>, Vec<_>) = traces.into_iter().unzip();
 
     (1..=rounds)
         .map(|round| {
@@ -215,18 +218,27 @@ pub fn run_topk_comparison(
     qd_cfg: &QdConfig,
     baseline_cfg: &BaselineConfig,
 ) -> TopKComparison {
-    let mut b_user = SimulatedUser::oracle(query, baseline_cfg.seed)
-            .with_patience(baseline_cfg.user_patience);
+    let mut b_user =
+        SimulatedUser::oracle(query, baseline_cfg.seed).with_patience(baseline_cfg.user_patience);
     let b = baseline.run(corpus, query, &mut b_user, k, baseline_cfg);
-    let mut q_user = SimulatedUser::oracle(query, qd_cfg.seed)
-            .with_patience(qd_cfg.user_patience);
+    let mut q_user = SimulatedUser::oracle(query, qd_cfg.seed).with_patience(qd_cfg.user_patience);
     let q = run_session(corpus, rfs, query, &mut q_user, k, qd_cfg);
     let name = |id: usize| corpus.taxonomy().name(corpus.label(id)).to_string();
     TopKComparison {
         query: query.name.clone(),
         k,
-        baseline: b.results.into_iter().take(k).map(|id| (id, name(id))).collect(),
-        qd: q.results.into_iter().take(k).map(|id| (id, name(id))).collect(),
+        baseline: b
+            .results
+            .into_iter()
+            .take(k)
+            .map(|id| (id, name(id)))
+            .collect(),
+        qd: q
+            .results
+            .into_iter()
+            .take(k)
+            .map(|id| (id, name(id)))
+            .collect(),
     }
 }
 

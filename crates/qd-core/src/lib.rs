@@ -28,17 +28,17 @@
 pub mod baselines;
 pub mod client;
 pub mod eval;
-#[cfg(test)]
-pub(crate) mod testutil;
 pub mod localknn;
 pub mod metrics;
 pub mod ranking;
 pub mod rfs;
 pub mod session;
+#[cfg(test)]
+pub(crate) mod testutil;
 pub mod user;
 
-pub use metrics::{gtir, precision, RoundTrace};
 pub use client::{client_feedback, server_execute, ClientRfs, RemoteQuery};
+pub use metrics::{gtir, precision, RoundTrace};
 pub use rfs::{FeedbackHierarchy, RfsConfig, RfsStructure};
 pub use session::{MergeStrategy, QdConfig, QdOutcome, ResultGroup};
 pub use user::SimulatedUser;

@@ -37,6 +37,9 @@ pub struct LocalResult {
     /// Number of user-marked relevant images backing this subquery — the
     /// merge step allocates result slots proportionally to this (§3.4).
     pub support: usize,
+    /// Index node reads this subquery performed (call-local accounting, so
+    /// concurrent subqueries over a shared tree never mix their costs).
+    pub accesses: u64,
 }
 
 /// Applies the boundary-ratio test: starting at `home`, expands to the parent
@@ -110,12 +113,13 @@ pub fn run_local_query(
         }
     }
     let multipoint: Vec<f32> = centroid(&query_features);
-    let neighbors = tree.knn_in(scope, &multipoint, fetch);
+    let (neighbors, accesses) = tree.knn_in_counted(scope, &multipoint, fetch);
     LocalResult {
         home: query.home,
         scope,
         neighbors,
         support: query.query_points.len(),
+        accesses,
     }
 }
 
@@ -180,6 +184,9 @@ pub fn run_local_query_weighted(
         scope,
         neighbors: scored,
         support: query.query_points.len(),
+        // The weighted path scans the scope directly (no tree descent), so
+        // like the unweighted global counter it performs zero `knn_in` reads.
+        accesses: 0,
     }
 }
 

@@ -107,7 +107,7 @@ mod tests {
     fn gtir_counts_groups_not_images() {
         let c = shared();
         let q = &queries::standard_queries(c.taxonomy())[2]; // bird: 3 groups
-        // Take several images from a single group: GTIR stays 1/3.
+                                                             // Take several images from a single group: GTIR stays 1/3.
         let eagle = c.images_of(c.taxonomy().expect("bird/eagle"));
         assert!(eagle.len() >= 2);
         let r = gtir(c, q, &eagle);

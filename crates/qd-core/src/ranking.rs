@@ -171,6 +171,7 @@ mod tests {
                 .map(|&(id, distance)| Neighbor { id, distance })
                 .collect(),
             support,
+            accesses: 0,
         }
     }
 
@@ -273,8 +274,7 @@ mod tests {
         assert_eq!(merged[0], (0, 0.05));
         assert_eq!(merged[1].0, 10);
         assert_eq!(merged.len(), 3);
-        let ids: std::collections::HashSet<usize> =
-            merged.iter().map(|&(id, _)| id).collect();
+        let ids: std::collections::HashSet<usize> = merged.iter().map(|&(id, _)| id).collect();
         assert_eq!(ids.len(), 3);
     }
 

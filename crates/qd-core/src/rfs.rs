@@ -151,23 +151,33 @@ impl RfsStructure {
         let mut levels: Vec<u32> = by_level.keys().copied().collect();
         levels.sort_unstable();
 
+        // Levels build bottom-up (an internal node's pool is its children's
+        // representatives), but nodes *within* a level are independent, so
+        // each level fans out across the qd-runtime pool. Every node derives
+        // its randomness from `config.seed` and its own stable node index —
+        // never a shared RNG stream — so the selection is bit-identical
+        // whatever the thread count or completion order.
         let mut reps: HashMap<NodeId, Vec<usize>> = HashMap::new();
-        let mut rng = StdRng::seed_from_u64(config.seed);
         for level in levels {
             let mut nodes = by_level.remove(&level).unwrap_or_default();
             nodes.sort_unstable(); // deterministic order
-            for n in nodes {
+            let reps_ref = &reps;
+            let tree_ref = &tree;
+            let selected: Vec<Vec<usize>> = qd_runtime::par_map(&nodes, |&n| {
                 let pool: Vec<usize> = if level == 0 {
-                    tree.leaf_entries(n).map(|(id, _)| id as usize).collect()
+                    tree_ref
+                        .leaf_entries(n)
+                        .map(|(id, _)| id as usize)
+                        .collect()
                 } else {
-                    tree.children(n)
+                    tree_ref
+                        .children(n)
                         .iter()
-                        .flat_map(|c| reps.get(c).cloned().unwrap_or_default())
+                        .flat_map(|c| reps_ref.get(c).cloned().unwrap_or_default())
                         .collect()
                 };
                 if pool.is_empty() {
-                    reps.insert(n, Vec::new());
-                    continue;
+                    return Vec::new();
                 }
                 let target = if level == 0 {
                     // At least two representatives per leaf: a single medoid
@@ -180,7 +190,7 @@ impl RfsStructure {
                 };
                 let target = target.clamp(1, pool.len());
 
-                let selected = if target == pool.len() {
+                if target == pool.len() {
                     pool.clone()
                 } else if config.kmeans_representatives {
                     let pool_features: Vec<&[f32]> =
@@ -193,12 +203,16 @@ impl RfsStructure {
                         .map(|i| pool[i])
                         .collect()
                 } else {
+                    let mut rng =
+                        StdRng::seed_from_u64(config.seed ^ ((n.index() as u64) << 1 | 1));
                     let mut shuffled = pool.clone();
                     shuffled.shuffle(&mut rng);
                     shuffled.truncate(target);
                     shuffled
-                };
-                reps.insert(n, selected);
+                }
+            });
+            for (n, sel) in nodes.into_iter().zip(selected) {
+                reps.insert(n, sel);
             }
         }
 
@@ -308,8 +322,11 @@ impl RfsStructure {
             *pos += 8;
             Ok(v)
         };
-        let node_ids: HashMap<usize, NodeId> =
-            tree.node_ids().into_iter().map(|n| (n.index(), n)).collect();
+        let node_ids: HashMap<usize, NodeId> = tree
+            .node_ids()
+            .into_iter()
+            .map(|n| (n.index(), n))
+            .collect();
         let node_count = u64_at(&data, &mut pos)? as usize;
         let mut reps: HashMap<NodeId, Vec<usize>> = HashMap::with_capacity(node_count);
         for _ in 0..node_count {
@@ -347,7 +364,6 @@ impl RfsStructure {
         })
     }
 }
-
 
 impl FeedbackHierarchy for RfsStructure {
     fn root(&self) -> NodeId {

@@ -262,11 +262,14 @@ pub fn execute_subqueries(
         .collect();
     let quotas = crate::ranking::allocate_quotas(&supports, k);
 
-    let mut locals = Vec::with_capacity(subqueries.len());
-    tree.reset_accesses();
-    for (((home, marks), support), &quota) in
-        subqueries.iter().zip(supports).zip(&quotas)
-    {
+    // Each subquery is independent (§3.3), so they fan out across the
+    // qd-runtime pool. Determinism: quotas are fixed up front, access counts
+    // are accumulated per call (not via the tree's global counter), and
+    // `par_map` returns results in input order — so rankings, group order,
+    // and `knn_accesses` are bit-identical to a sequential run.
+    let work: Vec<(usize, usize)> = supports.into_iter().zip(quotas).collect();
+    let locals: Vec<_> = qd_runtime::par_map_indexed(&work, |i, &(support, quota)| {
+        let (home, marks) = &subqueries[i];
         let fetch = quota + (quota / 2).max(5);
         let lq = LocalQuery {
             home: *home,
@@ -292,9 +295,9 @@ pub fn execute_subqueries(
             ),
         };
         result.support = support;
-        locals.push(result);
-    }
-    let knn_accesses = tree.accesses();
+        result
+    });
+    let knn_accesses = locals.iter().map(|l| l.accesses).sum();
     let (groups, results) = match cfg.merge {
         MergeStrategy::SingleList => {
             let ranked = crate::ranking::merge_single_list(&locals, k);
@@ -395,7 +398,10 @@ mod tests {
         assert!(g >= 2.0 / 3.0, "bird GTIR = {g}");
         let p = precision(corpus, &query, &out.results);
         assert!(p > 0.3, "bird precision = {p}");
-        assert!(out.subquery_count >= 2, "expected decomposition into ≥2 subqueries");
+        assert!(
+            out.subquery_count >= 2,
+            "expected decomposition into ≥2 subqueries"
+        );
     }
 
     #[test]

@@ -94,7 +94,10 @@ pub fn read_header(path: &Path) -> io::Result<CorpusConfig> {
 /// Loads a corpus from `path`, verifying it was built with `config`.
 pub fn load(path: &Path, config: &CorpusConfig) -> io::Result<Corpus> {
     let data = std::fs::read(path)?;
-    let mut r = Reader { data: &data, pos: 0 };
+    let mut r = Reader {
+        data: &data,
+        pos: 0,
+    };
     let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
 
     if r.bytes(4)? != MAGIC {
@@ -179,7 +182,10 @@ pub fn load_or_build(config: &CorpusConfig, path: &Path) -> Corpus {
         std::fs::create_dir_all(parent).ok();
     }
     if let Err(e) = save(&corpus, path) {
-        eprintln!("warning: could not write corpus cache {}: {e}", path.display());
+        eprintln!(
+            "warning: could not write corpus cache {}: {e}",
+            path.display()
+        );
     }
     corpus
 }
@@ -237,9 +243,9 @@ impl<'a> Reader<'a> {
     }
 
     fn f32s(&mut self, n: usize) -> io::Result<Vec<f32>> {
-        let byte_len = n.checked_mul(4).ok_or_else(|| {
-            io::Error::new(io::ErrorKind::InvalidData, "corrupt length field")
-        })?;
+        let byte_len = n
+            .checked_mul(4)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "corrupt length field"))?;
         let raw = self.bytes(byte_len)?;
         Ok(raw
             .chunks_exact(4)

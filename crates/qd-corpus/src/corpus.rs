@@ -3,9 +3,9 @@
 use crate::queries::QuerySpec;
 use crate::taxonomy::{SubconceptId, Taxonomy};
 use qd_features::{FeatureExtractor, FEATURE_DIM};
+use qd_imagery::Image;
 use qd_imagery::Viewpoint;
 use qd_linalg::Normalizer;
-use qd_imagery::Image;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -104,50 +104,29 @@ impl Corpus {
 
         // Per-image RNG streams make every image independent of its
         // neighbors (and re-renderable on demand), so render + extraction
-        // parallelizes over worker threads with a deterministic result.
-        let workers = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-            .min(config.size.div_ceil(64).max(1));
-        let chunk = config.size.div_ceil(workers);
-        let results: Vec<(Vec<Vec<f32>>, Vec<Vec<Vec<f32>>>)> = std::thread::scope(|scope| {
-            let taxonomy = &taxonomy;
-            let extractor = &extractor;
-            let handles: Vec<_> = (0..workers)
-                .map(|w| {
-                    scope.spawn(move || {
-                        let lo = w * chunk;
-                        let hi = ((w + 1) * chunk).min(config.size);
-                        let mut feats = Vec::with_capacity(hi.saturating_sub(lo));
-                        let mut vps: Vec<Vec<Vec<f32>>> = if config.with_viewpoints {
-                            vec![Vec::with_capacity(hi.saturating_sub(lo)); extra_viewpoints.len()]
-                        } else {
-                            Vec::new()
-                        };
-                        for i in lo..hi {
-                            let label = SubconceptId((i % taxonomy.len()) as u32);
-                            let template = &taxonomy.get(label).template;
-                            let mut rng = image_rng(config.seed, i);
-                            let img =
-                                template.render(config.image_size, config.image_size, &mut rng);
-                            feats.push(extractor.extract(&img));
-                            if config.with_viewpoints {
-                                for (slot, vp) in vps.iter_mut().zip(extra_viewpoints) {
-                                    slot.push(extractor.extract_viewpoint(&img, vp));
-                                }
-                            }
-                        }
-                        (feats, vps)
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        // fans out across the qd-runtime pool with a deterministic result.
+        let indices: Vec<usize> = (0..config.size).collect();
+        let per_image = qd_runtime::par_map(&indices, |&i| {
+            let label = SubconceptId((i % taxonomy.len()) as u32);
+            let template = &taxonomy.get(label).template;
+            let mut rng = image_rng(config.seed, i);
+            let img = template.render(config.image_size, config.image_size, &mut rng);
+            let feats = extractor.extract(&img);
+            let vps: Vec<Vec<f32>> = if config.with_viewpoints {
+                extra_viewpoints
+                    .iter()
+                    .map(|&vp| extractor.extract_viewpoint(&img, vp))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            (feats, vps)
         });
-        for (feats, vps) in results {
-            features.extend(feats);
+        for (feats, vps) in per_image {
+            features.push(feats);
             if config.with_viewpoints {
                 for (slot, part) in raw_viewpoints.iter_mut().zip(vps) {
-                    slot.extend(part);
+                    slot.push(part);
                 }
             }
         }
@@ -361,10 +340,7 @@ mod tests {
             }
             assert!(stats.mean().abs() < 1e-3, "dim {d} mean {}", stats.mean());
             let sd = stats.std_dev();
-            assert!(
-                (sd - 1.0).abs() < 1e-2 || sd == 0.0,
-                "dim {d} std {sd}"
-            );
+            assert!((sd - 1.0).abs() < 1e-2 || sd == 0.0, "dim {d} std {sd}");
         }
     }
 
@@ -463,9 +439,6 @@ mod tests {
         }
         let within = within / wn as f64;
         let cross = cross / cn as f64;
-        assert!(
-            cross > 2.0 * within,
-            "within={within:.3}, cross={cross:.3}"
-        );
+        assert!(cross > 2.0 * within, "within={within:.3}, cross={cross:.3}");
     }
 }

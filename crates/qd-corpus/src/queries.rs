@@ -157,7 +157,10 @@ pub fn standard_queries(t: &Taxonomy) -> Vec<QuerySpec> {
             t,
             &[
                 ("with clear background", &["computer/laptop-clear"]),
-                ("with complicated background", &["computer/laptop-cluttered"]),
+                (
+                    "with complicated background",
+                    &["computer/laptop-cluttered"],
+                ),
             ],
         ),
     ]

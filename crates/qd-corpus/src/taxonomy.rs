@@ -96,9 +96,7 @@ impl Taxonomy {
 
     /// Ids of the named (non-filler) subconcepts.
     pub fn named_ids(&self) -> Vec<SubconceptId> {
-        self.ids()
-            .filter(|&id| !self.get(id).filler)
-            .collect()
+        self.ids().filter(|&id| !self.get(id).filler).collect()
     }
 }
 

@@ -582,8 +582,7 @@ mod tests {
         // system operates in; raw dimensions have wildly different scales.
         let norm = qd_linalg::Normalizer::fit(&raw);
         let normalized: Vec<Vec<f32>> = raw.iter().map(|v| norm.transform(v)).collect();
-        let clusters: Vec<Vec<Vec<f32>>> =
-            normalized.chunks(6).map(|c| c.to_vec()).collect();
+        let clusters: Vec<Vec<Vec<f32>>> = normalized.chunks(6).map(|c| c.to_vec()).collect();
         // Mean intra-cluster distance.
         let mut intra = 0.0f64;
         let mut intra_n = 0;
@@ -597,8 +596,10 @@ mod tests {
         }
         let intra = intra / intra_n as f64;
         // Mean inter-cluster centroid distance.
-        let centroids: Vec<Vec<f32>> =
-            clusters.iter().map(|c| qd_linalg::vector::centroid(c)).collect();
+        let centroids: Vec<Vec<f32>> = clusters
+            .iter()
+            .map(|c| qd_linalg::vector::centroid(c))
+            .collect();
         let mut inter = f64::INFINITY;
         for i in 0..4 {
             for j in (i + 1)..4 {

@@ -182,7 +182,10 @@ mod tests {
     fn normal_viewpoint_equals_plain_extraction() {
         let img = sample_image();
         let ex = FeatureExtractor::new();
-        assert_eq!(ex.extract(&img), ex.extract_viewpoint(&img, Viewpoint::Normal));
+        assert_eq!(
+            ex.extract(&img),
+            ex.extract_viewpoint(&img, Viewpoint::Normal)
+        );
     }
 
     #[test]

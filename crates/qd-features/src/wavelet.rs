@@ -160,13 +160,7 @@ mod tests {
 
     #[test]
     fn vertical_stripes_excite_hl_band() {
-        let img = Image::from_fn(32, 32, |x, _| {
-            if x % 2 == 0 {
-                [1.0; 3]
-            } else {
-                [0.0; 3]
-            }
-        });
+        let img = Image::from_fn(32, 32, |x, _| if x % 2 == 0 { [1.0; 3] } else { [0.0; 3] });
         let f = wavelet_features(&img);
         let (lh1, hl1) = (f[0], f[1]);
         assert!(hl1 > 5.0 * (lh1 + 1e-6), "lh1={lh1}, hl1={hl1}");

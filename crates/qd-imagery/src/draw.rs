@@ -36,14 +36,21 @@ pub fn vertical_gradient(img: &mut Image, top: Rgb, bottom: Rgb) {
 pub fn fill_rect(img: &mut Image, cx: f32, cy: f32, hw: f32, hh: f32, angle: f32, color: Rgb) {
     let (sin, cos) = angle.sin_cos();
     let reach = hw.abs().max(hh.abs()) * 1.5 + 1.0;
-    scan_region(img, cx, cy, reach, |x, y| {
-        // Rotate the pixel into the rectangle's local frame.
-        let dx = x - cx;
-        let dy = y - cy;
-        let lx = dx * cos + dy * sin;
-        let ly = -dx * sin + dy * cos;
-        lx.abs() <= hw && ly.abs() <= hh
-    }, color);
+    scan_region(
+        img,
+        cx,
+        cy,
+        reach,
+        |x, y| {
+            // Rotate the pixel into the rectangle's local frame.
+            let dx = x - cx;
+            let dy = y - cy;
+            let lx = dx * cos + dy * sin;
+            let ly = -dx * sin + dy * cos;
+            lx.abs() <= hw && ly.abs() <= hh
+        },
+        color,
+    );
 }
 
 /// Filled ellipse centered at `(cx, cy)` with radii `(rx, ry)`, rotated by
@@ -51,13 +58,20 @@ pub fn fill_rect(img: &mut Image, cx: f32, cy: f32, hw: f32, hh: f32, angle: f32
 pub fn fill_ellipse(img: &mut Image, cx: f32, cy: f32, rx: f32, ry: f32, angle: f32, color: Rgb) {
     let (sin, cos) = angle.sin_cos();
     let reach = rx.abs().max(ry.abs()) + 1.0;
-    scan_region(img, cx, cy, reach, |x, y| {
-        let dx = x - cx;
-        let dy = y - cy;
-        let lx = dx * cos + dy * sin;
-        let ly = -dx * sin + dy * cos;
-        (lx / rx).powi(2) + (ly / ry).powi(2) <= 1.0
-    }, color);
+    scan_region(
+        img,
+        cx,
+        cy,
+        reach,
+        |x, y| {
+            let dx = x - cx;
+            let dy = y - cy;
+            let lx = dx * cos + dy * sin;
+            let ly = -dx * sin + dy * cos;
+            (lx / rx).powi(2) + (ly / ry).powi(2) <= 1.0
+        },
+        color,
+    );
 }
 
 /// Filled isoceles triangle: apex up, centered at `(cx, cy)`, half-width `hw`
@@ -65,18 +79,25 @@ pub fn fill_ellipse(img: &mut Image, cx: f32, cy: f32, rx: f32, ry: f32, angle: 
 pub fn fill_triangle(img: &mut Image, cx: f32, cy: f32, hw: f32, hh: f32, angle: f32, color: Rgb) {
     let (sin, cos) = angle.sin_cos();
     let reach = hw.abs().max(hh.abs()) * 1.5 + 1.0;
-    scan_region(img, cx, cy, reach, |x, y| {
-        let dx = x - cx;
-        let dy = y - cy;
-        let lx = dx * cos + dy * sin;
-        let ly = -dx * sin + dy * cos;
-        // In local frame: apex at (0, -hh), base from (-hw, hh) to (hw, hh).
-        if ly < -hh || ly > hh {
-            return false;
-        }
-        let t = (ly + hh) / (2.0 * hh); // 0 at apex, 1 at base
-        lx.abs() <= hw * t
-    }, color);
+    scan_region(
+        img,
+        cx,
+        cy,
+        reach,
+        |x, y| {
+            let dx = x - cx;
+            let dy = y - cy;
+            let lx = dx * cos + dy * sin;
+            let ly = -dx * sin + dy * cos;
+            // In local frame: apex at (0, -hh), base from (-hw, hh) to (hw, hh).
+            if ly < -hh || ly > hh {
+                return false;
+            }
+            let t = (ly + hh) / (2.0 * hh); // 0 at apex, 1 at base
+            lx.abs() <= hw * t
+        },
+        color,
+    );
 }
 
 /// Thick line segment ("bar") from `(x0, y0)` to `(x1, y1)` with the given
@@ -86,7 +107,15 @@ pub fn fill_bar(img: &mut Image, x0: f32, y0: f32, x1: f32, y1: f32, half_thick:
     let cy = (y0 + y1) / 2.0;
     let len = ((x1 - x0).powi(2) + (y1 - y0).powi(2)).sqrt();
     let angle = (y1 - y0).atan2(x1 - x0);
-    fill_rect(img, cx, cy, len / 2.0 + half_thick, half_thick, angle, color);
+    fill_rect(
+        img,
+        cx,
+        cy,
+        len / 2.0 + half_thick,
+        half_thick,
+        angle,
+        color,
+    );
 }
 
 /// Adds uniform speckle noise: each pixel is perturbed by up to `±amplitude`
@@ -106,7 +135,11 @@ pub fn speckle<R: Rng>(img: &mut Image, amplitude: f32, rng: &mut R) {
 pub fn stripes(img: &mut Image, a: Rgb, b: Rgb, period: usize) {
     let period = period.max(2);
     for y in 0..img.height() {
-        let c = if (y / (period / 2)).is_multiple_of(2) { a } else { b };
+        let c = if (y / (period / 2)).is_multiple_of(2) {
+            a
+        } else {
+            b
+        };
         for x in 0..img.width() {
             img.set(x, y, c);
         }
@@ -118,7 +151,11 @@ pub fn checker(img: &mut Image, a: Rgb, b: Rgb, cell: usize) {
     let cell = cell.max(1);
     for y in 0..img.height() {
         for x in 0..img.width() {
-            let c = if (x / cell + y / cell).is_multiple_of(2) { a } else { b };
+            let c = if (x / cell + y / cell).is_multiple_of(2) {
+                a
+            } else {
+                b
+            };
             img.set(x, y, c);
         }
     }
@@ -126,7 +163,13 @@ pub fn checker(img: &mut Image, a: Rgb, b: Rgb, cell: usize) {
 
 /// Scatters `count` small random blobs from `palette` over the image —
 /// the "cluttered background" used by some subconcept templates.
-pub fn clutter<R: Rng>(img: &mut Image, palette: &[Rgb], count: usize, max_radius: f32, rng: &mut R) {
+pub fn clutter<R: Rng>(
+    img: &mut Image,
+    palette: &[Rgb],
+    count: usize,
+    max_radius: f32,
+    rng: &mut R,
+) {
     if palette.is_empty() {
         return;
     }
@@ -214,7 +257,15 @@ mod tests {
     #[test]
     fn rotated_rect_swaps_extents() {
         let mut img = Image::filled(20, 20, BLACK);
-        fill_rect(&mut img, 10.0, 10.0, 6.0, 1.5, std::f32::consts::FRAC_PI_2, RED);
+        fill_rect(
+            &mut img,
+            10.0,
+            10.0,
+            6.0,
+            1.5,
+            std::f32::consts::FRAC_PI_2,
+            RED,
+        );
         // After a 90° rotation the long axis is vertical.
         assert_eq!(img.get(10, 14), RED);
         assert_eq!(img.get(14, 10), BLACK);

@@ -92,7 +92,7 @@ pub fn bmp_bytes(img: &Image) -> Vec<u8> {
     out.extend_from_slice(&(file_size as u32).to_le_bytes());
     out.extend_from_slice(&0u32.to_le_bytes()); // reserved
     out.extend_from_slice(&54u32.to_le_bytes()); // pixel data offset
-    // BITMAPINFOHEADER
+                                                 // BITMAPINFOHEADER
     out.extend_from_slice(&40u32.to_le_bytes());
     out.extend_from_slice(&(width as i32).to_le_bytes());
     out.extend_from_slice(&(height as i32).to_le_bytes());
@@ -104,7 +104,7 @@ pub fn bmp_bytes(img: &Image) -> Vec<u8> {
     out.extend_from_slice(&2835u32.to_le_bytes());
     out.extend_from_slice(&0u32.to_le_bytes()); // palette colors
     out.extend_from_slice(&0u32.to_le_bytes()); // important colors
-    // Pixel rows, bottom-up, BGR order.
+                                                // Pixel rows, bottom-up, BGR order.
     for y in (0..height).rev() {
         for x in 0..width {
             let p = img.get(x, y);
@@ -121,8 +121,7 @@ pub fn bmp_bytes(img: &Image) -> Vec<u8> {
 /// Base64-encodes bytes (standard alphabet, padded) — enough for `data:`
 /// URIs without an external crate.
 pub fn base64(data: &[u8]) -> String {
-    const ALPHABET: &[u8; 64] =
-        b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+    const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
     let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
     for chunk in data.chunks(3) {
         let b = [
@@ -184,7 +183,11 @@ pub fn ansi_preview(img: &Image, max_cols: usize) -> String {
     while cy + 1 < rows || (rows == 1 && cy == 0) {
         for cx in 0..cols {
             let top = sample(cx, cy);
-            let bottom = if cy + 1 < rows { sample(cx, cy + 1) } else { top };
+            let bottom = if cy + 1 < rows {
+                sample(cx, cy + 1)
+            } else {
+                top
+            };
             out.push_str(&format!(
                 "\x1b[38;2;{};{};{}m\x1b[48;2;{};{};{}m▀",
                 top[0], top[1], top[2], bottom[0], bottom[1], bottom[2]

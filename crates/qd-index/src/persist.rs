@@ -9,7 +9,7 @@
 //! `NodeId`).
 
 use crate::rect::Rect;
-use crate::tree::{write_tree, read_tree, RStarTree};
+use crate::tree::{read_tree, write_tree, RStarTree};
 use std::io;
 use std::path::Path;
 

@@ -890,14 +890,24 @@ impl RStarTree {
     /// `scope` — the paper's *localized* k-NN computation (§3.3): each final
     /// subquery searches only its own subcluster.
     pub fn knn_in(&self, scope: NodeId, query: &[f32], k: usize) -> Vec<Neighbor> {
+        self.knn_in_counted(scope, query, k).0
+    }
+
+    /// [`Self::knn_in`] that additionally returns the number of node accesses
+    /// this call performed. The count is accumulated call-locally (and folded
+    /// into the global [`Self::accesses`] counter afterwards), so concurrent
+    /// queries over a shared tree each see exactly their own cost — the
+    /// per-subquery accounting the deterministic parallel executor relies on.
+    pub fn knn_in_counted(&self, scope: NodeId, query: &[f32], k: usize) -> (Vec<Neighbor>, u64) {
         assert_eq!(
             query.len(),
             self.config.dims,
             "query dimensionality mismatch"
         );
+        let mut touched = 0u64;
         let mut out = Vec::with_capacity(k);
         if k == 0 || self.node(scope).rect.is_none() {
-            return out;
+            return (out, touched);
         }
         #[derive(PartialEq)]
         struct HeapItem {
@@ -942,7 +952,7 @@ impl RStarTree {
                     }
                 }
                 HeapKind::Node(n) => {
-                    self.touch(n);
+                    touched += 1;
                     match &self.node(n).kind {
                         NodeKind::Leaf(d) => {
                             for e in d {
@@ -966,7 +976,8 @@ impl RStarTree {
                 }
             }
         }
-        out
+        self.accesses.fetch_add(touched, AtomicOrdering::Relaxed);
+        (out, touched)
     }
 
     /// The single nearest neighbor of `query`, if the tree is non-empty.
@@ -999,7 +1010,11 @@ impl RStarTree {
 
     /// Ids of all points inside `range` (boundary inclusive).
     pub fn range(&self, range: &Rect) -> Vec<u64> {
-        assert_eq!(range.dim(), self.config.dims, "range dimensionality mismatch");
+        assert_eq!(
+            range.dim(),
+            self.config.dims,
+            "range dimensionality mismatch"
+        );
         let mut out = Vec::new();
         let mut stack = vec![self.root];
         while let Some(n) = stack.pop() {
@@ -1054,7 +1069,9 @@ impl RStarTree {
         let mut stack = vec![root];
         while let Some(n) = stack.pop() {
             if !visited.insert(n) {
-                return fail(format!("node {n:?} reachable twice (cycle or shared child)"));
+                return fail(format!(
+                    "node {n:?} reachable twice (cycle or shared child)"
+                ));
             }
             let node = self
                 .nodes
@@ -1173,15 +1190,16 @@ fn bounding_rect_of_points(entries: &[DataEntry]) -> Rect {
 }
 
 fn dist2(a: &[f32], b: &[f32]) -> f64 {
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| ((x - y) as f64).powi(2))
-        .sum()
+    a.iter().zip(b).map(|(x, y)| ((x - y) as f64).powi(2)).sum()
 }
 
 /// Recursively partitions `items` into chunks of at most `max` elements by
 /// median-splitting along the widest dimension — the bulk-load tiler.
-fn partition_recursive<T>(items: &mut [T], max: usize, key: impl Fn(&T) -> &[f32] + Copy) -> Vec<Vec<T>>
+fn partition_recursive<T>(
+    items: &mut [T],
+    max: usize,
+    key: impl Fn(&T) -> &[f32] + Copy,
+) -> Vec<Vec<T>>
 where
     T: Clone,
 {
@@ -1215,7 +1233,6 @@ where
     out.extend(partition_recursive(right, max, key));
     out
 }
-
 
 // ----------------------------------------------------------------------
 // Persistence (see `crate::persist` for the public API)
@@ -1319,8 +1336,8 @@ pub(crate) fn read_tree(data: &[u8]) -> std::io::Result<RStarTree> {
     // count fields — a flipped byte must produce an error, not an OOM.
     if dims == 0
         || dims > 1 << 16
-        || min_entries < 2
-        || min_entries > 1 << 20 // bound before multiplying (overflow)
+        // bound before multiplying (overflow)
+        || !(2..=1 << 20).contains(&min_entries)
         || max_entries > 1 << 20
         || min_entries * 2 > max_entries
         || !reinsert_fraction.is_finite()
@@ -1431,7 +1448,9 @@ pub(crate) fn read_tree(data: &[u8]) -> std::io::Result<RStarTree> {
     // A structurally broken file must not produce a tree that misbehaves
     // later; the non-panicking checker rejects it cleanly.
     if let Err(msg) = tree.check_invariants() {
-        return Err(bad(&format!("tree file fails structural validation: {msg}")));
+        return Err(bad(&format!(
+            "tree file fails structural validation: {msg}"
+        )));
     }
     Ok(tree)
 }
@@ -1453,10 +1472,7 @@ mod tests {
     }
 
     fn brute_knn(items: &[(u64, Vec<f32>)], q: &[f32], k: usize) -> Vec<u64> {
-        let mut scored: Vec<(f64, u64)> = items
-            .iter()
-            .map(|(id, p)| (dist2(p, q), *id))
-            .collect();
+        let mut scored: Vec<(f64, u64)> = items.iter().map(|(id, p)| (dist2(p, q), *id)).collect();
         scored.sort_by(|a, b| a.partial_cmp(b).unwrap());
         scored.into_iter().take(k).map(|(_, id)| id).collect()
     }
@@ -1543,8 +1559,11 @@ mod tests {
         }
         // Search restricted to the first child only returns items stored there.
         let child = tree.children(tree.root())[0];
-        let local_ids: std::collections::HashSet<u64> =
-            tree.subtree_items(child).iter().map(|(id, _)| *id).collect();
+        let local_ids: std::collections::HashSet<u64> = tree
+            .subtree_items(child)
+            .iter()
+            .map(|(id, _)| *id)
+            .collect();
         let result = tree.knn_in(child, &[5.0, 5.0, 5.0], 25);
         assert!(!result.is_empty());
         for n in &result {

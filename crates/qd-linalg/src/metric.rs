@@ -226,7 +226,10 @@ mod tests {
             Metric::WeightedEuclidean(vec![0.5, 2.0, 1.0]),
         ];
         for m in metrics {
-            assert!((m.distance(&A, &B) - m.distance(&B, &A)).abs() < 1e-6, "{m:?}");
+            assert!(
+                (m.distance(&A, &B) - m.distance(&B, &A)).abs() < 1e-6,
+                "{m:?}"
+            );
             assert!(m.distance(&A, &A).abs() < 1e-6, "{m:?}");
         }
     }

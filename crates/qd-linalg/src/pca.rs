@@ -207,11 +207,7 @@ mod tests {
 
     #[test]
     fn jacobi_eigenvectors_are_orthonormal() {
-        let m = Matrix::from_rows(
-            3,
-            3,
-            vec![4.0, 1.0, 0.5, 1.0, 3.0, -1.0, 0.5, -1.0, 2.0],
-        );
+        let m = Matrix::from_rows(3, 3, vec![4.0, 1.0, 0.5, 1.0, 3.0, -1.0, 0.5, -1.0, 2.0]);
         let (_, v) = jacobi_eigen(&m, 1e-14, 100);
         let vtv = v.transpose().matmul(&v);
         for i in 0..3 {

@@ -260,7 +260,9 @@ mod tests {
 
     #[test]
     fn merge_equals_sequential() {
-        let xs: Vec<f32> = (0..50).map(|i| (i as f32 * 0.7).sin() * 3.0 + 1.0).collect();
+        let xs: Vec<f32> = (0..50)
+            .map(|i| (i as f32 * 0.7).sin() * 3.0 + 1.0)
+            .collect();
         let mut whole = RunningStats::new();
         for &x in &xs {
             whole.push(x);

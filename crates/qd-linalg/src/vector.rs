@@ -51,7 +51,10 @@ pub fn scale_assign(a: &mut [f32], s: f32) {
 /// Panics if the slices differ in length.
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "vector length mismatch");
-    a.iter().zip(b).map(|(x, y)| *x as f64 * *y as f64).sum::<f64>() as f32
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| *x as f64 * *y as f64)
+        .sum::<f64>() as f32
 }
 
 /// Euclidean (L2) norm.

@@ -1,0 +1,224 @@
+#![warn(missing_docs)]
+
+//! Deterministic parallel execution for the Query Decomposition engine.
+//!
+//! The paper's workloads are embarrassingly parallel at three layers — the
+//! final round's localized subqueries are independent (§3.3–3.4), MV's four
+//! viewpoint k-NNs are independent, and the benchmark harness evaluates
+//! independent queries — so this crate provides a tiny executor built on
+//! [`std::thread::scope`] with one hard guarantee:
+//!
+//! **Determinism contract.** [`par_map`] returns results in input order, and
+//! every closure must depend only on its own item (seeding any RNG it uses
+//! from the item or its index). Under that discipline the output is
+//! bit-identical for every worker count, so `QD_THREADS=1` and
+//! `QD_THREADS=8` produce byte-identical CSVs, rankings, and access counts —
+//! enforced by `tests/parallel_equivalence.rs`.
+//!
+//! Worker count resolution order:
+//! 1. an in-process [`with_threads`] override (used by tests),
+//! 2. the `QD_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+
+use std::cell::Cell;
+use std::panic::resume_unwind;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+thread_local! {
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Environment variable forcing the worker count (`QD_THREADS=1` forces a
+/// fully sequential run for reproducibility baselines).
+pub const THREADS_ENV: &str = "QD_THREADS";
+
+/// The worker count [`par_map`] will use right now.
+pub fn threads() -> usize {
+    if let Some(n) = THREAD_OVERRIDE.with(Cell::get) {
+        return n.max(1);
+    }
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1)
+}
+
+/// Runs `f` with the worker count pinned to `n` on this thread (and every
+/// [`par_map`] it calls directly). Restores the previous setting afterwards,
+/// panic or not. Tests use this instead of mutating the process-global
+/// environment.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0;
+            THREAD_OVERRIDE.with(|c| c.set(prev));
+        }
+    }
+    let _restore = Restore(THREAD_OVERRIDE.with(|c| c.replace(Some(n))));
+    f()
+}
+
+/// Maps `f` over `items` on up to [`threads`] scoped workers, returning the
+/// results **in input order**. Workers self-schedule one item at a time off a
+/// shared counter, so heterogeneous per-item costs balance well; the output
+/// order never depends on scheduling. A panic in any closure propagates to
+/// the caller with its original payload.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_indexed(items, |_, item| f(item))
+}
+
+/// [`par_map`] where the closure also receives the item's input index —
+/// the hook for per-item RNG seeding (`seed + i`), which is what keeps
+/// parallel output identical to sequential output.
+pub fn par_map_indexed<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let n = items.len();
+    let workers = threads().min(n);
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let parts: Vec<Vec<(usize, U)>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|payload| resume_unwind(payload)))
+            .collect()
+    });
+
+    let mut out: Vec<Option<U>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    for part in parts {
+        for (i, v) in part {
+            out[i] = Some(v);
+        }
+    }
+    out.into_iter()
+        .map(|slot| slot.expect("every index scheduled exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = par_map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn order_holds_under_skewed_workloads() {
+        // Early items sleep, late items finish instantly: completion order
+        // is far from input order, the output must not be.
+        let items: Vec<usize> = (0..32).collect();
+        let out = with_threads(8, || {
+            par_map(&items, |&x| {
+                if x < 4 {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+                x
+            })
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let items: Vec<u32> = Vec::new();
+        let out: Vec<u32> = par_map(&items, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn fewer_items_than_workers() {
+        let items = vec![10u64, 20];
+        let out = with_threads(8, || par_map(&items, |&x| x + 1));
+        assert_eq!(out, vec![11, 21]);
+    }
+
+    #[test]
+    fn honors_single_thread_override() {
+        // With one worker the map runs inline on the calling thread.
+        let caller = std::thread::current().id();
+        let items: Vec<usize> = (0..16).collect();
+        let out = with_threads(1, || {
+            par_map(&items, |&x| {
+                assert_eq!(std::thread::current().id(), caller);
+                x
+            })
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn with_threads_restores_previous_setting() {
+        let before = threads();
+        with_threads(3, || {
+            assert_eq!(threads(), 3);
+            with_threads(1, || assert_eq!(threads(), 1));
+            assert_eq!(threads(), 3);
+        });
+        assert_eq!(threads(), before);
+    }
+
+    #[test]
+    fn propagates_panics() {
+        let items: Vec<usize> = (0..64).collect();
+        let result = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                par_map(&items, |&x| {
+                    if x == 33 {
+                        panic!("boom at {x}");
+                    }
+                    x
+                })
+            })
+        });
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("boom at 33"), "payload was {msg:?}");
+    }
+
+    #[test]
+    fn indexed_variant_passes_the_input_index() {
+        let items = vec!["a", "b", "c"];
+        let out = par_map_indexed(&items, |i, s| format!("{i}{s}"));
+        assert_eq!(out, vec!["0a", "1b", "2c"]);
+    }
+}

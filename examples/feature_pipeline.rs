@@ -52,8 +52,14 @@ fn main() {
         println!("\n{name} ({} dims):\n  {}", vals.len(), vals.join(" "));
     };
     show("Color moments (HSV mean/std/skew)", FeatureGroup::Color);
-    show("Wavelet texture energies (3-level Haar)", FeatureGroup::Texture);
-    show("Edge structure (16-bin orientation histogram + density + strength)", FeatureGroup::Edge);
+    show(
+        "Wavelet texture energies (3-level Haar)",
+        FeatureGroup::Texture,
+    );
+    show(
+        "Edge structure (16-bin orientation histogram + density + strength)",
+        FeatureGroup::Edge,
+    );
 
     println!("\nMV viewpoints shift the color features but keep edge geometry:");
     for vp in Viewpoint::ALL {

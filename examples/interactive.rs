@@ -42,7 +42,10 @@ fn main() {
     };
     let query = &queries[choice.min(queries.len() - 1)];
     let k = corpus.ground_truth(query).len();
-    println!("\nSearching for {:?} (retrieving k = {k} images)…", query.name);
+    println!(
+        "\nSearching for {:?} (retrieving k = {k} images)…",
+        query.name
+    );
     let mut oracle = SimulatedUser::oracle(query, 7);
 
     // --- feedback rounds -------------------------------------------------
@@ -51,16 +54,27 @@ fn main() {
     let mut active: Vec<NodeId> = vec![rfs.tree().root()];
     let mut final_marks: HashMap<NodeId, Vec<usize>> = HashMap::new();
     for round in 1..=rounds {
-        println!("\n════ Round {round} ── {} active subcluster(s) ════", active.len());
+        println!(
+            "\n════ Round {round} ── {} active subcluster(s) ════",
+            active.len()
+        );
         let mut next_active = Vec::new();
         for (si, &node) in active.iter().enumerate() {
             let reps = FeedbackHierarchy::representatives(&rfs, node);
-            println!("\n-- subcluster {} ({} representatives) --", si + 1, reps.len());
+            println!(
+                "\n-- subcluster {} ({} representatives) --",
+                si + 1,
+                reps.len()
+            );
             let marked: Vec<usize> = if auto {
                 // The oracle pages through every representative; display the
                 // first few marked ones so the demo stays readable.
                 let m = oracle.mark_relevant(reps, corpus.labels());
-                println!("[auto] scanned {} pages, marked {} relevant:", reps.len().div_ceil(PAGE), m.len());
+                println!(
+                    "[auto] scanned {} pages, marked {} relevant:",
+                    reps.len().div_ceil(PAGE),
+                    m.len()
+                );
                 let preview: Vec<usize> = m.iter().copied().take(PAGE).collect();
                 display_row(&corpus, &preview);
                 m
@@ -103,7 +117,10 @@ fn main() {
                 println!("\nNo relevant images found — the query ends here.");
                 return;
             }
-            println!("\nquery decomposed into {} subquery(ies)", next_active.len());
+            println!(
+                "\nquery decomposed into {} subquery(ies)",
+                next_active.len()
+            );
             active = next_active;
         }
     }
@@ -115,19 +132,20 @@ fn main() {
     let per_subquery = k / homes.len().max(1) + 8;
     for home in homes {
         let query_points = final_marks.remove(&home).unwrap();
-        locals.push(
-            query_decomposition::core::localknn::run_local_query(
-                rfs.tree(),
-                corpus.features(),
-                &LocalQuery { home, query_points },
-                cfg.boundary_threshold,
-                per_subquery,
-                8,
-            ),
-        );
+        locals.push(query_decomposition::core::localknn::run_local_query(
+            rfs.tree(),
+            corpus.features(),
+            &LocalQuery { home, query_points },
+            cfg.boundary_threshold,
+            per_subquery,
+            8,
+        ));
     }
     let groups = merge_local_results(&locals, k.min(24));
-    println!("\n════ Final results ({} groups, §3.4 presentation order) ════", groups.len());
+    println!(
+        "\n════ Final results ({} groups, §3.4 presentation order) ════",
+        groups.len()
+    );
     for (i, group) in groups.iter().enumerate() {
         println!(
             "\n-- group {} (ranking score {:.2}) --",

@@ -35,7 +35,10 @@ fn main() {
         .find(|q| q.name == "bird")
         .expect("standard query set contains 'bird'");
     let k = corpus.ground_truth(&query).len();
-    println!("\nRunning a 3-round QD session for {:?} (k = {k})…", query.name);
+    println!(
+        "\nRunning a 3-round QD session for {:?} (k = {k})…",
+        query.name
+    );
 
     let mut user = SimulatedUser::oracle(&query, 7);
     let outcome = run_session(&corpus, &rfs, &query, &mut user, k, &QdConfig::default());

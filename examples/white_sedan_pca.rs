@@ -16,7 +16,10 @@ fn main() {
     let corpus = Corpus::build(&CorpusConfig::test_small(42));
     let query = queries::white_sedan_query(corpus.taxonomy());
 
-    println!("Fitting PCA (37 → 3 dimensions) over {} images…", corpus.len());
+    println!(
+        "Fitting PCA (37 → 3 dimensions) over {} images…",
+        corpus.len()
+    );
     let pca = Pca::fit(corpus.features(), 3);
     println!(
         "  top-3 components capture {:.1}% of the variance",
@@ -30,8 +33,7 @@ fn main() {
         let ids = corpus.images_of(group.members[0]);
         let pts: Vec<&[f32]> = ids.iter().map(|&id| projected[id].as_slice()).collect();
         let c = centroid(&pts);
-        let radius: f32 =
-            pts.iter().map(|p| euclidean(p, &c)).sum::<f32>() / pts.len() as f32;
+        let radius: f32 = pts.iter().map(|p| euclidean(p, &c)).sum::<f32>() / pts.len() as f32;
         println!(
             "  {:<11} {:>3} images  centroid ({:+.2}, {:+.2}, {:+.2})  mean radius {:.2}",
             group.name,

@@ -148,7 +148,8 @@ fn build_rfs(opts: &Options) -> Result<(), String> {
     );
     let start = std::time::Instant::now();
     let rfs = RfsStructure::build(corpus.features(), &config);
-    rfs.save(&out).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    rfs.save(&out)
+        .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
     println!(
         "wrote {} ({}-level tree, {} nodes, {} representatives) in {:.1}s",
         out.display(),
@@ -187,7 +188,10 @@ fn stats(opts: &Options) -> Result<(), String> {
             100.0 * rfs.all_representatives().len() as f64 / corpus.len() as f64
         );
         for (level, nodes, fill) in tree.occupancy() {
-            println!("  level {level}     : {nodes} nodes, {:.0}% full", fill * 100.0);
+            println!(
+                "  level {level}     : {nodes} nodes, {:.0}% full",
+                fill * 100.0
+            );
         }
     }
     Ok(())
@@ -198,7 +202,12 @@ fn list_queries(opts: &Options) -> Result<(), String> {
     for q in queries::standard_queries(corpus.taxonomy()) {
         let gt = corpus.ground_truth(&q).len();
         let groups: Vec<&str> = q.groups.iter().map(|g| g.name.as_str()).collect();
-        println!("{:<20} {:>5} ground-truth images  [{}]", q.name, gt, groups.join(", "));
+        println!(
+            "{:<20} {:>5} ground-truth images  [{}]",
+            q.name,
+            gt,
+            groups.join(", ")
+        );
     }
     Ok(())
 }
@@ -233,7 +242,9 @@ fn query(opts: &Options) -> Result<(), String> {
 
     println!(
         "query {:?}: {} subqueries, {} results (k = {k})",
-        query.name, out.subquery_count, out.results.len()
+        query.name,
+        out.subquery_count,
+        out.results.len()
     );
     for trace in &out.round_trace {
         println!(
@@ -296,11 +307,18 @@ fn export(opts: &Options) -> Result<(), String> {
     let ids: Vec<usize> = opts
         .require("ids")?
         .split(',')
-        .map(|t| t.trim().parse::<usize>().map_err(|_| format!("bad id {t:?}")))
+        .map(|t| {
+            t.trim()
+                .parse::<usize>()
+                .map_err(|_| format!("bad id {t:?}"))
+        })
         .collect::<Result<_, _>>()?;
     for id in ids {
         if id >= corpus.len() {
-            return Err(format!("image id {id} out of range (corpus has {})", corpus.len()));
+            return Err(format!(
+                "image id {id} out of range (corpus has {})",
+                corpus.len()
+            ));
         }
         let img = corpus.render_image(id);
         let name = corpus.taxonomy().name(corpus.label(id)).replace('/', "_");

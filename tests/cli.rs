@@ -34,8 +34,17 @@ fn built() -> &'static PathBuf {
         let out = qd(
             &dir,
             &[
-                "build-corpus", "--out", "c.qdc", "--size", "400", "--fillers", "4", "--seed",
-                "3", "--image-size", "24",
+                "build-corpus",
+                "--out",
+                "c.qdc",
+                "--size",
+                "400",
+                "--fillers",
+                "4",
+                "--seed",
+                "3",
+                "--image-size",
+                "24",
             ],
         );
         assert!(out.status.success(), "{}", stderr(&out));
@@ -79,7 +88,9 @@ fn query_runs_a_session_and_reports_metrics() {
     let dir = built();
     let out = qd(
         dir,
-        &["query", "--corpus", "c.qdc", "--rfs", "r.qdr", "--query", "car"],
+        &[
+            "query", "--corpus", "c.qdc", "--rfs", "r.qdr", "--query", "car",
+        ],
     );
     assert!(out.status.success(), "{}", stderr(&out));
     let text = stdout(&out);
@@ -93,7 +104,9 @@ fn export_writes_ppm_files() {
     let dir = built();
     let out = qd(
         dir,
-        &["export", "--corpus", "c.qdc", "--ids", "0,3", "--dir", "imgs"],
+        &[
+            "export", "--corpus", "c.qdc", "--ids", "0,3", "--dir", "imgs",
+        ],
     );
     assert!(out.status.success(), "{}", stderr(&out));
     let entries: Vec<_> = std::fs::read_dir(dir.join("imgs")).unwrap().collect();
@@ -125,8 +138,14 @@ fn query_rejects_unknown_query_name() {
     let dir = built();
     let out = qd(
         dir,
-        &["query", "--corpus", "c.qdc", "--rfs", "r.qdr", "--query", "zebra"],
+        &[
+            "query", "--corpus", "c.qdc", "--rfs", "r.qdr", "--query", "zebra",
+        ],
     );
     assert!(!out.status.success());
-    assert!(stderr(&out).contains("no standard query"), "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("no standard query"),
+        "{}",
+        stderr(&out)
+    );
 }

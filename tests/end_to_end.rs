@@ -75,8 +75,22 @@ fn whole_experiment_is_deterministic_end_to_end() {
     let k = corpus_a.ground_truth(&query).len();
     let mut user_a = SimulatedUser::oracle(&query, 3);
     let mut user_b = SimulatedUser::oracle(&query, 3);
-    let out_a = run_session(&corpus_a, &rfs_a, &query, &mut user_a, k, &QdConfig::default());
-    let out_b = run_session(&corpus_b, &rfs_b, &query, &mut user_b, k, &QdConfig::default());
+    let out_a = run_session(
+        &corpus_a,
+        &rfs_a,
+        &query,
+        &mut user_a,
+        k,
+        &QdConfig::default(),
+    );
+    let out_b = run_session(
+        &corpus_b,
+        &rfs_b,
+        &query,
+        &mut user_b,
+        k,
+        &QdConfig::default(),
+    );
     assert_eq!(out_a.results, out_b.results);
 }
 
@@ -115,15 +129,32 @@ fn noisy_user_degrades_gracefully() {
     let k = corpus.ground_truth(&query).len();
 
     let mut clean_user = SimulatedUser::oracle(&query, 2);
-    let clean = run_session(corpus, rfs, &query, &mut clean_user, k, &QdConfig::default());
+    let clean = run_session(
+        corpus,
+        rfs,
+        &query,
+        &mut clean_user,
+        k,
+        &QdConfig::default(),
+    );
     let mut noisy_user = SimulatedUser::oracle(&query, 2).with_noise(0.3);
-    let noisy = run_session(corpus, rfs, &query, &mut noisy_user, k, &QdConfig::default());
+    let noisy = run_session(
+        corpus,
+        rfs,
+        &query,
+        &mut noisy_user,
+        k,
+        &QdConfig::default(),
+    );
 
     // Noise may hurt but must not crash or hang, and the clean run should be
     // at least as good.
     let p_clean = precision(corpus, &query, &clean.results);
     let p_noisy = precision(corpus, &query, &noisy.results);
-    assert!(p_clean >= p_noisy - 0.1, "clean {p_clean} vs noisy {p_noisy}");
+    assert!(
+        p_clean >= p_noisy - 0.1,
+        "clean {p_clean} vs noisy {p_noisy}"
+    );
 }
 
 #[test]

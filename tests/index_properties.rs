@@ -5,10 +5,7 @@ use proptest::prelude::*;
 use query_decomposition::index::{RStarTree, Rect, TreeConfig};
 
 fn dist2(a: &[f32], b: &[f32]) -> f64 {
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| ((x - y) as f64).powi(2))
-        .sum()
+    a.iter().zip(b).map(|(x, y)| ((x - y) as f64).powi(2)).sum()
 }
 
 fn brute_knn(items: &[(u64, Vec<f32>)], q: &[f32], k: usize) -> Vec<u64> {

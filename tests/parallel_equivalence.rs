@@ -1,0 +1,231 @@
+//! Parallel ≡ sequential property suite for the qd-runtime wiring.
+//!
+//! Every layer that fans out over the qd-runtime pool — the final localized
+//! subqueries, the MV baseline's viewpoint k-NNs, the bottom-up RFS build,
+//! and the evaluation harness — must produce *bit-identical* output whatever
+//! the worker count. These properties pin that contract: each scenario runs
+//! once under a forced single thread and once under eight workers, and every
+//! observable (result ids, group order, similarity scores down to the bit,
+//! access counts) must match exactly.
+
+use proptest::prelude::*;
+use query_decomposition::core::baselines::{mv, BaselineConfig};
+use query_decomposition::core::eval::{self, Baseline};
+use query_decomposition::core::rfs::{RfsConfig, RfsStructure};
+use query_decomposition::core::session::{
+    execute_subqueries, run_session, FinalExecution, MergeStrategy, QdConfig,
+};
+use query_decomposition::core::user::SimulatedUser;
+use query_decomposition::index::NodeId;
+use query_decomposition::prelude::{queries, Corpus, CorpusConfig};
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+fn fixture() -> &'static (Corpus, RfsStructure) {
+    static FIXTURE: OnceLock<(Corpus, RfsStructure)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let corpus = Corpus::build(&CorpusConfig {
+            size: 400,
+            image_size: 24,
+            seed: 23,
+            filler_count: 6,
+            with_viewpoints: true,
+        });
+        let rfs = RfsStructure::build(corpus.features(), &RfsConfig::test_small());
+        (corpus, rfs)
+    })
+}
+
+/// Runs `f` once on a single thread and once on eight workers.
+fn both_modes<R>(f: impl Fn() -> R) -> (R, R) {
+    let sequential = qd_runtime::with_threads(1, &f);
+    let parallel = qd_runtime::with_threads(8, &f);
+    (sequential, parallel)
+}
+
+/// Exact (bit-level for floats) comparison of two final executions.
+fn assert_exec_identical(a: &FinalExecution, b: &FinalExecution) -> Result<(), TestCaseError> {
+    prop_assert_eq!(&a.results, &b.results, "result ids diverge");
+    prop_assert_eq!(a.knn_accesses, b.knn_accesses, "knn_accesses diverge");
+    prop_assert_eq!(a.subquery_count, b.subquery_count);
+    prop_assert_eq!(a.groups.len(), b.groups.len(), "group count diverges");
+    for (ga, gb) in a.groups.iter().zip(&b.groups) {
+        prop_assert_eq!(ga.home, gb.home, "group order diverges");
+        prop_assert_eq!(
+            ga.ranking_score.to_bits(),
+            gb.ranking_score.to_bits(),
+            "ranking score diverges: {} vs {}",
+            ga.ranking_score,
+            gb.ranking_score
+        );
+        prop_assert_eq!(ga.images.len(), gb.images.len());
+        for (&(ia, sa), &(ib, sb)) in ga.images.iter().zip(&gb.images) {
+            prop_assert_eq!(ia, ib, "image order diverges within group");
+            prop_assert_eq!(sa.to_bits(), sb.to_bits(), "score diverges: {sa} vs {sb}");
+        }
+    }
+    Ok(())
+}
+
+/// Decomposes a standard query into per-leaf subqueries (one per RFS leaf
+/// holding ground-truth images) — the shape `execute_subqueries` receives
+/// from the feedback rounds.
+fn decompose(
+    corpus: &Corpus,
+    rfs: &RfsStructure,
+    query_idx: usize,
+) -> (Vec<(NodeId, Vec<usize>)>, usize) {
+    let query = &queries::standard_queries(corpus.taxonomy())[query_idx];
+    let gt = corpus.ground_truth(query);
+    let mut by_leaf: BTreeMap<NodeId, Vec<usize>> = BTreeMap::new();
+    for &id in &gt {
+        by_leaf.entry(rfs.leaf_of(id)).or_default().push(id);
+    }
+    (by_leaf.into_iter().collect(), gt.len())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Query layer: the final localized subqueries return identical results,
+    /// group order, bit-identical scores, and identical access counts under
+    /// 1 and 8 workers.
+    #[test]
+    fn execute_subqueries_is_thread_count_invariant(
+        query_idx in 0usize..11,
+        threshold in 0.0f32..1.0,
+        merge in prop::sample::select(vec![
+            MergeStrategy::Proportional,
+            MergeStrategy::Uniform,
+            MergeStrategy::SingleList,
+        ]),
+    ) {
+        let (corpus, rfs) = fixture();
+        let (subqueries, k) = decompose(corpus, rfs, query_idx);
+        prop_assume!(!subqueries.is_empty());
+        let cfg = QdConfig {
+            boundary_threshold: threshold,
+            merge,
+            ..QdConfig::default()
+        };
+        let (seq, par) = both_modes(|| execute_subqueries(corpus, rfs, &subqueries, k, &cfg));
+        assert_exec_identical(&seq, &par)?;
+    }
+
+    /// Query layer, full session: a complete QD feedback session (rounds +
+    /// final k-NN + merge) is thread-count invariant, including its I/O
+    /// accounting.
+    #[test]
+    fn qd_run_session_is_thread_count_invariant(
+        query_idx in 0usize..11,
+        seed in any::<u64>(),
+    ) {
+        let (corpus, rfs) = fixture();
+        let query = &queries::standard_queries(corpus.taxonomy())[query_idx];
+        let k = corpus.ground_truth(query).len();
+        let cfg = QdConfig { seed, ..QdConfig::default() };
+        let (seq, par) = both_modes(|| {
+            let mut user = SimulatedUser::oracle(query, seed);
+            run_session(corpus, rfs, query, &mut user, k, &cfg)
+        });
+        prop_assert_eq!(&seq.results, &par.results);
+        prop_assert_eq!(seq.knn_accesses, par.knn_accesses);
+        prop_assert_eq!(seq.feedback_accesses, par.feedback_accesses);
+        prop_assert_eq!(seq.subquery_count, par.subquery_count);
+        prop_assert_eq!(seq.groups.len(), par.groups.len());
+        for (ga, gb) in seq.groups.iter().zip(&par.groups) {
+            prop_assert_eq!(ga.home, gb.home);
+            prop_assert_eq!(ga.ranking_score.to_bits(), gb.ranking_score.to_bits());
+        }
+        for (ta, tb) in seq.round_trace.iter().zip(&par.round_trace) {
+            prop_assert_eq!(ta.precision, tb.precision);
+            prop_assert_eq!(ta.gtir.to_bits(), tb.gtir.to_bits());
+        }
+    }
+
+    /// Query layer, MV baseline: the four viewpoint k-NNs merge to the same
+    /// results and per-round quality trace under 1 and 8 workers.
+    #[test]
+    fn mv_run_session_is_thread_count_invariant(
+        query_idx in 0usize..11,
+        seed in any::<u64>(),
+    ) {
+        let (corpus, _) = fixture();
+        let query = &queries::standard_queries(corpus.taxonomy())[query_idx];
+        let k = corpus.ground_truth(query).len();
+        let cfg = BaselineConfig::default();
+        let (seq, par) = both_modes(|| {
+            let mut user = SimulatedUser::oracle(query, seed);
+            mv::run_session(corpus, query, &mut user, k, &cfg)
+        });
+        prop_assert_eq!(&seq.results, &par.results);
+        prop_assert_eq!(seq.round_trace.len(), par.round_trace.len());
+        for (ta, tb) in seq.round_trace.iter().zip(&par.round_trace) {
+            prop_assert_eq!(ta.precision, tb.precision);
+            prop_assert_eq!(ta.gtir.to_bits(), tb.gtir.to_bits());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Build layer: per-node representative selection (both the k-means
+    /// medoid path and the random-shuffle ablation) is seeded per node, so
+    /// the built structure is identical under 1 and 8 workers.
+    #[test]
+    fn rfs_build_is_thread_count_invariant(
+        seed in any::<u64>(),
+        kmeans in any::<bool>(),
+    ) {
+        let (corpus, _) = fixture();
+        let config = RfsConfig {
+            kmeans_representatives: kmeans,
+            seed,
+            ..RfsConfig::test_small()
+        };
+        let (seq, par) = both_modes(|| RfsStructure::build(corpus.features(), &config));
+        prop_assert_eq!(seq.all_representatives(), par.all_representatives());
+        let mut nodes = seq.tree().node_ids();
+        nodes.sort_unstable();
+        for n in nodes {
+            prop_assert_eq!(
+                seq.representatives(n),
+                par.representatives(n),
+                "node {:?} reps diverge",
+                n
+            );
+        }
+    }
+
+    /// Harness layer: Table 1 and Table 2 rows (the CSV payload) are
+    /// identical — every float bit-for-bit — under 1 and 8 workers.
+    #[test]
+    fn eval_tables_are_thread_count_invariant(seed in any::<u64>()) {
+        let (corpus, rfs) = fixture();
+        let qd_cfg = QdConfig { seed, ..QdConfig::default() };
+        let baseline_cfg = BaselineConfig { seed, ..BaselineConfig::default() };
+        let (seq1, par1) = both_modes(|| {
+            eval::run_table1(corpus, rfs, Baseline::MultipleViewpoints, &qd_cfg, &baseline_cfg)
+        });
+        prop_assert_eq!(seq1.len(), par1.len());
+        for (a, b) in seq1.iter().zip(&par1) {
+            prop_assert_eq!(&a.query, &b.query, "row order diverges");
+            prop_assert_eq!(a.baseline_precision.to_bits(), b.baseline_precision.to_bits());
+            prop_assert_eq!(a.baseline_gtir.to_bits(), b.baseline_gtir.to_bits());
+            prop_assert_eq!(a.qd_precision.to_bits(), b.qd_precision.to_bits());
+            prop_assert_eq!(a.qd_gtir.to_bits(), b.qd_gtir.to_bits());
+        }
+        let (seq2, par2) = both_modes(|| {
+            eval::run_table2(corpus, rfs, Baseline::MultipleViewpoints, &qd_cfg, &baseline_cfg)
+        });
+        prop_assert_eq!(seq2.len(), par2.len());
+        for (a, b) in seq2.iter().zip(&par2) {
+            prop_assert_eq!(a.round, b.round);
+            prop_assert_eq!(a.baseline_precision.to_bits(), b.baseline_precision.to_bits());
+            prop_assert_eq!(a.baseline_gtir.to_bits(), b.baseline_gtir.to_bits());
+            prop_assert_eq!(a.qd_precision, b.qd_precision);
+            prop_assert_eq!(a.qd_gtir.to_bits(), b.qd_gtir.to_bits());
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Offline stand-in for the subset of the `rand` crate this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the random-number API it needs: [`rngs::StdRng`] (xoshiro256++ seeded via
+//! SplitMix64), [`SeedableRng::seed_from_u64`], the [`Rng`]/[`RngExt`] sampling
+//! methods (`random`, `random_range`), and [`seq::SliceRandom::shuffle`].
+//! Everything is deterministic: the same seed always yields the same stream on
+//! every platform, which the parallel≡sequential equivalence suite relies on.
+
+/// A source of random 64-bit words.
+pub trait Rng {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits (upper half of [`Rng::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`Rng`].
+pub trait RngExt: Rng + Sized {
+    /// A uniformly distributed value of `T` (floats in `[0, 1)`).
+    fn random<T: distr::StandardUniform>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniformly distributed value inside `range`.
+    fn random_range<T, B: distr::SampleRange<T>>(&mut self, range: B) -> T {
+        range.sample_from(self)
+    }
+}
+
+impl<R: Rng + Sized> RngExt for R {}
+
+/// Uniform samplers backing [`RngExt::random`] and [`RngExt::random_range`].
+pub mod distr {
+    use super::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types samplable uniformly over their "standard" domain.
+    pub trait StandardUniform: Sized {
+        /// Draws one value from `rng`.
+        fn sample<R: Rng>(rng: &mut R) -> Self;
+    }
+
+    impl StandardUniform for f32 {
+        fn sample<R: Rng>(rng: &mut R) -> Self {
+            ((rng.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+        }
+    }
+
+    impl StandardUniform for f64 {
+        fn sample<R: Rng>(rng: &mut R) -> Self {
+            ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl StandardUniform for bool {
+        fn sample<R: Rng>(rng: &mut R) -> Self {
+            rng.next_u64() >> 63 == 1
+        }
+    }
+
+    macro_rules! standard_int {
+        ($($t:ty),+) => {$(
+            impl StandardUniform for $t {
+                fn sample<R: Rng>(rng: &mut R) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )+};
+    }
+    standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Ranges samplable by [`super::RngExt::random_range`].
+    pub trait SampleRange<T> {
+        /// Draws one value of `T` inside the range.
+        fn sample_from<R: Rng>(self, rng: &mut R) -> T;
+    }
+
+    // Widening multiply maps a 64-bit word onto `[0, span)` without modulo
+    // bias worth caring about at these span sizes.
+    fn index(word: u64, span: u128) -> u128 {
+        (u128::from(word) * span) >> 64
+    }
+
+    macro_rules! range_int {
+        ($($t:ty),+) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + index(rng.next_u64(), span) as i128) as $t
+                }
+            }
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "cannot sample empty range");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    (lo as i128 + index(rng.next_u64(), span) as i128) as $t
+                }
+            }
+        )+};
+    }
+    range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! range_float {
+        ($($t:ty),+) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    self.start + <$t as StandardUniform>::sample(rng) * (self.end - self.start)
+                }
+            }
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "cannot sample empty range");
+                    lo + <$t as StandardUniform>::sample(rng) * (hi - lo)
+                }
+            }
+        )+};
+    }
+    range_float!(f32, f64);
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ (Blackman & Vigna),
+    /// state-seeded through SplitMix64 so nearby `u64` seeds give unrelated
+    /// streams.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut x = state;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence helpers.
+pub mod seq {
+    use super::{Rng, RngExt};
+
+    /// Random slice operations.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle driven by `rng`.
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn streams_are_deterministic_and_seed_sensitive() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.random::<u64>()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.random::<u64>()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.random::<u64>()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10_000 {
+            let x: usize = rng.random_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: i32 = rng.random_range(-5..=5);
+            assert!((-5..=5).contains(&y));
+            let f: f32 = rng.random::<f32>();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unit_floats_cover_the_interval() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut lo = 1.0f32;
+        let mut hi = 0.0f32;
+        let mut sum = 0.0f64;
+        for _ in 0..10_000 {
+            let f = rng.random::<f32>();
+            lo = lo.min(f);
+            hi = hi.max(f);
+            sum += f as f64;
+        }
+        assert!(lo < 0.01 && hi > 0.99, "range [{lo}, {hi}]");
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>());
+    }
+}
