@@ -1,0 +1,169 @@
+//! The allowlist: `qd-analyze.allow` at the workspace root.
+//!
+//! Format — one entry per line:
+//!
+//! ```text
+//! # comment
+//! R4 crates/qd-core/src/session.rs  Round durations are the Fig-10/11 measurement …
+//! ```
+//!
+//! `<rule> <path> <justification>`. An entry suppresses every finding of that
+//! rule in that file; the justification is mandatory. Entries that suppress
+//! nothing are *stale* and fail the check — the allowlist can only describe
+//! violations that still exist, so it never silently rots into a pile of
+//! dead exemptions.
+
+use crate::rules::{parse_rule, Finding, RuleId};
+use std::fmt;
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// The suppressed rule.
+    pub rule: RuleId,
+    /// Workspace-relative file the suppression applies to.
+    pub file: String,
+    /// Why this is sound (mandatory).
+    pub justification: String,
+    /// 1-based line in the allowlist file (for error messages).
+    pub line: usize,
+}
+
+impl fmt::Display for AllowEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.rule, self.file)
+    }
+}
+
+/// A malformed allowlist line.
+#[derive(Debug)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "allowlist line {}: {}", self.line, self.message)
+    }
+}
+
+/// Parses allowlist text. Blank lines and `#` comments are skipped.
+pub fn parse(text: &str) -> Result<Vec<AllowEntry>, ParseError> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |message: String| ParseError {
+            line: i + 1,
+            message,
+        };
+        let mut parts = line.splitn(3, char::is_whitespace);
+        let rule_s = parts.next().unwrap_or_default();
+        let rule = parse_rule(rule_s)
+            .ok_or_else(|| err(format!("unknown rule `{rule_s}` (expected R1..R6)")))?;
+        let file = parts
+            .next()
+            .ok_or_else(|| err("missing file path".to_string()))?
+            .to_string();
+        let justification = parts.next().unwrap_or("").trim().to_string();
+        if justification.is_empty() {
+            return Err(err(format!(
+                "entry `{rule} {file}` has no justification — every suppression \
+                 must say why it is sound"
+            )));
+        }
+        out.push(AllowEntry {
+            rule,
+            file,
+            justification,
+            line: i + 1,
+        });
+    }
+    Ok(out)
+}
+
+/// Splits `findings` into (suppressed, reported) under `entries`, and returns
+/// the stale entries (those that suppressed nothing) last.
+pub fn apply(
+    findings: Vec<Finding>,
+    entries: &[AllowEntry],
+) -> (Vec<Finding>, Vec<Finding>, Vec<AllowEntry>) {
+    let mut suppressed = Vec::new();
+    let mut reported = Vec::new();
+    let mut used = vec![false; entries.len()];
+    for f in findings {
+        match entries
+            .iter()
+            .position(|e| e.rule == f.rule && e.file == f.file)
+        {
+            Some(i) => {
+                used[i] = true;
+                suppressed.push(f);
+            }
+            None => reported.push(f),
+        }
+    }
+    let stale = entries
+        .iter()
+        .zip(&used)
+        .filter(|&(_, &u)| !u)
+        .map(|(e, _)| e.clone())
+        .collect();
+    (suppressed, reported, stale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: RuleId, file: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line: 1,
+            message: String::new(),
+            hint: String::new(),
+        }
+    }
+
+    #[test]
+    fn parses_entries_and_skips_comments() {
+        let text = "# header\n\nR4 src/bin/qd.rs CLI elapsed-time display only.\n";
+        let entries = parse(text).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].rule, RuleId::R4);
+        assert_eq!(entries[0].file, "src/bin/qd.rs");
+    }
+
+    #[test]
+    fn rejects_missing_justification() {
+        assert!(parse("R4 src/bin/qd.rs").is_err());
+        assert!(parse("R4 src/bin/qd.rs    ").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_rule() {
+        assert!(parse("R9 src/x.rs because").is_err());
+    }
+
+    #[test]
+    fn apply_partitions_and_reports_stale() {
+        let entries = parse(
+            "R4 a.rs ok because reporting only\n\
+             R3 never.rs suppresses nothing\n",
+        )
+        .unwrap();
+        let findings = vec![finding(RuleId::R4, "a.rs"), finding(RuleId::R1, "a.rs")];
+        let (suppressed, reported, stale) = apply(findings, &entries);
+        assert_eq!(suppressed.len(), 1);
+        assert_eq!(reported.len(), 1);
+        assert_eq!(reported[0].rule, RuleId::R1);
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].file, "never.rs");
+    }
+}

@@ -1,0 +1,166 @@
+#![warn(missing_docs)]
+
+//! # qd-analyze — workspace determinism & panic-safety lints
+//!
+//! The workspace's core contract since the qd-runtime PR is *parallel ≡
+//! sequential, byte-identical CSVs at any `QD_THREADS`*. That contract rests
+//! on source-level invariants no generic linter checks:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | R1 | float comparators use `total_cmp`, never `partial_cmp(..).unwrap()` (NaN ⇒ panic) or `unwrap_or(Equal)` (NaN ⇒ nondeterministic ranking) |
+//! | R2 | no raw `thread::spawn`/`thread::scope` outside `qd-runtime` |
+//! | R3 | no hash-container iteration shaping results in qd-core/qd-cluster/qd-index without an adjacent deterministic sort |
+//! | R4 | no `Instant::now`/`SystemTime::now` outside `qd-bench` |
+//! | R5 | every `unsafe` carries a `// SAFETY:` comment |
+//! | R6 | no `todo!`/`unimplemented!`/`dbg!` |
+//!
+//! The crate is dependency-free (the build environment is offline, so `syn`
+//! is not an option): a hand-rolled comment/string-aware scrubber
+//! ([`scan`]) feeds line-oriented rule matchers ([`rules`]). Justified
+//! exceptions live in `qd-analyze.allow` at the workspace root ([`allow`]);
+//! stale entries are themselves an error.
+//!
+//! Run it as `cargo run -p qd-analyze -- check`.
+
+pub mod allow;
+pub mod rules;
+pub mod scan;
+
+use rules::Finding;
+use std::path::{Path, PathBuf};
+
+/// Name of the allowlist file at the workspace root.
+pub const ALLOWLIST_FILE: &str = "qd-analyze.allow";
+
+/// The source directories walked, relative to the workspace root. `vendor/`
+/// (third-party stubs) and `target/` are deliberately absent.
+const WALKED: [&str; 3] = ["src", "tests", "examples"];
+
+/// Everything one `check` run produced.
+#[derive(Debug)]
+pub struct CheckReport {
+    /// Findings not covered by the allowlist — each one fails the check.
+    pub reported: Vec<Finding>,
+    /// Findings suppressed by an allowlist entry.
+    pub suppressed: Vec<Finding>,
+    /// Allowlist entries that suppressed nothing — each one fails the check.
+    pub stale: Vec<allow::AllowEntry>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl CheckReport {
+    /// True if the tree is clean: nothing reported, no stale entries.
+    pub fn is_clean(&self) -> bool {
+        self.reported.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Errors from a `check` run (I/O or a malformed allowlist).
+#[derive(Debug)]
+pub enum CheckError {
+    /// Reading a source file or directory failed.
+    Io(PathBuf, std::io::Error),
+    /// The allowlist did not parse.
+    Allowlist(allow::ParseError),
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckError::Io(p, e) => write!(f, "{}: {e}", p.display()),
+            CheckError::Allowlist(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// Collects every `.rs` file under the workspace's walked roots:
+/// `src/`, `tests/`, `examples/`, and each `crates/*/{src,tests,benches,examples}`.
+/// Returned paths are workspace-relative with forward slashes, sorted.
+pub fn source_files(root: &Path) -> Result<Vec<String>, CheckError> {
+    let mut roots: Vec<PathBuf> = WALKED.iter().map(|d| root.join(d)).collect();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let entries =
+            std::fs::read_dir(&crates_dir).map_err(|e| CheckError::Io(crates_dir.clone(), e))?;
+        for entry in entries.flatten() {
+            let p = entry.path();
+            if p.is_dir() {
+                for sub in ["src", "tests", "benches", "examples"] {
+                    roots.push(p.join(sub));
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for dir in roots {
+        if dir.is_dir() {
+            collect_rs(&dir, root, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<String>) -> Result<(), CheckError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| CheckError::Io(dir.to_path_buf(), e))?;
+    for entry in entries.flatten() {
+        let p = entry.path();
+        if p.is_dir() {
+            collect_rs(&p, root, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            let rel = p
+                .strip_prefix(root)
+                .expect("walked path under root")
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Runs the full check over the workspace at `root`, applying the allowlist
+/// at `root/qd-analyze.allow` when present.
+pub fn run_check(root: &Path) -> Result<CheckReport, CheckError> {
+    let files = source_files(root)?;
+    let mut findings = Vec::new();
+    for rel in &files {
+        let path = root.join(rel);
+        let source = std::fs::read_to_string(&path).map_err(|e| CheckError::Io(path.clone(), e))?;
+        findings.extend(rules::analyze_file(rel, &scan::scrub(&source)));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+
+    let allow_path = root.join(ALLOWLIST_FILE);
+    let entries = if allow_path.is_file() {
+        let text = std::fs::read_to_string(&allow_path)
+            .map_err(|e| CheckError::Io(allow_path.clone(), e))?;
+        allow::parse(&text).map_err(CheckError::Allowlist)?
+    } else {
+        Vec::new()
+    };
+    let (suppressed, reported, stale) = allow::apply(findings, &entries);
+    Ok(CheckReport {
+        reported,
+        suppressed,
+        stale,
+        files_scanned: files.len(),
+    })
+}
+
+/// Locates the workspace root from `start`: the nearest ancestor containing
+/// both `Cargo.toml` and `crates/`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start);
+    while let Some(dir) = cur {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir.to_path_buf());
+        }
+        cur = dir.parent();
+    }
+    None
+}

@@ -1,0 +1,497 @@
+//! The repo-specific rules R1–R6.
+//!
+//! Every rule matches on scrubbed source (comments and literal bodies
+//! blanked, see [`crate::scan`]), so mentions of a forbidden pattern in docs,
+//! strings, or test fixtures never fire. Rules are heuristic by design —
+//! tight enough that the workspace runs clean, loose enough to never need a
+//! type checker. The failure direction is chosen per rule: R1/R2/R4/R5/R6
+//! over-approximate (a false positive is an allowlist entry away from
+//! shipping), R3 under-approximates (it only tracks names *declared* as hash
+//! containers in the same file).
+
+use crate::scan::{word_occurrences, Scrubbed};
+use std::fmt;
+
+/// Identifier of one lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuleId {
+    /// `partial_cmp` inside a `sort_by`/`max_by`/`min_by` comparator.
+    R1,
+    /// `thread::spawn` / `thread::scope` outside `qd-runtime`.
+    R2,
+    /// Hash-container iteration without an adjacent deterministic sort.
+    R3,
+    /// `Instant::now` / `SystemTime::now` outside `qd-bench`.
+    R4,
+    /// `unsafe` without a `// SAFETY:` comment.
+    R5,
+    /// `todo!` / `unimplemented!` / `dbg!`.
+    R6,
+}
+
+impl RuleId {
+    /// All rules, in report order.
+    pub const ALL: [RuleId; 6] = [
+        RuleId::R1,
+        RuleId::R2,
+        RuleId::R3,
+        RuleId::R4,
+        RuleId::R5,
+        RuleId::R6,
+    ];
+
+    /// One-line description, shown by `qd-analyze rules`.
+    pub fn describe(self) -> &'static str {
+        match self {
+            RuleId::R1 => {
+                "float comparators must use total_cmp: partial_cmp inside \
+                 sort_by/max_by/min_by panics (unwrap) or silently reorders \
+                 (unwrap_or) on NaN"
+            }
+            RuleId::R2 => {
+                "no raw thread::spawn / thread::scope outside qd-runtime: all \
+                 parallelism goes through the deterministic executor"
+            }
+            RuleId::R3 => {
+                "HashMap/HashSet iteration in qd-core/qd-cluster/qd-index must \
+                 be followed by a deterministic sort (or be allowlisted with a \
+                 justification)"
+            }
+            RuleId::R4 => {
+                "no Instant::now / SystemTime::now outside qd-bench: wall-clock \
+                 reads in result-shaping code break parallel \u{2261} sequential \
+                 byte-equivalence"
+            }
+            RuleId::R5 => "every unsafe block needs an adjacent // SAFETY: comment",
+            RuleId::R6 => "no todo!/unimplemented!/dbg! anywhere",
+        }
+    }
+
+    fn parse(s: &str) -> Option<RuleId> {
+        match s {
+            "R1" => Some(RuleId::R1),
+            "R2" => Some(RuleId::R2),
+            "R3" => Some(RuleId::R3),
+            "R4" => Some(RuleId::R4),
+            "R5" => Some(RuleId::R5),
+            "R6" => Some(RuleId::R6),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Parses a rule id like `R3` (used by the allowlist reader).
+pub fn parse_rule(s: &str) -> Option<RuleId> {
+    RuleId::parse(s)
+}
+
+/// One reported violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What was matched.
+    pub message: String,
+    /// How to fix it.
+    pub hint: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} [{}] {}\n    fix: {}",
+            self.file, self.line, self.rule, self.message, self.hint
+        )
+    }
+}
+
+/// Runs every rule over one scrubbed file. `rel_path` must use forward
+/// slashes; per-rule crate exemptions key off its prefix.
+pub fn analyze_file(rel_path: &str, scrubbed: &Scrubbed) -> Vec<Finding> {
+    let mut out = Vec::new();
+    rule_r1(rel_path, scrubbed, &mut out);
+    if !rel_path.starts_with("crates/qd-runtime/") {
+        rule_r2(rel_path, scrubbed, &mut out);
+    }
+    if ["crates/qd-core/", "crates/qd-cluster/", "crates/qd-index/"]
+        .iter()
+        .any(|p| rel_path.starts_with(p))
+    {
+        rule_r3(rel_path, scrubbed, &mut out);
+    }
+    if !rel_path.starts_with("crates/qd-bench/") {
+        rule_r4(rel_path, scrubbed, &mut out);
+    }
+    rule_r5(rel_path, scrubbed, &mut out);
+    rule_r6(rel_path, scrubbed, &mut out);
+    out.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.message.cmp(&b.message)));
+    out.dedup_by(|a, b| a.rule == b.rule && a.line == b.line && a.message == b.message);
+    out
+}
+
+/// Comparator-taking methods whose closure bodies R1 inspects.
+const COMPARATOR_METHODS: [&str; 6] = [
+    "sort_by",
+    "sort_unstable_by",
+    "sort_by_cached_key",
+    "max_by",
+    "min_by",
+    "select_nth_unstable_by",
+];
+
+/// R1: `partial_cmp` inside a comparator closure. Finds each comparator
+/// method call, walks its parenthesized argument region (across lines), and
+/// reports every `partial_cmp` word inside it.
+fn rule_r1(rel_path: &str, scrubbed: &Scrubbed, out: &mut Vec<Finding>) {
+    let lines = &scrubbed.lines;
+    for (li, line) in lines.iter().enumerate() {
+        for method in COMPARATOR_METHODS {
+            for start in word_occurrences(line, method) {
+                // Require a call: next non-space char after the word is `(`.
+                let after = &line[start + method.len()..];
+                let Some(rel_open) = after.find(|c: char| !c.is_whitespace()) else {
+                    continue;
+                };
+                if !after[rel_open..].starts_with('(') {
+                    continue;
+                }
+                // Walk the argument region until parens balance.
+                let mut depth = 0i32;
+                let mut cur_line = li;
+                let mut cur_col = start + method.len() + rel_open;
+                'walk: loop {
+                    let l = &lines[cur_line];
+                    for (ci, c) in l.char_indices().skip_while(|&(ci, _)| ci < cur_col) {
+                        match c {
+                            '(' => depth += 1,
+                            ')' => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    // Region end: scan the covered lines.
+                                    report_partial_cmp_in(
+                                        rel_path, lines, li, cur_line, method, out,
+                                    );
+                                    break 'walk;
+                                }
+                            }
+                            _ => {}
+                        }
+                        let _ = ci;
+                    }
+                    cur_line += 1;
+                    cur_col = 0;
+                    if cur_line >= lines.len() {
+                        // Unbalanced (shouldn't happen in compiling code);
+                        // scan to EOF to stay conservative.
+                        report_partial_cmp_in(rel_path, lines, li, lines.len() - 1, method, out);
+                        break 'walk;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn report_partial_cmp_in(
+    rel_path: &str,
+    lines: &[String],
+    from: usize,
+    to: usize,
+    method: &str,
+    out: &mut Vec<Finding>,
+) {
+    for (li, line) in lines.iter().enumerate().take(to + 1).skip(from) {
+        if !word_occurrences(line, "partial_cmp").is_empty() {
+            out.push(Finding {
+                rule: RuleId::R1,
+                file: rel_path.to_string(),
+                line: li + 1,
+                message: format!("partial_cmp inside a `{method}` comparator"),
+                hint: "use f32::total_cmp/f64::total_cmp (NaN-total, never panics, \
+                       one deterministic order)"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// R2: raw threading primitives outside qd-runtime.
+fn rule_r2(rel_path: &str, scrubbed: &Scrubbed, out: &mut Vec<Finding>) {
+    for (li, line) in scrubbed.lines.iter().enumerate() {
+        for prim in ["spawn", "scope"] {
+            for start in word_occurrences(line, prim) {
+                // Must be `thread::spawn` / `thread::scope` (optionally
+                // `std::thread::…`): look backwards for `thread` + `::`.
+                let before = line[..start].trim_end();
+                if before.ends_with("thread::") {
+                    out.push(Finding {
+                        rule: RuleId::R2,
+                        file: rel_path.to_string(),
+                        line: li + 1,
+                        message: format!("raw std::thread::{prim} outside qd-runtime"),
+                        hint: "route parallelism through qd_runtime::par_map / \
+                               par_map_indexed (input-order results, QD_THREADS knob)"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Methods that iterate a hash container in arbitrary order.
+const ITERATING_METHODS: [&str; 5] = ["iter", "into_iter", "values", "keys", "drain"];
+
+/// Tokens that, appearing at or shortly after the iteration site, make the
+/// iteration order harmless: an explicit deterministic sort, or a re-collect
+/// into an ordered container.
+const ORDER_RESTORERS: [&str; 9] = [
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_by_cached_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "BTreeMap",
+    "BTreeSet",
+];
+
+/// How many lines after the iteration site a sort still counts as "adjacent".
+const R3_SORT_WINDOW: usize = 8;
+
+/// R3: iteration over a variable/field *declared in this file* as
+/// `HashMap`/`HashSet`, feeding anything, without a deterministic sort within
+/// [`R3_SORT_WINDOW`] lines. Purely intra-file and name-based: it cannot see
+/// types across files, which is exactly the right cost/benefit for a
+/// repo-local lint (the hash containers that shape results are declared where
+/// they are used). Remainders that are genuinely order-insensitive get an
+/// allowlist entry with a justification.
+fn rule_r3(rel_path: &str, scrubbed: &Scrubbed, out: &mut Vec<Finding>) {
+    let lines = &scrubbed.lines;
+    // Pass 1: names declared as hash containers (`x: HashMap<…>`,
+    // `x = HashMap::new()`, struct fields, …).
+    let mut names: Vec<String> = Vec::new();
+    for line in lines {
+        for container in ["HashMap", "HashSet"] {
+            for start in word_occurrences(line, container) {
+                if let Some(name) = declared_name(line, start) {
+                    if !names.contains(&name) {
+                        names.push(name);
+                    }
+                }
+            }
+        }
+    }
+    // Pass 2: iteration sites over those names. rustfmt splits method chains
+    // across lines (`self.nodes\n    .values()`), so when the name ends its
+    // line the lookup continues on the next one.
+    for name in &names {
+        for (li, line) in lines.iter().enumerate() {
+            for start in word_occurrences(line, name) {
+                let rest = line[start + name.len()..].trim_end();
+                let method = if rest.is_empty() {
+                    lines
+                        .get(li + 1)
+                        .and_then(|next| iterating_call(next.trim_start()))
+                } else {
+                    iterating_call(rest)
+                };
+                let Some(method) = method else {
+                    continue;
+                };
+                if sorted_nearby(lines, li) {
+                    continue;
+                }
+                out.push(Finding {
+                    rule: RuleId::R3,
+                    file: rel_path.to_string(),
+                    line: li + 1,
+                    message: format!(
+                        "`{name}.{method}()` iterates a hash container in arbitrary \
+                         order with no deterministic sort within {R3_SORT_WINDOW} lines"
+                    ),
+                    hint: "sort the collected result, switch the container to \
+                           BTreeMap/BTreeSet, or allowlist with a justification \
+                           if the consumer is order-insensitive"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// If the hash-container word starting at `start` is a declaration, returns
+/// the declared name: handles `name: HashMap<…>`, `name = HashMap::new()`,
+/// and the `std::collections::`-qualified forms of both.
+fn declared_name(line: &str, start: usize) -> Option<String> {
+    let mut before = line[..start].trim_end();
+    before = before
+        .strip_suffix("std::collections::")
+        .unwrap_or(before)
+        .trim_end();
+    let before = before
+        .strip_suffix(':')
+        .or_else(|| before.strip_suffix('='))?
+        .trim_end();
+    // `=` must not be `==`, `>=`, … ; `:` must not be `::`.
+    if before.ends_with(['=', '!', '<', '>', ':']) {
+        return None;
+    }
+    let name: String = before
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    (!name.is_empty() && !name.chars().next().unwrap().is_numeric()).then_some(name)
+}
+
+/// If `rest` (the text right after a tracked name) starts with a call to an
+/// iterating method — `.iter()`, `.values()`, … — returns the method name.
+fn iterating_call(rest: &str) -> Option<&'static str> {
+    let rest = rest.strip_prefix('.')?;
+    ITERATING_METHODS
+        .into_iter()
+        .find(|m| rest.strip_prefix(m).is_some_and(|r| r.starts_with('(')))
+}
+
+/// True if a deterministic sort (or ordered re-collect) appears on the
+/// finding line or within the next [`R3_SORT_WINDOW`] lines.
+fn sorted_nearby(lines: &[String], li: usize) -> bool {
+    lines
+        .iter()
+        .take(li + 1 + R3_SORT_WINDOW)
+        .skip(li)
+        .any(|l| {
+            ORDER_RESTORERS
+                .iter()
+                .any(|s| !word_occurrences(l, s).is_empty())
+        })
+}
+
+/// R4: wall-clock reads outside qd-bench.
+fn rule_r4(rel_path: &str, scrubbed: &Scrubbed, out: &mut Vec<Finding>) {
+    for (li, line) in scrubbed.lines.iter().enumerate() {
+        for ty in ["Instant", "SystemTime"] {
+            for start in word_occurrences(line, ty) {
+                if line[start + ty.len()..].trim_start().starts_with("::now") {
+                    out.push(Finding {
+                        rule: RuleId::R4,
+                        file: rel_path.to_string(),
+                        line: li + 1,
+                        message: format!("{ty}::now outside qd-bench"),
+                        hint: "move the measurement into qd-bench, or allowlist if \
+                               the reading is reporting-only and cannot reach \
+                               rankings or CSV-compared columns"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// How many preceding lines R5 searches for a `// SAFETY:` comment.
+const R5_SAFETY_WINDOW: usize = 3;
+
+/// R5: `unsafe` blocks/fns without an adjacent `// SAFETY:` comment (same
+/// line or up to [`R5_SAFETY_WINDOW`] lines above).
+fn rule_r5(rel_path: &str, scrubbed: &Scrubbed, out: &mut Vec<Finding>) {
+    for (li, line) in scrubbed.lines.iter().enumerate() {
+        if word_occurrences(line, "unsafe").is_empty() {
+            continue;
+        }
+        let lo = li.saturating_sub(R5_SAFETY_WINDOW);
+        let documented = (lo..=li).any(|i| scrubbed.safety_comment[i]);
+        if !documented {
+            out.push(Finding {
+                rule: RuleId::R5,
+                file: rel_path.to_string(),
+                line: li + 1,
+                message: "unsafe without an adjacent // SAFETY: comment".to_string(),
+                hint: "state the invariant that makes this sound in a // SAFETY: \
+                       comment directly above"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// R6: stub/debug macros.
+fn rule_r6(rel_path: &str, scrubbed: &Scrubbed, out: &mut Vec<Finding>) {
+    for (li, line) in scrubbed.lines.iter().enumerate() {
+        for mac in ["todo", "unimplemented", "dbg"] {
+            for start in word_occurrences(line, mac) {
+                if line[start + mac.len()..].starts_with('!') {
+                    out.push(Finding {
+                        rule: RuleId::R6,
+                        file: rel_path.to_string(),
+                        line: li + 1,
+                        message: format!("{mac}! in committed code"),
+                        hint: "implement it, or delete the debug print".to_string(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scrub;
+
+    fn findings(path: &str, src: &str) -> Vec<Finding> {
+        analyze_file(path, &scrub(src))
+    }
+
+    #[test]
+    fn r1_catches_multiline_comparator() {
+        let src = "v.sort_by(|a, b| {\n    a.partial_cmp(b).unwrap()\n});";
+        let f = findings("crates/qd-core/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, RuleId::R1);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn r1_ignores_partial_cmp_outside_comparators() {
+        let src = "impl PartialOrd for X {\n    fn partial_cmp(&self, o: &X) -> Option<Ordering> { Some(self.cmp(o)) }\n}";
+        assert!(findings("crates/qd-core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r3_tracks_field_declarations() {
+        let src = "struct S { reps: HashMap<u32, Vec<u32>> }\nfn f(s: &S) -> Vec<u32> { s.reps.values().flatten().copied().collect() }";
+        let f = findings("crates/qd-core/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, RuleId::R3);
+    }
+
+    #[test]
+    fn r3_accepts_adjacent_sort() {
+        let src = "struct S { reps: HashMap<u32, Vec<u32>> }\nfn f(s: &S) -> Vec<u32> {\n    let mut v: Vec<u32> = s.reps.values().flatten().copied().collect();\n    v.sort_unstable();\n    v\n}";
+        assert!(findings("crates/qd-core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r3_only_applies_to_result_shaping_crates() {
+        let src = "fn f(m: HashMap<u32, u32>) -> Vec<u32> { m.values().copied().collect() }";
+        assert!(!findings("crates/qd-core/src/x.rs", src).is_empty());
+        assert!(findings("crates/qd-corpus/src/x.rs", src).is_empty());
+    }
+}

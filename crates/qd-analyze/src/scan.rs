@@ -1,0 +1,355 @@
+//! A line/comment/string-aware scrubber for Rust source.
+//!
+//! The rules in [`crate::rules`] match on *code*, never on comment or string
+//! contents, so the first pass replaces every comment and every
+//! string/char-literal body with spaces while preserving the line structure
+//! (so findings report real line numbers). A full parser is unnecessary —
+//! and unavailable: the build environment is offline, so `syn` cannot be
+//! pulled in — but the scrubber must still get the lexical grammar right:
+//! nested block comments, raw strings with arbitrary `#` counts, byte
+//! strings, char literals vs. lifetimes, and escapes.
+
+/// One source file after scrubbing.
+#[derive(Debug)]
+pub struct Scrubbed {
+    /// Source lines with comments and literal bodies blanked out.
+    pub lines: Vec<String>,
+    /// `true` for lines whose *comment* text contains `SAFETY` — the one
+    /// place rule R5 must look inside comments.
+    pub safety_comment: Vec<bool>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nesting depth.
+    BlockComment(u32),
+    Str,
+    /// Number of `#` delimiters.
+    RawStr(u32),
+    Char,
+}
+
+/// Scrubs `source`: comments and string/char bodies become spaces, everything
+/// else is kept verbatim. Newlines are preserved exactly.
+pub fn scrub(source: &str) -> Scrubbed {
+    let bytes: Vec<char> = source.chars().collect();
+    let mut out = String::with_capacity(source.len());
+    let mut lines: Vec<String> = Vec::new();
+    let mut safety: Vec<bool> = Vec::new();
+    let mut line_has_safety = false;
+    // Rolling window of comment text on the current line, for `SAFETY`.
+    let mut comment_text = String::new();
+
+    let mut state = State::Code;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            if comment_text.contains("SAFETY") {
+                line_has_safety = true;
+            }
+            comment_text.clear();
+            lines.push(std::mem::take(&mut out));
+            safety.push(line_has_safety);
+            line_has_safety = false;
+            i += 1;
+            continue;
+        }
+
+        match state {
+            State::Code => match c {
+                '/' if next == Some('/') => {
+                    state = State::LineComment;
+                    out.push_str("  ");
+                    i += 2;
+                }
+                '/' if next == Some('*') => {
+                    state = State::BlockComment(1);
+                    out.push_str("  ");
+                    i += 2;
+                }
+                '"' => {
+                    state = State::Str;
+                    out.push('"');
+                    i += 1;
+                }
+                'r' | 'b' => {
+                    // Possible raw / byte string start: r", r#", br", b", b'.
+                    let (prefix_len, hashes, kind) = raw_prefix(&bytes, i);
+                    match kind {
+                        PrefixKind::RawStr => {
+                            state = State::RawStr(hashes);
+                            for _ in 0..prefix_len {
+                                out.push(' ');
+                            }
+                            out.push('"');
+                            i += prefix_len + 1; // prefix + opening quote
+                        }
+                        PrefixKind::Str => {
+                            state = State::Str;
+                            out.push(' ');
+                            out.push('"');
+                            i += 2; // b"
+                        }
+                        PrefixKind::Char => {
+                            state = State::Char;
+                            out.push(' ');
+                            out.push('\'');
+                            i += 2; // b'
+                        }
+                        PrefixKind::None => {
+                            out.push(c);
+                            i += 1;
+                        }
+                    }
+                }
+                '\'' => {
+                    // Lifetime (`'a`, `'static`) or char literal (`'x'`,
+                    // `'\n'`)? A lifetime is `'` + ident char *not* followed
+                    // by a closing `'`.
+                    let is_lifetime = matches!(next, Some(n) if n.is_alphabetic() || n == '_')
+                        && bytes.get(i + 2).copied() != Some('\'');
+                    if is_lifetime {
+                        out.push('\'');
+                        i += 1;
+                    } else {
+                        state = State::Char;
+                        out.push('\'');
+                        i += 1;
+                    }
+                }
+                _ => {
+                    out.push(c);
+                    i += 1;
+                }
+            },
+            State::LineComment => {
+                comment_text.push(c);
+                out.push(' ');
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    out.push_str("  ");
+                    i += 2;
+                } else {
+                    comment_text.push(c);
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' && next.is_some() {
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Code;
+                    out.push('"');
+                    i += 1;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw(&bytes, i, hashes) {
+                    state = State::Code;
+                    out.push('"');
+                    for _ in 0..hashes {
+                        out.push(' ');
+                    }
+                    i += 1 + hashes as usize;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            State::Char => {
+                if c == '\\' && next.is_some() {
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '\'' {
+                    state = State::Code;
+                    out.push('\'');
+                    i += 1;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    if comment_text.contains("SAFETY") {
+        line_has_safety = true;
+    }
+    lines.push(out);
+    safety.push(line_has_safety);
+    Scrubbed {
+        lines,
+        safety_comment: safety,
+    }
+}
+
+enum PrefixKind {
+    RawStr,
+    Str,
+    Char,
+    None,
+}
+
+/// Classifies a possible raw/byte literal starting at `i` (which holds `r` or
+/// `b`). Returns (prefix length excluding the opening quote, hash count,
+/// kind). Identifiers like `raw` or `break` fall through to `None` because an
+/// ident char precedes the quote position check — the caller only lands here
+/// on `r`/`b`, and we require the literal shape exactly.
+fn raw_prefix(bytes: &[char], i: usize) -> (usize, u32, PrefixKind) {
+    // Not a literal prefix if the previous char is part of an identifier
+    // (e.g. the `r` of `Vec::ar` — or any ident ending in r/b).
+    if i > 0 {
+        let p = bytes[i - 1];
+        if p.is_alphanumeric() || p == '_' {
+            return (0, 0, PrefixKind::None);
+        }
+    }
+    let c = bytes[i];
+    let mut j = i + 1;
+    if c == 'b' && bytes.get(j) == Some(&'r') {
+        j += 1;
+    }
+    if c == 'b' && j == i + 1 {
+        // b"..." or b'...'
+        return match bytes.get(j) {
+            Some('"') => (1, 0, PrefixKind::Str),
+            Some('\'') => (1, 0, PrefixKind::Char),
+            _ => (0, 0, PrefixKind::None),
+        };
+    }
+    if c == 'b' || c == 'r' {
+        // r#*" or br#*"
+        let mut hashes = 0u32;
+        while bytes.get(j) == Some(&'#') {
+            hashes += 1;
+            j += 1;
+        }
+        if bytes.get(j) == Some(&'"') {
+            return (j - i, hashes, PrefixKind::RawStr);
+        }
+    }
+    (0, 0, PrefixKind::None)
+}
+
+/// True if the `"` at `i` is followed by `hashes` `#` chars.
+fn closes_raw(bytes: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| bytes.get(i + k) == Some(&'#'))
+}
+
+/// True if the byte range `[start, end)` of `line` is a standalone word
+/// (identifier-boundary on both sides).
+pub fn is_word(line: &str, start: usize, end: usize) -> bool {
+    let before = line[..start].chars().next_back();
+    let after = line[end..].chars().next();
+    let ident = |c: char| c.is_alphanumeric() || c == '_';
+    !before.is_some_and(ident) && !after.is_some_and(ident)
+}
+
+/// Byte offsets of every standalone-word occurrence of `word` in `line`.
+pub fn word_occurrences(line: &str, word: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(pos) = line[from..].find(word) {
+        let start = from + pos;
+        let end = start + word.len();
+        if is_word(line, start, end) {
+            out.push(start);
+        }
+        from = end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_are_blanked() {
+        let s = scrub("let x = 1; // partial_cmp here\nlet y = 2;");
+        assert!(!s.lines[0].contains("partial_cmp"));
+        assert!(s.lines[0].contains("let x = 1;"));
+        assert_eq!(s.lines[1], "let y = 2;");
+    }
+
+    #[test]
+    fn nested_block_comments_are_blanked() {
+        let s = scrub("a /* one /* two */ still */ b");
+        assert_eq!(s.lines[0].trim_start().chars().next(), Some('a'));
+        assert!(s.lines[0].contains('b'));
+        assert!(!s.lines[0].contains("two"));
+        assert!(!s.lines[0].contains("still"));
+    }
+
+    #[test]
+    fn string_bodies_are_blanked_but_quotes_kept() {
+        let s = scrub(r#"call("thread::spawn inside", x)"#);
+        assert!(!s.lines[0].contains("thread::spawn"));
+        assert!(s.lines[0].contains("call(\""));
+        assert!(s.lines[0].contains(", x)"));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let s = scrub(r#"let s = "x\"y"; after"#);
+        assert!(s.lines[0].contains("after"));
+        assert!(!s.lines[0].contains('x'));
+        assert!(!s.lines[0].contains('y'));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let s = scrub("let s = r#\"dbg! \"quoted\" inside\"#; tail()");
+        assert!(!s.lines[0].contains("dbg!"));
+        assert!(s.lines[0].contains("tail()"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let s = scrub("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(s.lines[0].contains("&'a str"));
+    }
+
+    #[test]
+    fn char_literals_are_blanked() {
+        let s = scrub("let c = 'x'; let q = '\\''; done()");
+        assert!(s.lines[0].contains("done()"));
+        assert!(!s.lines[0].contains('x'));
+    }
+
+    #[test]
+    fn safety_comments_are_recorded() {
+        let s = scrub("// SAFETY: index checked above\nunsafe { x() }");
+        assert!(s.safety_comment[0]);
+        assert!(!s.safety_comment[1]);
+    }
+
+    #[test]
+    fn word_occurrences_respect_boundaries() {
+        let line = "sort_by(x); my_sort_by(y); sort_by_key(z)";
+        assert_eq!(word_occurrences(line, "sort_by"), vec![0]);
+    }
+}

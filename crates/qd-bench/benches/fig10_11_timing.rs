@@ -72,7 +72,7 @@ fn global_feedback_round(c: &mut Criterion) {
                     .enumerate()
                     .map(|(id, f)| (euclidean(f, &qp), id))
                     .collect();
-                scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                scored.sort_by(|a, b| a.0.total_cmp(&b.0));
                 scored.truncate(k);
                 black_box(scored)
             });

@@ -52,7 +52,7 @@ fn knn_vs_scan(c: &mut Criterion) {
                         (d, *id)
                     })
                     .collect();
-                scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                scored.sort_by(|a, b| a.0.total_cmp(&b.0));
                 scored.truncate(k);
                 black_box(scored)
             });

@@ -498,7 +498,7 @@ pub fn timing_sweep(sizes: &[usize], queries_per_size: usize, seed: u64) -> Vec<
                         .enumerate()
                         .map(|(id, f)| (euclidean(f, &qp), id))
                         .collect();
-                    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                    scored.sort_by(|a, b| a.0.total_cmp(&b.0));
                     scored.truncate(k);
                     std::hint::black_box(&scored);
                     scans += 1;

@@ -109,7 +109,7 @@ impl KMeans {
                             squared_euclidean(row.as_ref(), &centroids[assignments[i]]),
                         )
                     })
-                    .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
                     .expect("non-empty data");
                 centroids[c] = data[far_idx].as_ref().to_vec();
                 assignments[far_idx] = c;
@@ -264,7 +264,7 @@ mod tests {
         let result = KMeans::new(3).with_seed(1).fit(&data);
         assert_eq!(result.k(), 3);
         // Every ground-truth blob maps to exactly one k-means cluster.
-        let mut mapping = std::collections::HashMap::new();
+        let mut mapping = std::collections::BTreeMap::new();
         for (a, t) in result.assignments.iter().zip(&truth) {
             let entry = mapping.entry(t).or_insert(*a);
             assert_eq!(entry, a, "blob {t} split across clusters");
@@ -272,7 +272,7 @@ mod tests {
         assert_eq!(
             mapping
                 .values()
-                .collect::<std::collections::HashSet<_>>()
+                .collect::<std::collections::BTreeSet<_>>()
                 .len(),
             3
         );

@@ -105,7 +105,7 @@ pub(crate) fn feedback_loop(
 /// (ascending score = more similar). Shared by all baselines.
 pub(crate) fn top_k_by(n: usize, k: usize, mut score: impl FnMut(usize) -> f32) -> Vec<usize> {
     let mut scored: Vec<(f32, usize)> = (0..n).map(|id| (score(id), id)).collect();
-    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+    scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     scored.into_iter().take(k).map(|(_, id)| id).collect()
 }
 

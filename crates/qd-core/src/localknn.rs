@@ -172,12 +172,7 @@ pub fn run_local_query_weighted(
             distance: metric.distance(point, &multipoint),
         })
         .collect();
-    scored.sort_by(|a, b| {
-        a.distance
-            .partial_cmp(&b.distance)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.id.cmp(&b.id))
-    });
+    scored.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
     scored.truncate(fetch);
     LocalResult {
         home: query.home,

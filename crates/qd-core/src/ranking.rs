@@ -48,7 +48,7 @@ pub fn allocate_quotas(supports: &[usize], k: usize) -> Vec<usize> {
         .enumerate()
         .map(|(i, &e)| (e - e.floor(), i))
         .collect();
-    rema.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    rema.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
     for &(_, i) in rema.iter().take(k - assigned) {
         quotas[i] += 1;
     }
@@ -103,7 +103,7 @@ pub fn merge_local_results(locals: &[LocalResult], k: usize) -> Vec<ResultGroup>
                 }
             }
         }
-        leftovers.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        leftovers.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.2.cmp(&b.2)));
         for (score, gi, id) in leftovers {
             if missing == 0 {
                 break;
@@ -117,11 +117,11 @@ pub fn merge_local_results(locals: &[LocalResult], k: usize) -> Vec<ResultGroup>
 
     for g in &mut groups {
         g.images
-            .sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+            .sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         g.ranking_score = g.images.iter().map(|&(_, s)| s as f64).sum();
     }
     groups.retain(|g| !g.images.is_empty());
-    groups.sort_by(|a, b| a.ranking_score.partial_cmp(&b.ranking_score).unwrap());
+    groups.sort_by(|a, b| a.ranking_score.total_cmp(&b.ranking_score));
     groups
 }
 
@@ -140,7 +140,9 @@ pub fn flatten_groups(groups: &[ResultGroup]) -> Vec<usize> {
 /// supports entirely — strong subclusters no longer get guaranteed slots,
 /// which is why the paper prefers the quota merge (see the merge ablation).
 pub fn merge_single_list(locals: &[LocalResult], k: usize) -> Vec<(usize, f32)> {
-    let mut best: std::collections::HashMap<usize, f32> = std::collections::HashMap::new();
+    // BTreeMap: the collected list below starts in image-id order, so the
+    // score sort's tie-break never depends on hash iteration (rule R3).
+    let mut best: std::collections::BTreeMap<usize, f32> = std::collections::BTreeMap::new();
     for local in locals {
         for n in &local.neighbors {
             let id = n.id as usize;
@@ -150,7 +152,7 @@ pub fn merge_single_list(locals: &[LocalResult], k: usize) -> Vec<(usize, f32)> 
         }
     }
     let mut out: Vec<(usize, f32)> = best.into_iter().collect();
-    out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+    out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
     out.truncate(k);
     out
 }

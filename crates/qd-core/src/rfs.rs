@@ -19,7 +19,7 @@ use qd_index::{NodeId, RStarTree, TreeConfig};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// RFS construction parameters.
 #[derive(Debug, Clone)]
@@ -97,11 +97,15 @@ pub trait FeedbackHierarchy {
 
 /// The built RFS structure: the clustering tree plus per-node representative
 /// image lists.
+/// Both maps are `BTreeMap`, not `HashMap`: `reps` is iterated when
+/// serializing and when listing all representatives, and an ordered container
+/// makes every such traversal deterministic by construction instead of by an
+/// adjacent sort (qd-analyze rule R3).
 #[derive(Debug)]
 pub struct RfsStructure {
     tree: RStarTree,
-    reps: HashMap<NodeId, Vec<usize>>,
-    leaf_of: HashMap<usize, NodeId>,
+    reps: BTreeMap<NodeId, Vec<usize>>,
+    leaf_of: BTreeMap<usize, NodeId>,
 }
 
 impl RfsStructure {
@@ -134,7 +138,7 @@ impl RfsStructure {
             t
         };
 
-        let mut leaf_of = HashMap::with_capacity(features.len());
+        let mut leaf_of = BTreeMap::new();
         for n in tree.node_ids() {
             if tree.is_leaf(n) {
                 for (id, _) in tree.leaf_entries(n) {
@@ -143,13 +147,13 @@ impl RfsStructure {
             }
         }
 
-        // Bottom-up representative selection, level by level.
-        let mut by_level: HashMap<u32, Vec<NodeId>> = HashMap::new();
+        // Bottom-up representative selection, level by level. `by_level` is a
+        // BTreeMap so iterating it visits levels in ascending order — leaves
+        // first — with no separate sorted key list.
+        let mut by_level: BTreeMap<u32, Vec<NodeId>> = BTreeMap::new();
         for n in tree.node_ids() {
             by_level.entry(tree.level(n)).or_default().push(n);
         }
-        let mut levels: Vec<u32> = by_level.keys().copied().collect();
-        levels.sort_unstable();
 
         // Levels build bottom-up (an internal node's pool is its children's
         // representatives), but nodes *within* a level are independent, so
@@ -157,9 +161,8 @@ impl RfsStructure {
         // its randomness from `config.seed` and its own stable node index —
         // never a shared RNG stream — so the selection is bit-identical
         // whatever the thread count or completion order.
-        let mut reps: HashMap<NodeId, Vec<usize>> = HashMap::new();
-        for level in levels {
-            let mut nodes = by_level.remove(&level).unwrap_or_default();
+        let mut reps: BTreeMap<NodeId, Vec<usize>> = BTreeMap::new();
+        for (level, mut nodes) in by_level {
             nodes.sort_unstable(); // deterministic order
             let reps_ref = &reps;
             let tree_ref = &tree;
@@ -216,11 +219,16 @@ impl RfsStructure {
             }
         }
 
-        Self {
+        let built = Self {
             tree,
             reps,
             leaf_of,
-        }
+        };
+        // Debug builds (including the test profile) verify the full
+        // structure; release builds skip the O(n·depth) walk.
+        #[cfg(debug_assertions)]
+        built.validate();
+        built
     }
 
     /// The underlying clustering tree.
@@ -286,10 +294,10 @@ impl RfsStructure {
         out.extend_from_slice(b"QDR1");
         out.extend_from_slice(&(tree_bytes.len() as u64).to_le_bytes());
         out.extend_from_slice(&tree_bytes);
-        let mut nodes: Vec<(&NodeId, &Vec<usize>)> = self.reps.iter().collect();
-        nodes.sort_by_key(|(n, _)| **n);
-        out.extend_from_slice(&(nodes.len() as u64).to_le_bytes());
-        for (node, reps) in nodes {
+        // BTreeMap iteration is already ascending by node id — the on-disk
+        // representative order is canonical without an explicit sort.
+        out.extend_from_slice(&(self.reps.len() as u64).to_le_bytes());
+        for (node, reps) in &self.reps {
             out.extend_from_slice(&(node.index() as u64).to_le_bytes());
             out.extend_from_slice(&(reps.len() as u64).to_le_bytes());
             for &r in reps {
@@ -328,7 +336,7 @@ impl RfsStructure {
             .map(|n| (n.index(), n))
             .collect();
         let node_count = u64_at(&data, &mut pos)? as usize;
-        let mut reps: HashMap<NodeId, Vec<usize>> = HashMap::with_capacity(node_count);
+        let mut reps: BTreeMap<NodeId, Vec<usize>> = BTreeMap::new();
         for _ in 0..node_count {
             let raw = u64_at(&data, &mut pos)? as usize;
             let node = *node_ids
@@ -349,7 +357,7 @@ impl RfsStructure {
             return Err(bad("trailing bytes in RFS file"));
         }
 
-        let mut leaf_of = HashMap::with_capacity(tree.len());
+        let mut leaf_of = BTreeMap::new();
         for n in tree.node_ids() {
             if tree.is_leaf(n) {
                 for (id, _) in tree.leaf_entries(n) {
@@ -362,6 +370,108 @@ impl RfsStructure {
             reps,
             leaf_of,
         })
+    }
+
+    /// Checks every structural invariant of the built structure, mirroring
+    /// `RStarTree::validate`: panics with a description of the first
+    /// violation. Intended for tests and debug assertions.
+    ///
+    /// # Panics
+    /// Panics if any invariant of [`Self::check_invariants`] is violated.
+    pub fn validate(&self) {
+        if let Err(msg) = self.check_invariants() {
+            panic!("{msg}");
+        }
+    }
+
+    /// Non-panicking invariant check, mirroring
+    /// `RStarTree::check_invariants`:
+    ///
+    /// * the underlying tree's own invariants hold;
+    /// * `leaf_of` is a bijection between corpus images and leaf slots —
+    ///   every entry points at a live leaf that stores the image, and every
+    ///   image stored in a leaf has an entry;
+    /// * grouping the node ids by level partitions the node set (every node
+    ///   in exactly one level group, levels `0..height` all non-empty) and
+    ///   every node carries a representative list;
+    /// * every node's representatives are drawn from its own subtree.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.tree.check_invariants()?;
+        let fail = |msg: String| Err(msg);
+
+        let node_ids = self.tree.node_ids();
+        for (&image, &leaf) in &self.leaf_of {
+            if !self.tree.is_leaf(leaf) {
+                return fail(format!("leaf_of[{image}] = {leaf:?} is not a leaf"));
+            }
+            if !self
+                .tree
+                .leaf_entries(leaf)
+                .any(|(id, _)| id as usize == image)
+            {
+                return fail(format!("leaf_of[{image}] = {leaf:?} does not store it"));
+            }
+        }
+        let mut stored = 0usize;
+        for &n in &node_ids {
+            if self.tree.is_leaf(n) {
+                for (id, _) in self.tree.leaf_entries(n) {
+                    stored += 1;
+                    if self.leaf_of.get(&(id as usize)) != Some(&n) {
+                        return fail(format!("image {id} in {n:?} missing from leaf_of"));
+                    }
+                }
+            }
+        }
+        if stored != self.leaf_of.len() {
+            return fail(format!(
+                "leaf_of has {} entries for {stored} stored images",
+                self.leaf_of.len()
+            ));
+        }
+
+        // Level grouping partitions the node set.
+        let mut by_level: BTreeMap<u32, usize> = BTreeMap::new();
+        for &n in &node_ids {
+            *by_level.entry(self.tree.level(n)).or_default() += 1;
+        }
+        let grouped: usize = by_level.values().sum();
+        if grouped != node_ids.len() {
+            return fail(format!(
+                "level groups cover {grouped} of {} nodes",
+                node_ids.len()
+            ));
+        }
+        let height = self.tree.level(self.tree.root()) + 1;
+        for level in 0..height {
+            if !by_level.contains_key(&level) {
+                return fail(format!("no nodes at level {level} (height {height})"));
+            }
+        }
+
+        // Representatives exist for every node and stay inside its subtree.
+        for &n in &node_ids {
+            if !self.reps.contains_key(&n) {
+                return fail(format!("node {n:?} has no representative list"));
+            }
+            let members: std::collections::HashSet<usize> = self
+                .tree
+                .subtree_items(n)
+                .iter()
+                .map(|(id, _)| *id as usize)
+                .collect();
+            for &r in self.representatives(n) {
+                if !members.contains(&r) {
+                    return fail(format!("representative {r} outside subtree of {n:?}"));
+                }
+            }
+        }
+        for n in self.reps.keys() {
+            if !node_ids.contains(n) {
+                return fail(format!("representative list for unknown node {n:?}"));
+            }
+        }
+        Ok(())
     }
 }
 

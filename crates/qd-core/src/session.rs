@@ -20,7 +20,7 @@ use qd_index::NodeId;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 pub use crate::ranking::ResultGroup;
@@ -156,7 +156,9 @@ pub fn run_feedback_rounds(
     let mut relevant_snapshots = Vec::with_capacity(cfg.rounds);
     let mut feedback_accesses = 0u64;
     let mut round_durations: Vec<Duration> = Vec::with_capacity(cfg.rounds);
-    let mut final_marks: HashMap<NodeId, Vec<usize>> = HashMap::new();
+    // BTreeMap, so the flattening below yields subqueries in node-id order
+    // with no explicit sort (qd-analyze rule R3).
+    let mut final_marks: BTreeMap<NodeId, Vec<usize>> = BTreeMap::new();
 
     for round in 1..=cfg.rounds {
         let round_start = Instant::now();
@@ -205,8 +207,7 @@ pub fn run_feedback_rounds(
         }
     }
 
-    let mut final_marks: Vec<(NodeId, Vec<usize>)> = final_marks.into_iter().collect();
-    final_marks.sort_by_key(|(n, _)| *n);
+    let final_marks: Vec<(NodeId, Vec<usize>)> = final_marks.into_iter().collect();
     FeedbackRounds {
         final_marks,
         relevant_snapshots,

@@ -144,7 +144,7 @@ mod tests {
         let peak = hist
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
         assert!(
@@ -161,7 +161,7 @@ mod tests {
         let peak = hist
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
         // Orientation π/2 lands in the middle bin.

@@ -532,7 +532,7 @@ impl RStarTree {
                 (r.enlargement(rect), c)
             })
             .collect();
-        by_area.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal));
+        by_area.sort_by(|a, b| a.0.total_cmp(&b.0));
         by_area.truncate(CANDIDATES.max(1));
 
         let mut best = by_area[0].1;
@@ -588,11 +588,7 @@ impl RStarTree {
 
         let orphans: Vec<Orphan> = match &mut self.node_mut(n).kind {
             NodeKind::Leaf(d) => {
-                d.sort_by(|a, b| {
-                    dist2(&a.point, &center)
-                        .partial_cmp(&dist2(&b.point, &center))
-                        .unwrap_or(Ordering::Equal)
-                });
+                d.sort_by(|a, b| dist2(&a.point, &center).total_cmp(&dist2(&b.point, &center)));
                 d.split_off(d.len() - count.min(d.len()))
                     .into_iter()
                     .map(Orphan::Data)
@@ -612,7 +608,7 @@ impl RStarTree {
                         (dist2(&ccenter, &center), c)
                     })
                     .collect();
-                scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal));
+                scored.sort_by(|a, b| a.0.total_cmp(&b.0));
                 let evicted: Vec<NodeId> = scored
                     .split_off(scored.len() - count.min(scored.len()))
                     .into_iter()
@@ -697,7 +693,7 @@ impl RStarTree {
                     } else {
                         (rects[a].min()[axis], rects[b].min()[axis])
                     };
-                    ka.partial_cmp(&kb).unwrap_or(Ordering::Equal)
+                    ka.total_cmp(&kb)
                 });
                 let margin_sum = distributions(&order, &rects, m)
                     .iter()
@@ -928,10 +924,7 @@ impl RStarTree {
         impl Ord for HeapItem {
             fn cmp(&self, other: &Self) -> Ordering {
                 // Min-heap on distance via reversed comparison.
-                other
-                    .dist2
-                    .partial_cmp(&self.dist2)
-                    .unwrap_or(Ordering::Equal)
+                other.dist2.total_cmp(&self.dist2)
             }
         }
 
@@ -1223,11 +1216,7 @@ where
         }
     }
     let mid = items.len() / 2;
-    items.sort_by(|a, b| {
-        key(a)[widest]
-            .partial_cmp(&key(b)[widest])
-            .unwrap_or(Ordering::Equal)
-    });
+    items.sort_by(|a, b| key(a)[widest].total_cmp(&key(b)[widest]));
     let (left, right) = items.split_at_mut(mid);
     let mut out = partition_recursive(left, max, key);
     out.extend(partition_recursive(right, max, key));
@@ -1473,7 +1462,7 @@ mod tests {
 
     fn brute_knn(items: &[(u64, Vec<f32>)], q: &[f32], k: usize) -> Vec<u64> {
         let mut scored: Vec<(f64, u64)> = items.iter().map(|(id, p)| (dist2(p, q), *id)).collect();
-        scored.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         scored.into_iter().take(k).map(|(_, id)| id).collect()
     }
 

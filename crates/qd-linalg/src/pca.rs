@@ -46,7 +46,7 @@ impl Pca {
 
         // Sort eigenpairs by descending eigenvalue.
         let mut order: Vec<usize> = (0..dim).collect();
-        order.sort_by(|&a, &b| eigvals[b].partial_cmp(&eigvals[a]).unwrap());
+        order.sort_by(|&a, &b| eigvals[b].total_cmp(&eigvals[a]));
 
         let mean = {
             let n = data.len() as f64;
@@ -200,7 +200,7 @@ mod tests {
         // Eigenvalues of [[2,1],[1,2]] are 1 and 3.
         let m = Matrix::from_rows(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
         let (mut vals, _) = jacobi_eigen(&m, 1e-14, 50);
-        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        vals.sort_by(|a, b| a.total_cmp(b));
         assert!(approx(vals[0], 1.0, 1e-10));
         assert!(approx(vals[1], 3.0, 1e-10));
     }

@@ -10,7 +10,7 @@ fn dist2(a: &[f32], b: &[f32]) -> f64 {
 
 fn brute_knn(items: &[(u64, Vec<f32>)], q: &[f32], k: usize) -> Vec<u64> {
     let mut scored: Vec<(f64, u64)> = items.iter().map(|(id, p)| (dist2(p, q), *id)).collect();
-    scored.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     scored.into_iter().take(k).map(|(_, id)| id).collect()
 }
 

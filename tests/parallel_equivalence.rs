@@ -185,6 +185,10 @@ proptest! {
             ..RfsConfig::test_small()
         };
         let (seq, par) = both_modes(|| RfsStructure::build(corpus.features(), &config));
+        // Both builds must satisfy every RFS structural invariant (leaf_of
+        // bijection, representatives within their subtree, level partition).
+        seq.validate();
+        par.validate();
         prop_assert_eq!(seq.all_representatives(), par.all_representatives());
         let mut nodes = seq.tree().node_ids();
         nodes.sort_unstable();
@@ -227,5 +231,116 @@ proptest! {
             prop_assert_eq!(a.qd_precision, b.qd_precision);
             prop_assert_eq!(a.qd_gtir.to_bits(), b.qd_gtir.to_bits());
         }
+    }
+}
+
+// ----------------------------------------------------------------------
+// NaN-score regression (the qd-analyze R1 migration to `total_cmp`).
+//
+// Before the migration, a NaN similarity score either panicked the merge
+// (`partial_cmp(..).unwrap()`) or — worse for the paper's Table 1/2 numbers —
+// silently produced a ranking that depended on the incoming order
+// (`unwrap_or(Ordering::Equal)` makes NaN compare Equal to everything, so a
+// stable sort leaves it wherever it happens to sit). `total_cmp` gives NaN a
+// fixed place in the order: positive NaN after every finite float.
+// ----------------------------------------------------------------------
+
+mod nan_regression {
+    use query_decomposition::core::localknn::LocalResult;
+    use query_decomposition::core::ranking::{
+        flatten_groups, merge_local_results, merge_single_list,
+    };
+    use query_decomposition::index::{Neighbor, NodeId, RStarTree, TreeConfig};
+    use std::sync::OnceLock;
+
+    /// Stable node ids for hand-built `LocalResult`s (NodeId has no public
+    /// constructor).
+    fn scratch_node(i: usize) -> NodeId {
+        static TREE: OnceLock<RStarTree> = OnceLock::new();
+        let tree = TREE.get_or_init(|| {
+            let items = (0..200u64).map(|id| (id, vec![id as f32, 0.0])).collect();
+            RStarTree::bulk_load(TreeConfig::small(2), items)
+        });
+        let ids = tree.node_ids();
+        ids[i % ids.len()]
+    }
+
+    fn local(home: usize, support: usize, neighbors: &[(u64, f32)]) -> LocalResult {
+        LocalResult {
+            home: scratch_node(home),
+            scope: scratch_node(home),
+            neighbors: neighbors
+                .iter()
+                .map(|&(id, distance)| Neighbor { id, distance })
+                .collect(),
+            support,
+            accesses: 0,
+        }
+    }
+
+    /// Two subqueries where one candidate carries a NaN score: the merge
+    /// must not panic, NaN must rank strictly after every finite score, and
+    /// repeated runs must agree exactly.
+    #[test]
+    fn nan_scores_neither_panic_nor_reorder_the_merge() {
+        let a = local(0, 2, &[(0, 0.1), (1, f32::NAN), (2, 0.3), (3, 0.4)]);
+        let b = local(1, 2, &[(10, 0.15), (11, 0.25), (12, f32::NAN), (13, 0.45)]);
+        let run = || merge_local_results(&[a.clone(), b.clone()], 8);
+        let groups = run();
+        assert_eq!(flatten_groups(&groups).len(), 8);
+        for g in &groups {
+            // Within a group, every finite score precedes the NaN.
+            let scores: Vec<f32> = g.images.iter().map(|&(_, s)| s).collect();
+            if let Some(nan_pos) = scores.iter().position(|s| s.is_nan()) {
+                assert!(
+                    scores[..nan_pos].iter().all(|s| !s.is_nan()),
+                    "NaN not sorted to the end of its group: {scores:?}"
+                );
+                assert_eq!(nan_pos, scores.len() - 1, "NaN before finite: {scores:?}");
+            }
+        }
+        // Determinism: identical output on every run, scores bit-for-bit.
+        let again = run();
+        assert_eq!(flatten_groups(&groups), flatten_groups(&again));
+        for (ga, gb) in groups.iter().zip(&again) {
+            for (&(ia, sa), &(ib, sb)) in ga.images.iter().zip(&gb.images) {
+                assert_eq!(ia, ib);
+                assert_eq!(sa.to_bits(), sb.to_bits());
+            }
+        }
+    }
+
+    /// The single-list merge (§3.4 alternative) under NaN: no panic, NaN
+    /// candidates rank last, and the input order of subqueries does not
+    /// change the ranking.
+    #[test]
+    fn nan_scores_are_stable_in_single_list_merge() {
+        let a = local(0, 1, &[(0, f32::NAN), (1, 0.2), (2, 0.3)]);
+        let b = local(1, 1, &[(10, 0.1), (11, 0.4)]);
+        let forward = merge_single_list(&[a.clone(), b.clone()], 5);
+        let backward = merge_single_list(&[b, a], 5);
+        assert_eq!(forward.len(), 5);
+        assert_eq!(
+            forward.iter().map(|&(id, _)| id).collect::<Vec<_>>(),
+            backward.iter().map(|&(id, _)| id).collect::<Vec<_>>(),
+            "subquery input order leaked into the NaN ranking"
+        );
+        let ids: Vec<usize> = forward.iter().map(|&(id, _)| id).collect();
+        assert_eq!(&ids[..4], &[10, 1, 2, 11], "finite scores rank first");
+        assert!(forward[4].1.is_nan(), "NaN candidate must rank last");
+    }
+
+    /// A full group whose every score is NaN still merges deterministically
+    /// and is ordered after finite-scored groups (NaN ranking_score sums
+    /// sort last under total_cmp).
+    #[test]
+    fn all_nan_group_ranks_after_finite_groups() {
+        let nan_group = local(0, 1, &[(0, f32::NAN), (1, f32::NAN)]);
+        let fine_group = local(1, 1, &[(10, 0.1), (11, 0.2)]);
+        let groups = merge_local_results(&[nan_group, fine_group], 4);
+        assert_eq!(groups.len(), 2);
+        assert!(groups[0].ranking_score.is_finite());
+        assert!(groups[1].ranking_score.is_nan());
+        assert_eq!(groups[0].images[0].0, 10);
     }
 }
