@@ -65,7 +65,7 @@ pub fn parse(text: &str) -> Result<Vec<AllowEntry>, ParseError> {
         let mut parts = line.splitn(3, char::is_whitespace);
         let rule_s = parts.next().unwrap_or_default();
         let rule = parse_rule(rule_s)
-            .ok_or_else(|| err(format!("unknown rule `{rule_s}` (expected R1..R6)")))?;
+            .ok_or_else(|| err(format!("unknown rule `{rule_s}` (expected R1..R7)")))?;
         let file = parts
             .next()
             .ok_or_else(|| err("missing file path".to_string()))?

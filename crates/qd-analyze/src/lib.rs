@@ -3,8 +3,10 @@
 //! # qd-analyze — workspace determinism & panic-safety lints
 //!
 //! The workspace's core contract since the qd-runtime PR is *parallel ≡
-//! sequential, byte-identical CSVs at any `QD_THREADS`*. That contract rests
-//! on source-level invariants no generic linter checks:
+//! sequential, byte-identical CSVs at any `QD_THREADS`*; since the qd-fault
+//! PR it also includes *serving paths never panic — they return typed errors
+//! or degrade*. Those contracts rest on source-level invariants no generic
+//! linter checks:
 //!
 //! | rule | invariant |
 //! |------|-----------|
@@ -14,6 +16,7 @@
 //! | R4 | no `Instant::now`/`SystemTime::now` outside `qd-bench` |
 //! | R5 | every `unsafe` carries a `// SAFETY:` comment |
 //! | R6 | no `todo!`/`unimplemented!`/`dbg!` |
+//! | R7 | no `.unwrap()`/`.expect(` in qd-core/qd-corpus/qd-index/qd-runtime `src/` outside `#[cfg(test)]` code |
 //!
 //! The crate is dependency-free (the build environment is offline, so `syn`
 //! is not an option): a hand-rolled comment/string-aware scrubber

@@ -27,17 +27,20 @@ pub enum RuleId {
     R5,
     /// `todo!` / `unimplemented!` / `dbg!`.
     R6,
+    /// `.unwrap()` / `.expect(` on serving-path crates outside test code.
+    R7,
 }
 
 impl RuleId {
     /// All rules, in report order.
-    pub const ALL: [RuleId; 6] = [
+    pub const ALL: [RuleId; 7] = [
         RuleId::R1,
         RuleId::R2,
         RuleId::R3,
         RuleId::R4,
         RuleId::R5,
         RuleId::R6,
+        RuleId::R7,
     ];
 
     /// One-line description, shown by `qd-analyze rules`.
@@ -64,6 +67,11 @@ impl RuleId {
             }
             RuleId::R5 => "every unsafe block needs an adjacent // SAFETY: comment",
             RuleId::R6 => "no todo!/unimplemented!/dbg! anywhere",
+            RuleId::R7 => {
+                "no .unwrap()/.expect( in qd-core/qd-corpus/qd-index/qd-runtime \
+                 src outside #[cfg(test)] code: serving paths return typed \
+                 errors or degrade, they never panic on input"
+            }
         }
     }
 
@@ -75,6 +83,7 @@ impl RuleId {
             "R4" => Some(RuleId::R4),
             "R5" => Some(RuleId::R5),
             "R6" => Some(RuleId::R6),
+            "R7" => Some(RuleId::R7),
             _ => None,
         }
     }
@@ -135,6 +144,17 @@ pub fn analyze_file(rel_path: &str, scrubbed: &Scrubbed) -> Vec<Finding> {
     }
     rule_r5(rel_path, scrubbed, &mut out);
     rule_r6(rel_path, scrubbed, &mut out);
+    if [
+        "crates/qd-core/src/",
+        "crates/qd-corpus/src/",
+        "crates/qd-index/src/",
+        "crates/qd-runtime/src/",
+    ]
+    .iter()
+    .any(|p| rel_path.starts_with(p))
+    {
+        rule_r7(rel_path, scrubbed, &mut out);
+    }
     out.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.message.cmp(&b.message)));
     out.dedup_by(|a, b| a.rule == b.rule && a.line == b.line && a.message == b.message);
     out
@@ -431,6 +451,88 @@ fn rule_r5(rel_path: &str, scrubbed: &Scrubbed, out: &mut Vec<Finding>) {
     }
 }
 
+/// Marks every line belonging to a `#[cfg(test)]`-gated item. The attribute
+/// line starts the region; it ends when the item's brace pair closes (or at
+/// the trailing `;` of a braceless item like `#[cfg(test)] mod testutil;`).
+/// Runs on scrubbed lines, so braces inside strings and comments are already
+/// blanked and simple depth counting is exact.
+fn cfg_test_lines(lines: &[String]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut i = 0usize;
+    while i < lines.len() {
+        if !lines[i].trim_start().starts_with("#[cfg(test)]") {
+            i += 1;
+            continue;
+        }
+        let mut depth = 0i64;
+        let mut opened = false;
+        let mut end = lines.len() - 1;
+        let mut j = i;
+        'scan: while j < lines.len() {
+            for c in lines[j].chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' if opened => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = j;
+                            break 'scan;
+                        }
+                    }
+                    ';' if !opened => {
+                        end = j;
+                        break 'scan;
+                    }
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        for m in mask.iter_mut().take(end + 1).skip(i) {
+            *m = true;
+        }
+        i = end + 1;
+    }
+    mask
+}
+
+/// R7: `.unwrap()` / `.expect(` on the serving-path crates (qd-core,
+/// qd-corpus, qd-index, qd-runtime) outside `#[cfg(test)]` code. These
+/// crates sit on the interactive path, where the degradation contract says
+/// bad input and injected faults surface as typed errors or degraded
+/// results — never a panic. `unwrap_or`/`unwrap_or_else`/`unwrap_or_default`
+/// are untouched (word-boundary match), and invariants proven by
+/// construction should use `match` + `unreachable!` with the invariant
+/// stated, which documents *why* the arm is dead.
+fn rule_r7(rel_path: &str, scrubbed: &Scrubbed, out: &mut Vec<Finding>) {
+    let test_mask = cfg_test_lines(&scrubbed.lines);
+    for (li, line) in scrubbed.lines.iter().enumerate() {
+        if test_mask[li] {
+            continue;
+        }
+        for (word, suffix) in [("unwrap", "()"), ("expect", "(")] {
+            for start in word_occurrences(line, word) {
+                if line[..start].ends_with('.') && line[start + word.len()..].starts_with(suffix) {
+                    out.push(Finding {
+                        rule: RuleId::R7,
+                        file: rel_path.to_string(),
+                        line: li + 1,
+                        message: format!(".{word}{suffix} on a serving-path crate"),
+                        hint: "return a typed error (QdError / io::Error), degrade to a \
+                               partial result, or prove the invariant with match + \
+                               unreachable!; allowlist with a justification if the \
+                               panic is truly unreachable by construction"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+    }
+}
+
 /// R6: stub/debug macros.
 fn rule_r6(rel_path: &str, scrubbed: &Scrubbed, out: &mut Vec<Finding>) {
     for (li, line) in scrubbed.lines.iter().enumerate() {
@@ -463,9 +565,10 @@ mod tests {
     fn r1_catches_multiline_comparator() {
         let src = "v.sort_by(|a, b| {\n    a.partial_cmp(b).unwrap()\n});";
         let f = findings("crates/qd-core/src/x.rs", src);
-        assert_eq!(f.len(), 1);
-        assert_eq!(f[0].rule, RuleId::R1);
-        assert_eq!(f[0].line, 2);
+        // The `.unwrap()` also trips R7 on this path; R1 is what's under test.
+        let r1: Vec<_> = f.iter().filter(|x| x.rule == RuleId::R1).collect();
+        assert_eq!(r1.len(), 1);
+        assert_eq!(r1[0].line, 2);
     }
 
     #[test]
@@ -492,6 +595,53 @@ mod tests {
     fn r3_only_applies_to_result_shaping_crates() {
         let src = "fn f(m: HashMap<u32, u32>) -> Vec<u32> { m.values().copied().collect() }";
         assert!(!findings("crates/qd-core/src/x.rs", src).is_empty());
+        assert!(findings("crates/qd-corpus/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r7_catches_unwrap_and_expect_on_serving_crates() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
+                   fn g(x: Option<u32>) -> u32 { x.expect(\"present\") }";
+        let f = findings("crates/qd-core/src/x.rs", src);
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|x| x.rule == RuleId::R7));
+        assert_eq!(f[0].line, 1);
+        assert_eq!(f[1].line, 2);
+        // Same source in a crate off the serving path: clean.
+        assert!(findings("crates/qd-bench/src/x.rs", src).is_empty());
+        assert!(findings("tests/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r7_skips_cfg_test_modules_and_braceless_test_items() {
+        let src = "fn serve(x: Option<u32>) -> Option<u32> { x }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t(x: Option<u32>) -> u32 { x.unwrap() }\n\
+                       fn u(x: Option<u32>) -> u32 { x.expect(\"fixture\") }\n\
+                   }\n\
+                   #[cfg(test)]\n\
+                   mod testutil;\n\
+                   fn after(x: Option<u32>) -> u32 { x.unwrap() }";
+        let f = findings("crates/qd-index/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 9);
+    }
+
+    #[test]
+    fn r7_leaves_fallible_combinators_and_free_functions_alone() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n\
+                   fn g(x: Option<u32>) -> u32 { x.unwrap_or_else(|| 1) }\n\
+                   fn h(x: Option<u32>) -> u32 { x.unwrap_or_default() }\n\
+                   fn expect(s: &str) -> usize { s.len() }\n\
+                   fn k(s: &str) -> usize { expect(s) }";
+        assert!(findings("crates/qd-runtime/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r7_matches_inside_comments_or_strings_never_fire() {
+        let src = "// calling .unwrap() here would be wrong\n\
+                   fn f() -> &'static str { \".unwrap()\" }";
         assert!(findings("crates/qd-corpus/src/x.rs", src).is_empty());
     }
 }

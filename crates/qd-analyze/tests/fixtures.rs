@@ -23,10 +23,12 @@ fn rules_fired(path: &str, src: &str) -> Vec<RuleId> {
 #[test]
 fn r1_positive_unwrap_comparator() {
     let src = "fn f(v: &mut Vec<f32>) {\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n";
-    assert_eq!(
-        rules_fired("crates/qd-core/src/x.rs", src),
-        vec![RuleId::R1]
-    );
+    let fired = rules_fired("crates/qd-core/src/x.rs", src);
+    // One line, two defects: the NaN-panicking comparator (R1) and the bare
+    // `.unwrap()` on a serving-path crate (R7).
+    assert!(fired.contains(&RuleId::R1));
+    assert!(fired.contains(&RuleId::R7));
+    assert_eq!(fired.len(), 2);
 }
 
 #[test]
@@ -172,10 +174,36 @@ fn r6_negative_mentions_in_comments_and_strings() {
     assert!(run("crates/qd-core/src/x.rs", src).is_empty());
 }
 
+// ---------------------------------------------------------------- R7
+
+#[test]
+fn r7_positive_unwrap_and_expect() {
+    let src = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\nfn g(r: Result<u32, ()>) -> u32 {\n    r.expect(\"always ok\")\n}\n";
+    assert_eq!(
+        rules_fired("crates/qd-corpus/src/x.rs", src),
+        vec![RuleId::R7, RuleId::R7]
+    );
+}
+
+#[test]
+fn r7_negative_test_code_and_off_path_crates() {
+    // Inside a #[cfg(test)] module: exempt.
+    let test_mod = "#[cfg(test)]\nmod tests {\n    fn t(x: Option<u32>) -> u32 { x.unwrap() }\n}\n";
+    assert!(run("crates/qd-core/src/x.rs", test_mod).is_empty());
+    // Fallible combinators: exempt everywhere.
+    let combinators = "fn f(x: Option<u32>) -> u32 { x.unwrap_or_default() }\n";
+    assert!(run("crates/qd-core/src/x.rs", combinators).is_empty());
+    // Crates off the serving path: exempt.
+    let bare = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    assert!(run("crates/qd-bench/src/x.rs", bare).is_empty());
+    assert!(run("src/bin/qd.rs", bare).is_empty());
+}
+
 // ---------------------------------------------------------- allowlist
 
 /// Builds a throwaway workspace on disk: `crates/qd-core/src/bad.rs` with a
-/// known R1 violation, plus an optional allowlist.
+/// known R1 violation (and only R1 — `unwrap_or` keeps R7 quiet), plus an
+/// optional allowlist.
 fn scratch_workspace(name: &str, allowlist: Option<&str>) -> PathBuf {
     let root = std::env::temp_dir().join(format!("qd_analyze_fixture_{name}"));
     let _ = std::fs::remove_dir_all(&root);
@@ -183,7 +211,7 @@ fn scratch_workspace(name: &str, allowlist: Option<&str>) -> PathBuf {
     std::fs::create_dir_all(&src_dir).unwrap();
     std::fs::write(
         src_dir.join("bad.rs"),
-        "fn f(v: &mut Vec<f32>) {\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n}\n",
+        "fn f(v: &mut Vec<f32>) {\n    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));\n}\n",
     )
     .unwrap();
     std::fs::write(root.join("Cargo.toml"), "[workspace]\n").unwrap();

@@ -79,7 +79,10 @@ pub fn bench_corpus(scale: BenchScale, seed: u64) -> Arc<Corpus> {
         "{}-{}-{}-{}-{}.qdc",
         config.size, config.image_size, config.seed, config.filler_count, config.with_viewpoints
     ));
-    let corpus = Arc::new(qd_corpus::cache::load_or_build(&config, &path));
+    let corpus = Arc::new(
+        qd_corpus::cache::load_or_build(&config, &path)
+            .unwrap_or_else(|e| panic!("corpus cache {}: {e}", path.display())),
+    );
     corpus_cache()
         .lock()
         .unwrap()

@@ -77,7 +77,7 @@ mod tests {
     #[test]
     fn representative_weights_are_normalized() {
         let (corpus, _) = testutil::shared();
-        let rose = corpus.images_of(corpus.taxonomy().expect("rose/red"));
+        let rose = corpus.images_of(corpus.taxonomy().require("rose/red"));
         let (reps, weights) = representatives(corpus.features(), &rose[..6], 0);
         assert!(!reps.is_empty());
         assert!(reps.len() <= MAX_CLUSTERS);

@@ -202,7 +202,7 @@ mod tests {
     fn retrieve_prefers_images_near_the_relevant_centroid() {
         let (corpus, _) = testutil::shared();
         let query = testutil::query("rose");
-        let rose_yellow = corpus.images_of(corpus.taxonomy().expect("rose/yellow"));
+        let rose_yellow = corpus.images_of(corpus.taxonomy().require("rose/yellow"));
         let channels: Vec<&[Vec<f32>]> = Viewpoint::ALL
             .iter()
             .filter_map(|&vp| corpus.viewpoint_features(vp))

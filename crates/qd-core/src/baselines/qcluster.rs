@@ -91,8 +91,8 @@ mod tests {
     #[test]
     fn contours_cover_each_relevant_cluster() {
         let (corpus, _) = testutil::shared();
-        let yellow = corpus.images_of(corpus.taxonomy().expect("rose/yellow"));
-        let red = corpus.images_of(corpus.taxonomy().expect("rose/red"));
+        let yellow = corpus.images_of(corpus.taxonomy().require("rose/yellow"));
+        let red = corpus.images_of(corpus.taxonomy().require("rose/red"));
         let mut relevant = yellow[..4].to_vec();
         relevant.extend_from_slice(&red[..4]);
         let contours = fit_contours(corpus.features(), &relevant, 0);

@@ -15,8 +15,12 @@
 //! only thing shipped to the server, which answers it with the usual
 //! localized k-NN execution.
 
+use crate::error::QdError;
 use crate::rfs::{FeedbackHierarchy, RfsStructure};
-use crate::session::{execute_subqueries, run_feedback_rounds, FinalExecution, QdConfig};
+use crate::session::{
+    execute_subqueries, run_feedback_rounds, try_execute_subqueries, validate_subqueries,
+    FinalExecution, QdConfig,
+};
 use crate::user::SimulatedUser;
 use qd_corpus::taxonomy::SubconceptId;
 use qd_corpus::Corpus;
@@ -153,6 +157,9 @@ pub fn client_feedback(
 
 /// Answers a client's query on the server: localized multipoint k-NN per
 /// subquery plus the merge of §3.4.
+///
+/// Panics on a malformed query; serving paths should prefer
+/// [`try_server_execute`].
 pub fn server_execute(
     corpus: &Corpus,
     rfs: &RfsStructure,
@@ -161,6 +168,125 @@ pub fn server_execute(
     cfg: &QdConfig,
 ) -> FinalExecution {
     execute_subqueries(corpus, rfs, &remote.subqueries, k, cfg)
+}
+
+/// Checks a remote query against the server's corpus and tree before any
+/// k-NN work: every subquery must be non-empty, reference a cluster handle
+/// this server actually holds, and mark only in-range image ids.
+pub fn validate_remote_query(
+    corpus: &Corpus,
+    rfs: &RfsStructure,
+    remote: &RemoteQuery,
+    cfg: &QdConfig,
+) -> Result<(), QdError> {
+    validate_subqueries(corpus, rfs, &remote.subqueries, cfg)
+}
+
+/// Fallible server entry point: validates the payload, then executes the
+/// localized subqueries, surfacing malformed queries and worker failures as
+/// typed [`QdError`]s instead of panics.
+pub fn try_server_execute(
+    corpus: &Corpus,
+    rfs: &RfsStructure,
+    remote: &RemoteQuery,
+    k: usize,
+    cfg: &QdConfig,
+) -> Result<FinalExecution, QdError> {
+    try_execute_subqueries(corpus, rfs, &remote.subqueries, k, cfg)
+}
+
+/// How persistently the client resubmits a query that fails in transit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum number of submissions (including the first); treated as at
+    /// least 1.
+    pub max_attempts: usize,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { max_attempts: 3 }
+    }
+}
+
+/// Outcome of a retried submission: the server's answer plus how hard the
+/// client had to work for it.
+#[derive(Debug, Clone)]
+pub struct SubmitReport {
+    /// The server's execution of the (eventually intact) query.
+    pub execution: FinalExecution,
+    /// Submissions performed, 1 if the first attempt succeeded.
+    pub attempts: usize,
+    /// Total abstract backoff waited, in units of the base delay: attempt
+    /// `i` that fails adds `2^(i-1)` units. Deterministic — no clock is
+    /// consulted.
+    pub backoff_units: u64,
+}
+
+/// Derives a deterministically corrupted copy of `remote` from a fault
+/// payload: one marked image id is rewritten to an out-of-range value, the
+/// kind of damage a truncated or bit-flipped payload produces.
+fn corrupt_marks(remote: &RemoteQuery, corpus_len: usize, payload: u64) -> RemoteQuery {
+    let mut corrupted = remote.clone();
+    let with_marks: Vec<usize> = (0..corrupted.subqueries.len())
+        .filter(|&s| !corrupted.subqueries[s].1.is_empty())
+        .collect();
+    if let Some(&s) = with_marks.get(payload as usize % with_marks.len().max(1)) {
+        let marks = &mut corrupted.subqueries[s].1;
+        let slot = (payload >> 16) as usize % marks.len();
+        marks[slot] = corpus_len + (payload as usize % 7);
+    }
+    corrupted
+}
+
+/// Submits a query with bounded, deterministic retry.
+///
+/// Transient failures — a failed send ([`qd_fault::site::CLIENT_TRANSPORT`])
+/// or a payload corrupted in transit and rejected by server-side validation
+/// ([`qd_fault::site::CLIENT_MARK_CORRUPT`]) — are retried up to the policy
+/// limit with exponential backoff accounted in abstract units (no clock).
+/// A pristine query the server still rejects is a client bug, not a
+/// transient: its typed error returns immediately.
+pub fn submit_with_retry(
+    corpus: &Corpus,
+    rfs: &RfsStructure,
+    remote: &RemoteQuery,
+    k: usize,
+    cfg: &QdConfig,
+    policy: RetryPolicy,
+) -> Result<SubmitReport, QdError> {
+    let max_attempts = policy.max_attempts.max(1);
+    let mut backoff_units = 0u64;
+    let mut last_error = String::from("no attempt made");
+    for attempt in 1..=max_attempts {
+        if qd_fault::fire(qd_fault::site::CLIENT_TRANSPORT).is_some() {
+            last_error = format!("transport send failed (attempt {attempt})");
+            backoff_units += 1u64 << (attempt - 1);
+            continue;
+        }
+        let (query, corrupted) = match qd_fault::fire(qd_fault::site::CLIENT_MARK_CORRUPT) {
+            Some(payload) => (corrupt_marks(remote, corpus.len(), payload), true),
+            None => (remote.clone(), false),
+        };
+        match try_server_execute(corpus, rfs, &query, k, cfg) {
+            Ok(execution) => {
+                return Ok(SubmitReport {
+                    execution,
+                    attempts: attempt,
+                    backoff_units,
+                })
+            }
+            Err(e) if corrupted => {
+                last_error = format!("server rejected corrupted payload: {e}");
+                backoff_units += 1u64 << (attempt - 1);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(QdError::RetriesExhausted {
+        attempts: max_attempts,
+        last_error,
+    })
 }
 
 #[cfg(test)]
@@ -239,6 +365,87 @@ mod tests {
         );
         // And the replicated image-id universe is a sliver of the database.
         assert!(client.representative_count() * 3 < corpus.len());
+    }
+
+    #[test]
+    fn retry_survives_transient_transport_failures() {
+        let (corpus, rfs, client) = client_fixture();
+        let query = testutil::query("bird");
+        let k = corpus.ground_truth(&query).len();
+        let cfg = QdConfig::default();
+        let mut user = SimulatedUser::oracle(&query, 21);
+        let remote = client_feedback(&client, corpus.labels(), &mut user, &cfg);
+        let clean = server_execute(corpus, rfs, &remote, k, &cfg);
+
+        // First send fails, second goes through.
+        let plan = qd_fault::FaultPlan::new(11)
+            .site(qd_fault::site::CLIENT_TRANSPORT, qd_fault::Mode::Once(0));
+        let report = qd_fault::with_plan(&plan, || {
+            submit_with_retry(corpus, rfs, &remote, k, &cfg, RetryPolicy::default())
+        })
+        .expect("one transport failure is within the retry budget");
+        assert_eq!(report.attempts, 2);
+        assert_eq!(report.backoff_units, 1); // 2^0 for the one failed attempt
+        assert_eq!(report.execution.results, clean.results);
+
+        // Transport permanently down: typed exhaustion, not a panic.
+        let down = qd_fault::FaultPlan::new(11)
+            .site(qd_fault::site::CLIENT_TRANSPORT, qd_fault::Mode::Always);
+        let err = qd_fault::with_plan(&down, || {
+            submit_with_retry(corpus, rfs, &remote, k, &cfg, RetryPolicy::default())
+        })
+        .unwrap_err();
+        assert!(
+            matches!(err, QdError::RetriesExhausted { attempts: 3, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn corrupted_payload_is_rejected_then_retried() {
+        let (corpus, rfs, client) = client_fixture();
+        let query = testutil::query("rose");
+        let k = corpus.ground_truth(&query).len();
+        let cfg = QdConfig::default();
+        let mut user = SimulatedUser::oracle(&query, 5);
+        let remote = client_feedback(&client, corpus.labels(), &mut user, &cfg);
+        let clean = server_execute(corpus, rfs, &remote, k, &cfg);
+
+        let plan = qd_fault::FaultPlan::new(29)
+            .site(qd_fault::site::CLIENT_MARK_CORRUPT, qd_fault::Mode::Once(0));
+        let report = qd_fault::with_plan(&plan, || {
+            submit_with_retry(corpus, rfs, &remote, k, &cfg, RetryPolicy::default())
+        })
+        .expect("corruption on the first attempt only");
+        assert_eq!(report.attempts, 2);
+        assert_eq!(report.execution.results, clean.results);
+
+        // Deterministic for a fixed plan: same attempts, same answer.
+        let again = qd_fault::with_plan(&plan, || {
+            submit_with_retry(corpus, rfs, &remote, k, &cfg, RetryPolicy::default())
+        })
+        .unwrap();
+        assert_eq!(again.attempts, report.attempts);
+        assert_eq!(again.backoff_units, report.backoff_units);
+        assert_eq!(again.execution.results, report.execution.results);
+    }
+
+    #[test]
+    fn pristine_but_invalid_query_fails_fast_without_retry() {
+        let (corpus, rfs, _) = client_fixture();
+        let cfg = QdConfig::default();
+        let invalid = RemoteQuery {
+            subqueries: vec![(rfs.tree().root(), vec![corpus.len() + 9])],
+        };
+        assert!(matches!(
+            validate_remote_query(corpus, rfs, &invalid, &cfg),
+            Err(QdError::ImageOutOfRange { .. })
+        ));
+        // No fault plan is active: the defect is the client's own, so the
+        // submit must not burn retries on it.
+        let err =
+            submit_with_retry(corpus, rfs, &invalid, 10, &cfg, RetryPolicy::default()).unwrap_err();
+        assert!(matches!(err, QdError::ImageOutOfRange { .. }), "{err}");
     }
 
     #[test]

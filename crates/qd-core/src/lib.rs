@@ -27,6 +27,7 @@
 
 pub mod baselines;
 pub mod client;
+pub mod error;
 pub mod eval;
 pub mod localknn;
 pub mod metrics;
@@ -37,8 +38,15 @@ pub mod session;
 pub(crate) mod testutil;
 pub mod user;
 
-pub use client::{client_feedback, server_execute, ClientRfs, RemoteQuery};
+pub use client::{
+    client_feedback, server_execute, submit_with_retry, try_server_execute, validate_remote_query,
+    ClientRfs, RemoteQuery, RetryPolicy, SubmitReport,
+};
+pub use error::QdError;
 pub use metrics::{gtir, precision, RoundTrace};
 pub use rfs::{FeedbackHierarchy, RfsConfig, RfsStructure};
-pub use session::{MergeStrategy, QdConfig, QdOutcome, ResultGroup};
+pub use session::{
+    try_execute_subqueries, try_run_session, validate_subqueries, Degradation, MergeStrategy,
+    QdConfig, QdOutcome, ResultGroup, ServedOutcome,
+};
 pub use user::SimulatedUser;

@@ -11,6 +11,7 @@
 //! boundary" when `distance(image, node center) / node diagonal` exceeds a
 //! threshold (0.4 for the paper's database).
 
+use crate::error::QdError;
 use qd_index::{Neighbor, NodeId, RStarTree};
 use qd_linalg::metric::euclidean;
 use qd_linalg::vector::centroid;
@@ -40,6 +41,14 @@ pub struct LocalResult {
     /// Index node reads this subquery performed (call-local accounting, so
     /// concurrent subqueries over a shared tree never mix their costs).
     pub accesses: u64,
+    /// Distance evaluations this subquery performed — the deterministic cost
+    /// unit the anytime budget is charged in.
+    pub distance_computations: u64,
+    /// Frontier nodes the k-NN left unexplored because its budget ran out.
+    pub nodes_skipped: u64,
+    /// True when the budget ran out and `neighbors` is best-so-far rather
+    /// than the exact local answer.
+    pub exhausted: bool,
 }
 
 /// Applies the boundary-ratio test: starting at `home`, expands to the parent
@@ -77,34 +86,62 @@ pub fn resolve_scope(
     scope
 }
 
-/// Executes one localized multipoint k-NN query: resolves the scope, forms
-/// the multipoint query centroid, and fetches the `fetch` nearest images
-/// inside the scope.
+/// The fallible, budget-aware core of localized multipoint k-NN: resolves
+/// the scope, forms the multipoint query centroid, and fetches the `fetch`
+/// nearest images inside the scope — validating the query instead of
+/// panicking on bad input, and honoring an optional distance-computation
+/// budget (the anytime contract: an exhausted budget yields best-so-far
+/// neighbors with [`LocalResult::exhausted`] set, never an error).
 ///
 /// `min_pool` guards against starving the merge step: when the resolved
 /// scope holds fewer than `min_pool` images the scope is expanded to
 /// ancestors until it can supply that many candidates (or the root is
 /// reached). Pass 0 to disable.
-///
-/// # Panics
-/// Panics if the query has no query points.
-pub fn run_local_query(
+// The seven knobs of `run_local_query` plus the distance budget; callers are
+// the two wrappers below and `try_execute_subqueries`, which thread config
+// fields straight through.
+#[allow(clippy::too_many_arguments)]
+pub fn try_run_local_query(
     tree: &RStarTree,
     features: &[Vec<f32>],
     query: &LocalQuery,
     threshold: f32,
     fetch: usize,
     min_pool: usize,
-) -> LocalResult {
-    assert!(
-        !query.query_points.is_empty(),
-        "localized query without query points"
-    );
+    weights: Option<&[f32]>,
+    budget: Option<u64>,
+) -> Result<LocalResult, QdError> {
+    if query.query_points.is_empty() {
+        return Err(QdError::EmptySubquery { subquery: 0 });
+    }
+    if !tree.contains_node(query.home) {
+        return Err(QdError::UnknownNode {
+            subquery: 0,
+            node_index: query.home.index(),
+        });
+    }
+    for &id in &query.query_points {
+        if id >= features.len() {
+            return Err(QdError::ImageOutOfRange {
+                subquery: 0,
+                image: id,
+                corpus_len: features.len(),
+            });
+        }
+    }
     let query_features: Vec<&[f32]> = query
         .query_points
         .iter()
         .map(|&id| features[id].as_slice())
         .collect();
+    if let Some(w) = weights {
+        if w.len() != query_features[0].len() {
+            return Err(QdError::WeightDimension {
+                got: w.len(),
+                want: query_features[0].len(),
+            });
+        }
+    }
     let mut scope = resolve_scope(tree, query.home, &query_features, threshold);
     while tree.subtree_len(scope) < min_pool {
         match tree.parent(scope) {
@@ -113,25 +150,91 @@ pub fn run_local_query(
         }
     }
     let multipoint: Vec<f32> = centroid(&query_features);
-    let (neighbors, accesses) = tree.knn_in_counted(scope, &multipoint, fetch);
-    LocalResult {
-        home: query.home,
-        scope,
-        neighbors,
-        support: query.query_points.len(),
-        accesses,
+    let support = query.query_points.len();
+
+    match weights {
+        None => {
+            let b = tree.knn_in_budgeted(scope, &multipoint, fetch, budget);
+            Ok(LocalResult {
+                home: query.home,
+                scope,
+                neighbors: b.neighbors,
+                support,
+                accesses: b.accesses,
+                distance_computations: b.distance_computations,
+                nodes_skipped: b.nodes_skipped,
+                exhausted: b.exhausted,
+            })
+        }
+        Some(w) => {
+            // Weighted ranking scans the scope's items directly rather than
+            // threading a weighted MINDIST through the tree (scopes are small
+            // subclusters). The budget caps the number of items scored; the
+            // scan order is the tree's deterministic subtree traversal, so a
+            // truncated scan is still bit-identical at every thread count.
+            let metric = qd_linalg::Metric::WeightedEuclidean(w.to_vec());
+            let items = tree.subtree_items(scope);
+            let allowed = match budget {
+                Some(b) => (b as usize).min(items.len()),
+                None => items.len(),
+            };
+            let skipped = (items.len() - allowed) as u64;
+            let mut scored: Vec<Neighbor> = items
+                .into_iter()
+                .take(allowed)
+                .map(|(id, point)| Neighbor {
+                    id,
+                    distance: metric.distance(point, &multipoint),
+                })
+                .collect();
+            scored.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
+            scored.truncate(fetch);
+            Ok(LocalResult {
+                home: query.home,
+                scope,
+                neighbors: scored,
+                support,
+                // The weighted path performs zero `knn_in` node reads, same
+                // as the global counter's accounting.
+                accesses: 0,
+                distance_computations: allowed as u64,
+                nodes_skipped: skipped,
+                exhausted: skipped > 0,
+            })
+        }
+    }
+}
+
+/// Executes one localized multipoint k-NN query (infallible convenience
+/// wrapper over [`try_run_local_query`] with no weights and no budget).
+///
+/// # Panics
+/// Panics if the query is malformed (no query points, out-of-range image id,
+/// foreign node handle) — serving paths use [`try_run_local_query`] instead.
+pub fn run_local_query(
+    tree: &RStarTree,
+    features: &[Vec<f32>],
+    query: &LocalQuery,
+    threshold: f32,
+    fetch: usize,
+    min_pool: usize,
+) -> LocalResult {
+    match try_run_local_query(
+        tree, features, query, threshold, fetch, min_pool, None, None,
+    ) {
+        Ok(r) => r,
+        Err(QdError::EmptySubquery { .. }) => panic!("localized query without query points"),
+        Err(e) => panic!("localized query failed: {e}"),
     }
 }
 
 /// [`run_local_query`] under a user-defined per-dimension importance
 /// weighting (the §6 extension: "the user may define color as the most
-/// important feature"). Because scopes are small subclusters, the weighted
-/// ranking scans the scope's items directly rather than threading a weighted
-/// MINDIST through the tree.
+/// important feature").
 ///
 /// # Panics
 /// Panics if the query has no query points or `weights` has the wrong
-/// dimensionality.
+/// dimensionality — serving paths use [`try_run_local_query`] instead.
 pub fn run_local_query_weighted(
     tree: &RStarTree,
     features: &[Vec<f32>],
@@ -141,47 +244,20 @@ pub fn run_local_query_weighted(
     min_pool: usize,
     weights: &[f32],
 ) -> LocalResult {
-    assert!(
-        !query.query_points.is_empty(),
-        "localized query without query points"
-    );
-    let query_features: Vec<&[f32]> = query
-        .query_points
-        .iter()
-        .map(|&id| features[id].as_slice())
-        .collect();
-    assert_eq!(
-        weights.len(),
-        query_features[0].len(),
-        "weight dimensionality mismatch"
-    );
-    let mut scope = resolve_scope(tree, query.home, &query_features, threshold);
-    while tree.subtree_len(scope) < min_pool {
-        match tree.parent(scope) {
-            Some(parent) => scope = parent,
-            None => break,
-        }
-    }
-    let multipoint: Vec<f32> = centroid(&query_features);
-    let metric = qd_linalg::Metric::WeightedEuclidean(weights.to_vec());
-    let mut scored: Vec<Neighbor> = tree
-        .subtree_items(scope)
-        .into_iter()
-        .map(|(id, point)| Neighbor {
-            id,
-            distance: metric.distance(point, &multipoint),
-        })
-        .collect();
-    scored.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
-    scored.truncate(fetch);
-    LocalResult {
-        home: query.home,
-        scope,
-        neighbors: scored,
-        support: query.query_points.len(),
-        // The weighted path scans the scope directly (no tree descent), so
-        // like the unweighted global counter it performs zero `knn_in` reads.
-        accesses: 0,
+    match try_run_local_query(
+        tree,
+        features,
+        query,
+        threshold,
+        fetch,
+        min_pool,
+        Some(weights),
+        None,
+    ) {
+        Ok(r) => r,
+        Err(QdError::EmptySubquery { .. }) => panic!("localized query without query points"),
+        Err(QdError::WeightDimension { .. }) => panic!("weight dimensionality mismatch"),
+        Err(e) => panic!("localized query failed: {e}"),
     }
 }
 
@@ -340,5 +416,96 @@ mod tests {
             query_points: vec![],
         };
         run_local_query(&tree, &features, &lq, 0.4, 5, 0);
+    }
+
+    #[test]
+    fn try_run_rejects_malformed_queries_with_typed_errors() {
+        let (tree, features) = setup();
+        let empty = LocalQuery {
+            home: tree.root(),
+            query_points: vec![],
+        };
+        assert!(matches!(
+            try_run_local_query(&tree, &features, &empty, 0.4, 5, 0, None, None),
+            Err(QdError::EmptySubquery { subquery: 0 })
+        ));
+
+        let out_of_range = LocalQuery {
+            home: tree.root(),
+            query_points: vec![features.len() + 3],
+        };
+        assert!(matches!(
+            try_run_local_query(&tree, &features, &out_of_range, 0.4, 5, 0, None, None),
+            Err(QdError::ImageOutOfRange { .. })
+        ));
+
+        // A deep node id from the big tree does not exist in a tiny tree.
+        let tiny_items = (0..3u64).map(|id| (id, vec![id as f32, 0.0])).collect();
+        let tiny = RStarTree::bulk_load(TreeConfig::small(2), tiny_items);
+        let tiny_features: Vec<Vec<f32>> = (0..3).map(|i| vec![i as f32, 0.0]).collect();
+        let foreign = *tree
+            .node_ids()
+            .iter()
+            .find(|n| !tiny.contains_node(**n))
+            .expect("big tree must hold a node unknown to the tiny tree");
+        let divergent = LocalQuery {
+            home: foreign,
+            query_points: vec![0],
+        };
+        assert!(matches!(
+            try_run_local_query(&tiny, &tiny_features, &divergent, 0.4, 5, 0, None, None),
+            Err(QdError::UnknownNode { .. })
+        ));
+
+        let ok = LocalQuery {
+            home: tree.root(),
+            query_points: vec![0, 1],
+        };
+        assert!(matches!(
+            try_run_local_query(&tree, &features, &ok, 0.4, 5, 0, Some(&[1.0]), None),
+            Err(QdError::WeightDimension { got: 1, want: 2 })
+        ));
+    }
+
+    #[test]
+    fn budget_exhaustion_degrades_to_a_valid_prefix() {
+        let (tree, features) = setup();
+        let lq = LocalQuery {
+            home: tree.root(),
+            query_points: vec![0, 3, 7],
+        };
+        let unlimited = try_run_local_query(&tree, &features, &lq, 0.4, 20, 0, None, None).unwrap();
+        assert!(!unlimited.exhausted);
+        assert!(unlimited.distance_computations > 0);
+
+        for budget in [0u64, 1, 5, 25, 100, 10_000] {
+            let r =
+                try_run_local_query(&tree, &features, &lq, 0.4, 20, 0, None, Some(budget)).unwrap();
+            // Valid ranked list: unique in-range ids, ascending distances.
+            let mut ids: Vec<u64> = r.neighbors.iter().map(|n| n.id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(
+                ids.len(),
+                r.neighbors.len(),
+                "budget {budget}: duplicate ids"
+            );
+            for n in &r.neighbors {
+                assert!((n.id as usize) < features.len());
+            }
+            for w in r.neighbors.windows(2) {
+                assert!(w[0].distance <= w[1].distance);
+            }
+            if !r.exhausted {
+                assert_eq!(r.neighbors.len(), unlimited.neighbors.len());
+                assert_eq!(r.nodes_skipped, 0);
+            }
+            // Deterministic for a fixed budget.
+            let again =
+                try_run_local_query(&tree, &features, &lq, 0.4, 20, 0, None, Some(budget)).unwrap();
+            assert_eq!(r.neighbors, again.neighbors);
+            assert_eq!(r.distance_computations, again.distance_computations);
+            assert_eq!(r.exhausted, again.exhausted);
+        }
     }
 }

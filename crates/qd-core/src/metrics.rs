@@ -108,12 +108,12 @@ mod tests {
         let c = shared();
         let q = &queries::standard_queries(c.taxonomy())[2]; // bird: 3 groups
                                                              // Take several images from a single group: GTIR stays 1/3.
-        let eagle = c.images_of(c.taxonomy().expect("bird/eagle"));
+        let eagle = c.images_of(c.taxonomy().require("bird/eagle"));
         assert!(eagle.len() >= 2);
         let r = gtir(c, q, &eagle);
         assert!((r - 1.0 / 3.0).abs() < 1e-12, "gtir = {r}");
         // One image from each of two groups: 2/3.
-        let owl = c.images_of(c.taxonomy().expect("bird/owl"));
+        let owl = c.images_of(c.taxonomy().require("bird/owl"));
         let two = vec![eagle[0], owl[0]];
         assert!((gtir(c, q, &two) - 2.0 / 3.0).abs() < 1e-12);
     }
@@ -123,8 +123,8 @@ mod tests {
         let c = shared();
         let qs = queries::standard_queries(c.taxonomy());
         let bird = &qs[2];
-        let eagle = c.images_of(c.taxonomy().expect("bird/eagle"));
-        let horse = c.images_of(c.taxonomy().expect("horse/polo"));
+        let eagle = c.images_of(c.taxonomy().require("bird/eagle"));
+        let horse = c.images_of(c.taxonomy().require("horse/polo"));
         let mixed = vec![eagle[0], horse[0], horse[1], eagle[1]];
         assert!((precision(c, bird, &mixed) - 0.5).abs() < 1e-12);
     }
@@ -142,7 +142,7 @@ mod tests {
     fn duplicate_result_ids_do_not_inflate_gtir() {
         let c = shared();
         let q = &queries::standard_queries(c.taxonomy())[2];
-        let eagle = c.images_of(c.taxonomy().expect("bird/eagle"));
+        let eagle = c.images_of(c.taxonomy().require("bird/eagle"));
         let dup = vec![eagle[0]; 10];
         assert!((gtir(c, q, &dup) - 1.0 / 3.0).abs() < 1e-12);
     }

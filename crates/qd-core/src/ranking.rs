@@ -174,6 +174,9 @@ mod tests {
                 .collect(),
             support,
             accesses: 0,
+            distance_computations: 0,
+            nodes_skipped: 0,
+            exhausted: false,
         }
     }
 

@@ -166,8 +166,8 @@ impl RfsStructure {
             nodes.sort_unstable(); // deterministic order
             let reps_ref = &reps;
             let tree_ref = &tree;
-            let selected: Vec<Vec<usize>> = qd_runtime::par_map(&nodes, |&n| {
-                let pool: Vec<usize> = if level == 0 {
+            let pool_of = |n: NodeId| -> Vec<usize> {
+                if level == 0 {
                     tree_ref
                         .leaf_entries(n)
                         .map(|(id, _)| id as usize)
@@ -178,21 +178,38 @@ impl RfsStructure {
                         .iter()
                         .flat_map(|c| reps_ref.get(c).cloned().unwrap_or_default())
                         .collect()
-                };
-                if pool.is_empty() {
-                    return Vec::new();
                 }
+            };
+            let target_of = |pool_len: usize| -> usize {
                 let target = if level == 0 {
                     // At least two representatives per leaf: a single medoid
                     // of a mixed leaf silences its minority categories, and
                     // a category invisible at the leaf level is invisible
                     // everywhere above it.
-                    ((config.representative_fraction * pool.len() as f32).round() as usize).max(2)
+                    ((config.representative_fraction * pool_len as f32).round() as usize).max(2)
                 } else {
-                    (config.upper_fraction * pool.len() as f32).round() as usize
+                    (config.upper_fraction * pool_len as f32).round() as usize
                 };
-                let target = target.clamp(1, pool.len());
-
+                target.clamp(1, pool_len)
+            };
+            // A panicking selection worker (real bug or the `rfs.select.panic`
+            // failpoint, keyed by stable node index) is isolated by
+            // `par_try_map`; the node falls back to a deterministic prefix of
+            // its pool rather than aborting the whole build.
+            let selected = qd_runtime::par_try_map(&nodes, |&n| {
+                if qd_fault::fire_keyed(qd_fault::site::RFS_SELECT_PANIC, n.index() as u64)
+                    .is_some()
+                {
+                    panic!(
+                        "injected fault: representative selection for node {}",
+                        n.index()
+                    );
+                }
+                let pool = pool_of(n);
+                if pool.is_empty() {
+                    return Vec::new();
+                }
+                let target = target_of(pool.len());
                 if target == pool.len() {
                     pool.clone()
                 } else if config.kmeans_representatives {
@@ -214,7 +231,22 @@ impl RfsStructure {
                     shuffled
                 }
             });
-            for (n, sel) in nodes.into_iter().zip(selected) {
+            let final_selections: Vec<Vec<usize>> = nodes
+                .iter()
+                .zip(selected)
+                .map(|(&n, sel)| match sel {
+                    Ok(s) => s,
+                    Err(_) => {
+                        // Degraded selection: the pool prefix (already in
+                        // deterministic traversal order) keeps every node
+                        // covered by *some* representatives.
+                        let pool = pool_of(n);
+                        let target = target_of(pool.len().max(1)).min(pool.len());
+                        pool.into_iter().take(target).collect()
+                    }
+                })
+                .collect();
+            for (n, sel) in nodes.into_iter().zip(final_selections) {
                 reps.insert(n, sel);
             }
         }
@@ -315,7 +347,11 @@ impl RfsStructure {
         if data.len() < 12 || &data[..4] != b"QDR1" {
             return Err(bad("not an RFS file"));
         }
-        let tree_len = u64::from_le_bytes(data[4..12].try_into().unwrap()) as usize;
+        let tree_len = {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&data[4..12]);
+            u64::from_le_bytes(b) as usize
+        };
         if data.len() < 12 + tree_len {
             return Err(bad("truncated RFS file"));
         }
@@ -326,7 +362,9 @@ impl RfsStructure {
             if *pos + 8 > data.len() {
                 return Err(Error::new(ErrorKind::UnexpectedEof, "truncated RFS file"));
             }
-            let v = u64::from_le_bytes(data[*pos..*pos + 8].try_into().unwrap());
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&data[*pos..*pos + 8]);
+            let v = u64::from_le_bytes(b);
             *pos += 8;
             Ok(v)
         };

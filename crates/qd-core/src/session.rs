@@ -9,7 +9,8 @@
 //! multipoint k-NN over its (possibly boundary-expanded) subcluster and the
 //! local results are merged proportionally to user support.
 
-use crate::localknn::{run_local_query, LocalQuery};
+use crate::error::QdError;
+use crate::localknn::{try_run_local_query, LocalQuery};
 use crate::metrics::{gtir, precision, RoundTrace};
 use crate::ranking::{flatten_groups, merge_local_results};
 use crate::rfs::{FeedbackHierarchy, RfsStructure};
@@ -60,6 +61,12 @@ pub struct QdConfig {
     /// extension, e.g. "color is the most important feature"). Must have the
     /// corpus feature dimensionality when set.
     pub feature_weights: Option<Vec<f32>>,
+    /// Optional distance-computation budget for the final localized k-NN
+    /// phase (anytime retrieval). The budget is split across subqueries
+    /// up front, proportionally to their quotas — never shared through a
+    /// live counter — so degraded results are bit-identical at every thread
+    /// count. `None` (the default) means unlimited.
+    pub distance_budget: Option<u64>,
 }
 
 impl QdConfig {
@@ -92,6 +99,7 @@ impl Default for QdConfig {
             seed: 0,
             user_patience: usize::MAX,
             feature_weights: None,
+            distance_budget: None,
         }
     }
 }
@@ -137,6 +145,10 @@ pub struct FeedbackRounds {
     pub feedback_accesses: u64,
     /// Wall-clock duration of each round's processing.
     pub round_durations: Vec<Duration>,
+    /// Node displays skipped because the `session.round.display` failpoint
+    /// fired — the session degrades (marks never collected from that node)
+    /// instead of aborting.
+    pub displays_skipped: u64,
 }
 
 /// Runs the feedback rounds of a QD session over any [`FeedbackHierarchy`]:
@@ -155,6 +167,7 @@ pub fn run_feedback_rounds(
     let mut relevant_seen: Vec<usize> = Vec::new();
     let mut relevant_snapshots = Vec::with_capacity(cfg.rounds);
     let mut feedback_accesses = 0u64;
+    let mut displays_skipped = 0u64;
     let mut round_durations: Vec<Duration> = Vec::with_capacity(cfg.rounds);
     // BTreeMap, so the flattening below yields subqueries in node-id order
     // with no explicit sort (qd-analyze rule R3).
@@ -165,6 +178,15 @@ pub fn run_feedback_rounds(
         let is_final = round == cfg.rounds;
         let mut next_active: Vec<NodeId> = Vec::new();
         for &node in &active {
+            // Failpoint: the display read for this node fails. Keyed by the
+            // node's stable index (not an invocation counter), so the same
+            // node is "broken" regardless of round order or thread count.
+            if qd_fault::fire_keyed(qd_fault::site::SESSION_ROUND_DISPLAY, node.index() as u64)
+                .is_some()
+            {
+                displays_skipped += 1;
+                continue;
+            }
             // Displaying a node's representatives reads exactly that node.
             feedback_accesses += 1;
             let mut shown: Vec<usize> = hierarchy.representatives(node).to_vec();
@@ -213,7 +235,26 @@ pub fn run_feedback_rounds(
         relevant_snapshots,
         feedback_accesses,
         round_durations,
+        displays_skipped,
     }
+}
+
+/// Why (and how far) an otherwise-successful execution fell short of the
+/// exact answer. Everything here is deterministic for a fixed `(fault seed,
+/// budget, query)` triple — degraded runs are as reproducible as exact ones.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Degradation {
+    /// Distance computations spent across all surviving subqueries.
+    pub budget_spent: u64,
+    /// Index frontier nodes (or weighted-scan items) skipped because a
+    /// subquery's budget share ran out.
+    pub nodes_skipped: u64,
+    /// Subqueries dropped because their worker panicked; their result slots
+    /// were redistributed to the survivors.
+    pub subqueries_dropped: usize,
+    /// Feedback-round node displays that failed (their marks were never
+    /// collected).
+    pub displays_skipped: u64,
 }
 
 /// The server-side tail of a QD session: localized multipoint k-NN per
@@ -226,32 +267,114 @@ pub struct FinalExecution {
     pub groups: Vec<ResultGroup>,
     /// Index node reads performed by the localized k-NN computations.
     pub knn_accesses: u64,
-    /// Number of localized subqueries executed.
+    /// Number of localized subqueries that produced results.
     pub subquery_count: usize,
     /// Wall-clock duration of the k-NN + merge phase.
     pub duration: Duration,
+    /// `Some` when the answer is best-so-far (budget exhausted or workers
+    /// dropped) rather than exact.
+    pub degradation: Option<Degradation>,
 }
 
-/// Executes the final localized subqueries against the full RFS structure.
-/// Quotas are known before the queries run (they depend only on the mark
-/// counts), so each subquery fetches just enough candidates to fill its
-/// share plus slack for cross-subquery deduplication.
-pub fn execute_subqueries(
+/// Validates a batch of subqueries against the server's corpus and tree:
+/// non-empty mark lists, in-range image ids, live node handles, and (when
+/// configured) matching weight dimensionality. This is the server's armor
+/// against malformed or diverged client payloads.
+pub fn validate_subqueries(
+    corpus: &Corpus,
+    rfs: &RfsStructure,
+    subqueries: &[(NodeId, Vec<usize>)],
+    cfg: &QdConfig,
+) -> Result<(), QdError> {
+    if let Some(w) = &cfg.feature_weights {
+        if w.len() != corpus.dim() {
+            return Err(QdError::WeightDimension {
+                got: w.len(),
+                want: corpus.dim(),
+            });
+        }
+    }
+    let tree = rfs.tree();
+    for (i, (node, marks)) in subqueries.iter().enumerate() {
+        if marks.is_empty() {
+            return Err(QdError::EmptySubquery { subquery: i });
+        }
+        if !tree.contains_node(*node) {
+            return Err(QdError::UnknownNode {
+                subquery: i,
+                node_index: node.index(),
+            });
+        }
+        for &m in marks {
+            if m >= corpus.len() {
+                return Err(QdError::ImageOutOfRange {
+                    subquery: i,
+                    image: m,
+                    corpus_len: corpus.len(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Splits a total distance budget across subqueries proportionally to their
+/// quotas (largest-remainder rounding, ties to the lower index), falling
+/// back to an even split when every quota is zero. Budgets are fixed before
+/// the fan-out so no live counter is ever shared between workers — the
+/// degraded answer is bit-identical at every thread count.
+fn split_budget(total: Option<u64>, quotas: &[usize]) -> Vec<Option<u64>> {
+    let Some(total) = total else {
+        return vec![None; quotas.len()];
+    };
+    let n = quotas.len() as u64;
+    let qsum: u64 = quotas.iter().map(|&q| q as u64).sum();
+    if qsum == 0 {
+        return (0..n)
+            .map(|i| Some(total / n + u64::from(i < total % n)))
+            .collect();
+    }
+    let mut shares: Vec<u64> = quotas
+        .iter()
+        .map(|&q| ((total as u128 * q as u128) / qsum as u128) as u64)
+        .collect();
+    let assigned: u64 = shares.iter().sum();
+    let mut rema: Vec<(u64, usize)> = quotas
+        .iter()
+        .enumerate()
+        .map(|(i, &q)| (((total as u128 * q as u128) % qsum as u128) as u64, i))
+        .collect();
+    rema.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    for &(_, i) in rema.iter().take((total - assigned) as usize) {
+        shares[i] += 1;
+    }
+    shares.into_iter().map(Some).collect()
+}
+
+/// Executes the final localized subqueries against the full RFS structure,
+/// returning a typed error on malformed input and a degraded (but valid)
+/// answer when budgets run out or workers panic. Quotas are known before the
+/// queries run (they depend only on the mark counts), so each subquery
+/// fetches just enough candidates to fill its share plus slack for
+/// cross-subquery deduplication.
+pub fn try_execute_subqueries(
     corpus: &Corpus,
     rfs: &RfsStructure,
     subqueries: &[(NodeId, Vec<usize>)],
     k: usize,
     cfg: &QdConfig,
-) -> FinalExecution {
+) -> Result<FinalExecution, QdError> {
     let start = Instant::now();
+    validate_subqueries(corpus, rfs, subqueries, cfg)?;
     if subqueries.is_empty() || k == 0 {
-        return FinalExecution {
+        return Ok(FinalExecution {
             results: Vec::new(),
             groups: Vec::new(),
             knn_accesses: 0,
             subquery_count: 0,
             duration: start.elapsed(),
-        };
+            degradation: None,
+        });
     }
     let tree = rfs.tree();
     let supports: Vec<usize> = subqueries
@@ -262,43 +385,72 @@ pub fn execute_subqueries(
         })
         .collect();
     let quotas = crate::ranking::allocate_quotas(&supports, k);
+    let budgets = split_budget(cfg.distance_budget, &quotas);
 
     // Each subquery is independent (§3.3), so they fan out across the
-    // qd-runtime pool. Determinism: quotas are fixed up front, access counts
-    // are accumulated per call (not via the tree's global counter), and
-    // `par_map` returns results in input order — so rankings, group order,
-    // and `knn_accesses` are bit-identical to a sequential run.
-    let work: Vec<(usize, usize)> = supports.into_iter().zip(quotas).collect();
-    let locals: Vec<_> = qd_runtime::par_map_indexed(&work, |i, &(support, quota)| {
+    // qd-runtime pool. Determinism: quotas and budget shares are fixed up
+    // front, access counts are accumulated per call (not via the tree's
+    // global counter), failpoints are keyed by subquery index, and
+    // `par_try_map` returns results in input order — so rankings, group
+    // order, and `knn_accesses` are bit-identical to a sequential run even
+    // when faults fire or budgets run dry.
+    let work: Vec<(usize, usize, Option<u64>)> = supports
+        .into_iter()
+        .zip(quotas)
+        .zip(budgets)
+        .map(|((s, q), b)| (s, q, b))
+        .collect();
+    let attempts = qd_runtime::par_try_map_indexed(&work, |i, &(support, quota, budget)| {
+        if qd_fault::fire_keyed(qd_fault::site::SESSION_SUBQUERY_PANIC, i as u64).is_some() {
+            panic!("injected fault: subquery {i} worker");
+        }
         let (home, marks) = &subqueries[i];
         let fetch = quota + (quota / 2).max(5);
         let lq = LocalQuery {
             home: *home,
             query_points: marks.clone(),
         };
-        let mut result = match &cfg.feature_weights {
-            Some(weights) => crate::localknn::run_local_query_weighted(
-                tree,
-                corpus.features(),
-                &lq,
-                cfg.boundary_threshold,
-                fetch,
-                quota,
-                weights,
-            ),
-            None => run_local_query(
-                tree,
-                corpus.features(),
-                &lq,
-                cfg.boundary_threshold,
-                fetch,
-                quota,
-            ),
-        };
+        let mut result = try_run_local_query(
+            tree,
+            corpus.features(),
+            &lq,
+            cfg.boundary_threshold,
+            fetch,
+            quota,
+            cfg.feature_weights.as_deref(),
+            budget,
+        )?;
         result.support = support;
-        result
+        Ok::<_, QdError>(result)
     });
+
+    let mut locals = Vec::with_capacity(attempts.len());
+    let mut panics: Vec<String> = Vec::new();
+    for attempt in attempts {
+        match attempt {
+            Ok(Ok(local)) => locals.push(local),
+            // Validation ran up front, so an inner error means the world
+            // changed under us — surface it as-is.
+            Ok(Err(e)) => return Err(e),
+            Err(p) => panics.push(p.message),
+        }
+    }
+    let subqueries_dropped = panics.len();
+    if locals.is_empty() {
+        return Err(QdError::AllSubqueriesFailed { panics });
+    }
+
     let knn_accesses = locals.iter().map(|l| l.accesses).sum();
+    let budget_spent: u64 = locals.iter().map(|l| l.distance_computations).sum();
+    let nodes_skipped: u64 = locals.iter().map(|l| l.nodes_skipped).sum();
+    let exhausted = locals.iter().any(|l| l.exhausted);
+    let degradation = (subqueries_dropped > 0 || exhausted).then_some(Degradation {
+        budget_spent,
+        nodes_skipped,
+        subqueries_dropped,
+        displays_skipped: 0,
+    });
+
     let (groups, results) = match cfg.merge {
         MergeStrategy::SingleList => {
             let ranked = crate::ranking::merge_single_list(&locals, k);
@@ -316,26 +468,92 @@ pub fn execute_subqueries(
             (groups, results)
         }
     };
-    FinalExecution {
+    Ok(FinalExecution {
         results,
         groups,
         knn_accesses,
         subquery_count: locals.len(),
         duration: start.elapsed(),
+        degradation,
+    })
+}
+
+/// Infallible convenience wrapper over [`try_execute_subqueries`] for
+/// callers that construct their own well-formed subqueries (the eval
+/// runners, benches, and tests).
+///
+/// # Panics
+/// Panics if the subqueries are malformed or every worker fails — serving
+/// paths use [`try_execute_subqueries`] instead.
+pub fn execute_subqueries(
+    corpus: &Corpus,
+    rfs: &RfsStructure,
+    subqueries: &[(NodeId, Vec<usize>)],
+    k: usize,
+    cfg: &QdConfig,
+) -> FinalExecution {
+    match try_execute_subqueries(corpus, rfs, subqueries, k, cfg) {
+        Ok(execution) => execution,
+        Err(e) => panic!("subquery execution failed: {e}"),
     }
 }
 
-/// Runs one complete QD session for `query`, retrieving `k` images.
-pub fn run_session(
+/// A session answer plus its service level: exact, or degraded-but-valid.
+///
+/// Either way the ranked list inside satisfies the result invariants
+/// (unique, in-range ids; at most `k`) — degradation is quality loss, never
+/// corruption.
+#[derive(Debug, Clone)]
+pub enum ServedOutcome {
+    /// The exact answer: no fault fired, no budget ran out.
+    Complete(QdOutcome),
+    /// A valid best-so-far answer, with the accounting of what was skipped.
+    Degraded {
+        /// The (still valid) session outcome.
+        outcome: QdOutcome,
+        /// What fell short and by how much.
+        report: Degradation,
+    },
+}
+
+impl ServedOutcome {
+    /// The session outcome, whatever the service level.
+    pub fn outcome(&self) -> &QdOutcome {
+        match self {
+            ServedOutcome::Complete(o) | ServedOutcome::Degraded { outcome: o, .. } => o,
+        }
+    }
+
+    /// Consumes the wrapper, yielding the outcome.
+    pub fn into_outcome(self) -> QdOutcome {
+        match self {
+            ServedOutcome::Complete(o) | ServedOutcome::Degraded { outcome: o, .. } => o,
+        }
+    }
+
+    /// The degradation report, if the answer fell short of exact.
+    pub fn degradation(&self) -> Option<&Degradation> {
+        match self {
+            ServedOutcome::Complete(_) => None,
+            ServedOutcome::Degraded { report, .. } => Some(report),
+        }
+    }
+}
+
+/// Runs one complete QD session for `query`, retrieving `k` images, with
+/// typed errors and graceful degradation: every injected fault or exhausted
+/// budget yields either `Ok(Degraded {..})` with a valid ranked list or a
+/// typed [`QdError`] — never a panic.
+pub fn try_run_session(
     corpus: &Corpus,
     rfs: &RfsStructure,
     query: &QuerySpec,
     user: &mut SimulatedUser,
     k: usize,
     cfg: &QdConfig,
-) -> QdOutcome {
+) -> Result<ServedOutcome, QdError> {
     let rounds = run_feedback_rounds(rfs, corpus.labels(), user, cfg);
-    let execution = execute_subqueries(corpus, rfs, &rounds.final_marks, k, cfg);
+    let execution = try_execute_subqueries(corpus, rfs, &rounds.final_marks, k, cfg)?;
 
     // Quality trace: GTIR of the relevant images seen so far per round, and
     // the final round's retrieval quality. A session that died early keeps
@@ -369,7 +587,7 @@ pub fn run_session(
         });
     }
 
-    QdOutcome {
+    let outcome = QdOutcome {
         results: execution.results,
         groups: execution.groups,
         round_trace,
@@ -378,6 +596,35 @@ pub fn run_session(
         subquery_count: execution.subquery_count,
         round_durations: rounds.round_durations,
         final_knn_duration: execution.duration,
+    };
+    let exec_degraded = execution.degradation.is_some();
+    let mut report = execution.degradation.unwrap_or_default();
+    report.displays_skipped = rounds.displays_skipped;
+    Ok(if exec_degraded || report.displays_skipped > 0 {
+        ServedOutcome::Degraded { outcome, report }
+    } else {
+        ServedOutcome::Complete(outcome)
+    })
+}
+
+/// Runs one complete QD session for `query`, retrieving `k` images
+/// (infallible wrapper over [`try_run_session`] for trusted in-process
+/// callers: the eval runners, benches, and examples).
+///
+/// # Panics
+/// Panics if the session fails with a [`QdError`] — serving paths use
+/// [`try_run_session`] instead.
+pub fn run_session(
+    corpus: &Corpus,
+    rfs: &RfsStructure,
+    query: &QuerySpec,
+    user: &mut SimulatedUser,
+    k: usize,
+    cfg: &QdConfig,
+) -> QdOutcome {
+    match try_run_session(corpus, rfs, query, user, k, cfg) {
+        Ok(served) => served.into_outcome(),
+        Err(e) => panic!("session failed: {e}"),
     }
 }
 
@@ -565,5 +812,155 @@ mod tests {
         // Threshold 0 forces every subquery to the root: strictly more k-NN
         // node reads than the tight setting.
         assert!(b.knn_accesses >= a.knn_accesses);
+    }
+
+    fn assert_valid_ranked_list(results: &[usize], corpus_len: usize, k: usize) {
+        assert!(results.len() <= k);
+        let mut sorted = results.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), results.len(), "duplicate result ids");
+        for &id in results {
+            assert!(id < corpus_len, "result id {id} out of range");
+        }
+    }
+
+    #[test]
+    fn validate_subqueries_reports_each_defect() {
+        let (corpus, rfs) = testutil::shared();
+        let cfg = QdConfig::default();
+        let root = rfs.tree().root();
+
+        let empty = vec![(root, Vec::new())];
+        assert!(matches!(
+            validate_subqueries(corpus, rfs, &empty, &cfg),
+            Err(QdError::EmptySubquery { subquery: 0 })
+        ));
+
+        let oor = vec![(root, vec![corpus.len() + 1])];
+        assert!(matches!(
+            validate_subqueries(corpus, rfs, &oor, &cfg),
+            Err(QdError::ImageOutOfRange { subquery: 0, .. })
+        ));
+
+        let bad_weights = QdConfig {
+            feature_weights: Some(vec![1.0]),
+            ..QdConfig::default()
+        };
+        let fine = vec![(root, vec![0])];
+        assert!(matches!(
+            validate_subqueries(corpus, rfs, &fine, &bad_weights),
+            Err(QdError::WeightDimension { got: 1, .. })
+        ));
+        assert_eq!(validate_subqueries(corpus, rfs, &fine, &cfg), Ok(()));
+    }
+
+    #[test]
+    fn distance_budget_yields_degraded_but_valid_sessions() {
+        let (corpus, rfs) = testutil::shared();
+        let query = testutil::query("bird");
+        let k = corpus.ground_truth(&query).len();
+
+        let mut u = SimulatedUser::oracle(&query, 21);
+        let unbudgeted = try_run_session(corpus, rfs, &query, &mut u, k, &QdConfig::default())
+            .expect("unbudgeted session");
+        let ServedOutcome::Complete(full) = &unbudgeted else {
+            panic!("unbudgeted session must be Complete");
+        };
+
+        for budget in [0u64, 1, 10, 200, 5_000] {
+            let cfg = QdConfig {
+                distance_budget: Some(budget),
+                ..QdConfig::default()
+            };
+            let mut u = SimulatedUser::oracle(&query, 21);
+            let served =
+                try_run_session(corpus, rfs, &query, &mut u, k, &cfg).expect("budgeted session");
+            assert_valid_ranked_list(served.outcome().results.as_slice(), corpus.len(), k);
+            if let ServedOutcome::Degraded { report, .. } = &served {
+                assert!(report.budget_spent > 0 || report.nodes_skipped > 0);
+            }
+            // Determinism: identical budget, identical outcome.
+            let mut u2 = SimulatedUser::oracle(&query, 21);
+            let again = try_run_session(corpus, rfs, &query, &mut u2, k, &cfg).unwrap();
+            assert_eq!(served.outcome().results, again.outcome().results);
+        }
+
+        // A huge budget changes nothing.
+        let lavish = QdConfig {
+            distance_budget: Some(u64::MAX),
+            ..QdConfig::default()
+        };
+        let mut u3 = SimulatedUser::oracle(&query, 21);
+        let same = try_run_session(corpus, rfs, &query, &mut u3, k, &lavish).unwrap();
+        assert_eq!(same.outcome().results, full.results);
+    }
+
+    #[test]
+    fn subquery_panic_drops_only_that_subquery() {
+        let (corpus, rfs) = testutil::shared();
+        let query = testutil::query("bird");
+        let k = corpus.ground_truth(&query).len();
+        let cfg = QdConfig::default();
+
+        let mut u = SimulatedUser::oracle(&query, 21);
+        let rounds = run_feedback_rounds(rfs, corpus.labels(), &mut u, &cfg);
+        let subqueries = rounds.final_marks;
+        assert!(subqueries.len() >= 2, "fixture must decompose");
+
+        let clean = try_execute_subqueries(corpus, rfs, &subqueries, k, &cfg).unwrap();
+
+        let one_dead = qd_fault::FaultPlan::new(7).site(
+            qd_fault::site::SESSION_SUBQUERY_PANIC,
+            qd_fault::Mode::Once(0),
+        );
+        let degraded = qd_fault::with_plan(&one_dead, || {
+            try_execute_subqueries(corpus, rfs, &subqueries, k, &cfg)
+        })
+        .unwrap();
+        let report = degraded
+            .degradation
+            .clone()
+            .expect("must report degradation");
+        assert_eq!(report.subqueries_dropped, 1);
+        assert_valid_ranked_list(&degraded.results, corpus.len(), k);
+        assert!(degraded.subquery_count < clean.subquery_count);
+
+        let all_dead = qd_fault::FaultPlan::new(7).site(
+            qd_fault::site::SESSION_SUBQUERY_PANIC,
+            qd_fault::Mode::Always,
+        );
+        let err = qd_fault::with_plan(&all_dead, || {
+            try_execute_subqueries(corpus, rfs, &subqueries, k, &cfg)
+        })
+        .unwrap_err();
+        assert!(
+            matches!(err, QdError::AllSubqueriesFailed { ref panics } if panics.len() == subqueries.len())
+        );
+    }
+
+    #[test]
+    fn skipped_displays_surface_as_degradation_not_panic() {
+        let (corpus, rfs) = testutil::shared();
+        let query = testutil::query("rose");
+        let k = corpus.ground_truth(&query).len();
+        let cfg = QdConfig::default();
+
+        let plan = qd_fault::FaultPlan::new(3).site(
+            qd_fault::site::SESSION_ROUND_DISPLAY,
+            qd_fault::Mode::Always,
+        );
+        let mut u = SimulatedUser::oracle(&query, 4);
+        let served = qd_fault::with_plan(&plan, || {
+            try_run_session(corpus, rfs, &query, &mut u, k, &cfg)
+        })
+        .expect("session must survive skipped displays");
+        match served {
+            ServedOutcome::Degraded { outcome, report } => {
+                assert!(report.displays_skipped > 0);
+                assert_valid_ranked_list(&outcome.results, corpus.len(), k);
+            }
+            ServedOutcome::Complete(_) => panic!("all displays skipped must degrade"),
+        }
     }
 }

@@ -95,17 +95,17 @@ mod tests {
     fn oracle_is_perfect_without_noise() {
         let (t, q) = setup();
         let mut u = SimulatedUser::oracle(&q, 1);
-        assert!(u.judge(t.expect("bird/eagle")));
-        assert!(u.judge(t.expect("bird/owl")));
-        assert!(!u.judge(t.expect("horse/polo")));
-        assert!(!u.judge(t.expect("filler-000")));
+        assert!(u.judge(t.require("bird/eagle")));
+        assert!(u.judge(t.require("bird/owl")));
+        assert!(!u.judge(t.require("horse/polo")));
+        assert!(!u.judge(t.require("filler-000")));
     }
 
     #[test]
     fn noise_flips_roughly_the_stated_fraction() {
         let (t, q) = setup();
         let mut u = SimulatedUser::oracle(&q, 2).with_noise(0.3);
-        let eagle = t.expect("bird/eagle");
+        let eagle = t.require("bird/eagle");
         let flips = (0..10_000).filter(|_| !u.judge(eagle)).count();
         let rate = flips as f64 / 10_000.0;
         assert!((rate - 0.3).abs() < 0.03, "flip rate {rate}");
@@ -114,7 +114,7 @@ mod tests {
     #[test]
     fn mark_relevant_respects_patience() {
         let (t, q) = setup();
-        let eagle = t.expect("bird/eagle");
+        let eagle = t.require("bird/eagle");
         let labels = vec![eagle; 100];
         let shown: Vec<usize> = (0..100).collect();
         let mut u = SimulatedUser::oracle(&q, 3).with_patience(10);
@@ -126,8 +126,8 @@ mod tests {
     #[test]
     fn mark_relevant_filters_by_label() {
         let (t, q) = setup();
-        let eagle = t.expect("bird/eagle");
-        let horse = t.expect("horse/polo");
+        let eagle = t.require("bird/eagle");
+        let horse = t.require("horse/polo");
         let labels = vec![eagle, horse, eagle, horse];
         let shown = vec![0, 1, 2, 3];
         let mut u = SimulatedUser::oracle(&q, 4);
@@ -137,7 +137,7 @@ mod tests {
     #[test]
     fn deterministic_for_fixed_seed() {
         let (t, q) = setup();
-        let eagle = t.expect("bird/eagle");
+        let eagle = t.require("bird/eagle");
         let mut a = SimulatedUser::oracle(&q, 9).with_noise(0.5);
         let mut b = SimulatedUser::oracle(&q, 9).with_noise(0.5);
         let ja: Vec<bool> = (0..50).map(|_| a.judge(eagle)).collect();

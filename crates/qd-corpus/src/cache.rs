@@ -10,17 +10,26 @@
 //! the feature table, the labels, and the optional per-viewpoint tables.
 //! The taxonomy is *not* stored — it is deterministic in `(filler_count,
 //! seed)` and is rebuilt on load.
+//!
+//! Robustness: [`save`] is atomic (temp file + rename in the target
+//! directory, so an interrupted save can never leave a torn `*.qdc` that
+//! shadows a rebuildable corpus), [`load`] parses every field through
+//! length-checked reads (arbitrary corruption yields `io::Error`, never a
+//! panic — see the corruption-sweep test), and both paths carry `qd-fault`
+//! injection sites (`corpus.cache.{read,short_read,write}`).
 
 use crate::corpus::{Corpus, CorpusConfig};
 use crate::taxonomy::{SubconceptId, Taxonomy};
 use qd_imagery::Viewpoint;
 use qd_linalg::Normalizer;
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 4] = b"QDC1";
 
-/// Saves a corpus to `path`.
+/// Saves a corpus to `path` atomically: the bytes are written to a temporary
+/// file in the same directory and renamed into place, so readers never see a
+/// partially written cache.
 pub fn save(corpus: &Corpus, path: &Path) -> io::Result<()> {
     let mut out = Vec::new();
     out.extend_from_slice(MAGIC);
@@ -45,22 +54,45 @@ pub fn save(corpus: &Corpus, path: &Path) -> io::Result<()> {
         out.extend_from_slice(&label.0.to_le_bytes());
     }
 
-    let viewpoints: Vec<Viewpoint> = [
+    let tables: Vec<(Viewpoint, &[Vec<f32>])> = [
         Viewpoint::Negative,
         Viewpoint::Grayscale,
         Viewpoint::GrayNegative,
     ]
     .into_iter()
-    .filter(|&vp| corpus.viewpoint_features(vp).is_some())
+    .filter_map(|vp| corpus.viewpoint_features(vp).map(|t| (vp, t)))
     .collect();
-    write_u64(&mut out, viewpoints.len() as u64);
-    for vp in viewpoints {
+    write_u64(&mut out, tables.len() as u64);
+    for (vp, table) in tables {
         out.push(viewpoint_tag(vp));
-        for row in corpus.viewpoint_features(vp).unwrap() {
+        for row in table {
             write_f32s(&mut out, row);
         }
     }
-    std::fs::write(path, out)
+
+    if qd_fault::should_fail(qd_fault::site::CACHE_WRITE) {
+        return Err(io::Error::other("injected fault: corpus cache write"));
+    }
+    let tmp = temp_sibling(path);
+    std::fs::write(&tmp, out)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            std::fs::remove_file(&tmp).ok();
+            Err(e)
+        }
+    }
+}
+
+/// A temp-file name in `path`'s own directory (rename is only atomic within
+/// a filesystem). The extension keeps it from ever matching `*.qdc`.
+fn temp_sibling(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
 }
 
 /// Loads a corpus from `path` with whatever configuration it was built
@@ -75,29 +107,45 @@ pub fn read_header(path: &Path) -> io::Result<CorpusConfig> {
     let mut file = std::fs::File::open(path)?;
     let mut head = [0u8; 4 + 8 * 4 + 1];
     std::io::Read::read_exact(&mut file, &mut head)?;
-    if &head[..4] != MAGIC {
+    let mut r = Reader {
+        data: &head,
+        pos: 0,
+    };
+    if r.bytes(4)? != MAGIC {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             "not a corpus cache file",
         ));
     }
-    let u = |i: usize| u64::from_le_bytes(head[4 + i * 8..12 + i * 8].try_into().unwrap());
     Ok(CorpusConfig {
-        size: u(0) as usize,
-        image_size: u(1) as usize,
-        seed: u(2),
-        filler_count: u(3) as usize,
-        with_viewpoints: head[4 + 32] != 0,
+        size: r.u64()? as usize,
+        image_size: r.u64()? as usize,
+        seed: r.u64()?,
+        filler_count: r.u64()? as usize,
+        with_viewpoints: r.bytes(1)?[0] != 0,
     })
 }
 
 /// Loads a corpus from `path`, verifying it was built with `config`.
 pub fn load(path: &Path, config: &CorpusConfig) -> io::Result<Corpus> {
-    let data = std::fs::read(path)?;
+    let mut data = std::fs::read(path)?;
+    if qd_fault::should_fail(qd_fault::site::CACHE_READ) {
+        return Err(io::Error::other("injected fault: corpus cache read"));
+    }
+    if let Some(payload) = qd_fault::fire(qd_fault::site::CACHE_SHORT_READ) {
+        // Torn read: keep a deterministic, payload-chosen prefix.
+        data.truncate(payload as usize % (data.len() + 1));
+    }
     let mut r = Reader {
         data: &data,
         pos: 0,
     };
+    parse(&mut r, config)
+}
+
+/// Parses a full cache image from `r`. Every read is length-checked; any
+/// corruption surfaces as `io::Error`.
+fn parse(r: &mut Reader, config: &CorpusConfig) -> io::Result<Corpus> {
     let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
 
     if r.bytes(4)? != MAGIC {
@@ -137,7 +185,7 @@ pub fn load(path: &Path, config: &CorpusConfig) -> io::Result<Corpus> {
     let taxonomy = Taxonomy::standard(filler_count, seed);
     let mut labels = Vec::with_capacity(n);
     for _ in 0..n {
-        let raw = u32::from_le_bytes(r.bytes(4)?.try_into().unwrap());
+        let raw = r.u32()?;
         if raw as usize >= taxonomy.len() {
             return Err(bad("label out of taxonomy range"));
         }
@@ -157,7 +205,7 @@ pub fn load(path: &Path, config: &CorpusConfig) -> io::Result<Corpus> {
         }
         viewpoint_features.push((vp, table));
     }
-    if r.pos != data.len() {
+    if r.pos != r.data.len() {
         return Err(bad("trailing bytes in corpus cache"));
     }
 
@@ -172,22 +220,21 @@ pub fn load(path: &Path, config: &CorpusConfig) -> io::Result<Corpus> {
 }
 
 /// Loads the cache when present and valid; otherwise builds the corpus and
-/// writes the cache (best-effort).
-pub fn load_or_build(config: &CorpusConfig, path: &Path) -> Corpus {
+/// writes the cache. A missing, stale, or corrupt cache file triggers a
+/// rebuild; an IO error while *writing* the fresh cache is surfaced to the
+/// caller (the build result would silently stop being reusable otherwise).
+pub fn load_or_build(config: &CorpusConfig, path: &Path) -> io::Result<Corpus> {
     if let Ok(corpus) = load(path, config) {
-        return corpus;
+        return Ok(corpus);
     }
     let corpus = Corpus::build(config);
     if let Some(parent) = path.parent() {
-        std::fs::create_dir_all(parent).ok();
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
     }
-    if let Err(e) = save(&corpus, path) {
-        eprintln!(
-            "warning: could not write corpus cache {}: {e}",
-            path.display()
-        );
-    }
-    corpus
+    save(&corpus, path)?;
+    Ok(corpus)
 }
 
 fn viewpoint_tag(vp: Viewpoint) -> u8 {
@@ -238,8 +285,18 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
+    fn u32(&mut self) -> io::Result<u32> {
+        let raw = self.bytes(4)?;
+        let mut b = [0u8; 4];
+        b.copy_from_slice(raw);
+        Ok(u32::from_le_bytes(b))
+    }
+
     fn u64(&mut self) -> io::Result<u64> {
-        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+        let raw = self.bytes(8)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(raw);
+        Ok(u64::from_le_bytes(b))
     }
 
     fn f32s(&mut self, n: usize) -> io::Result<Vec<f32>> {
@@ -249,7 +306,11 @@ impl<'a> Reader<'a> {
         let raw = self.bytes(byte_len)?;
         Ok(raw
             .chunks_exact(4)
-            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .map(|c| {
+                let mut b = [0u8; 4];
+                b.copy_from_slice(c);
+                f32::from_le_bytes(b)
+            })
             .collect())
     }
 }
@@ -327,10 +388,97 @@ mod tests {
         let config = tiny_config();
         let path = tmp("load_or_build.qdc");
         std::fs::remove_file(&path).ok();
-        let first = load_or_build(&config, &path);
+        let first = load_or_build(&config, &path).unwrap();
         assert!(path.exists(), "cache file not written");
-        let second = load_or_build(&config, &path);
+        let second = load_or_build(&config, &path).unwrap();
         assert_eq!(first.features(), second.features());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_leaves_no_temp_file_behind() {
+        let config = tiny_config();
+        let corpus = Corpus::build(&config);
+        let path = tmp("atomic.qdc");
+        save(&corpus, &path).unwrap();
+        assert!(path.exists());
+        assert!(
+            !temp_sibling(&path).exists(),
+            "temp file must be renamed away"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Satellite: every single-byte flip and every truncation length of a
+    /// small cache file must either fail with a typed `io::Error` or — for
+    /// bytes the format tolerates, e.g. inside float payloads — load
+    /// something. `load` must never panic on hostile bytes.
+    #[test]
+    fn corruption_sweep_never_panics() {
+        let config = CorpusConfig {
+            size: 6,
+            image_size: 8,
+            seed: 5,
+            filler_count: 1,
+            with_viewpoints: true,
+        };
+        let corpus = Corpus::build(&config);
+        let path = tmp("sweep.qdc");
+        save(&corpus, &path).unwrap();
+        let pristine = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        let mut flip_errors = 0usize;
+        for offset in 0..pristine.len() {
+            for flip in [0xFFu8, 0x01] {
+                let mut data = pristine.clone();
+                data[offset] ^= flip;
+                let mut r = Reader {
+                    data: &data,
+                    pos: 0,
+                };
+                // Drive the same parse `load` runs on the in-memory bytes.
+                match parse(&mut r, &config) {
+                    Ok(_) => {}
+                    Err(_) => flip_errors += 1,
+                }
+            }
+        }
+        assert!(flip_errors > 0, "header/length flips must be detected");
+
+        for len in 0..pristine.len() {
+            let mut r = Reader {
+                data: &pristine[..len],
+                pos: 0,
+            };
+            assert!(
+                parse(&mut r, &config).is_err(),
+                "truncation to {len} of {} bytes must error",
+                pristine.len()
+            );
+        }
+    }
+
+    #[test]
+    fn injected_faults_surface_as_io_errors() {
+        use qd_fault::{site, with_plan, FaultPlan, Mode};
+        let config = tiny_config();
+        let corpus = Corpus::build(&config);
+        let path = tmp("faults.qdc");
+
+        let plan = FaultPlan::new(1).site(site::CACHE_WRITE, Mode::Always);
+        let err = with_plan(&plan, || save(&corpus, &path)).unwrap_err();
+        assert!(err.to_string().contains("injected"), "{err}");
+        assert!(!path.exists() && !temp_sibling(&path).exists());
+
+        save(&corpus, &path).unwrap();
+        let plan = FaultPlan::new(2).site(site::CACHE_READ, Mode::Always);
+        assert!(with_plan(&plan, || load(&path, &config)).is_err());
+
+        let plan = FaultPlan::new(3).site(site::CACHE_SHORT_READ, Mode::Always);
+        let torn = with_plan(&plan, || load(&path, &config));
+        let again = with_plan(&plan, || load(&path, &config));
+        assert_eq!(torn.is_ok(), again.is_ok(), "torn reads are deterministic");
         std::fs::remove_file(&path).ok();
     }
 }

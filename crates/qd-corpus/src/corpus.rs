@@ -419,8 +419,8 @@ mod tests {
     #[test]
     fn within_category_distances_are_smaller_than_cross_category() {
         let c = shared();
-        let eagle = c.images_of(c.taxonomy().expect("bird/eagle"));
-        let server = c.images_of(c.taxonomy().expect("computer/server"));
+        let eagle = c.images_of(c.taxonomy().require("bird/eagle"));
+        let server = c.images_of(c.taxonomy().require("computer/server"));
         let mut within = 0.0f64;
         let mut wn = 0;
         for i in 0..eagle.len().min(10) {

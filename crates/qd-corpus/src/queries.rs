@@ -34,7 +34,7 @@ impl QuerySpec {
                 .iter()
                 .map(|(gname, members)| QueryGroup {
                     name: gname.to_string(),
-                    members: members.iter().map(|m| taxonomy.expect(m)).collect(),
+                    members: members.iter().map(|m| taxonomy.require(m)).collect(),
                 })
                 .collect(),
         }

@@ -89,7 +89,7 @@ impl Taxonomy {
 
     /// Finds a subconcept by name, panicking with a clear message when
     /// missing — for the built-in query definitions.
-    pub fn expect(&self, name: &str) -> SubconceptId {
+    pub fn require(&self, name: &str) -> SubconceptId {
         self.find(name)
             .unwrap_or_else(|| panic!("taxonomy has no subconcept named {name:?}"))
     }
@@ -186,7 +186,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "no subconcept named")]
-    fn expect_panics_on_missing() {
-        Taxonomy::standard(0, 0).expect("nope");
+    fn require_panics_on_missing() {
+        Taxonomy::standard(0, 0).require("nope");
     }
 }

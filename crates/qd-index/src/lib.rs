@@ -30,4 +30,4 @@ pub mod rect;
 pub mod tree;
 
 pub use rect::Rect;
-pub use tree::{Neighbor, NodeId, RStarTree, TreeConfig};
+pub use tree::{BudgetedKnn, Neighbor, NodeId, RStarTree, TreeConfig};

@@ -83,6 +83,24 @@ pub struct Neighbor {
     pub distance: f32,
 }
 
+/// The answer of [`RStarTree::knn_in_budgeted`]: best-so-far neighbors plus
+/// the deterministic cost accounting behind graceful degradation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetedKnn {
+    /// Neighbors found, ascending by distance; exactly the unbudgeted answer
+    /// when `exhausted` is false, a valid best-so-far prefix otherwise.
+    pub neighbors: Vec<Neighbor>,
+    /// Node reads performed (call-local, same unit as [`RStarTree::knn_in_counted`]).
+    pub accesses: u64,
+    /// Distance evaluations performed (leaf-entry distances + child-rectangle
+    /// MINDIST evaluations) — the budget's currency.
+    pub distance_computations: u64,
+    /// Frontier nodes left unexpanded because the budget ran out.
+    pub nodes_skipped: u64,
+    /// True when the budget ran out before the search completed.
+    pub exhausted: bool,
+}
+
 #[derive(Debug, Clone)]
 struct DataEntry {
     id: u64,
@@ -278,6 +296,14 @@ impl RStarTree {
     /// Number of live nodes.
     pub fn node_count(&self) -> usize {
         self.nodes.iter().filter(|n| n.live).count()
+    }
+
+    /// True if `n` is a live node handle of *this* tree. Node accessors
+    /// panic on dangling or foreign handles; serving paths that receive a
+    /// handle from outside (e.g. a client's remote query) validate with this
+    /// first and turn the answer into a typed error.
+    pub fn contains_node(&self, n: NodeId) -> bool {
+        self.nodes.get(n.index()).is_some_and(|node| node.live)
     }
 
     /// Level of `n` (0 = leaf).
@@ -895,15 +921,48 @@ impl RStarTree {
     /// queries over a shared tree each see exactly their own cost — the
     /// per-subquery accounting the deterministic parallel executor relies on.
     pub fn knn_in_counted(&self, scope: NodeId, query: &[f32], k: usize) -> (Vec<Neighbor>, u64) {
+        let b = self.knn_in_budgeted(scope, query, k, None);
+        (b.neighbors, b.accesses)
+    }
+
+    /// [`Self::knn_in_counted`] under an optional *distance-computation
+    /// budget* — the anytime variant behind cost-budgeted graceful
+    /// degradation. The budget counts distance evaluations (one per leaf
+    /// entry scored, one per child-rectangle MINDIST), a deterministic
+    /// machine-independent cost measure: no wall clock is consulted, so a
+    /// fixed `(scope, query, k, budget)` tuple always returns bit-identical
+    /// results at any thread count.
+    ///
+    /// Once the budget is spent, no further node is expanded; data entries
+    /// already scored keep draining from the frontier in distance order
+    /// (best-so-far fill toward `k`), and every node left unexpanded is
+    /// counted in [`BudgetedKnn::nodes_skipped`]. `None` means unlimited and
+    /// behaves exactly like [`Self::knn_in_counted`].
+    pub fn knn_in_budgeted(
+        &self,
+        scope: NodeId,
+        query: &[f32],
+        k: usize,
+        budget: Option<u64>,
+    ) -> BudgetedKnn {
         assert_eq!(
             query.len(),
             self.config.dims,
             "query dimensionality mismatch"
         );
         let mut touched = 0u64;
+        let mut spent = 0u64;
+        let mut nodes_skipped = 0u64;
+        let mut exhausted = false;
         let mut out = Vec::with_capacity(k);
         if k == 0 || self.node(scope).rect.is_none() {
-            return (out, touched);
+            return BudgetedKnn {
+                neighbors: out,
+                accesses: touched,
+                distance_computations: spent,
+                nodes_skipped,
+                exhausted,
+            };
         }
         #[derive(PartialEq)]
         struct HeapItem {
@@ -929,8 +988,13 @@ impl RStarTree {
         }
 
         let mut heap = BinaryHeap::new();
+        let scope_rect = match self.node(scope).rect.as_ref() {
+            Some(r) => r,
+            None => unreachable!("rect presence checked above"),
+        };
+        spent += 1;
         heap.push(HeapItem {
-            dist2: self.node(scope).rect.as_ref().unwrap().min_dist2(query),
+            dist2: scope_rect.min_dist2(query),
             kind: HeapKind::Node(scope),
         });
         while let Some(item) = heap.pop() {
@@ -945,9 +1009,17 @@ impl RStarTree {
                     }
                 }
                 HeapKind::Node(n) => {
+                    if budget.is_some_and(|b| spent >= b) {
+                        // Budget gone: leave this subtree unexplored but keep
+                        // draining already-scored data entries.
+                        exhausted = true;
+                        nodes_skipped += 1;
+                        continue;
+                    }
                     touched += 1;
                     match &self.node(n).kind {
                         NodeKind::Leaf(d) => {
+                            spent += d.len() as u64;
                             for e in d {
                                 heap.push(HeapItem {
                                     dist2: dist2(&e.point, query),
@@ -958,6 +1030,7 @@ impl RStarTree {
                         NodeKind::Internal(c) => {
                             for &child in c {
                                 if let Some(r) = self.node(child).rect.as_ref() {
+                                    spent += 1;
                                     heap.push(HeapItem {
                                         dist2: r.min_dist2(query),
                                         kind: HeapKind::Node(child),
@@ -970,7 +1043,13 @@ impl RStarTree {
             }
         }
         self.accesses.fetch_add(touched, AtomicOrdering::Relaxed);
-        (out, touched)
+        BudgetedKnn {
+            neighbors: out,
+            accesses: touched,
+            distance_computations: spent,
+            nodes_skipped,
+            exhausted,
+        }
     }
 
     /// The single nearest neighbor of `query`, if the tree is non-empty.
@@ -1297,16 +1376,24 @@ pub(crate) fn read_tree(data: &[u8]) -> std::io::Result<RStarTree> {
             Ok(s)
         }
         fn u64(&mut self) -> std::io::Result<u64> {
-            Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+            let mut b = [0u8; 8];
+            b.copy_from_slice(self.bytes(8)?);
+            Ok(u64::from_le_bytes(b))
         }
         fn u32(&mut self) -> std::io::Result<u32> {
-            Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+            let mut b = [0u8; 4];
+            b.copy_from_slice(self.bytes(4)?);
+            Ok(u32::from_le_bytes(b))
         }
         fn i64(&mut self) -> std::io::Result<i64> {
-            Ok(i64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+            let mut b = [0u8; 8];
+            b.copy_from_slice(self.bytes(8)?);
+            Ok(i64::from_le_bytes(b))
         }
         fn f32(&mut self) -> std::io::Result<f32> {
-            Ok(f32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+            let mut b = [0u8; 4];
+            b.copy_from_slice(self.bytes(4)?);
+            Ok(f32::from_le_bytes(b))
         }
         fn f32s(&mut self, n: usize) -> std::io::Result<Vec<f32>> {
             (0..n).map(|_| self.f32()).collect()
@@ -1783,5 +1870,93 @@ mod tests {
             max_entries: 5,
             reinsert_fraction: 0.3,
         });
+    }
+
+    #[test]
+    fn contains_node_accepts_live_and_rejects_foreign_handles() {
+        let items: Vec<(u64, Vec<f32>)> = (0..50u64).map(|i| (i, vec![i as f32, 0.0])).collect();
+        let tree = RStarTree::bulk_load(TreeConfig::small(2), items);
+        for n in tree.node_ids() {
+            assert!(tree.contains_node(n));
+        }
+        let single = RStarTree::bulk_load(TreeConfig::small(2), vec![(0, vec![0.0, 0.0])]);
+        // A handle minted by a much larger tree dangles in the single-node one.
+        let big = *tree.node_ids().last().unwrap();
+        if big.index() >= single.node_count() {
+            assert!(!single.contains_node(big));
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_matches_counted_knn() {
+        let items: Vec<(u64, Vec<f32>)> = (0..200u64)
+            .map(|i| (i, vec![(i % 17) as f32, (i / 17) as f32]))
+            .collect();
+        let tree = RStarTree::bulk_load(TreeConfig::small(2), items);
+        let q = [3.3f32, 4.1];
+        let (plain, accesses) = tree.knn_in_counted(tree.root(), &q, 10);
+        let b = tree.knn_in_budgeted(tree.root(), &q, 10, None);
+        assert_eq!(b.neighbors, plain);
+        assert_eq!(b.accesses, accesses);
+        assert!(!b.exhausted);
+        assert_eq!(b.nodes_skipped, 0);
+        assert!(b.distance_computations > 0);
+        // A budget at least as large as the spend also completes untouched.
+        let c = tree.knn_in_budgeted(tree.root(), &q, 10, Some(b.distance_computations + 1));
+        assert_eq!(c.neighbors, plain);
+        assert!(!c.exhausted);
+    }
+
+    #[test]
+    fn exhausted_budget_returns_valid_best_so_far() {
+        let items: Vec<(u64, Vec<f32>)> = (0..300u64)
+            .map(|i| (i, vec![(i % 20) as f32, (i / 20) as f32]))
+            .collect();
+        let tree = RStarTree::bulk_load(TreeConfig::small(2), items);
+        let q = [9.5f32, 7.5];
+        let full = tree.knn_in(tree.root(), &q, 25);
+        for budget in [0u64, 1, 5, 20, 60, 150] {
+            let b = tree.knn_in_budgeted(tree.root(), &q, 25, Some(budget));
+            assert!(
+                b.distance_computations <= budget.max(1) + 64,
+                "spend near budget"
+            );
+            // Results are valid: unique ids, ascending distances.
+            let mut ids: Vec<u64> = b.neighbors.iter().map(|n| n.id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(
+                ids.len(),
+                b.neighbors.len(),
+                "duplicate ids at budget {budget}"
+            );
+            for w in b.neighbors.windows(2) {
+                assert!(w[0].distance <= w[1].distance);
+            }
+            assert!(b.neighbors.len() <= full.len());
+            if !b.exhausted {
+                assert_eq!(
+                    b.neighbors, full,
+                    "non-exhausted budget {budget} must be exact"
+                );
+                assert_eq!(b.nodes_skipped, 0);
+            } else {
+                assert!(b.nodes_skipped > 0);
+            }
+        }
+        // Determinism: same budget, same answer.
+        let a = tree.knn_in_budgeted(tree.root(), &q, 25, Some(40));
+        let b = tree.knn_in_budgeted(tree.root(), &q, 25, Some(40));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn budget_zero_computes_nothing() {
+        let items: Vec<(u64, Vec<f32>)> = (0..50u64).map(|i| (i, vec![i as f32, 0.0])).collect();
+        let tree = RStarTree::bulk_load(TreeConfig::small(2), items);
+        let b = tree.knn_in_budgeted(tree.root(), &[1.0, 0.0], 5, Some(0));
+        assert!(b.neighbors.is_empty());
+        assert!(b.exhausted);
+        assert_eq!(b.accesses, 0);
     }
 }

@@ -20,8 +20,9 @@
 //! 2. the `QD_THREADS` environment variable,
 //! 3. [`std::thread::available_parallelism`].
 
+use std::any::Any;
 use std::cell::Cell;
-use std::panic::resume_unwind;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
@@ -92,21 +93,103 @@ where
     if workers <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
+    scatter_gather(n, workers, |i| f(i, &items[i]))
+}
 
+/// A panic caught from a single task by [`par_try_map`], carrying the task's
+/// input index and the panic message (stringified payload).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// Input index of the task that panicked.
+    pub index: usize,
+    /// The panic payload rendered as a string (`&str`/`String` payloads are
+    /// preserved verbatim; anything else becomes a placeholder).
+    pub message: String,
+}
+
+impl std::fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for TaskPanic {}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// [`par_map`] with per-task panic isolation: each closure runs under
+/// `catch_unwind`, and the result vector — still **in input order** — holds
+/// `Err(TaskPanic)` for tasks that panicked instead of tearing down the whole
+/// fan-out. One bad item degrades one slot; the caller decides whether that
+/// is fatal.
+pub fn par_try_map<T, U, F>(items: &[T], f: F) -> Vec<Result<U, TaskPanic>>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_try_map_indexed(items, |_, item| f(item))
+}
+
+/// [`par_try_map`] where the closure also receives the item's input index.
+pub fn par_try_map_indexed<T, U, F>(items: &[T], f: F) -> Vec<Result<U, TaskPanic>>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let task = |i: usize| {
+        catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))).map_err(|payload| TaskPanic {
+            index: i,
+            message: panic_message(payload.as_ref()),
+        })
+    };
+    let n = items.len();
+    let workers = threads().min(n);
+    if workers <= 1 {
+        return (0..n).map(task).collect();
+    }
+    scatter_gather(n, workers, task)
+}
+
+/// Shared fan-out core: runs `task(i)` for `i in 0..n` on `workers` scoped
+/// threads (self-scheduling off an atomic counter) and returns the results in
+/// input order. Captures the caller's active fault plan, if any, and installs
+/// it in every worker so `qd_fault` failpoints keep firing — and stay
+/// deterministic via keyed tokens — across the thread boundary.
+fn scatter_gather<U, F>(n: usize, workers: usize, task: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let plan = qd_fault::current();
     let next = AtomicUsize::new(0);
     let parts: Vec<Vec<(usize, U)>> = thread::scope(|s| {
+        let next = &next;
+        let task = &task;
         let handles: Vec<_> = (0..workers)
             .map(|_| {
-                s.spawn(|| {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
+                let plan = plan.clone();
+                s.spawn(move || {
+                    qd_fault::with_current(plan, || {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            local.push((i, task(i)));
                         }
-                        local.push((i, f(i, &items[i])));
-                    }
-                    local
+                        local
+                    })
                 })
             })
             .collect();
@@ -124,7 +207,11 @@ where
         }
     }
     out.into_iter()
-        .map(|slot| slot.expect("every index scheduled exactly once"))
+        .enumerate()
+        .map(|(i, slot)| match slot {
+            Some(v) => v,
+            None => unreachable!("index {i} scheduled exactly once"),
+        })
         .collect()
 }
 
@@ -220,5 +307,63 @@ mod tests {
         let items = vec!["a", "b", "c"];
         let out = par_map_indexed(&items, |i, s| format!("{i}{s}"));
         assert_eq!(out, vec!["0a", "1b", "2c"]);
+    }
+
+    #[test]
+    fn try_map_isolates_panics_in_input_order() {
+        let items: Vec<usize> = (0..64).collect();
+        for workers in [1, 4] {
+            let out = with_threads(workers, || {
+                par_try_map(&items, |&x| {
+                    if x % 13 == 5 {
+                        panic!("injected {x}");
+                    }
+                    x * 2
+                })
+            });
+            assert_eq!(out.len(), items.len());
+            for (i, r) in out.iter().enumerate() {
+                if i % 13 == 5 {
+                    let e = r.as_ref().expect_err("task should have panicked");
+                    assert_eq!(e.index, i);
+                    assert_eq!(e.message, format!("injected {i}"));
+                } else {
+                    assert_eq!(r.as_ref().copied(), Ok(i * 2));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_map_results_identical_across_worker_counts() {
+        let items: Vec<usize> = (0..40).collect();
+        let run = |workers| {
+            with_threads(workers, || {
+                par_try_map(&items, |&x| if x % 7 == 0 { panic!("p{x}") } else { x })
+            })
+        };
+        assert_eq!(run(1), run(8));
+    }
+
+    #[test]
+    fn fault_plan_reaches_parallel_workers() {
+        let plan = qd_fault::FaultPlan::new(21).site("t.runtime", qd_fault::Mode::Always);
+        let items: Vec<u64> = (0..32).collect();
+        let fired = qd_fault::with_plan(&plan, || {
+            with_threads(8, || {
+                par_map(&items, |&k| qd_fault::fire_keyed("t.runtime", k).is_some())
+            })
+        });
+        assert!(
+            fired.iter().all(|&b| b),
+            "every worker must observe the plan"
+        );
+        let silent = with_threads(8, || {
+            par_map(&items, |&k| qd_fault::fire_keyed("t.runtime", k))
+        });
+        assert!(
+            silent.iter().all(Option::is_none),
+            "plan does not leak past with_plan"
+        );
     }
 }

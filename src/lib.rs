@@ -66,10 +66,14 @@ pub use qd_linalg as linalg;
 /// The types most applications need.
 pub mod prelude {
     pub use qd_core::baselines::BaselineConfig;
+    pub use qd_core::error::QdError;
     pub use qd_core::eval::Baseline;
     pub use qd_core::metrics::{gtir, precision, recall};
     pub use qd_core::rfs::{RfsConfig, RfsStructure};
-    pub use qd_core::session::{run_session, MergeStrategy, QdConfig, QdOutcome};
+    pub use qd_core::session::{
+        run_session, try_run_session, Degradation, MergeStrategy, QdConfig, QdOutcome,
+        ServedOutcome,
+    };
     pub use qd_core::user::SimulatedUser;
     pub use qd_corpus::{queries, Corpus, CorpusConfig, QuerySpec, Taxonomy};
     pub use qd_features::{FeatureExtractor, FEATURE_DIM};

@@ -1,0 +1,276 @@
+//! Chaos property suite: the degradation contract under deterministic fault
+//! injection (DESIGN.md §9).
+//!
+//! For every fault site, for seeded random fault combinations, and for any
+//! distance budget, a QD serving call must end in exactly one of three ways:
+//!
+//! 1. `Ok(ServedOutcome::Complete(..))` — the fault missed the exercised path;
+//! 2. `Ok(ServedOutcome::Degraded { .. })` — a *valid* ranked list (unique,
+//!    in-range ids, at most k) plus an honest degradation report;
+//! 3. `Err(QdError::..)` — a typed error.
+//!
+//! Never a panic. And because fault decisions key off stable tokens (node
+//! index, subquery index) rather than scheduling order, the outcome — results,
+//! counters, degradation report, error text — is byte-identical between
+//! `QD_THREADS=1` and `QD_THREADS=8` for a fixed `(fault seed, query)`. The
+//! CI chaos job reruns this suite under eight different `QD_FAULT_SEED`s.
+
+use qd_fault::{FaultPlan, Mode};
+use query_decomposition::prelude::*;
+use std::sync::OnceLock;
+
+fn fixture() -> &'static (Corpus, RfsStructure) {
+    static FIXTURE: OnceLock<(Corpus, RfsStructure)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let corpus = Corpus::build(&CorpusConfig {
+            size: 300,
+            image_size: 24,
+            seed: 23,
+            filler_count: 5,
+            with_viewpoints: false,
+        });
+        let rfs = RfsStructure::build(corpus.features(), &RfsConfig::test_small());
+        (corpus, rfs)
+    })
+}
+
+/// The sweep's fault seed: `QD_FAULT_SEED` when set (the CI chaos job runs
+/// eight of them), 0 otherwise.
+fn fault_seed() -> u64 {
+    std::env::var(qd_fault::FAULT_SEED_ENV)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// One serving call under whatever fault plan is active on this thread.
+fn serve(query_name: &str, cfg: &QdConfig) -> Result<ServedOutcome, QdError> {
+    let (corpus, rfs) = fixture();
+    let query = queries::standard_queries(corpus.taxonomy())
+        .into_iter()
+        .find(|q| q.name == query_name)
+        .expect("standard query");
+    let k = corpus.ground_truth(&query).len();
+    let mut user = SimulatedUser::oracle(&query, 13);
+    qd_core::session::try_run_session(corpus, rfs, &query, &mut user, k, cfg)
+}
+
+/// Asserts the three-way contract and returns a CSV-shaped line that must be
+/// byte-identical across thread counts.
+fn check_and_serialize(outcome: &Result<ServedOutcome, QdError>, k: usize) -> String {
+    let (corpus, _) = fixture();
+    match outcome {
+        Ok(served) => {
+            let o = served.outcome();
+            assert!(o.results.len() <= k, "more than k results");
+            let mut sorted = o.results.clone();
+            sorted.sort_unstable();
+            let before = sorted.len();
+            sorted.dedup();
+            assert_eq!(sorted.len(), before, "duplicate result ids");
+            assert!(
+                o.results.iter().all(|&id| id < corpus.len()),
+                "out-of-range result id"
+            );
+            match served {
+                ServedOutcome::Complete(o) => format!(
+                    "complete,{},{},{},{:?}",
+                    o.subquery_count, o.feedback_accesses, o.knn_accesses, o.results
+                ),
+                ServedOutcome::Degraded { outcome, report } => {
+                    assert!(
+                        report.budget_spent > 0
+                            || report.nodes_skipped > 0
+                            || report.subqueries_dropped > 0
+                            || report.displays_skipped > 0,
+                        "degraded outcome with an empty report"
+                    );
+                    format!(
+                        "degraded,{},{},{},{},{},{:?}",
+                        report.budget_spent,
+                        report.nodes_skipped,
+                        report.subqueries_dropped,
+                        report.displays_skipped,
+                        outcome.subquery_count,
+                        outcome.results
+                    )
+                }
+            }
+        }
+        Err(e) => format!("error,{e}"),
+    }
+}
+
+/// Runs `f` under the plan at 1 and at 8 workers and asserts the serialized
+/// outcome is identical; returns the 1-thread line.
+fn serve_both_thread_counts(plan: &FaultPlan, query: &str, cfg: &QdConfig) -> String {
+    let (corpus, _) = fixture();
+    let q = queries::standard_queries(corpus.taxonomy())
+        .into_iter()
+        .find(|x| x.name == query)
+        .expect("standard query");
+    let k = corpus.ground_truth(&q).len();
+    let one = qd_fault::with_plan(plan, || {
+        qd_runtime::with_threads(1, || check_and_serialize(&serve(query, cfg), k))
+    });
+    let eight = qd_fault::with_plan(plan, || {
+        qd_runtime::with_threads(8, || check_and_serialize(&serve(query, cfg), k))
+    });
+    assert_eq!(
+        one,
+        eight,
+        "fault outcome diverged between 1 and 8 threads (plan seed {}, query {query})",
+        plan.seed()
+    );
+    one
+}
+
+#[test]
+fn every_site_firing_always_keeps_the_contract() {
+    for &(site, _) in qd_fault::SITES {
+        let plan = FaultPlan::new(fault_seed()).site(site, Mode::Always);
+        for query in ["bird", "rose"] {
+            let line = serve_both_thread_counts(&plan, query, &QdConfig::default());
+            // Sanity: the serializer produced one of the three shapes.
+            assert!(
+                line.starts_with("complete,")
+                    || line.starts_with("degraded,")
+                    || line.starts_with("error,"),
+                "site {site}: unexpected outcome shape {line}"
+            );
+        }
+    }
+}
+
+#[test]
+fn seeded_random_fault_storms_never_panic_and_are_thread_invariant() {
+    let base = fault_seed();
+    for round in 0..4u64 {
+        let plan = FaultPlan::new(base ^ (round.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+            .all_sites(Mode::Probability(0.3));
+        for query in ["bird", "horse", "mountain view"] {
+            serve_both_thread_counts(&plan, query, &QdConfig::default());
+        }
+        // Same storm with a tight distance budget stacked on top.
+        let cfg = QdConfig {
+            distance_budget: Some(97 + round * 131),
+            ..QdConfig::default()
+        };
+        serve_both_thread_counts(&plan, "bird", &cfg);
+    }
+}
+
+#[test]
+fn fixed_fault_seed_is_reproducible_run_to_run() {
+    let plan = FaultPlan::new(fault_seed()).all_sites(Mode::Probability(0.4));
+    let first = serve_both_thread_counts(&plan, "rose", &QdConfig::default());
+    let second = serve_both_thread_counts(&plan, "rose", &QdConfig::default());
+    assert_eq!(first, second, "same plan, same query, different outcome");
+}
+
+#[test]
+fn budget_sweep_degrades_gracefully_at_any_level() {
+    let (corpus, _) = fixture();
+    let query = queries::standard_queries(corpus.taxonomy())
+        .into_iter()
+        .find(|q| q.name == "bird")
+        .expect("standard query");
+    let k = corpus.ground_truth(&query).len();
+    let no_faults = FaultPlan::new(0);
+    let mut lines = Vec::new();
+    for budget in [0u64, 1, 17, 333, 9_999, u64::MAX] {
+        let cfg = QdConfig {
+            distance_budget: Some(budget),
+            ..QdConfig::default()
+        };
+        lines.push(serve_both_thread_counts(&no_faults, "bird", &cfg));
+    }
+    // The unbudgeted run and the effectively-unlimited run agree exactly.
+    let unlimited = serve_both_thread_counts(&no_faults, "bird", &QdConfig::default());
+    assert_eq!(lines[lines.len() - 1], unlimited);
+    // Zero budget still serves (possibly empty, possibly degraded) — checked
+    // inside check_and_serialize; here just pin that nothing errored.
+    assert!(
+        !lines[0].starts_with("error,"),
+        "zero budget must degrade, not fail: {}",
+        lines[0]
+    );
+    let _ = k;
+}
+
+#[test]
+fn client_submit_retries_deterministically_under_chaos() {
+    use qd_core::client::{client_feedback, submit_with_retry, ClientRfs, RetryPolicy};
+
+    let (corpus, rfs) = fixture();
+    let client = ClientRfs::replicate(rfs);
+    let query = queries::standard_queries(corpus.taxonomy())
+        .into_iter()
+        .find(|q| q.name == "rose")
+        .expect("standard query");
+    let k = corpus.ground_truth(&query).len();
+    let cfg = QdConfig::default();
+    let mut user = SimulatedUser::oracle(&query, 5);
+    let remote = client_feedback(&client, corpus.labels(), &mut user, &cfg);
+    let policy = RetryPolicy { max_attempts: 4 };
+
+    for round in 0..6u64 {
+        let plan = FaultPlan::new(fault_seed() ^ round)
+            .site(qd_fault::site::CLIENT_TRANSPORT, Mode::Probability(0.5))
+            .site(qd_fault::site::CLIENT_MARK_CORRUPT, Mode::Probability(0.5));
+        let describe = |r: &Result<qd_core::client::SubmitReport, QdError>| match r {
+            Ok(rep) => {
+                assert!(rep.attempts >= 1 && rep.attempts <= policy.max_attempts);
+                assert!(rep.execution.results.len() <= k);
+                format!(
+                    "ok,{},{},{:?}",
+                    rep.attempts, rep.backoff_units, rep.execution.results
+                )
+            }
+            Err(QdError::RetriesExhausted {
+                attempts,
+                last_error,
+            }) => {
+                assert_eq!(*attempts, policy.max_attempts);
+                format!("exhausted,{attempts},{last_error}")
+            }
+            Err(e) => panic!("chaos plan produced a non-transient error: {e}"),
+        };
+        let first = qd_fault::with_plan(&plan, || {
+            describe(&submit_with_retry(corpus, rfs, &remote, k, &cfg, policy))
+        });
+        let second = qd_fault::with_plan(&plan, || {
+            describe(&submit_with_retry(corpus, rfs, &remote, k, &cfg, policy))
+        });
+        assert_eq!(first, second, "retry outcome not deterministic");
+    }
+}
+
+#[test]
+fn rfs_build_survives_representative_selection_panics() {
+    let (corpus, _) = fixture();
+    let plan =
+        FaultPlan::new(fault_seed()).site(qd_fault::site::RFS_SELECT_PANIC, Mode::Probability(0.5));
+    let build = || {
+        qd_fault::with_plan(&plan, || {
+            RfsStructure::build(corpus.features(), &RfsConfig::test_small())
+        })
+    };
+    let a = build();
+    let b = build();
+    // Deterministic degraded build: both runs picked the same representatives.
+    assert_eq!(a.all_representatives(), b.all_representatives());
+    // And the degraded structure still serves a valid session.
+    let query = queries::standard_queries(corpus.taxonomy())
+        .into_iter()
+        .find(|q| q.name == "bird")
+        .expect("standard query");
+    let k = corpus.ground_truth(&query).len();
+    let mut user = SimulatedUser::oracle(&query, 13);
+    let served =
+        qd_core::session::try_run_session(corpus, &a, &query, &mut user, k, &QdConfig::default())
+            .expect("degraded RFS must still serve");
+    let results = &served.outcome().results;
+    assert!(results.len() <= k);
+    assert!(results.iter().all(|&id| id < corpus.len()));
+}

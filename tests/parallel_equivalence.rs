@@ -275,6 +275,9 @@ mod nan_regression {
                 .collect(),
             support,
             accesses: 0,
+            distance_computations: 0,
+            nodes_skipped: 0,
+            exhausted: false,
         }
     }
 
