@@ -17,6 +17,7 @@
 //! | R5 | every `unsafe` carries a `// SAFETY:` comment |
 //! | R6 | no `todo!`/`unimplemented!`/`dbg!` |
 //! | R7 | no `.unwrap()`/`.expect(` in qd-core/qd-corpus/qd-index/qd-runtime `src/` outside `#[cfg(test)]` code |
+//! | R8 | no string-literal counter/span names at `qd_obs` call sites in `src/` outside `#[cfg(test)]` — names come from the `qd_obs::ctr`/`qd_obs::sp` catalogs |
 //!
 //! The crate is dependency-free (the build environment is offline, so `syn`
 //! is not an option): a hand-rolled comment/string-aware scrubber

@@ -1,4 +1,4 @@
-//! The repo-specific rules R1–R6.
+//! The repo-specific rules R1–R8.
 //!
 //! Every rule matches on scrubbed source (comments and literal bodies
 //! blanked, see [`crate::scan`]), so mentions of a forbidden pattern in docs,
@@ -29,11 +29,13 @@ pub enum RuleId {
     R6,
     /// `.unwrap()` / `.expect(` on serving-path crates outside test code.
     R7,
+    /// String-literal counter/span names passed to `qd_obs` hooks.
+    R8,
 }
 
 impl RuleId {
     /// All rules, in report order.
-    pub const ALL: [RuleId; 7] = [
+    pub const ALL: [RuleId; 8] = [
         RuleId::R1,
         RuleId::R2,
         RuleId::R3,
@@ -41,6 +43,7 @@ impl RuleId {
         RuleId::R5,
         RuleId::R6,
         RuleId::R7,
+        RuleId::R8,
     ];
 
     /// One-line description, shown by `qd-analyze rules`.
@@ -72,6 +75,12 @@ impl RuleId {
                  src outside #[cfg(test)] code: serving paths return typed \
                  errors or degrade, they never panic on input"
             }
+            RuleId::R8 => {
+                "no string-literal counter/span names at qd_obs call sites in \
+                 src outside #[cfg(test)]: names come from the qd_obs::ctr / \
+                 qd_obs::sp catalogs, so every metric is greppable and the \
+                 trace vocabulary stays closed"
+            }
         }
     }
 
@@ -84,6 +93,7 @@ impl RuleId {
             "R5" => Some(RuleId::R5),
             "R6" => Some(RuleId::R6),
             "R7" => Some(RuleId::R7),
+            "R8" => Some(RuleId::R8),
             _ => None,
         }
     }
@@ -154,6 +164,10 @@ pub fn analyze_file(rel_path: &str, scrubbed: &Scrubbed) -> Vec<Finding> {
     .any(|p| rel_path.starts_with(p))
     {
         rule_r7(rel_path, scrubbed, &mut out);
+    }
+    let in_src = rel_path.starts_with("src/") || rel_path.contains("/src/");
+    if in_src && !rel_path.starts_with("crates/qd-obs/") {
+        rule_r8(rel_path, scrubbed, &mut out);
     }
     out.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.message.cmp(&b.message)));
     out.dedup_by(|a, b| a.rule == b.rule && a.line == b.line && a.message == b.message);
@@ -533,6 +547,55 @@ fn rule_r7(rel_path: &str, scrubbed: &Scrubbed, out: &mut Vec<Finding>) {
     }
 }
 
+/// The `qd_obs` hooks whose first argument is a counter/span name.
+const R8_HOOKS: [&str; 4] = ["count", "span", "span_indexed", "measured"];
+
+/// R8: a string literal passed as the name argument of a `qd_obs` hook in
+/// `src/` outside `#[cfg(test)]` code. Production counter and span names
+/// must be the `qd_obs::ctr` / `qd_obs::sp` catalog constants: the catalogs
+/// keep the trace vocabulary closed (goldens, BENCH_qd.json consumers, and
+/// conservation tests all grep by constant), and a literal at the call site
+/// silently forks it. The scrubber blanks string bodies but keeps the quote
+/// characters, so the literal is still visible as a leading `"`. The crate
+/// defining the catalogs (`qd-obs` itself) and test code — where ad-hoc
+/// names are the point — are exempt.
+fn rule_r8(rel_path: &str, scrubbed: &Scrubbed, out: &mut Vec<Finding>) {
+    let test_mask = cfg_test_lines(&scrubbed.lines);
+    for (li, line) in scrubbed.lines.iter().enumerate() {
+        if test_mask[li] {
+            continue;
+        }
+        for hook in R8_HOOKS {
+            for start in word_occurrences(line, hook) {
+                if !line[..start].ends_with("qd_obs::") {
+                    continue;
+                }
+                let Some(rest) = line[start + hook.len()..].strip_prefix('(') else {
+                    continue;
+                };
+                // rustfmt may wrap the argument list; an empty remainder
+                // means the first argument starts the next line.
+                let first_arg = if rest.trim().is_empty() {
+                    scrubbed.lines.get(li + 1).map(|l| l.trim_start())
+                } else {
+                    Some(rest.trim_start())
+                };
+                if first_arg.is_some_and(|a| a.starts_with('"')) {
+                    out.push(Finding {
+                        rule: RuleId::R8,
+                        file: rel_path.to_string(),
+                        line: li + 1,
+                        message: format!("string-literal name passed to qd_obs::{hook}"),
+                        hint: "name it with a qd_obs::ctr / qd_obs::sp catalog constant \
+                               (add one there if this is a genuinely new metric)"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+    }
+}
+
 /// R6: stub/debug macros.
 fn rule_r6(rel_path: &str, scrubbed: &Scrubbed, out: &mut Vec<Finding>) {
     for (li, line) in scrubbed.lines.iter().enumerate() {
@@ -643,5 +706,66 @@ mod tests {
         let src = "// calling .unwrap() here would be wrong\n\
                    fn f() -> &'static str { \".unwrap()\" }";
         assert!(findings("crates/qd-corpus/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r8_catches_string_literal_names_in_src() {
+        let src = "fn f() {\n\
+                       qd_obs::count(\"knn.ad_hoc\", 1);\n\
+                       qd_obs::span(\"phase\", || ());\n\
+                       qd_obs::span_indexed(\"phase\", 3, || ());\n\
+                       let (_, c) = qd_obs::measured(\"phase\", || ());\n\
+                   }";
+        let f = findings("crates/qd-core/src/x.rs", src);
+        assert_eq!(f.len(), 4, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == RuleId::R8));
+        assert_eq!(f[0].line, 2);
+        // Facade src is covered too.
+        assert_eq!(findings("src/bin/qd.rs", src).len(), 4);
+    }
+
+    #[test]
+    fn r8_catches_wrapped_argument_lists() {
+        let src = "fn f() {\n\
+                       qd_obs::span_indexed(\n\
+                           \"phase\",\n\
+                           3,\n\
+                           || (),\n\
+                       );\n\
+                   }";
+        let f = findings("crates/qd-core/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, RuleId::R8);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn r8_accepts_catalog_constants() {
+        let src = "fn f(n: u64) {\n\
+                       qd_obs::count(qd_obs::ctr::KNN_DISTANCE, n);\n\
+                       qd_obs::span(qd_obs::sp::RFS_BUILD, || ());\n\
+                       qd_obs::span_indexed(qd_obs::sp::SUBQUERY, 0, || ());\n\
+                   }";
+        assert!(findings("crates/qd-core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn r8_exempts_tests_benches_and_the_obs_crate_itself() {
+        let src = "fn f() { qd_obs::count(\"scratch.name\", 1); }";
+        // Integration tests, benches, and qd-obs (the catalog home): clean.
+        assert!(findings("tests/x.rs", src).is_empty());
+        assert!(findings("crates/qd-core/tests/x.rs", src).is_empty());
+        assert!(findings("crates/qd-bench/benches/x.rs", src).is_empty());
+        assert!(findings("crates/qd-obs/src/lib.rs", src).is_empty());
+        // #[cfg(test)] code inside src: clean.
+        let gated = "fn serve() {}\n\
+                     #[cfg(test)]\n\
+                     mod tests {\n\
+                         fn t() { qd_obs::count(\"scratch.name\", 1); }\n\
+                     }";
+        assert!(findings("crates/qd-core/src/x.rs", gated).is_empty());
+        // Unqualified calls are out of scope (heuristic matches qd_obs:: paths).
+        let unqualified = "fn f() { count(\"scratch.name\", 1); }";
+        assert!(findings("crates/qd-core/src/x.rs", unqualified).is_empty());
     }
 }

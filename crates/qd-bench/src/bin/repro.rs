@@ -17,6 +17,13 @@
 //! ```
 //!
 //! `--quick` runs on a 3,000-image corpus instead of the paper's 15,000.
+//!
+//! `--json` ignores the command and instead writes the machine-readable
+//! observability report `BENCH_qd.json` ({commit, config, tables, counters,
+//! span_tree}). It runs at the `Tiny` scale by default (`--quick` upgrades
+//! it to `Quick`) and its output is byte-identical across consecutive runs
+//! and across `QD_THREADS` settings — CI diffs it to pin the observability
+//! contract.
 
 use qd_bench::experiments;
 use qd_bench::BenchScale;
@@ -35,6 +42,17 @@ fn main() {
         .find(|a| !a.starts_with("--") && a.parse::<u64>().is_err())
         .cloned()
         .unwrap_or_else(|| "all".to_string());
+
+    if args.iter().any(|a| a == "--json") {
+        let scale = if quick {
+            BenchScale::Quick
+        } else {
+            BenchScale::Tiny
+        };
+        eprintln!("[repro: json report, scale={scale:?}, seed={seed}]");
+        experiments::json_report(scale, seed);
+        return;
+    }
 
     let scale = if quick {
         BenchScale::Quick

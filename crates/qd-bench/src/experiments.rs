@@ -3,7 +3,7 @@
 //! under `bench_results/`.
 
 use crate::fixtures::{bench_corpus, bench_rfs, BenchScale};
-use crate::report::{f3, f3_opt, ms, Table};
+use crate::report::{self, f3, f3_opt, ms, JsonValue, Table};
 use crate::simqueries::random_queries;
 use qd_core::baselines::BaselineConfig;
 use qd_core::eval::{self, Baseline};
@@ -792,6 +792,100 @@ pub fn ablate_feature_weights(scale: BenchScale, seed: u64) {
         table.row(vec![name.to_string(), f3(p), f3(g)]);
     }
     table.emit("ablate_feature_weights");
+}
+
+/// The machine-readable bench report (`repro --json`): runs the Table 1
+/// workload (MV vs QD over the eleven standard queries) under a `qd_obs`
+/// recorder and writes `BENCH_qd.json` with the schema
+/// `{commit, config, tables, counters, span_tree}`.
+///
+/// Deterministic by construction: the RFS is built *inside* the recorder so
+/// its build span and counters are part of the report, the corpus
+/// render/extract phase runs *outside* it so a warm disk cache emits the
+/// same bytes as a cold one, and nothing derived from wall-clock time or
+/// thread count is recorded — CI compares consecutive runs and a
+/// `QD_THREADS=8` run byte-for-byte.
+pub fn json_report(scale: BenchScale, seed: u64) {
+    let corpus = bench_corpus(scale, seed);
+    let qd_cfg = QdConfig::default();
+    let baseline_cfg = BaselineConfig::default();
+    let ((rows, avg), trace) = qd_obs::with_recorder(|| {
+        let rfs = RfsStructure::build(corpus.features(), &scale.rfs_config());
+        let qs = queries::standard_queries(corpus.taxonomy());
+        let rows = qd_runtime::par_map_indexed(&qs, |i, query| {
+            qd_obs::span_indexed(qd_obs::sp::BENCH_QUERY, i as u64, || {
+                let k = corpus.ground_truth(query).len();
+                let mut b_user = SimulatedUser::oracle(query, baseline_cfg.seed)
+                    .with_patience(baseline_cfg.user_patience);
+                let b =
+                    Baseline::MultipleViewpoints.run(&corpus, query, &mut b_user, k, &baseline_cfg);
+                let mut q_user =
+                    SimulatedUser::oracle(query, qd_cfg.seed).with_patience(qd_cfg.user_patience);
+                let q = run_session(&corpus, &rfs, query, &mut q_user, k, &qd_cfg);
+                eval::QualityRow {
+                    query: query.name.clone(),
+                    baseline_precision: qd_core::metrics::precision(&corpus, query, &b.results),
+                    baseline_gtir: qd_core::metrics::gtir(&corpus, query, &b.results),
+                    qd_precision: qd_core::metrics::precision(&corpus, query, &q.results),
+                    qd_gtir: qd_core::metrics::gtir(&corpus, query, &q.results),
+                }
+            })
+        });
+        let avg = eval::average_row(&rows);
+        (rows, avg)
+    });
+
+    let mut table = Table::new(
+        "Table 1: query evaluation, MV vs QD",
+        &[
+            "query",
+            "MV precision",
+            "MV GTIR",
+            "QD precision",
+            "QD GTIR",
+        ],
+    );
+    for r in rows.iter().chain(std::iter::once(&avg)) {
+        table.row(vec![
+            r.query.clone(),
+            f3(r.baseline_precision),
+            f3(r.baseline_gtir),
+            f3(r.qd_precision),
+            f3(r.qd_gtir),
+        ]);
+    }
+
+    let cc = scale.corpus_config(seed);
+    let rc = scale.rfs_config();
+    let config = JsonValue::Obj(vec![
+        ("scale".to_string(), JsonValue::str(format!("{scale:?}"))),
+        ("seed".to_string(), JsonValue::u64(seed)),
+        ("corpus_size".to_string(), JsonValue::u64(cc.size as u64)),
+        (
+            "image_size".to_string(),
+            JsonValue::u64(cc.image_size as u64),
+        ),
+        (
+            "with_viewpoints".to_string(),
+            JsonValue::Bool(cc.with_viewpoints),
+        ),
+        (
+            "rfs_node_min".to_string(),
+            JsonValue::u64(rc.node_min as u64),
+        ),
+        (
+            "rfs_node_max".to_string(),
+            JsonValue::u64(rc.node_max as u64),
+        ),
+    ]);
+    let path = std::path::Path::new("BENCH_qd.json");
+    match report::write_bench_report(path, config, vec![("table1".to_string(), table)], &trace) {
+        Ok(()) => println!("[wrote {}]", path.display()),
+        Err(e) => {
+            eprintln!("error: could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
 }
 
 /// Baseline shoot-out: QD against all four baselines on Table 1's metric.

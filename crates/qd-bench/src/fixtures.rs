@@ -13,6 +13,10 @@ pub enum BenchScale {
     Paper,
     /// A reduced database for quick runs and criterion benches.
     Quick,
+    /// The smallest complete scale (viewpoints included) — sized for the
+    /// `repro --json` observability report, which CI runs several times per
+    /// push to compare byte-for-byte.
+    Tiny,
     /// An arbitrary database size with paper-style category mix (used by the
     /// Figure 10/11 sweeps). `with_viewpoints` is disabled — the sweeps only
     /// run QD.
@@ -29,6 +33,13 @@ impl BenchScale {
                 image_size: 32,
                 seed,
                 filler_count: 121,
+                with_viewpoints: true,
+            },
+            BenchScale::Tiny => CorpusConfig {
+                size: 600,
+                image_size: 24,
+                seed,
+                filler_count: 20,
                 with_viewpoints: true,
             },
             BenchScale::Sweep(size) => CorpusConfig {
@@ -48,6 +59,11 @@ impl BenchScale {
             BenchScale::Quick => RfsConfig {
                 node_min: 16,
                 node_max: 40,
+                ..RfsConfig::paper()
+            },
+            BenchScale::Tiny => RfsConfig {
+                node_min: 8,
+                node_max: 20,
                 ..RfsConfig::paper()
             },
         }

@@ -1,6 +1,7 @@
-//! Result presentation: aligned text tables on stdout plus CSV files under
-//! `bench_results/`.
+//! Result presentation: aligned text tables on stdout, CSV files under
+//! `bench_results/`, and the machine-readable `BENCH_qd.json` report.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;
@@ -116,6 +117,212 @@ impl Table {
     }
 }
 
+/// A minimal JSON value for the machine-readable bench report (the build
+/// environment is offline, so the serializer is hand-rolled). Object keys
+/// keep insertion order and numbers are pre-formatted, so a given value
+/// always renders to the same bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonValue {
+    /// A string (escaped on render).
+    Str(String),
+    /// A pre-formatted number.
+    Num(String),
+    /// A boolean.
+    Bool(bool),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Self {
+        JsonValue::Str(s.into())
+    }
+
+    /// An unsigned integer value.
+    pub fn u64(v: u64) -> Self {
+        JsonValue::Num(v.to_string())
+    }
+
+    /// A float value, rendered shortest-roundtrip (`format!("{v}")`) so the
+    /// bytes are deterministic. Non-finite values fall back to strings
+    /// (plain JSON has no NaN/Infinity).
+    pub fn f64(v: f64) -> Self {
+        if v.is_finite() {
+            JsonValue::Num(format!("{v}"))
+        } else {
+            JsonValue::Str(format!("{v}"))
+        }
+    }
+
+    /// Renders pretty-printed JSON with two-space indentation.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        let pad = |out: &mut String, d: usize| {
+            for _ in 0..d {
+                out.push_str("  ");
+            }
+        };
+        match self {
+            JsonValue::Str(s) => {
+                let _ = write!(out, "\"{}\"", json_escape(s));
+            }
+            JsonValue::Num(n) => out.push_str(n),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    pad(out, depth + 1);
+                    item.render_into(out, depth + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                pad(out, depth);
+                out.push(']');
+            }
+            JsonValue::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    pad(out, depth + 1);
+                    let _ = write!(out, "\"{}\": ", json_escape(key));
+                    value.render_into(out, depth + 1);
+                    out.push_str(if i + 1 < pairs.len() { ",\n" } else { "\n" });
+                }
+                pad(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Table {
+    /// The table as a JSON object: `{title, header, rows}` (all strings —
+    /// tables are presentation artifacts; typed data lives in `counters`).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("title".to_string(), JsonValue::str(&self.title)),
+            (
+                "header".to_string(),
+                JsonValue::Arr(self.header.iter().map(JsonValue::str).collect()),
+            ),
+            (
+                "rows".to_string(),
+                JsonValue::Arr(
+                    self.rows
+                        .iter()
+                        .map(|row| JsonValue::Arr(row.iter().map(JsonValue::str).collect()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// A `qd_obs` counter map as a JSON object (BTreeMap keys: sorted, stable).
+pub fn counters_to_json(counters: &BTreeMap<String, u64>) -> JsonValue {
+    JsonValue::Obj(
+        counters
+            .iter()
+            .map(|(name, value)| (name.clone(), JsonValue::u64(*value)))
+            .collect(),
+    )
+}
+
+/// A `qd_obs` span tree as nested JSON objects. `index` is omitted when the
+/// span is unindexed, and empty counter maps / child lists render as `{}` /
+/// `[]` so the shape is uniform.
+pub fn span_to_json(span: &qd_obs::Span) -> JsonValue {
+    let mut pairs = vec![("name".to_string(), JsonValue::str(&span.name))];
+    if let Some(index) = span.index {
+        pairs.push(("index".to_string(), JsonValue::u64(index)));
+    }
+    pairs.push(("counters".to_string(), counters_to_json(&span.counters)));
+    pairs.push((
+        "children".to_string(),
+        JsonValue::Arr(span.children.iter().map(span_to_json).collect()),
+    ));
+    JsonValue::Obj(pairs)
+}
+
+/// The current git commit, or `"unknown"` outside a repository. The commit
+/// is the only environment-derived field in the report — everything else
+/// depends exclusively on `(scale, seed)`, which is what makes consecutive
+/// runs byte-identical.
+pub fn current_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Assembles the `BENCH_qd.json` document — schema
+/// `{commit, config, tables: {...}, counters: {...}, span_tree}` — and
+/// writes it to `path`. Deliberately excludes wall-clock readings and
+/// thread counts: the report must be byte-identical across consecutive
+/// runs and across `QD_THREADS` settings (the CI observability job
+/// verifies both).
+pub fn write_bench_report(
+    path: &std::path::Path,
+    config: JsonValue,
+    tables: Vec<(String, Table)>,
+    trace: &qd_obs::Trace,
+) -> std::io::Result<()> {
+    let doc = JsonValue::Obj(vec![
+        ("commit".to_string(), JsonValue::str(current_commit())),
+        ("config".to_string(), config),
+        (
+            "tables".to_string(),
+            JsonValue::Obj(
+                tables
+                    .into_iter()
+                    .map(|(slug, table)| (slug, table.to_json()))
+                    .collect(),
+            ),
+        ),
+        ("counters".to_string(), counters_to_json(&trace.counters)),
+        ("span_tree".to_string(), span_to_json(&trace.root)),
+    ]);
+    fs::write(path, doc.render())
+}
+
 /// Formats a fraction with three decimals.
 pub fn f3(x: f64) -> String {
     format!("{x:.3}")
@@ -170,5 +377,58 @@ mod tests {
     fn mismatched_row_panics() {
         let mut t = Table::new("x", &["a"]);
         t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn json_escapes_and_renders_deterministically() {
+        let v = JsonValue::Obj(vec![
+            ("s".to_string(), JsonValue::str("a\"b\\c\nd\u{1}")),
+            ("f".to_string(), JsonValue::f64(0.1 + 0.2)),
+            ("b".to_string(), JsonValue::Bool(true)),
+            (
+                "arr".to_string(),
+                JsonValue::Arr(vec![JsonValue::u64(7), JsonValue::Obj(vec![])]),
+            ),
+        ]);
+        let rendered = v.render();
+        assert_eq!(rendered, v.render());
+        assert!(rendered.contains(r#""s": "a\"b\\c\nd\u0001""#));
+        // Shortest-roundtrip float formatting, not a fixed precision.
+        assert!(rendered.contains("\"f\": 0.30000000000000004"));
+        assert!(rendered.contains("\"b\": true"));
+        assert!(rendered.ends_with("}\n"));
+    }
+
+    #[test]
+    fn json_non_finite_floats_become_strings() {
+        assert_eq!(JsonValue::f64(f64::NAN).render(), "\"NaN\"\n");
+        assert_eq!(JsonValue::f64(f64::INFINITY).render(), "\"inf\"\n");
+    }
+
+    #[test]
+    fn table_to_json_keeps_title_header_rows() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let json = t.to_json().render();
+        assert!(json.contains("\"title\": \"demo\""));
+        assert!(json.contains("\"header\""));
+        assert!(json.contains("\"rows\""));
+        assert!(json.contains("\"1\""));
+    }
+
+    #[test]
+    fn span_tree_serialization_matches_trace_shape() {
+        let (_, trace) = qd_obs::with_recorder(|| {
+            qd_obs::span_indexed("phase", 3, || {
+                qd_obs::count("work.items", 2);
+            });
+        });
+        let json = span_to_json(&trace.root).render();
+        assert!(json.contains("\"name\": \"root\""));
+        assert!(json.contains("\"name\": \"phase\""));
+        assert!(json.contains("\"index\": 3"));
+        assert!(json.contains("\"work.items\": 2"));
+        let counters = counters_to_json(&trace.counters).render();
+        assert!(counters.contains("\"work.items\": 2"));
     }
 }

@@ -102,8 +102,11 @@ pub(crate) fn feedback_loop(
 }
 
 /// Brute-force top-`k` scan under an arbitrary scoring function
-/// (ascending score = more similar). Shared by all baselines.
+/// (ascending score = more similar). Shared by all baselines, which makes
+/// it the single counting point for `baseline.distance_computations`: one
+/// candidate scoring per database image per scan, whatever the technique.
 pub(crate) fn top_k_by(n: usize, k: usize, mut score: impl FnMut(usize) -> f32) -> Vec<usize> {
+    qd_obs::count(qd_obs::ctr::BASELINE_DISTANCE, n as u64);
     let mut scored: Vec<(f32, usize)> = (0..n).map(|id| (score(id), id)).collect();
     scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     scored.into_iter().take(k).map(|(_, id)| id).collect()

@@ -105,8 +105,10 @@ fn retrieve(
             // round-robin fill below sees the same lists as a serial run.
             let work: Vec<(&[Vec<f32>], &Vec<f32>)> =
                 channels.iter().copied().zip(&query_points).collect();
-            let ranked: Vec<Vec<usize>> = qd_runtime::par_map(&work, |&(feats, qp)| {
-                top_k_by(n, k, |id| euclidean(&feats[id], qp))
+            let ranked: Vec<Vec<usize>> = qd_runtime::par_map_indexed(&work, |ch, &(feats, qp)| {
+                qd_obs::span_indexed(qd_obs::sp::MV_VIEWPOINT, ch as u64, || {
+                    top_k_by(n, k, |id| euclidean(&feats[id], qp))
+                })
             });
             let mut out = Vec::with_capacity(k);
             let mut taken = std::collections::HashSet::with_capacity(k);

@@ -262,6 +262,8 @@ pub fn submit_with_retry(
         if qd_fault::fire(qd_fault::site::CLIENT_TRANSPORT).is_some() {
             last_error = format!("transport send failed (attempt {attempt})");
             backoff_units += 1u64 << (attempt - 1);
+            qd_obs::count(qd_obs::ctr::CLIENT_RETRIES, 1);
+            qd_obs::count(qd_obs::ctr::CLIENT_BACKOFF_UNITS, 1u64 << (attempt - 1));
             continue;
         }
         let (query, corrupted) = match qd_fault::fire(qd_fault::site::CLIENT_MARK_CORRUPT) {
@@ -279,6 +281,8 @@ pub fn submit_with_retry(
             Err(e) if corrupted => {
                 last_error = format!("server rejected corrupted payload: {e}");
                 backoff_units += 1u64 << (attempt - 1);
+                qd_obs::count(qd_obs::ctr::CLIENT_RETRIES, 1);
+                qd_obs::count(qd_obs::ctr::CLIENT_BACKOFF_UNITS, 1u64 << (attempt - 1));
             }
             Err(e) => return Err(e),
         }

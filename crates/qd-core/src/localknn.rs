@@ -79,7 +79,10 @@ pub fn resolve_scope(
             break;
         }
         match tree.parent(scope) {
-            Some(parent) => scope = parent,
+            Some(parent) => {
+                qd_obs::count(qd_obs::ctr::KNN_ESCALATIONS, 1);
+                scope = parent;
+            }
             None => break,
         }
     }
@@ -145,7 +148,10 @@ pub fn try_run_local_query(
     let mut scope = resolve_scope(tree, query.home, &query_features, threshold);
     while tree.subtree_len(scope) < min_pool {
         match tree.parent(scope) {
-            Some(parent) => scope = parent,
+            Some(parent) => {
+                qd_obs::count(qd_obs::ctr::KNN_ESCALATIONS, 1);
+                scope = parent;
+            }
             None => break,
         }
     }
@@ -155,6 +161,10 @@ pub fn try_run_local_query(
     match weights {
         None => {
             let b = tree.knn_in_budgeted(scope, &multipoint, fetch, budget);
+            qd_obs::count(qd_obs::ctr::KNN_DISTANCE, b.distance_computations);
+            qd_obs::count(qd_obs::ctr::KNN_FRONTIER, b.accesses);
+            qd_obs::count(qd_obs::ctr::KNN_NODES_SKIPPED, b.nodes_skipped);
+            qd_obs::count(qd_obs::ctr::KNN_BUDGET_EXHAUSTED, u64::from(b.exhausted));
             Ok(LocalResult {
                 home: query.home,
                 scope,
@@ -179,6 +189,9 @@ pub fn try_run_local_query(
                 None => items.len(),
             };
             let skipped = (items.len() - allowed) as u64;
+            qd_obs::count(qd_obs::ctr::KNN_DISTANCE, allowed as u64);
+            qd_obs::count(qd_obs::ctr::KNN_NODES_SKIPPED, skipped);
+            qd_obs::count(qd_obs::ctr::KNN_BUDGET_EXHAUSTED, u64::from(skipped > 0));
             let mut scored: Vec<Neighbor> = items
                 .into_iter()
                 .take(allowed)

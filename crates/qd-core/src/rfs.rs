@@ -115,6 +115,12 @@ impl RfsStructure {
     /// # Panics
     /// Panics if `features` is empty or rows differ in length.
     pub fn build(features: &[Vec<f32>], config: &RfsConfig) -> Self {
+        qd_obs::span(qd_obs::sp::RFS_BUILD, || {
+            Self::build_inner(features, config)
+        })
+    }
+
+    fn build_inner(features: &[Vec<f32>], config: &RfsConfig) -> Self {
         assert!(!features.is_empty(), "cannot build an RFS over no images");
         let dims = features[0].len();
         let tree_config = TreeConfig {
@@ -137,6 +143,7 @@ impl RfsStructure {
             }
             t
         };
+        qd_obs::count(qd_obs::ctr::RFS_NODES_CREATED, tree.node_count() as u64);
 
         let mut leaf_of = BTreeMap::new();
         for n in tree.node_ids() {
@@ -196,40 +203,44 @@ impl RfsStructure {
             // failpoint, keyed by stable node index) is isolated by
             // `par_try_map`; the node falls back to a deterministic prefix of
             // its pool rather than aborting the whole build.
-            let selected = qd_runtime::par_try_map(&nodes, |&n| {
-                if qd_fault::fire_keyed(qd_fault::site::RFS_SELECT_PANIC, n.index() as u64)
-                    .is_some()
-                {
-                    panic!(
-                        "injected fault: representative selection for node {}",
-                        n.index()
-                    );
-                }
-                let pool = pool_of(n);
-                if pool.is_empty() {
-                    return Vec::new();
-                }
-                let target = target_of(pool.len());
-                if target == pool.len() {
-                    pool.clone()
-                } else if config.kmeans_representatives {
-                    let pool_features: Vec<&[f32]> =
-                        pool.iter().map(|&id| features[id].as_slice()).collect();
-                    let fit = KMeans::new(target)
-                        .with_seed(config.seed ^ (n.index() as u64) << 1)
-                        .fit(&pool_features);
-                    fit.medoid_indices(&pool_features)
-                        .into_iter()
-                        .map(|i| pool[i])
-                        .collect()
-                } else {
-                    let mut rng =
-                        StdRng::seed_from_u64(config.seed ^ ((n.index() as u64) << 1 | 1));
-                    let mut shuffled = pool.clone();
-                    shuffled.shuffle(&mut rng);
-                    shuffled.truncate(target);
-                    shuffled
-                }
+            let selected = qd_obs::span_indexed(qd_obs::sp::RFS_LEVEL, u64::from(level), || {
+                qd_runtime::par_try_map(&nodes, |&n| {
+                    if qd_fault::fire_keyed(qd_fault::site::RFS_SELECT_PANIC, n.index() as u64)
+                        .is_some()
+                    {
+                        panic!(
+                            "injected fault: representative selection for node {}",
+                            n.index()
+                        );
+                    }
+                    let pool = pool_of(n);
+                    if pool.is_empty() {
+                        return Vec::new();
+                    }
+                    qd_obs::count(qd_obs::ctr::RFS_SELECTIONS, 1);
+                    let target = target_of(pool.len());
+                    if target == pool.len() {
+                        pool.clone()
+                    } else if config.kmeans_representatives {
+                        let pool_features: Vec<&[f32]> =
+                            pool.iter().map(|&id| features[id].as_slice()).collect();
+                        let fit = KMeans::new(target)
+                            .with_seed(config.seed ^ (n.index() as u64) << 1)
+                            .fit(&pool_features);
+                        qd_obs::count(qd_obs::ctr::RFS_KMEANS_ITERATIONS, fit.iterations as u64);
+                        fit.medoid_indices(&pool_features)
+                            .into_iter()
+                            .map(|i| pool[i])
+                            .collect()
+                    } else {
+                        let mut rng =
+                            StdRng::seed_from_u64(config.seed ^ ((n.index() as u64) << 1 | 1));
+                        let mut shuffled = pool.clone();
+                        shuffled.shuffle(&mut rng);
+                        shuffled.truncate(target);
+                        shuffled
+                    }
+                })
             });
             let final_selections: Vec<Vec<usize>> = nodes
                 .iter()

@@ -177,47 +177,54 @@ pub fn run_feedback_rounds(
         let round_start = Instant::now();
         let is_final = round == cfg.rounds;
         let mut next_active: Vec<NodeId> = Vec::new();
-        for &node in &active {
-            // Failpoint: the display read for this node fails. Keyed by the
-            // node's stable index (not an invocation counter), so the same
-            // node is "broken" regardless of round order or thread count.
-            if qd_fault::fire_keyed(qd_fault::site::SESSION_ROUND_DISPLAY, node.index() as u64)
-                .is_some()
-            {
-                displays_skipped += 1;
-                continue;
-            }
-            // Displaying a node's representatives reads exactly that node.
-            feedback_accesses += 1;
-            let mut shown: Vec<usize> = hierarchy.representatives(node).to_vec();
-            shown.shuffle(&mut rng); // the GUI's "Random" browsing order
-            let marked = user.mark_relevant(&shown, labels);
-            if marked.is_empty() {
-                continue; // irrelevant subquery: discarded
-            }
-            relevant_seen.extend_from_slice(&marked);
+        qd_obs::span_indexed(qd_obs::sp::ROUND, round as u64, || {
+            for &node in &active {
+                // Failpoint: the display read for this node fails. Keyed by
+                // the node's stable index (not an invocation counter), so the
+                // same node is "broken" regardless of round order or thread
+                // count.
+                if qd_fault::fire_keyed(qd_fault::site::SESSION_ROUND_DISPLAY, node.index() as u64)
+                    .is_some()
+                {
+                    displays_skipped += 1;
+                    continue;
+                }
+                // Displaying a node's representatives reads exactly that node.
+                feedback_accesses += 1;
+                qd_obs::count(qd_obs::ctr::SESSION_NODES_VISITED, 1);
+                let mut shown: Vec<usize> = hierarchy.representatives(node).to_vec();
+                shown.shuffle(&mut rng); // the GUI's "Random" browsing order
+                qd_obs::count(qd_obs::ctr::SESSION_DISPLAYS, shown.len() as u64);
+                let marked = user.mark_relevant(&shown, labels);
+                qd_obs::count(qd_obs::ctr::SESSION_MARKS, marked.len() as u64);
+                if marked.is_empty() {
+                    continue; // irrelevant subquery: discarded
+                }
+                relevant_seen.extend_from_slice(&marked);
 
-            if is_final {
-                final_marks.entry(node).or_default().extend(marked);
-            } else {
-                // Split: one subquery per child cluster a marked
-                // representative traces to. Leaves cannot split further and
-                // stay active with their marks carried into the final round.
-                if hierarchy.is_leaf(node) {
-                    if !next_active.contains(&node) {
-                        next_active.push(node);
-                    }
+                if is_final {
+                    final_marks.entry(node).or_default().extend(marked);
                 } else {
-                    for &rep in &marked {
-                        if let Some(child) = hierarchy.child_containing(node, rep) {
-                            if !next_active.contains(&child) {
-                                next_active.push(child);
+                    // Split: one subquery per child cluster a marked
+                    // representative traces to. Leaves cannot split further
+                    // and stay active with their marks carried into the
+                    // final round.
+                    if hierarchy.is_leaf(node) {
+                        if !next_active.contains(&node) {
+                            next_active.push(node);
+                        }
+                    } else {
+                        for &rep in &marked {
+                            if let Some(child) = hierarchy.child_containing(node, rep) {
+                                if !next_active.contains(&child) {
+                                    next_active.push(child);
+                                }
                             }
                         }
                     }
                 }
             }
-        }
+        });
 
         round_durations.push(round_start.elapsed());
         relevant_snapshots.push(relevant_seen.clone());
@@ -400,28 +407,40 @@ pub fn try_execute_subqueries(
         .zip(budgets)
         .map(|((s, q), b)| (s, q, b))
         .collect();
-    let attempts = qd_runtime::par_try_map_indexed(&work, |i, &(support, quota, budget)| {
-        if qd_fault::fire_keyed(qd_fault::site::SESSION_SUBQUERY_PANIC, i as u64).is_some() {
-            panic!("injected fault: subquery {i} worker");
-        }
-        let (home, marks) = &subqueries[i];
-        let fetch = quota + (quota / 2).max(5);
-        let lq = LocalQuery {
-            home: *home,
-            query_points: marks.clone(),
-        };
-        let mut result = try_run_local_query(
-            tree,
-            corpus.features(),
-            &lq,
-            cfg.boundary_threshold,
-            fetch,
-            quota,
-            cfg.feature_weights.as_deref(),
-            budget,
-        )?;
-        result.support = support;
-        Ok::<_, QdError>(result)
+    // The whole fan-out runs under a measured span: the same `qd_obs`
+    // counters that feed external traces also produce the authoritative
+    // cost accounting below (`measured` installs a temporary recorder when
+    // none is active, so the accounting is identical either way). The
+    // subquery failpoint fires *after* the local k-NN so a dropped
+    // subquery's distance work is already recorded — the degradation report
+    // charges work performed, not work kept.
+    let (attempts, final_counters) = qd_obs::measured(qd_obs::sp::SESSION_FINAL, || {
+        qd_runtime::par_try_map_indexed(&work, |i, &(support, quota, budget)| {
+            qd_obs::span_indexed(qd_obs::sp::SUBQUERY, i as u64, || {
+                let (home, marks) = &subqueries[i];
+                let fetch = quota + (quota / 2).max(5);
+                let lq = LocalQuery {
+                    home: *home,
+                    query_points: marks.clone(),
+                };
+                let mut result = try_run_local_query(
+                    tree,
+                    corpus.features(),
+                    &lq,
+                    cfg.boundary_threshold,
+                    fetch,
+                    quota,
+                    cfg.feature_weights.as_deref(),
+                    budget,
+                )?;
+                if qd_fault::fire_keyed(qd_fault::site::SESSION_SUBQUERY_PANIC, i as u64).is_some()
+                {
+                    panic!("injected fault: subquery {i} worker");
+                }
+                result.support = support;
+                Ok::<_, QdError>(result)
+            })
+        })
     });
 
     let mut locals = Vec::with_capacity(attempts.len());
@@ -441,9 +460,13 @@ pub fn try_execute_subqueries(
     }
 
     let knn_accesses = locals.iter().map(|l| l.accesses).sum();
-    let budget_spent: u64 = locals.iter().map(|l| l.distance_computations).sum();
-    let nodes_skipped: u64 = locals.iter().map(|l| l.nodes_skipped).sum();
-    let exhausted = locals.iter().any(|l| l.exhausted);
+    // Degradation accounting comes from the measured counters, not from the
+    // surviving `locals` — so distance work done by a subquery that was
+    // subsequently dropped still shows up in the report.
+    let counter = |name: &str| final_counters.get(name).copied().unwrap_or(0);
+    let budget_spent = counter(qd_obs::ctr::KNN_DISTANCE);
+    let nodes_skipped = counter(qd_obs::ctr::KNN_NODES_SKIPPED);
+    let exhausted = counter(qd_obs::ctr::KNN_BUDGET_EXHAUSTED) > 0;
     let degradation = (subqueries_dropped > 0 || exhausted).then_some(Degradation {
         budget_spent,
         nodes_skipped,

@@ -1,0 +1,611 @@
+#![warn(missing_docs)]
+
+//! Deterministic observability: named counters and hierarchical spans for
+//! the Query Decomposition engine (DESIGN.md §10).
+//!
+//! The paper reports retrieval cost in hardware-independent units — node
+//! reads and distance computations (§5.2.2, Figures 12–14) — and so does
+//! this crate: a [`with_recorder`] scope collects a [`Trace`] (a counter
+//! map plus a span tree) whose bytes depend only on the work performed,
+//! never on wall-clock time, scheduling order, or `QD_THREADS`.
+//!
+//! The design mirrors the `qd-fault` thread-local plan pattern:
+//!
+//! - State is **thread-local**. [`with_recorder`] installs a fresh recorder
+//!   on the current thread, runs a closure, and returns its trace;
+//!   instrumented code calls [`count`] and [`span`] unconditionally.
+//! - **Zero cost when disabled**: with no recorder installed every hook is
+//!   a single thread-local check. Instrumentation must never perturb
+//!   results — that contract is pinned by the overhead-guard golden test.
+//! - **Deterministic across threads**: a parallel executor captures the
+//!   caller's [`current`] handle once, wraps each task in [`observe_task`]
+//!   (which installs a *fresh* recorder per task, so workers never contend
+//!   on shared state), and [`absorb`]s the per-task traces back into the
+//!   caller **in input order** after the join. The merged trace is
+//!   byte-identical to the one a sequential run records directly.
+//!
+//! Counter and span names are `&'static str` constants in [`ctr`] and
+//! [`sp`] — qd-analyze rule R8 rejects string literals at call sites, so
+//! every site is listed in the catalogs.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The counter catalog: every named counter the engine increments.
+pub mod ctr {
+    /// RFS nodes whose representatives were displayed during feedback.
+    pub const SESSION_NODES_VISITED: &str = "session.nodes_visited";
+    /// Representative displays generated across feedback rounds.
+    pub const SESSION_DISPLAYS: &str = "session.displays_generated";
+    /// User relevance marks consumed across feedback rounds.
+    pub const SESSION_MARKS: &str = "session.marks_consumed";
+    /// Distance evaluations performed by localized k-NN (the anytime
+    /// budget's cost unit; `Degradation.budget_spent` derives from this).
+    pub const KNN_DISTANCE: &str = "knn.distance_computations";
+    /// Index frontier expansions (node reads) performed by localized k-NN.
+    pub const KNN_FRONTIER: &str = "knn.frontier_expansions";
+    /// Boundary-ratio scope escalations from a home node toward the root.
+    pub const KNN_ESCALATIONS: &str = "knn.scope_escalations";
+    /// Frontier nodes (or weighted-scan items) skipped by budget exhaustion.
+    pub const KNN_NODES_SKIPPED: &str = "knn.nodes_skipped";
+    /// Localized k-NN runs whose distance budget ran dry.
+    pub const KNN_BUDGET_EXHAUSTED: &str = "knn.budget_exhaustions";
+    /// Nodes created while building the RFS structure.
+    pub const RFS_NODES_CREATED: &str = "rfs.nodes_created";
+    /// k-means iterations spent selecting representatives.
+    pub const RFS_KMEANS_ITERATIONS: &str = "rfs.kmeans_iterations";
+    /// Nodes whose representative set was selected.
+    pub const RFS_SELECTIONS: &str = "rfs.representative_selections";
+    /// Candidate scorings performed by the baseline retrievers
+    /// (MV/QPM/MPQ/Qcluster all retrieve through the same full scan).
+    pub const BASELINE_DISTANCE: &str = "baseline.distance_computations";
+    /// Client submissions retried after a transport fault or rejection.
+    pub const CLIENT_RETRIES: &str = "client.retries";
+    /// Exponential-backoff units accumulated across client retries.
+    pub const CLIENT_BACKOFF_UNITS: &str = "client.backoff_units";
+
+    /// Every counter with a one-line description, for CLI/report listings.
+    pub const COUNTERS: &[(&str, &str)] = &[
+        (
+            SESSION_NODES_VISITED,
+            "RFS nodes whose representatives were displayed",
+        ),
+        (SESSION_DISPLAYS, "representative displays generated"),
+        (SESSION_MARKS, "user relevance marks consumed"),
+        (KNN_DISTANCE, "localized k-NN distance evaluations"),
+        (
+            KNN_FRONTIER,
+            "localized k-NN frontier expansions (node reads)",
+        ),
+        (KNN_ESCALATIONS, "boundary-ratio scope escalations"),
+        (
+            KNN_NODES_SKIPPED,
+            "frontier nodes skipped on budget exhaustion",
+        ),
+        (
+            KNN_BUDGET_EXHAUSTED,
+            "k-NN runs that exhausted their budget",
+        ),
+        (RFS_NODES_CREATED, "RFS nodes created at build time"),
+        (RFS_KMEANS_ITERATIONS, "k-means iterations during build"),
+        (RFS_SELECTIONS, "representative sets selected"),
+        (BASELINE_DISTANCE, "baseline candidate scorings"),
+        (CLIENT_RETRIES, "client submissions retried"),
+        (CLIENT_BACKOFF_UNITS, "client backoff units accumulated"),
+    ];
+}
+
+/// The span catalog: every named region of the span tree.
+pub mod sp {
+    /// One feedback round (indexed by 1-based round number).
+    pub const ROUND: &str = "session.round";
+    /// The final localized k-NN fan-out and merge.
+    pub const SESSION_FINAL: &str = "session.final";
+    /// One localized subquery (indexed by subquery position).
+    pub const SUBQUERY: &str = "session.subquery";
+    /// RFS structure construction.
+    pub const RFS_BUILD: &str = "rfs.build";
+    /// One RFS level's representative selection (indexed by level).
+    pub const RFS_LEVEL: &str = "rfs.level";
+    /// One MV viewpoint channel's retrieval (indexed by channel).
+    pub const MV_VIEWPOINT: &str = "mv.viewpoint";
+    /// One benchmark query's full session (indexed by query position).
+    pub const BENCH_QUERY: &str = "bench.query";
+
+    /// Every span with a one-line description, for CLI/report listings.
+    pub const SPANS: &[(&str, &str)] = &[
+        (ROUND, "one feedback round"),
+        (SESSION_FINAL, "final localized k-NN fan-out and merge"),
+        (SUBQUERY, "one localized subquery"),
+        (RFS_BUILD, "RFS structure construction"),
+        (RFS_LEVEL, "one RFS level's representative selection"),
+        (MV_VIEWPOINT, "one MV viewpoint channel retrieval"),
+        (BENCH_QUERY, "one benchmark query session"),
+    ];
+}
+
+/// One node of the span tree: a named (optionally indexed) region with the
+/// counters recorded directly inside it and its child spans in execution
+/// order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Span {
+    /// Span name (a [`sp`] constant at every instrumented site).
+    pub name: String,
+    /// Optional stable index (round number, subquery position, …).
+    pub index: Option<u64>,
+    /// Counter deltas recorded while this span was innermost.
+    pub counters: BTreeMap<String, u64>,
+    /// Child spans, in the order they closed.
+    pub children: Vec<Span>,
+}
+
+impl Span {
+    fn new(name: &str, index: Option<u64>) -> Self {
+        Span {
+            name: name.to_string(),
+            index,
+            ..Span::default()
+        }
+    }
+
+    /// The subtree-inclusive counter sum: this span's own counters plus
+    /// every descendant's.
+    pub fn inclusive_counters(&self) -> BTreeMap<String, u64> {
+        let mut total = self.counters.clone();
+        for child in &self.children {
+            for (name, value) in child.inclusive_counters() {
+                *total.entry(name).or_default() += value;
+            }
+        }
+        total
+    }
+
+    /// Depth-first search for descendants (including `self`) named `name`.
+    pub fn find_all<'a>(&'a self, name: &str, out: &mut Vec<&'a Span>) {
+        if self.name == name {
+            out.push(self);
+        }
+        for child in &self.children {
+            child.find_all(name, out);
+        }
+    }
+
+    fn render_into(&self, s: &mut String, depth: usize) {
+        for _ in 0..depth {
+            s.push_str("  ");
+        }
+        s.push_str(&self.name);
+        if let Some(i) = self.index {
+            let _ = write!(s, "#{i}");
+        }
+        if !self.counters.is_empty() {
+            s.push_str(" [");
+            for (i, (name, value)) in self.counters.iter().enumerate() {
+                if i > 0 {
+                    s.push(' ');
+                }
+                let _ = write!(s, "{name}={value}");
+            }
+            s.push(']');
+        }
+        s.push('\n');
+        for child in &self.children {
+            child.render_into(s, depth + 1);
+        }
+    }
+}
+
+/// Everything one [`with_recorder`] scope observed: the totals ledger and
+/// the span tree. Two traces of the same work are `==` and render to the
+/// same bytes regardless of thread count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// Total per-counter sums over the whole scope. Always equal to
+    /// `root.inclusive_counters()`.
+    pub counters: BTreeMap<String, u64>,
+    /// The hierarchical span tree (the root span is the scope itself).
+    pub root: Span,
+}
+
+impl Trace {
+    /// Deterministic pretty-printer: the counter ledger followed by the
+    /// indented span tree (what `qd trace` prints).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str("counters:\n");
+        for (name, value) in &self.counters {
+            let _ = writeln!(s, "  {name} = {value}");
+        }
+        s.push_str("spans:\n");
+        self.root.render_into(&mut s, 1);
+        s
+    }
+
+    /// All spans named `name`, depth-first.
+    pub fn spans_named(&self, name: &str) -> Vec<&Span> {
+        let mut out = Vec::new();
+        self.root.find_all(name, &mut out);
+        out
+    }
+}
+
+/// The live recorder: a totals ledger plus the stack of open spans
+/// (`stack[0]` is the scope's root span and is never popped).
+struct RecorderState {
+    totals: BTreeMap<String, u64>,
+    stack: Vec<Span>,
+}
+
+impl RecorderState {
+    fn new() -> Self {
+        RecorderState {
+            totals: BTreeMap::new(),
+            stack: vec![Span::new("root", None)],
+        }
+    }
+
+    fn into_trace(mut self) -> Trace {
+        // Fold any spans left open (an unwound caller) into their parents
+        // so the trace stays a well-formed tree.
+        while self.stack.len() > 1 {
+            let open = match self.stack.pop() {
+                Some(span) => span,
+                None => break,
+            };
+            if let Some(parent) = self.stack.last_mut() {
+                parent.children.push(open);
+            }
+        }
+        let root = self.stack.pop().unwrap_or_default();
+        Trace {
+            counters: self.totals,
+            root,
+        }
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<RecorderState>> = const { RefCell::new(None) };
+}
+
+/// Restores the previously-installed recorder (possibly none) when a
+/// [`with_recorder`] scope exits, even by panic.
+struct Restore(Option<RecorderState>);
+
+impl Drop for Restore {
+    fn drop(&mut self) {
+        let prev = self.0.take();
+        CURRENT.with(|c| *c.borrow_mut() = prev);
+    }
+}
+
+/// True when a recorder is installed on this thread — the single check
+/// every disabled-path hook performs.
+pub fn enabled() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+/// Installs a fresh recorder on this thread, runs `f`, and returns its
+/// result together with the recorded [`Trace`]. Nests: an inner scope
+/// shadows the outer recorder and restores it on exit (the inner trace is
+/// *not* auto-absorbed — pass it to [`absorb`] if the outer scope should
+/// see it). If `f` panics the previous recorder is restored and the
+/// partial trace is discarded with the unwind.
+pub fn with_recorder<R>(f: impl FnOnce() -> R) -> (R, Trace) {
+    let prev = CURRENT.with(|c| c.borrow_mut().replace(RecorderState::new()));
+    let restore = Restore(prev);
+    let value = f();
+    let state = CURRENT.with(|c| c.borrow_mut().take());
+    drop(restore);
+    let trace = state.map(RecorderState::into_trace).unwrap_or_default();
+    (value, trace)
+}
+
+/// Adds `delta` to the named counter: once in the scope's totals ledger
+/// and once in the innermost open span. No-op without a recorder.
+pub fn count(name: &str, delta: u64) {
+    if delta == 0 {
+        return;
+    }
+    CURRENT.with(|c| {
+        let mut cur = c.borrow_mut();
+        let Some(state) = cur.as_mut() else { return };
+        *state.totals.entry(name.to_string()).or_default() += delta;
+        if let Some(open) = state.stack.last_mut() {
+            *open.counters.entry(name.to_string()).or_default() += delta;
+        }
+    });
+}
+
+/// Pops the span this guard opened and appends it to its parent — on
+/// normal exit *and* on unwind, so counts recorded before a caught panic
+/// survive in the trace.
+struct SpanGuard;
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| {
+            let mut cur = c.borrow_mut();
+            let Some(state) = cur.as_mut() else { return };
+            if state.stack.len() < 2 {
+                return; // never pop the root span
+            }
+            if let Some(done) = state.stack.pop() {
+                if let Some(parent) = state.stack.last_mut() {
+                    parent.children.push(done);
+                }
+            }
+        });
+    }
+}
+
+fn span_inner<R>(name: &str, index: Option<u64>, f: impl FnOnce() -> R) -> R {
+    let pushed = CURRENT.with(|c| {
+        let mut cur = c.borrow_mut();
+        match cur.as_mut() {
+            Some(state) => {
+                state.stack.push(Span::new(name, index));
+                true
+            }
+            None => false,
+        }
+    });
+    if !pushed {
+        return f();
+    }
+    let _guard = SpanGuard;
+    f()
+}
+
+/// Runs `f` inside a named span. Without a recorder this is a plain call.
+pub fn span<R>(name: &str, f: impl FnOnce() -> R) -> R {
+    span_inner(name, None, f)
+}
+
+/// Runs `f` inside a named span carrying a stable index (round number,
+/// subquery position, …). Without a recorder this is a plain call.
+pub fn span_indexed<R>(name: &str, index: u64, f: impl FnOnce() -> R) -> R {
+    span_inner(name, Some(index), f)
+}
+
+/// An opaque marker that a recorder was installed on the capturing thread.
+/// Carried (not the state itself — workers never share it) across a
+/// parallel fan-out so each task knows whether to observe itself.
+#[derive(Debug, Clone, Copy)]
+pub struct ObsHandle(());
+
+/// The fan-out handle for the recorder installed on this thread, if any.
+/// A parallel executor captures this once before spawning workers.
+pub fn current() -> Option<ObsHandle> {
+    enabled().then_some(ObsHandle(()))
+}
+
+/// Runs one fan-out task under a *fresh* recorder when the capturing
+/// thread had one (`handle` is `Some`), returning the task's private
+/// trace; otherwise runs `f` bare at zero cost. The executor passes the
+/// returned traces to [`absorb`] on the calling thread **in input order**,
+/// which makes the merged trace byte-identical to a sequential run.
+pub fn observe_task<R>(handle: &Option<ObsHandle>, f: impl FnOnce() -> R) -> (R, Option<Trace>) {
+    match handle {
+        None => (f(), None),
+        Some(_) => {
+            let (value, trace) = with_recorder(f);
+            (value, Some(trace))
+        }
+    }
+}
+
+/// Merges a task's trace into this thread's recorder: totals add into the
+/// ledger, the task's root-level counters add into the innermost open
+/// span, and the task's child spans graft on in order. No-op without a
+/// recorder.
+pub fn absorb(trace: Trace) {
+    CURRENT.with(|c| {
+        let mut cur = c.borrow_mut();
+        let Some(state) = cur.as_mut() else { return };
+        for (name, value) in trace.counters {
+            *state.totals.entry(name).or_default() += value;
+        }
+        if let Some(open) = state.stack.last_mut() {
+            for (name, value) in trace.root.counters {
+                *open.counters.entry(name).or_default() += value;
+            }
+            open.children.extend(trace.root.children);
+        }
+    });
+}
+
+/// Runs `f` inside a named span and returns the subtree-inclusive counter
+/// sums it recorded. With a recorder installed this is exactly
+/// [`span`]`(name, f)` plus a read of the closed span; without one, a
+/// temporary recorder measures `f` invisibly. Either way the returned map
+/// is identical — this is how serving code derives authoritative
+/// accounting (e.g. `Degradation.budget_spent`) from the same counters
+/// observability reports, at zero marginal cost per counted event.
+pub fn measured<R>(name: &str, f: impl FnOnce() -> R) -> (R, BTreeMap<String, u64>) {
+    if enabled() {
+        let value = span_inner(name, None, f);
+        let counters = CURRENT.with(|c| {
+            let cur = c.borrow();
+            cur.as_ref()
+                .and_then(|state| state.stack.last())
+                .and_then(|open| open.children.last())
+                .map(Span::inclusive_counters)
+                .unwrap_or_default()
+        });
+        (value, counters)
+    } else {
+        let (value, trace) = with_recorder(f);
+        (value, trace.counters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_hooks_are_inert() {
+        assert!(!enabled());
+        assert!(current().is_none());
+        count("x", 5); // no recorder: silently dropped
+        let v = span("s", || 42);
+        assert_eq!(v, 42);
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn counters_land_in_totals_and_innermost_span() {
+        let ((), trace) = with_recorder(|| {
+            count("a", 1);
+            span("outer", || {
+                count("a", 2);
+                span_indexed("inner", 7, || count("b", 3));
+            });
+        });
+        assert_eq!(trace.counters["a"], 3);
+        assert_eq!(trace.counters["b"], 3);
+        assert_eq!(trace.root.counters["a"], 1);
+        let outer = &trace.root.children[0];
+        assert_eq!(outer.name, "outer");
+        assert_eq!(outer.counters["a"], 2);
+        let inner = &outer.children[0];
+        assert_eq!(inner.index, Some(7));
+        assert_eq!(inner.counters["b"], 3);
+        // Totals always equal the root's inclusive sum.
+        assert_eq!(trace.counters, trace.root.inclusive_counters());
+    }
+
+    #[test]
+    fn zero_deltas_leave_no_entries() {
+        let ((), trace) = with_recorder(|| count("a", 0));
+        assert!(trace.counters.is_empty());
+    }
+
+    #[test]
+    fn span_guard_survives_caught_panics() {
+        let ((), trace) = with_recorder(|| {
+            let caught = std::panic::catch_unwind(|| {
+                span("doomed", || {
+                    count("pre", 1);
+                    panic!("boom");
+                })
+            });
+            assert!(caught.is_err());
+            count("post", 1);
+        });
+        // The unwound span closed into the tree with its pre-panic counts.
+        assert_eq!(trace.root.children[0].name, "doomed");
+        assert_eq!(trace.root.children[0].counters["pre"], 1);
+        assert_eq!(trace.counters["pre"], 1);
+        assert_eq!(trace.counters["post"], 1);
+    }
+
+    #[test]
+    fn nested_recorders_shadow_and_restore() {
+        let ((), outer) = with_recorder(|| {
+            count("o", 1);
+            let ((), inner) = with_recorder(|| count("i", 9));
+            assert_eq!(inner.counters["i"], 9);
+            assert!(!inner.counters.contains_key("o"));
+            count("o", 1);
+        });
+        assert_eq!(outer.counters["o"], 2);
+        assert!(!outer.counters.contains_key("i"));
+    }
+
+    #[test]
+    fn observe_and_absorb_match_direct_recording() {
+        // Sequential reference: tasks record straight into the recorder.
+        let work = |task: u64| {
+            span_indexed("task", task, || {
+                count("work", task + 1);
+            })
+        };
+        let ((), direct) = with_recorder(|| {
+            span("batch", || (0..4).for_each(work));
+        });
+
+        // Fan-out shape: fresh recorder per task, absorbed in input order.
+        let ((), merged) = with_recorder(|| {
+            span("batch", || {
+                let handle = current();
+                let traces: Vec<Trace> = (0..4)
+                    .map(|t| observe_task(&handle, || work(t)).1.expect("observed"))
+                    .collect();
+                traces.into_iter().for_each(absorb);
+            });
+        });
+        assert_eq!(direct, merged);
+        assert_eq!(direct.render(), merged.render());
+    }
+
+    #[test]
+    fn observe_task_without_handle_is_bare() {
+        let (v, trace) = observe_task(&None, || 5);
+        assert_eq!(v, 5);
+        assert!(trace.is_none());
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn measured_reports_identically_with_and_without_recorder() {
+        let work = || {
+            count("a", 2);
+            span("child", || count("b", 3));
+        };
+        let bare_counters = measured("m", work).1;
+        let (counters_inside, trace) = with_recorder(|| measured("m", work).1);
+        assert_eq!(bare_counters, counters_inside);
+        assert_eq!(bare_counters["a"], 2);
+        assert_eq!(bare_counters["b"], 3);
+        // Under a recorder the measured span is part of the outer trace.
+        assert_eq!(trace.root.children[0].name, "m");
+        assert_eq!(trace.counters["b"], 3);
+    }
+
+    #[test]
+    fn render_is_stable_and_readable() {
+        let ((), trace) = with_recorder(|| {
+            count("z.total", 1);
+            span_indexed("phase", 2, || {
+                count("a.work", 4);
+            });
+        });
+        let text = trace.render();
+        assert_eq!(
+            text,
+            "counters:\n  a.work = 4\n  z.total = 1\nspans:\n  root [z.total=1]\n    phase#2 [a.work=4]\n"
+        );
+    }
+
+    #[test]
+    fn spans_named_walks_the_tree() {
+        let ((), trace) = with_recorder(|| {
+            span("x", || span("y", || span("x", || count("c", 1))));
+        });
+        assert_eq!(trace.spans_named("x").len(), 2);
+        assert_eq!(trace.spans_named("y").len(), 1);
+        assert!(trace.spans_named("absent").is_empty());
+    }
+
+    #[test]
+    fn catalogs_are_wellformed() {
+        for catalog in [ctr::COUNTERS, sp::SPANS] {
+            let mut names: Vec<&str> = catalog.iter().map(|&(n, _)| n).collect();
+            let before = names.len();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), before, "duplicate catalog entry");
+            for (name, desc) in catalog {
+                assert!(!desc.is_empty());
+                assert!(
+                    name.chars()
+                        .all(|ch| ch.is_ascii_lowercase() || ch == '.' || ch == '_'),
+                    "bad name {name}"
+                );
+            }
+        }
+    }
+}

@@ -162,17 +162,21 @@ where
 
 /// Shared fan-out core: runs `task(i)` for `i in 0..n` on `workers` scoped
 /// threads (self-scheduling off an atomic counter) and returns the results in
-/// input order. Captures the caller's active fault plan, if any, and installs
-/// it in every worker so `qd_fault` failpoints keep firing — and stay
-/// deterministic via keyed tokens — across the thread boundary.
+/// input order. Captures the caller's active fault plan and observability
+/// recorder, if any: the plan is installed in every worker so `qd_fault`
+/// failpoints keep firing deterministically across the thread boundary, and
+/// each task runs under a *fresh* `qd_obs` recorder whose trace is absorbed
+/// back into the caller in input order after the join — so the merged trace
+/// is byte-identical to a sequential run at every worker count.
 fn scatter_gather<U, F>(n: usize, workers: usize, task: F) -> Vec<U>
 where
     U: Send,
     F: Fn(usize) -> U + Sync,
 {
     let plan = qd_fault::current();
+    let obs = qd_obs::current();
     let next = AtomicUsize::new(0);
-    let parts: Vec<Vec<(usize, U)>> = thread::scope(|s| {
+    let parts: Vec<Vec<(usize, U, Option<qd_obs::Trace>)>> = thread::scope(|s| {
         let next = &next;
         let task = &task;
         let handles: Vec<_> = (0..workers)
@@ -186,7 +190,8 @@ where
                             if i >= n {
                                 break;
                             }
-                            local.push((i, task(i)));
+                            let (value, trace) = qd_obs::observe_task(&obs, || task(i));
+                            local.push((i, value, trace));
                         }
                         local
                     })
@@ -199,17 +204,24 @@ where
             .collect()
     });
 
-    let mut out: Vec<Option<U>> = Vec::with_capacity(n);
+    let mut out: Vec<Option<(U, Option<qd_obs::Trace>)>> = Vec::with_capacity(n);
     out.resize_with(n, || None);
     for part in parts {
-        for (i, v) in part {
-            out[i] = Some(v);
+        for (i, v, t) in part {
+            out[i] = Some((v, t));
         }
     }
     out.into_iter()
         .enumerate()
         .map(|(i, slot)| match slot {
-            Some(v) => v,
+            Some((v, trace)) => {
+                // Input-order merge on the calling thread — the step that
+                // makes parallel traces byte-identical to sequential ones.
+                if let Some(trace) = trace {
+                    qd_obs::absorb(trace);
+                }
+                v
+            }
             None => unreachable!("index {i} scheduled exactly once"),
         })
         .collect()
@@ -343,6 +355,75 @@ mod tests {
             })
         };
         assert_eq!(run(1), run(8));
+    }
+
+    #[test]
+    fn traces_are_identical_across_worker_counts() {
+        let items: Vec<u64> = (0..40).collect();
+        let run = |workers| {
+            with_threads(workers, || {
+                qd_obs::with_recorder(|| {
+                    qd_obs::span("batch", || {
+                        par_map(&items, |&x| {
+                            qd_obs::span_indexed("item", x, || {
+                                qd_obs::count("work.units", x + 1);
+                                x * 2
+                            })
+                        })
+                    })
+                })
+            })
+        };
+        let (out1, trace1) = run(1);
+        let (out8, trace8) = run(8);
+        assert_eq!(out1, out8);
+        assert_eq!(trace1, trace8);
+        assert_eq!(trace1.render(), trace8.render());
+        assert_eq!(trace1.counters["work.units"], (1..=40).sum::<u64>());
+        // Item spans grafted in input order under the batch span.
+        let batch = &trace1.root.children[0];
+        assert_eq!(batch.children.len(), 40);
+        for (i, child) in batch.children.iter().enumerate() {
+            assert_eq!(child.index, Some(i as u64));
+        }
+    }
+
+    #[test]
+    fn panicking_tasks_keep_their_partial_traces() {
+        let items: Vec<u64> = (0..12).collect();
+        let run = |workers| {
+            with_threads(workers, || {
+                qd_obs::with_recorder(|| {
+                    par_try_map(&items, |&x| {
+                        qd_obs::count("before", 1);
+                        if x % 5 == 2 {
+                            panic!("injected {x}");
+                        }
+                        qd_obs::count("after", 1);
+                        x
+                    })
+                })
+            })
+        };
+        let (out1, trace1) = run(1);
+        let (out8, trace8) = run(8);
+        assert_eq!(out1, out8);
+        assert_eq!(trace1, trace8);
+        // Every task counted `before`, only survivors counted `after`.
+        assert_eq!(trace1.counters["before"], 12);
+        assert_eq!(trace1.counters["after"], 10);
+    }
+
+    #[test]
+    fn no_recorder_means_no_traces() {
+        let items: Vec<u64> = (0..8).collect();
+        let out = with_threads(4, || {
+            par_map(&items, |&x| {
+                assert!(!qd_obs::enabled(), "recorder must not leak into workers");
+                x
+            })
+        });
+        assert_eq!(out, items);
     }
 
     #[test]

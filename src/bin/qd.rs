@@ -5,6 +5,7 @@
 //! qd build-rfs    --corpus corpus.qdc --out rfs.qdr [--node-max N] [--rep-fraction F] [--bulk]
 //! qd stats        --corpus corpus.qdc [--rfs rfs.qdr]
 //! qd query        --corpus corpus.qdc --rfs rfs.qdr --query <name> [--k N] [--seed S] [--rounds N]
+//! qd trace        --corpus corpus.qdc --rfs rfs.qdr --query <name> [--k N] [--seed S] [--rounds N]
 //! qd list-queries --corpus corpus.qdc
 //! qd export       --corpus corpus.qdc --ids 0,17,42 --dir out/
 //! ```
@@ -12,6 +13,11 @@
 //! `query` runs a full QD session with the simulated oracle user (the CLI
 //! has no human in the loop; use `--example interactive` for that) and
 //! prints the grouped results plus precision/GTIR against ground truth.
+//!
+//! `trace` runs the same session under a `qd_obs` recorder and prints the
+//! deterministic execution trace instead: the session-wide counter totals
+//! followed by the span tree (feedback rounds, the final fan-out, one span
+//! per subquery). The same session always prints the same trace.
 
 use query_decomposition::core::eval::Baseline;
 use query_decomposition::corpus::cache;
@@ -23,7 +29,9 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
-        eprintln!("usage: qd <build-corpus|build-rfs|stats|query|list-queries|export> [options]");
+        eprintln!(
+            "usage: qd <build-corpus|build-rfs|stats|query|trace|list-queries|export> [options]"
+        );
         eprintln!("       see the module docs (or `src/bin/qd.rs`) for per-command options");
         return ExitCode::from(2);
     };
@@ -33,6 +41,7 @@ fn main() -> ExitCode {
         "build-rfs" => build_rfs(&opts),
         "stats" => stats(&opts),
         "query" => query(&opts),
+        "trace" => trace(&opts),
         "list-queries" => list_queries(&opts),
         "export" => export(&opts),
         other => Err(format!("unknown command {other:?}")),
@@ -212,7 +221,9 @@ fn list_queries(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn query(opts: &Options) -> Result<(), String> {
+/// Loads the corpus + RFS pair and resolves the named standard query —
+/// the shared front half of `query` and `trace`.
+fn load_session_inputs(opts: &Options) -> Result<(Corpus, RfsStructure, QuerySpec), String> {
     let corpus = load_corpus(opts)?;
     let rfs_path = opts.require("rfs")?;
     let rfs = RfsStructure::load(Path::new(rfs_path))
@@ -229,6 +240,11 @@ fn query(opts: &Options) -> Result<(), String> {
         .into_iter()
         .find(|q| q.name == name)
         .ok_or_else(|| format!("no standard query named {name:?} (see `qd list-queries`)"))?;
+    Ok((corpus, rfs, query))
+}
+
+fn query(opts: &Options) -> Result<(), String> {
+    let (corpus, rfs, query) = load_session_inputs(opts)?;
     let gt = corpus.ground_truth(&query).len();
     let k = opts.parse_or("k", gt)?;
     let seed = opts.parse_or("seed", 7u64)?;
@@ -297,6 +313,30 @@ fn query(opts: &Options) -> Result<(), String> {
             gtir(&corpus, &query, &b_out.results)
         );
     }
+    Ok(())
+}
+
+fn trace(opts: &Options) -> Result<(), String> {
+    let (corpus, rfs, query) = load_session_inputs(opts)?;
+    let gt = corpus.ground_truth(&query).len();
+    let k = opts.parse_or("k", gt)?;
+    let seed = opts.parse_or("seed", 7u64)?;
+    let cfg = QdConfig {
+        rounds: opts.parse_or("rounds", 3usize)?,
+        seed,
+        ..QdConfig::default()
+    };
+    let mut user = SimulatedUser::oracle(&query, seed);
+    let (out, trace) = query_decomposition::obs::with_recorder(|| {
+        run_session(&corpus, &rfs, &query, &mut user, k, &cfg)
+    });
+    println!(
+        "trace of query {:?} (seed {seed}, k = {k}): {} subqueries, {} results",
+        query.name,
+        out.subquery_count,
+        out.results.len()
+    );
+    print!("{}", trace.render());
     Ok(())
 }
 

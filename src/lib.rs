@@ -26,6 +26,7 @@
 //! | [`cluster`] | k-means / k-means++, silhouette, agglomerative |
 //! | [`corpus`] | synthetic Corel-style corpus + the 11 test queries |
 //! | [`core`] | RFS structure, QD sessions, baselines, metrics |
+//! | [`obs`] | deterministic observability: counters, spans, traces |
 //!
 //! ## Quickstart
 //!
@@ -62,6 +63,7 @@ pub use qd_features as features;
 pub use qd_imagery as imagery;
 pub use qd_index as index;
 pub use qd_linalg as linalg;
+pub use qd_obs as obs;
 
 /// The types most applications need.
 pub mod prelude {
