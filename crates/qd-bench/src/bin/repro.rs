@@ -23,7 +23,9 @@
 //! span_tree}). It runs at the `Tiny` scale by default (`--quick` upgrades
 //! it to `Quick`) and its output is byte-identical across consecutive runs
 //! and across `QD_THREADS` settings — CI diffs it to pin the observability
-//! contract.
+//! contract. `--json --timing` additionally appends the Figure 10/11
+//! wall-clock timing tables; those are non-deterministic, so CI never passes
+//! the flag.
 
 use qd_bench::experiments;
 use qd_bench::BenchScale;
@@ -49,8 +51,9 @@ fn main() {
         } else {
             BenchScale::Tiny
         };
-        eprintln!("[repro: json report, scale={scale:?}, seed={seed}]");
-        experiments::json_report(scale, seed);
+        let with_timing = args.iter().any(|a| a == "--timing");
+        eprintln!("[repro: json report, scale={scale:?}, seed={seed}, timing={with_timing}]");
+        experiments::json_report(scale, seed, with_timing);
         return;
     }
 

@@ -805,7 +805,14 @@ pub fn ablate_feature_weights(scale: BenchScale, seed: u64) {
 /// same bytes as a cold one, and nothing derived from wall-clock time or
 /// thread count is recorded — CI compares consecutive runs and a
 /// `QD_THREADS=8` run byte-for-byte.
-pub fn json_report(scale: BenchScale, seed: u64) {
+///
+/// `with_timing` opts in to the Figure 10/11 timing sweep: two extra tables
+/// (`fig10_overall_time`, `fig11_iteration_time`) carrying wall-clock
+/// milliseconds are appended to the report. Timing is inherently
+/// non-deterministic, so the flag is off by default and off in the CI
+/// byte-diff job; everything outside the two timing tables is unchanged by
+/// the flag.
+pub fn json_report(scale: BenchScale, seed: u64, with_timing: bool) {
     let corpus = bench_corpus(scale, seed);
     let qd_cfg = QdConfig::default();
     let baseline_cfg = BaselineConfig::default();
@@ -878,8 +885,34 @@ pub fn json_report(scale: BenchScale, seed: u64) {
             JsonValue::u64(rc.node_max as u64),
         ),
     ]);
+    let mut tables = vec![("table1".to_string(), table)];
+    if with_timing {
+        let sizes = match scale {
+            BenchScale::Tiny => vec![200, 400],
+            _ => vec![1_000, 2_000, 3_000],
+        };
+        let rows = timing_sweep(&sizes, 5, seed);
+        let mut fig10 = Table::new(
+            "Figure 10: overall query processing time vs database size",
+            &["db size", "QD total (ms)", "global-kNN RF round (ms)"],
+        );
+        let mut fig11 = Table::new(
+            "Figure 11: average iteration processing time vs database size",
+            &["db size", "QD iteration (ms)", "global-kNN RF round (ms)"],
+        );
+        for r in &rows {
+            fig10.row(vec![r.size.to_string(), ms(r.qd_total), ms(r.global_round)]);
+            fig11.row(vec![
+                r.size.to_string(),
+                ms(r.qd_iteration),
+                ms(r.global_round),
+            ]);
+        }
+        tables.push(("fig10_overall_time".to_string(), fig10));
+        tables.push(("fig11_iteration_time".to_string(), fig11));
+    }
     let path = std::path::Path::new("BENCH_qd.json");
-    match report::write_bench_report(path, config, vec![("table1".to_string(), table)], &trace) {
+    match report::write_bench_report(path, config, tables, &trace) {
         Ok(()) => println!("[wrote {}]", path.display()),
         Err(e) => {
             eprintln!("error: could not write {}: {e}", path.display());

@@ -12,7 +12,7 @@
 //! threshold (0.4 for the paper's database).
 
 use crate::error::QdError;
-use qd_index::{Neighbor, NodeId, RStarTree};
+use qd_index::{KnnIndex, Neighbor, NodeId};
 use qd_linalg::metric::euclidean;
 use qd_linalg::vector::centroid;
 
@@ -54,8 +54,8 @@ pub struct LocalResult {
 /// Applies the boundary-ratio test: starting at `home`, expands to the parent
 /// while any query image lies within `threshold` of the boundary (i.e. its
 /// center-distance ratio exceeds `threshold`).
-pub fn resolve_scope(
-    tree: &RStarTree,
+pub fn resolve_scope<I: KnnIndex>(
+    tree: &I,
     home: NodeId,
     query_features: &[&[f32]],
     threshold: f32,
@@ -104,8 +104,8 @@ pub fn resolve_scope(
 // the two wrappers below and `try_execute_subqueries`, which thread config
 // fields straight through.
 #[allow(clippy::too_many_arguments)]
-pub fn try_run_local_query(
-    tree: &RStarTree,
+pub fn try_run_local_query<I: KnnIndex>(
+    tree: &I,
     features: &[Vec<f32>],
     query: &LocalQuery,
     threshold: f32,
@@ -224,8 +224,8 @@ pub fn try_run_local_query(
 /// # Panics
 /// Panics if the query is malformed (no query points, out-of-range image id,
 /// foreign node handle) — serving paths use [`try_run_local_query`] instead.
-pub fn run_local_query(
-    tree: &RStarTree,
+pub fn run_local_query<I: KnnIndex>(
+    tree: &I,
     features: &[Vec<f32>],
     query: &LocalQuery,
     threshold: f32,
@@ -248,8 +248,8 @@ pub fn run_local_query(
 /// # Panics
 /// Panics if the query has no query points or `weights` has the wrong
 /// dimensionality — serving paths use [`try_run_local_query`] instead.
-pub fn run_local_query_weighted(
-    tree: &RStarTree,
+pub fn run_local_query_weighted<I: KnnIndex>(
+    tree: &I,
     features: &[Vec<f32>],
     query: &LocalQuery,
     threshold: f32,
@@ -277,7 +277,7 @@ pub fn run_local_query_weighted(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qd_index::TreeConfig;
+    use qd_index::{RStarTree, TreeConfig};
 
     /// Two blobs far apart; tree with tiny nodes so the hierarchy is deep.
     fn setup() -> (RStarTree, Vec<Vec<f32>>) {

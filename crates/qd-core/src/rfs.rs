@@ -15,7 +15,7 @@
 //! rounds cost pure tree navigation, no k-NN.
 
 use qd_cluster::KMeans;
-use qd_index::{NodeId, RStarTree, TreeConfig};
+use qd_index::{IndexBuild, KnnIndex, NodeId, RStarTree, TreeConfig};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -101,9 +101,15 @@ pub trait FeedbackHierarchy {
 /// serializing and when listing all representatives, and an ordered container
 /// makes every such traversal deterministic by construction instead of by an
 /// adjacent sort (qd-analyze rule R3).
+///
+/// Generic over the index implementation solely for the differential
+/// arena-equivalence harness: the same build and navigation code runs over
+/// the arena tree (the default, and the only instantiation production code
+/// uses) and the `legacy-rfs` reference tree, so any divergence between the
+/// two is attributable to the storage layout.
 #[derive(Debug)]
-pub struct RfsStructure {
-    tree: RStarTree,
+pub struct RfsStructure<I: KnnIndex = RStarTree> {
+    tree: I,
     reps: BTreeMap<NodeId, Vec<usize>>,
     leaf_of: BTreeMap<usize, NodeId>,
 }
@@ -115,6 +121,18 @@ impl RfsStructure {
     /// # Panics
     /// Panics if `features` is empty or rows differ in length.
     pub fn build(features: &[Vec<f32>], config: &RfsConfig) -> Self {
+        Self::build_with(features, config)
+    }
+}
+
+impl<I: KnnIndex + IndexBuild + Sync> RfsStructure<I> {
+    /// [`RfsStructure::build`] over any index implementation — the entry
+    /// point the arena-equivalence harness uses to build the legacy and
+    /// arena structures through identical code.
+    ///
+    /// # Panics
+    /// Panics if `features` is empty or rows differ in length.
+    pub fn build_with(features: &[Vec<f32>], config: &RfsConfig) -> Self {
         qd_obs::span(qd_obs::sp::RFS_BUILD, || {
             Self::build_inner(features, config)
         })
@@ -135,9 +153,9 @@ impl RfsStructure {
             .map(|(i, f)| (i as u64, f.clone()))
             .collect();
         let tree = if config.bulk_load {
-            RStarTree::bulk_load(tree_config, items)
+            I::bulk_load(tree_config, items)
         } else {
-            let mut t = RStarTree::new(tree_config);
+            let mut t = I::new(tree_config);
             for (id, f) in items {
                 t.insert(f, id);
             }
@@ -148,7 +166,7 @@ impl RfsStructure {
         let mut leaf_of = BTreeMap::new();
         for n in tree.node_ids() {
             if tree.is_leaf(n) {
-                for (id, _) in tree.leaf_entries(n) {
+                for (id, _) in tree.leaf_items(n) {
                     leaf_of.insert(id as usize, n);
                 }
             }
@@ -176,7 +194,8 @@ impl RfsStructure {
             let pool_of = |n: NodeId| -> Vec<usize> {
                 if level == 0 {
                     tree_ref
-                        .leaf_entries(n)
+                        .leaf_items(n)
+                        .into_iter()
                         .map(|(id, _)| id as usize)
                         .collect()
                 } else {
@@ -273,9 +292,11 @@ impl RfsStructure {
         built.validate();
         built
     }
+}
 
+impl<I: KnnIndex> RfsStructure<I> {
     /// The underlying clustering tree.
-    pub fn tree(&self) -> &RStarTree {
+    pub fn tree(&self) -> &I {
         &self.tree
     }
 
@@ -325,7 +346,9 @@ impl RfsStructure {
     pub fn is_empty(&self) -> bool {
         self.tree.is_empty()
     }
+}
 
+impl RfsStructure {
     /// Saves the structure (tree + representative lists) to `path`.
     ///
     /// A deployment builds the RFS once over its image database and serves
@@ -334,7 +357,7 @@ impl RfsStructure {
     pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
         let tree_bytes = qd_index::persist::to_bytes(&self.tree);
         let mut out = Vec::with_capacity(tree_bytes.len() + 1024);
-        out.extend_from_slice(b"QDR1");
+        out.extend_from_slice(b"QDR2");
         out.extend_from_slice(&(tree_bytes.len() as u64).to_le_bytes());
         out.extend_from_slice(&tree_bytes);
         // BTreeMap iteration is already ascending by node id — the on-disk
@@ -355,7 +378,12 @@ impl RfsStructure {
         use std::io::{Error, ErrorKind};
         let bad = |msg: &str| Error::new(ErrorKind::InvalidData, msg.to_string());
         let data = std::fs::read(path)?;
-        if data.len() < 12 || &data[..4] != b"QDR1" {
+        if data.len() >= 4 && &data[..4] == b"QDR1" {
+            return Err(bad(
+                "legacy QDR1 (pre-arena) RFS file — rebuild and re-save the structure",
+            ));
+        }
+        if data.len() < 12 || &data[..4] != b"QDR2" {
             return Err(bad("not an RFS file"));
         }
         let tree_len = {
@@ -420,7 +448,9 @@ impl RfsStructure {
             leaf_of,
         })
     }
+}
 
+impl<I: KnnIndex> RfsStructure<I> {
     /// Checks every structural invariant of the built structure, mirroring
     /// `RStarTree::validate`: panics with a description of the first
     /// violation. Intended for tests and debug assertions.
@@ -455,7 +485,8 @@ impl RfsStructure {
             }
             if !self
                 .tree
-                .leaf_entries(leaf)
+                .leaf_items(leaf)
+                .into_iter()
                 .any(|(id, _)| id as usize == image)
             {
                 return fail(format!("leaf_of[{image}] = {leaf:?} does not store it"));
@@ -464,7 +495,7 @@ impl RfsStructure {
         let mut stored = 0usize;
         for &n in &node_ids {
             if self.tree.is_leaf(n) {
-                for (id, _) in self.tree.leaf_entries(n) {
+                for (id, _) in self.tree.leaf_items(n) {
                     stored += 1;
                     if self.leaf_of.get(&(id as usize)) != Some(&n) {
                         return fail(format!("image {id} in {n:?} missing from leaf_of"));
@@ -524,7 +555,7 @@ impl RfsStructure {
     }
 }
 
-impl FeedbackHierarchy for RfsStructure {
+impl<I: KnnIndex> FeedbackHierarchy for RfsStructure<I> {
     fn root(&self) -> NodeId {
         self.tree.root()
     }

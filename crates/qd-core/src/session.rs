@@ -17,7 +17,7 @@ use crate::rfs::{FeedbackHierarchy, RfsStructure};
 use crate::user::SimulatedUser;
 use qd_corpus::taxonomy::SubconceptId;
 use qd_corpus::{Corpus, QuerySpec};
-use qd_index::NodeId;
+use qd_index::{KnnIndex, NodeId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -287,9 +287,9 @@ pub struct FinalExecution {
 /// non-empty mark lists, in-range image ids, live node handles, and (when
 /// configured) matching weight dimensionality. This is the server's armor
 /// against malformed or diverged client payloads.
-pub fn validate_subqueries(
+pub fn validate_subqueries<I: KnnIndex>(
     corpus: &Corpus,
-    rfs: &RfsStructure,
+    rfs: &RfsStructure<I>,
     subqueries: &[(NodeId, Vec<usize>)],
     cfg: &QdConfig,
 ) -> Result<(), QdError> {
@@ -364,9 +364,9 @@ fn split_budget(total: Option<u64>, quotas: &[usize]) -> Vec<Option<u64>> {
 /// queries run (they depend only on the mark counts), so each subquery
 /// fetches just enough candidates to fill its share plus slack for
 /// cross-subquery deduplication.
-pub fn try_execute_subqueries(
+pub fn try_execute_subqueries<I: KnnIndex + Sync>(
     corpus: &Corpus,
-    rfs: &RfsStructure,
+    rfs: &RfsStructure<I>,
     subqueries: &[(NodeId, Vec<usize>)],
     k: usize,
     cfg: &QdConfig,
@@ -508,9 +508,9 @@ pub fn try_execute_subqueries(
 /// # Panics
 /// Panics if the subqueries are malformed or every worker fails — serving
 /// paths use [`try_execute_subqueries`] instead.
-pub fn execute_subqueries(
+pub fn execute_subqueries<I: KnnIndex + Sync>(
     corpus: &Corpus,
-    rfs: &RfsStructure,
+    rfs: &RfsStructure<I>,
     subqueries: &[(NodeId, Vec<usize>)],
     k: usize,
     cfg: &QdConfig,
@@ -567,9 +567,9 @@ impl ServedOutcome {
 /// typed errors and graceful degradation: every injected fault or exhausted
 /// budget yields either `Ok(Degraded {..})` with a valid ranked list or a
 /// typed [`QdError`] — never a panic.
-pub fn try_run_session(
+pub fn try_run_session<I: KnnIndex + Sync>(
     corpus: &Corpus,
-    rfs: &RfsStructure,
+    rfs: &RfsStructure<I>,
     query: &QuerySpec,
     user: &mut SimulatedUser,
     k: usize,
@@ -637,9 +637,9 @@ pub fn try_run_session(
 /// # Panics
 /// Panics if the session fails with a [`QdError`] — serving paths use
 /// [`try_run_session`] instead.
-pub fn run_session(
+pub fn run_session<I: KnnIndex + Sync>(
     corpus: &Corpus,
-    rfs: &RfsStructure,
+    rfs: &RfsStructure<I>,
     query: &QuerySpec,
     user: &mut SimulatedUser,
     k: usize,

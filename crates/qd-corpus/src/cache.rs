@@ -6,10 +6,13 @@
 //! corpus to a compact little-endian binary file and reloads it instantly,
 //! verifying that the cached file matches the requested configuration.
 //!
-//! Format (`QDC1`): header magic, the five config fields, the normalizer,
-//! the feature table, the labels, and the optional per-viewpoint tables.
-//! The taxonomy is *not* stored — it is deterministic in `(filler_count,
-//! seed)` and is rebuilt on load.
+//! Format (`QDC2`): header magic, the five config fields, the normalizer,
+//! the feature table (with an explicit `block_len = n × dim` field mirroring
+//! the index's SoA layout contract, cross-checked on load), the labels, and
+//! the optional per-viewpoint tables. The taxonomy is *not* stored — it is
+//! deterministic in `(filler_count, seed)` and is rebuilt on load. Files in
+//! the pre-arena `QDC1` format are rejected with
+//! [`CacheError::LegacyVersion`], never misread.
 //!
 //! Robustness: [`save`] is atomic (temp file + rename in the target
 //! directory, so an interrupted save can never leave a torn `*.qdc` that
@@ -25,7 +28,62 @@ use qd_linalg::Normalizer;
 use std::io;
 use std::path::{Path, PathBuf};
 
-const MAGIC: &[u8; 4] = b"QDC1";
+const MAGIC: &[u8; 4] = b"QDC2";
+/// The pre-arena cache format; rejected with a typed error, never misread.
+const LEGACY_MAGIC: &[u8; 4] = b"QDC1";
+
+/// Why a corpus cache failed to load. Typed so callers (and `qd-core`'s
+/// `QdError`) can distinguish "stale format, rebuild" from "hostile bytes".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheError {
+    /// The file is a cache from the pre-arena `QDC1` format.
+    LegacyVersion {
+        /// The magic string found in the header.
+        found: String,
+    },
+    /// The file does not start with a corpus-cache magic at all.
+    NotACache,
+    /// The cache was built under a different corpus configuration.
+    ConfigMismatch,
+    /// Structurally broken bytes (truncation, bad lengths, bad tags).
+    Corrupt(String),
+    /// The underlying read failed.
+    Io(String),
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheError::LegacyVersion { found } => write!(
+                f,
+                "legacy {found} corpus cache (pre-arena format) — delete it and rebuild"
+            ),
+            CacheError::NotACache => write!(f, "not a corpus cache file"),
+            CacheError::ConfigMismatch => {
+                write!(f, "cached corpus was built with a different config")
+            }
+            CacheError::Corrupt(msg) => write!(f, "corrupt corpus cache: {msg}"),
+            CacheError::Io(msg) => write!(f, "corpus cache io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+impl From<CacheError> for io::Error {
+    fn from(e: CacheError) -> Self {
+        match e {
+            CacheError::Io(msg) => io::Error::other(msg),
+            other => io::Error::new(io::ErrorKind::InvalidData, other),
+        }
+    }
+}
+
+impl From<io::Error> for CacheError {
+    fn from(e: io::Error) -> Self {
+        CacheError::Io(e.to_string())
+    }
+}
 
 /// Saves a corpus to `path` atomically: the bytes are written to a temporary
 /// file in the same directory and renamed into place, so readers never see a
@@ -47,6 +105,9 @@ pub fn save(corpus: &Corpus, path: &Path) -> io::Result<()> {
 
     write_u64(&mut out, corpus.len() as u64);
     write_u64(&mut out, corpus.dim() as u64);
+    // Explicit SoA block length (n × dim), cross-checked on load so a
+    // corrupted count field can never silently re-shape the table.
+    write_u64(&mut out, (corpus.len() * corpus.dim()) as u64);
     for row in corpus.features() {
         write_f32s(&mut out, row);
     }
@@ -111,11 +172,13 @@ pub fn read_header(path: &Path) -> io::Result<CorpusConfig> {
         data: &head,
         pos: 0,
     };
-    if r.bytes(4)? != MAGIC {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "not a corpus cache file",
-        ));
+    let magic = r.bytes(4)?;
+    if magic == LEGACY_MAGIC {
+        let found = String::from_utf8_lossy(magic).into_owned();
+        return Err(CacheError::LegacyVersion { found }.into());
+    }
+    if magic != MAGIC {
+        return Err(io::Error::from(CacheError::NotACache));
     }
     Ok(CorpusConfig {
         size: r.u64()? as usize,
@@ -128,9 +191,15 @@ pub fn read_header(path: &Path) -> io::Result<CorpusConfig> {
 
 /// Loads a corpus from `path`, verifying it was built with `config`.
 pub fn load(path: &Path, config: &CorpusConfig) -> io::Result<Corpus> {
-    let mut data = std::fs::read(path)?;
+    try_load(path, config).map_err(io::Error::from)
+}
+
+/// Typed-error variant of [`load`]: callers that need to distinguish a
+/// legacy-format cache from hostile bytes match on the [`CacheError`].
+pub fn try_load(path: &Path, config: &CorpusConfig) -> Result<Corpus, CacheError> {
+    let mut data = std::fs::read(path).map_err(CacheError::from)?;
     if qd_fault::should_fail(qd_fault::site::CACHE_READ) {
-        return Err(io::Error::other("injected fault: corpus cache read"));
+        return Err(CacheError::Io("injected fault: corpus cache read".into()));
     }
     if let Some(payload) = qd_fault::fire(qd_fault::site::CACHE_SHORT_READ) {
         // Torn read: keep a deterministic, payload-chosen prefix.
@@ -144,12 +213,18 @@ pub fn load(path: &Path, config: &CorpusConfig) -> io::Result<Corpus> {
 }
 
 /// Parses a full cache image from `r`. Every read is length-checked; any
-/// corruption surfaces as `io::Error`.
-fn parse(r: &mut Reader, config: &CorpusConfig) -> io::Result<Corpus> {
-    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+/// corruption surfaces as a [`CacheError`], never a panic.
+fn parse(r: &mut Reader, config: &CorpusConfig) -> Result<Corpus, CacheError> {
+    let bad = |msg: &str| CacheError::Corrupt(msg.to_string());
 
-    if r.bytes(4)? != MAGIC {
-        return Err(bad("not a corpus cache file"));
+    let magic = r.bytes(4)?;
+    if magic == LEGACY_MAGIC {
+        return Err(CacheError::LegacyVersion {
+            found: String::from_utf8_lossy(magic).into_owned(),
+        });
+    }
+    if magic != MAGIC {
+        return Err(CacheError::NotACache);
     }
     let size = r.u64()? as usize;
     let image_size = r.u64()? as usize;
@@ -162,7 +237,7 @@ fn parse(r: &mut Reader, config: &CorpusConfig) -> io::Result<Corpus> {
         || filler_count != config.filler_count
         || with_viewpoints != config.with_viewpoints
     {
-        return Err(bad("cached corpus was built with a different config"));
+        return Err(CacheError::ConfigMismatch);
     }
 
     let dim_n = r.u64()? as usize;
@@ -177,6 +252,10 @@ fn parse(r: &mut Reader, config: &CorpusConfig) -> io::Result<Corpus> {
     let dim = r.u64()? as usize;
     if n != size || dim != dim_n {
         return Err(bad("inconsistent table dimensions"));
+    }
+    let block_len = r.u64()? as usize;
+    if n.checked_mul(dim) != Some(block_len) {
+        return Err(bad("feature block length does not match n × dim"));
     }
     let mut features = Vec::with_capacity(n);
     for _ in 0..n {
@@ -272,37 +351,35 @@ struct Reader<'a> {
 }
 
 impl<'a> Reader<'a> {
-    fn bytes(&mut self, n: usize) -> io::Result<&'a [u8]> {
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], CacheError> {
         let end = self
             .pos
             .checked_add(n)
             .filter(|&e| e <= self.data.len())
-            .ok_or_else(|| {
-                io::Error::new(io::ErrorKind::UnexpectedEof, "truncated corpus cache")
-            })?;
+            .ok_or_else(|| CacheError::Corrupt("truncated corpus cache".into()))?;
         let s = &self.data[self.pos..end];
         self.pos = end;
         Ok(s)
     }
 
-    fn u32(&mut self) -> io::Result<u32> {
+    fn u32(&mut self) -> Result<u32, CacheError> {
         let raw = self.bytes(4)?;
         let mut b = [0u8; 4];
         b.copy_from_slice(raw);
         Ok(u32::from_le_bytes(b))
     }
 
-    fn u64(&mut self) -> io::Result<u64> {
+    fn u64(&mut self) -> Result<u64, CacheError> {
         let raw = self.bytes(8)?;
         let mut b = [0u8; 8];
         b.copy_from_slice(raw);
         Ok(u64::from_le_bytes(b))
     }
 
-    fn f32s(&mut self, n: usize) -> io::Result<Vec<f32>> {
+    fn f32s(&mut self, n: usize) -> Result<Vec<f32>, CacheError> {
         let byte_len = n
             .checked_mul(4)
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "corrupt length field"))?;
+            .ok_or_else(|| CacheError::Corrupt("corrupt length field".into()))?;
         let raw = self.bytes(byte_len)?;
         Ok(raw
             .chunks_exact(4)
@@ -410,9 +487,10 @@ mod tests {
     }
 
     /// Satellite: every single-byte flip and every truncation length of a
-    /// small cache file must either fail with a typed `io::Error` or — for
-    /// bytes the format tolerates, e.g. inside float payloads — load
-    /// something. `load` must never panic on hostile bytes.
+    /// small `QDC2` cache file must either fail with a typed [`CacheError`]
+    /// or — for bytes the format tolerates, e.g. inside float payloads —
+    /// load something. `load` must never panic on hostile bytes. The sweep
+    /// covers the bumped format's `block_len` field like every other byte.
     #[test]
     fn corruption_sweep_never_panics() {
         let config = CorpusConfig {
@@ -457,6 +535,50 @@ mod tests {
                 pristine.len()
             );
         }
+    }
+
+    /// Satellite: a cache in the pre-arena `QDC1` format must be rejected
+    /// with the typed legacy-version error — not parsed as if current, and
+    /// not lumped in with generic corruption.
+    #[test]
+    fn legacy_qdc1_cache_rejected_with_typed_error() {
+        let config = tiny_config();
+        let corpus = Corpus::build(&config);
+        let path = tmp("legacy.qdc");
+        save(&corpus, &path).unwrap();
+        let mut data = std::fs::read(&path).unwrap();
+        data[..4].copy_from_slice(LEGACY_MAGIC);
+        std::fs::write(&path, &data).unwrap();
+
+        let err = try_load(&path, &config).unwrap_err();
+        assert_eq!(
+            err,
+            CacheError::LegacyVersion {
+                found: "QDC1".to_string()
+            }
+        );
+        assert!(err.to_string().contains("legacy QDC1"), "{err}");
+        // The io::Result surface reports the same condition...
+        let io_err = load(&path, &config).unwrap_err();
+        assert!(io_err.to_string().contains("legacy QDC1"), "{io_err}");
+        // ...as does the header-only read.
+        let hdr_err = read_header(&path).unwrap_err();
+        assert!(hdr_err.to_string().contains("legacy QDC1"), "{hdr_err}");
+        // And load_or_build treats it as stale: rebuilds a fresh QDC2 file.
+        let rebuilt = load_or_build(&config, &path).unwrap();
+        assert_eq!(rebuilt.features(), corpus.features());
+        assert_eq!(&std::fs::read(&path).unwrap()[..4], MAGIC);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Unknown magics are `NotACache`, distinct from the legacy rejection.
+    #[test]
+    fn foreign_magic_is_not_a_cache() {
+        let config = tiny_config();
+        let path = tmp("foreign.qdc");
+        std::fs::write(&path, b"XXXXtrailing-bytes-of-something-else").unwrap();
+        assert_eq!(try_load(&path, &config).unwrap_err(), CacheError::NotACache);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

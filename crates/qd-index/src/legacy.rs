@@ -1,0 +1,1207 @@
+//! The pre-arena R\*-tree, kept verbatim for one PR as the reference side of
+//! the differential arena-equivalence harness (`tests/arena_equivalence.rs`).
+//!
+//! This module is compiled only under the `legacy-rfs` feature and is
+//! test-only scaffolding: it is the node-owned storage layout (per-node
+//! `Vec<DataEntry>` / `Vec<NodeId>`) that `crate::tree` replaced with a flat
+//! arena + contiguous feature store. Every algorithm (ChooseSubtree, forced
+//! reinsertion, topological split, condensation, budgeted best-first k-NN)
+//! is byte-for-byte the old implementation so the harness can assert the
+//! rewrite changed nothing observable. Scheduled for removal next PR.
+
+use crate::tree::{BudgetedKnn, Neighbor, NodeId, TreeConfig};
+use crate::Rect;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+
+#[derive(Debug, Clone)]
+struct DataEntry {
+    id: u64,
+    point: Vec<f32>,
+}
+
+#[derive(Debug)]
+enum NodeKind {
+    Leaf(Vec<DataEntry>),
+    Internal(Vec<NodeId>),
+}
+
+#[derive(Debug)]
+struct Node {
+    rect: Option<Rect>,
+    parent: Option<NodeId>,
+    /// Leaves are level 0; the root has the highest level.
+    level: u32,
+    kind: NodeKind,
+    live: bool,
+}
+
+impl Node {
+    fn entry_count(&self) -> usize {
+        match &self.kind {
+            NodeKind::Leaf(d) => d.len(),
+            NodeKind::Internal(c) => c.len(),
+        }
+    }
+}
+
+/// Orphaned entry produced by condensation/reinsertion.
+enum Orphan {
+    Data(DataEntry),
+    Subtree(NodeId),
+}
+
+/// The pre-arena R\*-tree (node-owned entry storage). API-compatible with
+/// [`crate::RStarTree`] for everything the RFS layer uses.
+#[derive(Debug)]
+pub struct RStarTree {
+    config: TreeConfig,
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    root: NodeId,
+    len: usize,
+    accesses: AtomicU64,
+}
+
+impl RStarTree {
+    /// Creates an empty tree.
+    ///
+    /// # Panics
+    /// Panics on an invalid [`TreeConfig`].
+    pub fn new(config: TreeConfig) -> Self {
+        config.validate();
+        let root = Node {
+            rect: None,
+            parent: None,
+            level: 0,
+            kind: NodeKind::Leaf(Vec::new()),
+            live: true,
+        };
+        Self {
+            config,
+            nodes: vec![root],
+            free: Vec::new(),
+            root: NodeId(0),
+            len: 0,
+            accesses: AtomicU64::new(0),
+        }
+    }
+
+    /// Builds a tree by kd-style recursive tiling — cheaper than repeated
+    /// insertion and producing well-separated leaves. Used for
+    /// construction-cost comparisons and large benchmark corpora.
+    ///
+    /// # Panics
+    /// Panics on an invalid config or a point with the wrong dimensionality.
+    pub fn bulk_load(config: TreeConfig, items: Vec<(u64, Vec<f32>)>) -> Self {
+        config.validate();
+        let mut tree = Self::new(config);
+        if items.is_empty() {
+            return tree;
+        }
+        for (_, p) in &items {
+            assert_eq!(p.len(), tree.config.dims, "point dimensionality mismatch");
+        }
+        tree.len = items.len();
+
+        // Build leaves.
+        let max = tree.config.max_entries;
+        let mut entries: Vec<DataEntry> = items
+            .into_iter()
+            .map(|(id, point)| DataEntry { id, point })
+            .collect();
+        let chunks = partition_recursive(&mut entries, max, |e| &e.point);
+        tree.nodes.clear();
+        let mut level_nodes: Vec<NodeId> = chunks
+            .into_iter()
+            .map(|chunk| {
+                let rect = bounding_rect_of_points(&chunk);
+                let id = NodeId(tree.nodes.len() as u32);
+                tree.nodes.push(Node {
+                    rect: Some(rect),
+                    parent: None,
+                    level: 0,
+                    kind: NodeKind::Leaf(chunk),
+                    live: true,
+                });
+                id
+            })
+            .collect();
+
+        // Build internal levels until a single root remains.
+        let mut level = 1u32;
+        while level_nodes.len() > 1 {
+            let mut handles: Vec<(NodeId, Vec<f32>)> = level_nodes
+                .iter()
+                .map(|&n| (n, tree.nodes[n.index()].rect.as_ref().unwrap().center()))
+                .collect();
+            let groups = partition_recursive(&mut handles, max, |h| &h.1);
+            level_nodes = groups
+                .into_iter()
+                .map(|group| {
+                    let children: Vec<NodeId> = group.into_iter().map(|(n, _)| n).collect();
+                    let rect = tree.rect_of_children(&children);
+                    let id = NodeId(tree.nodes.len() as u32);
+                    tree.nodes.push(Node {
+                        rect: Some(rect),
+                        parent: None,
+                        level,
+                        kind: NodeKind::Internal(children.clone()),
+                        live: true,
+                    });
+                    for c in children {
+                        tree.nodes[c.index()].parent = Some(id);
+                    }
+                    id
+                })
+                .collect();
+            level += 1;
+        }
+        tree.root = level_nodes[0];
+        tree
+    }
+
+    /// Point dimensionality.
+    pub fn dims(&self) -> usize {
+        self.config.dims
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no points are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height in levels (a lone leaf root is height 1).
+    pub fn height(&self) -> usize {
+        self.nodes[self.root.index()].level as usize + 1
+    }
+
+    /// Root node handle.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// All live node handles, in arbitrary order.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        (0..self.nodes.len() as u32)
+            .map(NodeId)
+            .filter(|n| self.nodes[n.index()].live)
+            .collect()
+    }
+
+    /// Number of live nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.live).count()
+    }
+
+    /// True if `n` is a live node handle of *this* tree. Node accessors
+    /// panic on dangling or foreign handles; serving paths that receive a
+    /// handle from outside (e.g. a client's remote query) validate with this
+    /// first and turn the answer into a typed error.
+    pub fn contains_node(&self, n: NodeId) -> bool {
+        self.nodes.get(n.index()).is_some_and(|node| node.live)
+    }
+
+    /// Level of `n` (0 = leaf).
+    pub fn level(&self, n: NodeId) -> u32 {
+        self.node(n).level
+    }
+
+    /// True if `n` is a leaf.
+    pub fn is_leaf(&self, n: NodeId) -> bool {
+        matches!(self.node(n).kind, NodeKind::Leaf(_))
+    }
+
+    /// Parent of `n`, if any.
+    pub fn parent(&self, n: NodeId) -> Option<NodeId> {
+        self.node(n).parent
+    }
+
+    /// Bounding rectangle of `n` (`None` only for an empty root).
+    pub fn node_rect(&self, n: NodeId) -> Option<&Rect> {
+        self.node(n).rect.as_ref()
+    }
+
+    /// Children of an internal node; empty for leaves.
+    pub fn children(&self, n: NodeId) -> &[NodeId] {
+        match &self.node(n).kind {
+            NodeKind::Internal(c) => c,
+            NodeKind::Leaf(_) => &[],
+        }
+    }
+
+    /// `(id, point)` pairs stored in a leaf; empty for internal nodes.
+    pub fn leaf_entries(&self, n: NodeId) -> impl Iterator<Item = (u64, &[f32])> {
+        let data: &[DataEntry] = match &self.node(n).kind {
+            NodeKind::Leaf(d) => d,
+            NodeKind::Internal(_) => &[],
+        };
+        data.iter().map(|e| (e.id, e.point.as_slice()))
+    }
+
+    /// All `(id, point)` pairs stored under `n`.
+    pub fn subtree_items(&self, n: NodeId) -> Vec<(u64, &[f32])> {
+        let mut out = Vec::new();
+        let mut stack = vec![n];
+        while let Some(cur) = stack.pop() {
+            match &self.node(cur).kind {
+                NodeKind::Leaf(d) => out.extend(d.iter().map(|e| (e.id, e.point.as_slice()))),
+                NodeKind::Internal(c) => stack.extend_from_slice(c),
+            }
+        }
+        out
+    }
+
+    /// Number of points stored under `n`.
+    pub fn subtree_len(&self, n: NodeId) -> usize {
+        let mut count = 0;
+        let mut stack = vec![n];
+        while let Some(cur) = stack.pop() {
+            match &self.node(cur).kind {
+                NodeKind::Leaf(d) => count += d.len(),
+                NodeKind::Internal(c) => stack.extend_from_slice(c),
+            }
+        }
+        count
+    }
+
+    /// Node accesses performed since the last [`Self::reset_accesses`] —
+    /// the simulated-I/O unit of §5.2.2 (one access ≈ one disk page read).
+    pub fn accesses(&self) -> u64 {
+        self.accesses.load(AtomicOrdering::Relaxed)
+    }
+
+    /// Resets the node-access counter.
+    pub fn reset_accesses(&self) {
+        self.accesses.store(0, AtomicOrdering::Relaxed);
+    }
+
+    #[inline]
+    fn touch(&self, _n: NodeId) {
+        self.accesses.fetch_add(1, AtomicOrdering::Relaxed);
+    }
+
+    #[inline]
+    fn node(&self, n: NodeId) -> &Node {
+        let node = &self.nodes[n.index()];
+        debug_assert!(node.live, "dangling NodeId");
+        node
+    }
+
+    #[inline]
+    fn node_mut(&mut self, n: NodeId) -> &mut Node {
+        let node = &mut self.nodes[n.index()];
+        debug_assert!(node.live, "dangling NodeId");
+        node
+    }
+
+    fn alloc(&mut self, node: Node) -> NodeId {
+        if let Some(i) = self.free.pop() {
+            self.nodes[i as usize] = node;
+            NodeId(i)
+        } else {
+            let i = self.nodes.len() as u32;
+            self.nodes.push(node);
+            NodeId(i)
+        }
+    }
+
+    fn release(&mut self, n: NodeId) {
+        self.nodes[n.index()].live = false;
+        self.nodes[n.index()].rect = None;
+        self.free.push(n.0);
+    }
+
+    fn rect_of_children(&self, children: &[NodeId]) -> Rect {
+        let mut it = children.iter();
+        let first = *it.next().expect("empty child list");
+        let mut rect = self.node(first).rect.clone().expect("child without rect");
+        for &c in it {
+            rect.enlarge(self.node(c).rect.as_ref().expect("child without rect"));
+        }
+        rect
+    }
+
+    fn recompute_rect(&mut self, n: NodeId) {
+        let rect = match &self.node(n).kind {
+            NodeKind::Leaf(d) => {
+                if d.is_empty() {
+                    None
+                } else {
+                    Some(bounding_rect_of_points(d))
+                }
+            }
+            NodeKind::Internal(c) => {
+                if c.is_empty() {
+                    None
+                } else {
+                    Some(self.rect_of_children(c))
+                }
+            }
+        };
+        self.node_mut(n).rect = rect;
+    }
+
+    /// Recomputes rectangles from `n` up to the root.
+    fn adjust_upward(&mut self, mut n: NodeId) {
+        loop {
+            self.recompute_rect(n);
+            match self.node(n).parent {
+                Some(p) => n = p,
+                None => break,
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Insertion
+    // ------------------------------------------------------------------
+
+    /// Inserts `point` under the caller-assigned `id`.
+    ///
+    /// Duplicate ids are permitted (the tree is a multiset); the CBIR corpus
+    /// assigns unique image ids.
+    ///
+    /// # Panics
+    /// Panics if `point` has the wrong dimensionality.
+    pub fn insert(&mut self, point: Vec<f32>, id: u64) {
+        assert_eq!(
+            point.len(),
+            self.config.dims,
+            "point dimensionality mismatch"
+        );
+        let mut reinserted = vec![false; self.height()];
+        self.insert_orphan(Orphan::Data(DataEntry { id, point }), 0, &mut reinserted);
+        self.len += 1;
+    }
+
+    /// Inserts an orphan (data entry or whole subtree) at the given level.
+    fn insert_orphan(&mut self, orphan: Orphan, level: u32, reinserted: &mut Vec<bool>) {
+        match orphan {
+            Orphan::Data(entry) => {
+                debug_assert_eq!(level, 0);
+                let leaf = self.choose_subtree(&Rect::point(&entry.point), 0);
+                match &mut self.node_mut(leaf).kind {
+                    NodeKind::Leaf(d) => d.push(entry),
+                    NodeKind::Internal(_) => unreachable!("choose_subtree(0) returned internal"),
+                }
+                self.adjust_upward(leaf);
+                if self.node(leaf).entry_count() > self.config.max_entries {
+                    self.overflow(leaf, reinserted);
+                }
+            }
+            Orphan::Subtree(child) => {
+                let child_rect = self.node(child).rect.clone().expect("orphan without rect");
+                // A subtree of level L becomes the child of a node at L+1.
+                let target = self.choose_subtree(&child_rect, level + 1);
+                match &mut self.node_mut(target).kind {
+                    NodeKind::Internal(c) => c.push(child),
+                    NodeKind::Leaf(_) => unreachable!("subtree orphan aimed at a leaf"),
+                }
+                self.node_mut(child).parent = Some(target);
+                self.adjust_upward(target);
+                if self.node(target).entry_count() > self.config.max_entries {
+                    self.overflow(target, reinserted);
+                }
+            }
+        }
+    }
+
+    /// R\* `ChooseSubtree`: descends from the root to a node at
+    /// `target_level`, minimizing overlap enlargement when the children are
+    /// leaves and area enlargement otherwise.
+    fn choose_subtree(&self, rect: &Rect, target_level: u32) -> NodeId {
+        let mut n = self.root;
+        while self.node(n).level > target_level {
+            self.touch(n);
+            let children = match &self.node(n).kind {
+                NodeKind::Internal(c) => c,
+                NodeKind::Leaf(_) => unreachable!("leaf above target level"),
+            };
+            n = if self.node(n).level == 1 {
+                self.pick_min_overlap_child(children, rect)
+            } else {
+                self.pick_min_area_child(children, rect)
+            };
+        }
+        self.touch(n);
+        n
+    }
+
+    fn pick_min_area_child(&self, children: &[NodeId], rect: &Rect) -> NodeId {
+        let mut best = children[0];
+        let mut best_key = (f64::INFINITY, f64::INFINITY);
+        for &c in children {
+            let r = self.node(c).rect.as_ref().expect("child without rect");
+            let key = (r.enlargement(rect), r.area());
+            if key < best_key {
+                best_key = key;
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Minimum overlap-enlargement child. For wide nodes, only the
+    /// `CANDIDATES` children with the least area enlargement are examined —
+    /// the R\* paper's own large-fan-out shortcut.
+    fn pick_min_overlap_child(&self, children: &[NodeId], rect: &Rect) -> NodeId {
+        const CANDIDATES: usize = 16;
+        let mut by_area: Vec<(f64, NodeId)> = children
+            .iter()
+            .map(|&c| {
+                let r = self.node(c).rect.as_ref().expect("child without rect");
+                (r.enlargement(rect), c)
+            })
+            .collect();
+        by_area.sort_by(|a, b| a.0.total_cmp(&b.0));
+        by_area.truncate(CANDIDATES.max(1));
+
+        let mut best = by_area[0].1;
+        let mut best_key = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        for &(area_enlargement, c) in &by_area {
+            let r = self.node(c).rect.as_ref().unwrap();
+            let enlarged = r.union(rect);
+            let mut overlap_increase = 0.0;
+            for &s in children {
+                if s == c {
+                    continue;
+                }
+                let sr = self.node(s).rect.as_ref().unwrap();
+                overlap_increase += enlarged.overlap(sr) - r.overlap(sr);
+            }
+            let key = (overlap_increase, area_enlargement, r.area());
+            if key < best_key {
+                best_key = key;
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// R\* `OverflowTreatment`: forced reinsertion once per level per
+    /// insertion, splits thereafter.
+    fn overflow(&mut self, n: NodeId, reinserted: &mut Vec<bool>) {
+        let level = self.node(n).level as usize;
+        if n != self.root && !reinserted.get(level).copied().unwrap_or(false) {
+            if reinserted.len() <= level {
+                reinserted.resize(level + 1, false);
+            }
+            reinserted[level] = true;
+            self.forced_reinsert(n, reinserted);
+        } else {
+            self.split_and_propagate(n, reinserted);
+        }
+    }
+
+    /// Evicts the `reinsert_fraction` entries farthest from the node center
+    /// and re-inserts them from the top.
+    fn forced_reinsert(&mut self, n: NodeId, reinserted: &mut Vec<bool>) {
+        let center = self
+            .node(n)
+            .rect
+            .as_ref()
+            .expect("overflowing node without rect")
+            .center();
+        let count = ((self.config.max_entries as f32 * self.config.reinsert_fraction).ceil()
+            as usize)
+            .max(1);
+        let level = self.node(n).level;
+
+        let orphans: Vec<Orphan> = match &mut self.node_mut(n).kind {
+            NodeKind::Leaf(d) => {
+                d.sort_by(|a, b| dist2(&a.point, &center).total_cmp(&dist2(&b.point, &center)));
+                d.split_off(d.len() - count.min(d.len()))
+                    .into_iter()
+                    .map(Orphan::Data)
+                    .collect()
+            }
+            NodeKind::Internal(_) => {
+                // Need rect centers, which requires immutable access; collect
+                // the order first.
+                let children = match &self.node(n).kind {
+                    NodeKind::Internal(c) => c.clone(),
+                    _ => unreachable!(),
+                };
+                let mut scored: Vec<(f64, NodeId)> = children
+                    .iter()
+                    .map(|&c| {
+                        let ccenter = self.node(c).rect.as_ref().unwrap().center();
+                        (dist2(&ccenter, &center), c)
+                    })
+                    .collect();
+                scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+                let evicted: Vec<NodeId> = scored
+                    .split_off(scored.len() - count.min(scored.len()))
+                    .into_iter()
+                    .map(|(_, c)| c)
+                    .collect();
+                match &mut self.node_mut(n).kind {
+                    NodeKind::Internal(c) => c.retain(|x| !evicted.contains(x)),
+                    _ => unreachable!(),
+                }
+                evicted.into_iter().map(Orphan::Subtree).collect()
+            }
+        };
+
+        self.adjust_upward(n);
+        for orphan in orphans {
+            // `insert_orphan` takes the level of the orphan itself: data
+            // entries are level 0, evicted children sit one level below the
+            // node they came from.
+            let orphan_level = match &orphan {
+                Orphan::Data(_) => 0,
+                Orphan::Subtree(_) => level - 1,
+            };
+            self.insert_orphan(orphan, orphan_level, reinserted);
+        }
+    }
+
+    fn split_and_propagate(&mut self, n: NodeId, reinserted: &mut Vec<bool>) {
+        let sibling = self.split(n);
+        if n == self.root {
+            let level = self.node(n).level + 1;
+            let new_root = self.alloc(Node {
+                rect: None,
+                parent: None,
+                level,
+                kind: NodeKind::Internal(vec![n, sibling]),
+                live: true,
+            });
+            self.node_mut(n).parent = Some(new_root);
+            self.node_mut(sibling).parent = Some(new_root);
+            self.root = new_root;
+            self.recompute_rect(new_root);
+        } else {
+            let parent = self.node(n).parent.expect("non-root without parent");
+            match &mut self.node_mut(parent).kind {
+                NodeKind::Internal(c) => c.push(sibling),
+                NodeKind::Leaf(_) => unreachable!("parent is a leaf"),
+            }
+            self.node_mut(sibling).parent = Some(parent);
+            self.adjust_upward(parent);
+            if self.node(parent).entry_count() > self.config.max_entries {
+                self.overflow(parent, reinserted);
+            }
+        }
+    }
+
+    /// R\* topological split: choose the axis minimizing total margin over
+    /// all distributions, then the distribution minimizing overlap (ties by
+    /// area). Returns the new sibling holding the second group.
+    fn split(&mut self, n: NodeId) -> NodeId {
+        let m = self.config.min_entries;
+        let rects: Vec<Rect> = match &self.node(n).kind {
+            NodeKind::Leaf(d) => d.iter().map(|e| Rect::point(&e.point)).collect(),
+            NodeKind::Internal(c) => c
+                .iter()
+                .map(|&c| self.node(c).rect.clone().expect("child without rect"))
+                .collect(),
+        };
+        let total = rects.len();
+        debug_assert!(total > self.config.max_entries);
+
+        let dims = self.config.dims;
+        let mut best_axis = 0usize;
+        let mut best_axis_margin = f64::INFINITY;
+        let mut best_axis_order: Vec<usize> = Vec::new();
+
+        for axis in 0..dims {
+            for sort_by_upper in [false, true] {
+                let mut order: Vec<usize> = (0..total).collect();
+                order.sort_by(|&a, &b| {
+                    let (ka, kb) = if sort_by_upper {
+                        (rects[a].max()[axis], rects[b].max()[axis])
+                    } else {
+                        (rects[a].min()[axis], rects[b].min()[axis])
+                    };
+                    ka.total_cmp(&kb)
+                });
+                let margin_sum = distributions(&order, &rects, m)
+                    .iter()
+                    .map(|d| d.margin_sum)
+                    .sum::<f64>();
+                if margin_sum < best_axis_margin {
+                    best_axis_margin = margin_sum;
+                    best_axis = axis;
+                    best_axis_order = order;
+                }
+            }
+        }
+        let _ = best_axis; // retained for debugging clarity
+
+        let split_at = {
+            let dists = distributions(&best_axis_order, &rects, m);
+            let mut best = &dists[0];
+            for d in &dists {
+                if (d.overlap, d.area_sum) < (best.overlap, best.area_sum) {
+                    best = d;
+                }
+            }
+            best.first_group_len
+        };
+
+        // Partition the actual entries according to the chosen order.
+        let second_indices: std::collections::HashSet<usize> =
+            best_axis_order[split_at..].iter().copied().collect();
+        let level = self.node(n).level;
+
+        let sibling_kind = match &mut self.node_mut(n).kind {
+            NodeKind::Leaf(d) => {
+                let mut keep = Vec::with_capacity(split_at);
+                let mut give = Vec::with_capacity(total - split_at);
+                for (i, e) in d.drain(..).enumerate() {
+                    if second_indices.contains(&i) {
+                        give.push(e);
+                    } else {
+                        keep.push(e);
+                    }
+                }
+                *d = keep;
+                NodeKind::Leaf(give)
+            }
+            NodeKind::Internal(c) => {
+                let mut keep = Vec::with_capacity(split_at);
+                let mut give = Vec::with_capacity(total - split_at);
+                for (i, child) in c.drain(..).enumerate() {
+                    if second_indices.contains(&i) {
+                        give.push(child);
+                    } else {
+                        keep.push(child);
+                    }
+                }
+                *c = keep;
+                NodeKind::Internal(give)
+            }
+        };
+
+        let sibling = self.alloc(Node {
+            rect: None,
+            parent: None,
+            level,
+            kind: sibling_kind,
+            live: true,
+        });
+        if let NodeKind::Internal(children) = &self.nodes[sibling.index()].kind {
+            let children = children.clone();
+            for c in children {
+                self.node_mut(c).parent = Some(sibling);
+            }
+        }
+        self.recompute_rect(n);
+        self.recompute_rect(sibling);
+        sibling
+    }
+
+    // ------------------------------------------------------------------
+    // Deletion
+    // ------------------------------------------------------------------
+
+    /// Removes the entry with the given point and id. Returns `false` if no
+    /// such entry exists.
+    pub fn remove(&mut self, point: &[f32], id: u64) -> bool {
+        assert_eq!(
+            point.len(),
+            self.config.dims,
+            "point dimensionality mismatch"
+        );
+        let Some(leaf) = self.find_leaf(self.root, point, id) else {
+            return false;
+        };
+        match &mut self.node_mut(leaf).kind {
+            NodeKind::Leaf(d) => {
+                let pos = d
+                    .iter()
+                    .position(|e| e.id == id && e.point == point)
+                    .expect("find_leaf returned a leaf without the entry");
+                d.swap_remove(pos);
+            }
+            NodeKind::Internal(_) => unreachable!(),
+        }
+        self.len -= 1;
+        self.condense(leaf);
+        true
+    }
+
+    fn find_leaf(&self, n: NodeId, point: &[f32], id: u64) -> Option<NodeId> {
+        self.touch(n);
+        match &self.node(n).kind {
+            NodeKind::Leaf(d) => d
+                .iter()
+                .any(|e| e.id == id && e.point == point)
+                .then_some(n),
+            NodeKind::Internal(c) => c
+                .iter()
+                .filter(|&&child| {
+                    self.node(child)
+                        .rect
+                        .as_ref()
+                        .is_some_and(|r| r.contains_point(point))
+                })
+                .find_map(|&child| self.find_leaf(child, point, id)),
+        }
+    }
+
+    /// `CondenseTree`: removes underfull ancestors, collecting orphans for
+    /// reinsertion, then shrinks a single-child internal root.
+    fn condense(&mut self, leaf: NodeId) {
+        let m = self.config.min_entries;
+        let mut orphans: Vec<(Orphan, u32)> = Vec::new();
+        let mut cur = leaf;
+        while cur != self.root {
+            let parent = self.node(cur).parent.expect("non-root without parent");
+            if self.node(cur).entry_count() < m {
+                match &mut self.node_mut(parent).kind {
+                    NodeKind::Internal(c) => c.retain(|&x| x != cur),
+                    NodeKind::Leaf(_) => unreachable!(),
+                }
+                let level = self.node(cur).level;
+                match std::mem::replace(&mut self.node_mut(cur).kind, NodeKind::Leaf(Vec::new())) {
+                    NodeKind::Leaf(d) => {
+                        orphans.extend(d.into_iter().map(|e| (Orphan::Data(e), 0)))
+                    }
+                    NodeKind::Internal(children) => {
+                        orphans.extend(
+                            children
+                                .into_iter()
+                                .map(|c| (Orphan::Subtree(c), level - 1)),
+                        );
+                    }
+                }
+                self.release(cur);
+            } else {
+                self.recompute_rect(cur);
+            }
+            cur = parent;
+        }
+        self.recompute_rect(self.root);
+
+        for (orphan, level) in orphans {
+            let mut reinserted = vec![true; self.height()]; // no forced reinsert storms
+            self.insert_orphan(orphan, level, &mut reinserted);
+        }
+
+        // Shrink the root while it is an internal node with one child.
+        loop {
+            let child = match &self.node(self.root).kind {
+                NodeKind::Internal(c) if c.len() == 1 => c[0],
+                _ => break,
+            };
+            let old = self.root;
+            self.node_mut(child).parent = None;
+            self.root = child;
+            self.release(old);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// The `k` nearest neighbors of `query` over the whole database,
+    /// ascending by distance.
+    pub fn knn(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        self.knn_in(self.root, query, k)
+    }
+
+    /// The `k` nearest neighbors of `query` among the points stored under
+    /// `scope` — the paper's *localized* k-NN computation (§3.3): each final
+    /// subquery searches only its own subcluster.
+    pub fn knn_in(&self, scope: NodeId, query: &[f32], k: usize) -> Vec<Neighbor> {
+        self.knn_in_counted(scope, query, k).0
+    }
+
+    /// [`Self::knn_in`] that additionally returns the number of node accesses
+    /// this call performed. The count is accumulated call-locally (and folded
+    /// into the global [`Self::accesses`] counter afterwards), so concurrent
+    /// queries over a shared tree each see exactly their own cost — the
+    /// per-subquery accounting the deterministic parallel executor relies on.
+    pub fn knn_in_counted(&self, scope: NodeId, query: &[f32], k: usize) -> (Vec<Neighbor>, u64) {
+        let b = self.knn_in_budgeted(scope, query, k, None);
+        (b.neighbors, b.accesses)
+    }
+
+    /// [`Self::knn_in_counted`] under an optional *distance-computation
+    /// budget* — the anytime variant behind cost-budgeted graceful
+    /// degradation. The budget counts distance evaluations (one per leaf
+    /// entry scored, one per child-rectangle MINDIST), a deterministic
+    /// machine-independent cost measure: no wall clock is consulted, so a
+    /// fixed `(scope, query, k, budget)` tuple always returns bit-identical
+    /// results at any thread count.
+    ///
+    /// Once the budget is spent, no further node is expanded; data entries
+    /// already scored keep draining from the frontier in distance order
+    /// (best-so-far fill toward `k`), and every node left unexpanded is
+    /// counted in [`BudgetedKnn::nodes_skipped`]. `None` means unlimited and
+    /// behaves exactly like [`Self::knn_in_counted`].
+    pub fn knn_in_budgeted(
+        &self,
+        scope: NodeId,
+        query: &[f32],
+        k: usize,
+        budget: Option<u64>,
+    ) -> BudgetedKnn {
+        assert_eq!(
+            query.len(),
+            self.config.dims,
+            "query dimensionality mismatch"
+        );
+        let mut touched = 0u64;
+        let mut spent = 0u64;
+        let mut nodes_skipped = 0u64;
+        let mut exhausted = false;
+        let mut out = Vec::with_capacity(k);
+        if k == 0 || self.node(scope).rect.is_none() {
+            return BudgetedKnn {
+                neighbors: out,
+                accesses: touched,
+                distance_computations: spent,
+                distances_pruned: 0,
+                nodes_skipped,
+                exhausted,
+            };
+        }
+        #[derive(PartialEq)]
+        struct HeapItem {
+            dist2: f64,
+            kind: HeapKind,
+        }
+        #[derive(PartialEq)]
+        enum HeapKind {
+            Node(NodeId),
+            Data(u64),
+        }
+        impl Eq for HeapItem {}
+        impl PartialOrd for HeapItem {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for HeapItem {
+            fn cmp(&self, other: &Self) -> Ordering {
+                // Min-heap on distance via reversed comparison.
+                other.dist2.total_cmp(&self.dist2)
+            }
+        }
+
+        let mut heap = BinaryHeap::new();
+        let scope_rect = match self.node(scope).rect.as_ref() {
+            Some(r) => r,
+            None => unreachable!("rect presence checked above"),
+        };
+        spent += 1;
+        heap.push(HeapItem {
+            dist2: scope_rect.min_dist2(query),
+            kind: HeapKind::Node(scope),
+        });
+        while let Some(item) = heap.pop() {
+            match item.kind {
+                HeapKind::Data(id) => {
+                    out.push(Neighbor {
+                        id,
+                        distance: item.dist2.sqrt() as f32,
+                    });
+                    if out.len() == k {
+                        break;
+                    }
+                }
+                HeapKind::Node(n) => {
+                    if budget.is_some_and(|b| spent >= b) {
+                        // Budget gone: leave this subtree unexplored but keep
+                        // draining already-scored data entries.
+                        exhausted = true;
+                        nodes_skipped += 1;
+                        continue;
+                    }
+                    touched += 1;
+                    match &self.node(n).kind {
+                        NodeKind::Leaf(d) => {
+                            spent += d.len() as u64;
+                            for e in d {
+                                heap.push(HeapItem {
+                                    dist2: dist2(&e.point, query),
+                                    kind: HeapKind::Data(e.id),
+                                });
+                            }
+                        }
+                        NodeKind::Internal(c) => {
+                            for &child in c {
+                                if let Some(r) = self.node(child).rect.as_ref() {
+                                    spent += 1;
+                                    heap.push(HeapItem {
+                                        dist2: r.min_dist2(query),
+                                        kind: HeapKind::Node(child),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.accesses.fetch_add(touched, AtomicOrdering::Relaxed);
+        BudgetedKnn {
+            neighbors: out,
+            accesses: touched,
+            distance_computations: spent,
+            distances_pruned: 0,
+            nodes_skipped,
+            exhausted,
+        }
+    }
+
+    /// The single nearest neighbor of `query`, if the tree is non-empty.
+    pub fn nearest(&self, query: &[f32]) -> Option<Neighbor> {
+        self.knn(query, 1).into_iter().next()
+    }
+
+    /// Per-level occupancy statistics: `(level, node count, mean fill)`.
+    /// Fill is entries per node relative to `max_entries`; useful for
+    /// inspecting construction quality (bulk load vs R\* insertion).
+    pub fn occupancy(&self) -> Vec<(u32, usize, f64)> {
+        let mut per_level: std::collections::BTreeMap<u32, (usize, usize)> =
+            std::collections::BTreeMap::new();
+        for n in self.node_ids() {
+            let e = per_level.entry(self.level(n)).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += self.node(n).entry_count();
+        }
+        per_level
+            .into_iter()
+            .map(|(level, (nodes, entries))| {
+                (
+                    level,
+                    nodes,
+                    entries as f64 / (nodes * self.config.max_entries) as f64,
+                )
+            })
+            .collect()
+    }
+
+    /// Ids of all points inside `range` (boundary inclusive).
+    pub fn range(&self, range: &Rect) -> Vec<u64> {
+        assert_eq!(
+            range.dim(),
+            self.config.dims,
+            "range dimensionality mismatch"
+        );
+        let mut out = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            let Some(rect) = self.node(n).rect.as_ref() else {
+                continue;
+            };
+            if !rect.intersects(range) {
+                continue;
+            }
+            self.touch(n);
+            match &self.node(n).kind {
+                NodeKind::Leaf(d) => {
+                    out.extend(
+                        d.iter()
+                            .filter(|e| range.contains_point(&e.point))
+                            .map(|e| e.id),
+                    );
+                }
+                NodeKind::Internal(c) => stack.extend_from_slice(c),
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Invariants (used heavily by tests)
+    // ------------------------------------------------------------------
+
+    /// Checks every structural invariant, panicking with a description of the
+    /// first violation. Intended for tests and debug assertions.
+    pub fn validate(&self) {
+        if let Err(msg) = self.check_invariants() {
+            panic!("{msg}");
+        }
+    }
+
+    /// Non-panicking invariant check: returns a description of the first
+    /// violation. Used by deserialization to reject corrupt files.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let root = self.root;
+        let fail = |msg: String| Err(msg);
+        let root_node = self
+            .nodes
+            .get(root.index())
+            .filter(|n| n.live)
+            .ok_or_else(|| "root is not a live node".to_string())?;
+        if root_node.parent.is_some() {
+            return fail("root has a parent".to_string());
+        }
+        let mut seen_points = 0usize;
+        let mut visited = std::collections::HashSet::new();
+        let mut stack = vec![root];
+        while let Some(n) = stack.pop() {
+            if !visited.insert(n) {
+                return fail(format!(
+                    "node {n:?} reachable twice (cycle or shared child)"
+                ));
+            }
+            let node = self
+                .nodes
+                .get(n.index())
+                .filter(|x| x.live)
+                .ok_or_else(|| format!("dangling child reference {n:?}"))?;
+            if n != root && node.entry_count() < self.config.min_entries {
+                return fail(format!("node {n:?} underfull: {}", node.entry_count()));
+            }
+            if node.entry_count() > self.config.max_entries {
+                return fail(format!("node {n:?} overfull: {}", node.entry_count()));
+            }
+            match &node.kind {
+                NodeKind::Leaf(d) => {
+                    if node.level != 0 {
+                        return fail(format!("leaf at level {}", node.level));
+                    }
+                    seen_points += d.len();
+                    if let Some(rect) = &node.rect {
+                        for e in d {
+                            if e.point.len() != self.config.dims {
+                                return fail("point dimensionality mismatch".to_string());
+                            }
+                            if !rect.contains_point(&e.point) {
+                                return fail("leaf rect does not contain its point".to_string());
+                            }
+                        }
+                    } else if !d.is_empty() {
+                        return fail("leaf with points but no rect".to_string());
+                    }
+                }
+                NodeKind::Internal(c) => {
+                    if c.is_empty() {
+                        return fail("internal node without children".to_string());
+                    }
+                    let rect = node
+                        .rect
+                        .as_ref()
+                        .ok_or_else(|| "internal node without rect".to_string())?;
+                    for &child in c {
+                        let cn = self
+                            .nodes
+                            .get(child.index())
+                            .filter(|x| x.live)
+                            .ok_or_else(|| format!("dangling child reference {child:?}"))?;
+                        if cn.parent != Some(n) {
+                            return fail("bad parent pointer".to_string());
+                        }
+                        if cn.level + 1 != node.level {
+                            return fail("level mismatch".to_string());
+                        }
+                        let crect = cn
+                            .rect
+                            .as_ref()
+                            .ok_or_else(|| "child without rect".to_string())?;
+                        if crect.dim() != self.config.dims || rect.dim() != self.config.dims {
+                            return fail("rect dimensionality mismatch".to_string());
+                        }
+                        if !rect.contains_rect(crect) {
+                            return fail("parent rect does not contain child rect".to_string());
+                        }
+                        stack.push(child);
+                    }
+                }
+            }
+        }
+        if seen_points != self.len {
+            return fail(format!(
+                "len {} does not match stored points {seen_points}",
+                self.len
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One candidate split distribution.
+struct Distribution {
+    first_group_len: usize,
+    margin_sum: f64,
+    overlap: f64,
+    area_sum: f64,
+}
+
+/// All legal (first, second) group splits of `order`, each group at least `m`.
+fn distributions(order: &[usize], rects: &[Rect], m: usize) -> Vec<Distribution> {
+    let total = order.len();
+    let mut out = Vec::with_capacity(total.saturating_sub(2 * m) + 1);
+    for first_len in m..=(total - m) {
+        let first = bounding_rect(order[..first_len].iter().map(|&i| &rects[i]));
+        let second = bounding_rect(order[first_len..].iter().map(|&i| &rects[i]));
+        out.push(Distribution {
+            first_group_len: first_len,
+            margin_sum: first.margin() + second.margin(),
+            overlap: first.overlap(&second),
+            area_sum: first.area() + second.area(),
+        });
+    }
+    out
+}
+
+fn bounding_rect<'a>(mut rects: impl Iterator<Item = &'a Rect>) -> Rect {
+    let mut out = rects.next().expect("empty rect set").clone();
+    for r in rects {
+        out.enlarge(r);
+    }
+    out
+}
+
+fn bounding_rect_of_points(entries: &[DataEntry]) -> Rect {
+    let mut rect = Rect::point(&entries[0].point);
+    for e in &entries[1..] {
+        rect.enlarge(&Rect::point(&e.point));
+    }
+    rect
+}
+
+fn dist2(a: &[f32], b: &[f32]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| ((x - y) as f64).powi(2)).sum()
+}
+
+/// Recursively partitions `items` into chunks of at most `max` elements by
+/// median-splitting along the widest dimension — the bulk-load tiler.
+fn partition_recursive<T>(
+    items: &mut [T],
+    max: usize,
+    key: impl Fn(&T) -> &[f32] + Copy,
+) -> Vec<Vec<T>>
+where
+    T: Clone,
+{
+    if items.len() <= max {
+        return vec![items.to_vec()];
+    }
+    let dims = key(&items[0]).len();
+    let mut widest = 0usize;
+    let mut widest_span = f32::NEG_INFINITY;
+    for d in 0..dims {
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for item in items.iter() {
+            let v = key(item)[d];
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if hi - lo > widest_span {
+            widest_span = hi - lo;
+            widest = d;
+        }
+    }
+    let mid = items.len() / 2;
+    items.sort_by(|a, b| key(a)[widest].total_cmp(&key(b)[widest]));
+    let (left, right) = items.split_at_mut(mid);
+    let mut out = partition_recursive(left, max, key);
+    out.extend(partition_recursive(right, max, key));
+    out
+}

@@ -25,9 +25,13 @@
 //! The tree stores owned points (`Vec<f32>`) tagged with caller-assigned
 //! `u64` ids; for the CBIR workload these are image ids.
 
+#[cfg(feature = "legacy-rfs")]
+pub mod legacy;
 pub mod persist;
 pub mod rect;
+pub mod traits;
 pub mod tree;
 
 pub use rect::Rect;
+pub use traits::{IndexBuild, KnnIndex};
 pub use tree::{BudgetedKnn, Neighbor, NodeId, RStarTree, TreeConfig};

@@ -3,10 +3,11 @@
 //! A CBIR deployment builds its index once over the image database and
 //! serves queries from it for months; rebuilding a 15k-image R\*-tree by
 //! insertion costs seconds of CPU while loading it from disk costs
-//! milliseconds. The format (`QDT1`) is a straightforward little-endian dump
-//! of the node arena; `NodeId` handles remain valid across save/load, which
-//! the RFS structure relies on (its representative lists are keyed by
-//! `NodeId`).
+//! milliseconds. The format (`QDT2`) is a straightforward little-endian dump
+//! of the node arena plus the contiguous SoA feature block; `NodeId` handles
+//! remain valid across save/load, which the RFS structure relies on (its
+//! representative lists are keyed by `NodeId`). Files in the pre-arena
+//! `QDT1` format are rejected with a distinct error rather than misread.
 
 use crate::rect::Rect;
 use crate::tree::{read_tree, write_tree, RStarTree};

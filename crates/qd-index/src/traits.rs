@@ -1,0 +1,226 @@
+//! Read/build abstraction over the R\*-tree implementations.
+//!
+//! Exists for the differential arena-equivalence harness: `qd-core`'s RFS
+//! builder and the localized-k-NN executor are generic over [`KnnIndex`], so
+//! the exact same build and query code runs against the arena tree
+//! ([`crate::RStarTree`]) and, under the `legacy-rfs` feature, against the
+//! pre-arena reference implementation ([`crate::legacy::RStarTree`]). Any
+//! observable divergence between the two is then attributable to the storage
+//! layout alone. The trait (and the legacy module behind it) is test-only
+//! scaffolding slated for removal once the equivalence harness has served
+//! its one-PR purpose.
+
+use crate::rect::Rect;
+use crate::tree::{BudgetedKnn, NodeId, TreeConfig};
+
+/// Read-only structural and query access shared by both tree layouts.
+pub trait KnnIndex {
+    /// Root node handle.
+    fn root(&self) -> NodeId;
+    /// Point dimensionality.
+    fn dims(&self) -> usize;
+    /// Number of stored points.
+    fn len(&self) -> usize;
+    /// True if no points are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Tree height in levels.
+    fn height(&self) -> usize;
+    /// Number of live nodes.
+    fn node_count(&self) -> usize;
+    /// All live node handles.
+    fn node_ids(&self) -> Vec<NodeId>;
+    /// True if `n` is a live node of this tree.
+    fn contains_node(&self, n: NodeId) -> bool;
+    /// Level of `n` (0 = leaf).
+    fn level(&self, n: NodeId) -> u32;
+    /// True if `n` is a leaf.
+    fn is_leaf(&self, n: NodeId) -> bool;
+    /// Parent of `n`, if any.
+    fn parent(&self, n: NodeId) -> Option<NodeId>;
+    /// Bounding rectangle of `n`.
+    fn node_rect(&self, n: NodeId) -> Option<&Rect>;
+    /// Children of `n`, in order; empty for leaves.
+    fn children(&self, n: NodeId) -> Vec<NodeId>;
+    /// `(id, point)` pairs stored directly in leaf `n`.
+    fn leaf_items(&self, n: NodeId) -> Vec<(u64, &[f32])>;
+    /// All `(id, point)` pairs stored under `n`.
+    fn subtree_items(&self, n: NodeId) -> Vec<(u64, &[f32])>;
+    /// Number of points stored under `n`.
+    fn subtree_len(&self, n: NodeId) -> usize;
+    /// Budgeted localized k-NN (see [`crate::RStarTree::knn_in_budgeted`]).
+    fn knn_in_budgeted(
+        &self,
+        scope: NodeId,
+        query: &[f32],
+        k: usize,
+        budget: Option<u64>,
+    ) -> BudgetedKnn;
+    /// Non-panicking structural invariant check.
+    fn check_invariants(&self) -> Result<(), String>;
+    /// Panicking invariant check (tests).
+    fn validate(&self);
+}
+
+/// Construction entry points shared by both tree layouts.
+pub trait IndexBuild: KnnIndex + Sized {
+    /// Creates an empty tree.
+    fn new(config: TreeConfig) -> Self;
+    /// Bulk-loads a tree by recursive tiling.
+    fn bulk_load(config: TreeConfig, items: Vec<(u64, Vec<f32>)>) -> Self;
+    /// Inserts one point.
+    fn insert(&mut self, point: Vec<f32>, id: u64);
+}
+
+impl KnnIndex for crate::RStarTree {
+    fn root(&self) -> NodeId {
+        crate::RStarTree::root(self)
+    }
+    fn dims(&self) -> usize {
+        crate::RStarTree::dims(self)
+    }
+    fn len(&self) -> usize {
+        crate::RStarTree::len(self)
+    }
+    fn height(&self) -> usize {
+        crate::RStarTree::height(self)
+    }
+    fn node_count(&self) -> usize {
+        crate::RStarTree::node_count(self)
+    }
+    fn node_ids(&self) -> Vec<NodeId> {
+        crate::RStarTree::node_ids(self)
+    }
+    fn contains_node(&self, n: NodeId) -> bool {
+        crate::RStarTree::contains_node(self, n)
+    }
+    fn level(&self, n: NodeId) -> u32 {
+        crate::RStarTree::level(self, n)
+    }
+    fn is_leaf(&self, n: NodeId) -> bool {
+        crate::RStarTree::is_leaf(self, n)
+    }
+    fn parent(&self, n: NodeId) -> Option<NodeId> {
+        crate::RStarTree::parent(self, n)
+    }
+    fn node_rect(&self, n: NodeId) -> Option<&Rect> {
+        crate::RStarTree::node_rect(self, n)
+    }
+    fn children(&self, n: NodeId) -> Vec<NodeId> {
+        crate::RStarTree::children(self, n)
+    }
+    fn leaf_items(&self, n: NodeId) -> Vec<(u64, &[f32])> {
+        crate::RStarTree::leaf_entries(self, n).collect()
+    }
+    fn subtree_items(&self, n: NodeId) -> Vec<(u64, &[f32])> {
+        crate::RStarTree::subtree_items(self, n)
+    }
+    fn subtree_len(&self, n: NodeId) -> usize {
+        crate::RStarTree::subtree_len(self, n)
+    }
+    fn knn_in_budgeted(
+        &self,
+        scope: NodeId,
+        query: &[f32],
+        k: usize,
+        budget: Option<u64>,
+    ) -> BudgetedKnn {
+        crate::RStarTree::knn_in_budgeted(self, scope, query, k, budget)
+    }
+    fn check_invariants(&self) -> Result<(), String> {
+        crate::RStarTree::check_invariants(self)
+    }
+    fn validate(&self) {
+        crate::RStarTree::validate(self)
+    }
+}
+
+impl IndexBuild for crate::RStarTree {
+    fn new(config: TreeConfig) -> Self {
+        crate::RStarTree::new(config)
+    }
+    fn bulk_load(config: TreeConfig, items: Vec<(u64, Vec<f32>)>) -> Self {
+        crate::RStarTree::bulk_load(config, items)
+    }
+    fn insert(&mut self, point: Vec<f32>, id: u64) {
+        crate::RStarTree::insert(self, point, id)
+    }
+}
+
+#[cfg(feature = "legacy-rfs")]
+impl KnnIndex for crate::legacy::RStarTree {
+    fn root(&self) -> NodeId {
+        crate::legacy::RStarTree::root(self)
+    }
+    fn dims(&self) -> usize {
+        crate::legacy::RStarTree::dims(self)
+    }
+    fn len(&self) -> usize {
+        crate::legacy::RStarTree::len(self)
+    }
+    fn height(&self) -> usize {
+        crate::legacy::RStarTree::height(self)
+    }
+    fn node_count(&self) -> usize {
+        crate::legacy::RStarTree::node_count(self)
+    }
+    fn node_ids(&self) -> Vec<NodeId> {
+        crate::legacy::RStarTree::node_ids(self)
+    }
+    fn contains_node(&self, n: NodeId) -> bool {
+        crate::legacy::RStarTree::contains_node(self, n)
+    }
+    fn level(&self, n: NodeId) -> u32 {
+        crate::legacy::RStarTree::level(self, n)
+    }
+    fn is_leaf(&self, n: NodeId) -> bool {
+        crate::legacy::RStarTree::is_leaf(self, n)
+    }
+    fn parent(&self, n: NodeId) -> Option<NodeId> {
+        crate::legacy::RStarTree::parent(self, n)
+    }
+    fn node_rect(&self, n: NodeId) -> Option<&Rect> {
+        crate::legacy::RStarTree::node_rect(self, n)
+    }
+    fn children(&self, n: NodeId) -> Vec<NodeId> {
+        crate::legacy::RStarTree::children(self, n).to_vec()
+    }
+    fn leaf_items(&self, n: NodeId) -> Vec<(u64, &[f32])> {
+        crate::legacy::RStarTree::leaf_entries(self, n).collect()
+    }
+    fn subtree_items(&self, n: NodeId) -> Vec<(u64, &[f32])> {
+        crate::legacy::RStarTree::subtree_items(self, n)
+    }
+    fn subtree_len(&self, n: NodeId) -> usize {
+        crate::legacy::RStarTree::subtree_len(self, n)
+    }
+    fn knn_in_budgeted(
+        &self,
+        scope: NodeId,
+        query: &[f32],
+        k: usize,
+        budget: Option<u64>,
+    ) -> BudgetedKnn {
+        crate::legacy::RStarTree::knn_in_budgeted(self, scope, query, k, budget)
+    }
+    fn check_invariants(&self) -> Result<(), String> {
+        crate::legacy::RStarTree::check_invariants(self)
+    }
+    fn validate(&self) {
+        crate::legacy::RStarTree::validate(self)
+    }
+}
+
+#[cfg(feature = "legacy-rfs")]
+impl IndexBuild for crate::legacy::RStarTree {
+    fn new(config: TreeConfig) -> Self {
+        crate::legacy::RStarTree::new(config)
+    }
+    fn bulk_load(config: TreeConfig, items: Vec<(u64, Vec<f32>)>) -> Self {
+        crate::legacy::RStarTree::bulk_load(config, items)
+    }
+    fn insert(&mut self, point: Vec<f32>, id: u64) {
+        crate::legacy::RStarTree::insert(self, point, id)
+    }
+}

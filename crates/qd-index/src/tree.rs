@@ -1,9 +1,23 @@
 //! The R\*-tree proper.
 //!
-//! Arena-based: nodes live in a `Vec` and refer to each other through
-//! [`NodeId`] indices, which keeps the borrow checker out of tree surgery and
-//! lets `qd-core` hold stable node handles (the RFS structure decorates tree
-//! nodes with representative images).
+//! Arena-based twice over: nodes live in one `Vec` and refer to each other
+//! through compact u32 indices ([`NodeId`] handles, `first_child` /
+//! `next_sibling` links), and every stored feature vector lives in one
+//! contiguous structure-of-arrays block (the [`FeatureStore`]) so localized
+//! k-NN leaf scans are cache-linear. Leaves hold u32 slot indices into the
+//! store instead of owning their points. The layout contract is documented
+//! in DESIGN.md §11; `tests/arena_equivalence.rs` proves the layout change
+//! is unobservable next to the pre-arena implementation (`crate::legacy`).
+//!
+//! Budgeted k-NN additionally applies norm-based lower-bound pruning:
+//! `|‖p‖ − ‖q‖| ≤ ‖p − q‖`, so a leaf entry whose norm gap already exceeds
+//! the k-th best distance seen can skip its full distance evaluation. The
+//! pruning is purely an evaluation shortcut — the distance-computation
+//! *accounting* (`distance_computations`, the budget currency) still charges
+//! exactly what an unpruned scan would, so budgets exhaust at identical
+//! points and rankings, counters, and golden traces are bit-identical;
+//! skipped evaluations are reported separately in
+//! [`BudgetedKnn::distances_pruned`].
 
 use crate::rect::Rect;
 use std::cmp::Ordering;
@@ -13,7 +27,7 @@ use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 /// Handle to a tree node. Stable across inserts; invalidated only when the
 /// node itself is removed by deletion-condensation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct NodeId(u32);
+pub struct NodeId(pub(crate) u32);
 
 impl NodeId {
     /// Raw index (for debug displays).
@@ -21,6 +35,10 @@ impl NodeId {
         self.0 as usize
     }
 }
+
+/// Sentinel for "no node" in the u32 link fields (`parent`, `next_sibling`,
+/// `first_child`). An arena of `u32::MAX` nodes is unreachable in practice.
+const NONE: u32 = u32::MAX;
 
 /// Construction parameters.
 #[derive(Debug, Clone)]
@@ -60,7 +78,7 @@ impl TreeConfig {
         }
     }
 
-    fn validate(&self) {
+    pub(crate) fn validate(&self) {
         assert!(self.dims > 0, "dims must be positive");
         assert!(self.min_entries >= 2, "min_entries must be at least 2");
         assert!(
@@ -93,30 +111,122 @@ pub struct BudgetedKnn {
     /// Node reads performed (call-local, same unit as [`RStarTree::knn_in_counted`]).
     pub accesses: u64,
     /// Distance evaluations performed (leaf-entry distances + child-rectangle
-    /// MINDIST evaluations) — the budget's currency.
+    /// MINDIST evaluations) — the budget's currency. Charged as if no pruning
+    /// happened, so budgets and degradation reports are layout-independent.
     pub distance_computations: u64,
+    /// Leaf-entry distance evaluations skipped by the norm lower bound.
+    /// Always ≤ `distance_computations`; purely informational — pruned
+    /// entries are still charged to the budget like a full evaluation.
+    pub distances_pruned: u64,
     /// Frontier nodes left unexpanded because the budget ran out.
     pub nodes_skipped: u64,
     /// True when the budget ran out before the search completed.
     pub exhausted: bool,
 }
 
-#[derive(Debug, Clone)]
-struct DataEntry {
-    id: u64,
-    point: Vec<f32>,
+/// Relative slack on the squared norm lower bound. The bound must only fire
+/// when the *computed* `dist2` (f32 subtraction per coordinate, ≤ ~2⁻²³
+/// relative error) provably exceeds the k-th best distance; 1e-6 covers that
+/// rounding with an order of magnitude to spare.
+const PRUNE_SLACK: f64 = 1.0 + 1e-6;
+
+/// Contiguous structure-of-arrays storage for every feature vector in the
+/// tree: `data[slot*dims .. (slot+1)*dims]` is the point of `slot`, with the
+/// caller id and the precomputed f64 Euclidean norm (for lower-bound
+/// pruning) in parallel arrays. Slots are recycled through a free list;
+/// norms are recomputed on load rather than serialized.
+#[derive(Debug)]
+pub(crate) struct FeatureStore {
+    dims: usize,
+    ids: Vec<u64>,
+    data: Vec<f32>,
+    norms: Vec<f64>,
+    live: Vec<bool>,
+    free: Vec<u32>,
+}
+
+impl FeatureStore {
+    fn new(dims: usize) -> Self {
+        Self {
+            dims,
+            ids: Vec::new(),
+            data: Vec::new(),
+            norms: Vec::new(),
+            live: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    fn slot_count(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn alloc(&mut self, id: u64, point: &[f32]) -> u32 {
+        debug_assert_eq!(point.len(), self.dims);
+        let norm = norm_of(point);
+        if let Some(slot) = self.free.pop() {
+            let s = slot as usize;
+            self.ids[s] = id;
+            self.data[s * self.dims..(s + 1) * self.dims].copy_from_slice(point);
+            self.norms[s] = norm;
+            self.live[s] = true;
+            slot
+        } else {
+            let slot = self.ids.len() as u32;
+            self.ids.push(id);
+            self.data.extend_from_slice(point);
+            self.norms.push(norm);
+            self.live.push(true);
+            slot
+        }
+    }
+
+    fn release(&mut self, slot: u32) {
+        self.live[slot as usize] = false;
+        self.free.push(slot);
+    }
+
+    #[inline]
+    fn point(&self, slot: u32) -> &[f32] {
+        let s = slot as usize;
+        &self.data[s * self.dims..(s + 1) * self.dims]
+    }
+
+    #[inline]
+    fn id(&self, slot: u32) -> u64 {
+        self.ids[slot as usize]
+    }
+
+    #[inline]
+    fn norm(&self, slot: u32) -> f64 {
+        self.norms[slot as usize]
+    }
+}
+
+/// Euclidean norm in f64 (exact squares of f32 values, f64 accumulation).
+fn norm_of(point: &[f32]) -> f64 {
+    point
+        .iter()
+        .map(|&v| (v as f64) * (v as f64))
+        .sum::<f64>()
+        .sqrt()
 }
 
 #[derive(Debug)]
 enum NodeKind {
-    Leaf(Vec<DataEntry>),
-    Internal(Vec<NodeId>),
+    /// Feature-store slots of the entries stored here.
+    Leaf(Vec<u32>),
+    /// Head of the sibling-linked child chain plus its length.
+    Internal { first_child: u32, count: u32 },
 }
 
 #[derive(Debug)]
 struct Node {
     rect: Option<Rect>,
-    parent: Option<NodeId>,
+    /// Arena index of the parent; `NONE` for the root (and detached nodes).
+    parent: u32,
+    /// Arena index of the next sibling in the parent's child chain.
+    next_sibling: u32,
     /// Leaves are level 0; the root has the highest level.
     level: u32,
     kind: NodeKind,
@@ -127,14 +237,15 @@ impl Node {
     fn entry_count(&self) -> usize {
         match &self.kind {
             NodeKind::Leaf(d) => d.len(),
-            NodeKind::Internal(c) => c.len(),
+            NodeKind::Internal { count, .. } => *count as usize,
         }
     }
 }
 
-/// Orphaned entry produced by condensation/reinsertion.
+/// Orphaned entry produced by condensation/reinsertion. Data orphans carry
+/// their feature-store slot, so reinsertion never copies the vector.
 enum Orphan {
-    Data(DataEntry),
+    Data(u32),
     Subtree(NodeId),
 }
 
@@ -159,6 +270,7 @@ pub struct RStarTree {
     free: Vec<u32>,
     root: NodeId,
     len: usize,
+    store: FeatureStore,
     accesses: AtomicU64,
 }
 
@@ -171,24 +283,29 @@ impl RStarTree {
         config.validate();
         let root = Node {
             rect: None,
-            parent: None,
+            parent: NONE,
+            next_sibling: NONE,
             level: 0,
             kind: NodeKind::Leaf(Vec::new()),
             live: true,
         };
+        let store = FeatureStore::new(config.dims);
         Self {
             config,
             nodes: vec![root],
             free: Vec::new(),
             root: NodeId(0),
             len: 0,
+            store,
             accesses: AtomicU64::new(0),
         }
     }
 
     /// Builds a tree by kd-style recursive tiling — cheaper than repeated
     /// insertion and producing well-separated leaves. Used for
-    /// construction-cost comparisons and large benchmark corpora.
+    /// construction-cost comparisons and large benchmark corpora. Feature
+    /// slots are allocated per tiled chunk, so each leaf's entries occupy a
+    /// contiguous ascending run of the SoA block.
     ///
     /// # Panics
     /// Panics on an invalid config or a point with the wrong dimensionality.
@@ -203,24 +320,29 @@ impl RStarTree {
         }
         tree.len = items.len();
 
-        // Build leaves.
+        // Tile the raw items first (identical ordering decisions to the
+        // insertion-order-preserving legacy tiler), then allocate feature
+        // slots chunk by chunk so every leaf scans a contiguous run.
         let max = tree.config.max_entries;
-        let mut entries: Vec<DataEntry> = items
-            .into_iter()
-            .map(|(id, point)| DataEntry { id, point })
-            .collect();
-        let chunks = partition_recursive(&mut entries, max, |e| &e.point);
+        let dims = tree.config.dims;
+        let mut entries = items;
+        let chunks = partition_recursive(&mut entries, max, dims, |e, d| e.1[d]);
         tree.nodes.clear();
         let mut level_nodes: Vec<NodeId> = chunks
             .into_iter()
             .map(|chunk| {
-                let rect = bounding_rect_of_points(&chunk);
+                let slots: Vec<u32> = chunk
+                    .into_iter()
+                    .map(|(id, point)| tree.store.alloc(id, &point))
+                    .collect();
+                let rect = bounding_rect_of_slots(&tree.store, &slots);
                 let id = NodeId(tree.nodes.len() as u32);
                 tree.nodes.push(Node {
                     rect: Some(rect),
-                    parent: None,
+                    parent: NONE,
+                    next_sibling: NONE,
                     level: 0,
-                    kind: NodeKind::Leaf(chunk),
+                    kind: NodeKind::Leaf(slots),
                     live: true,
                 });
                 id
@@ -232,9 +354,16 @@ impl RStarTree {
         while level_nodes.len() > 1 {
             let mut handles: Vec<(NodeId, Vec<f32>)> = level_nodes
                 .iter()
-                .map(|&n| (n, tree.nodes[n.index()].rect.as_ref().unwrap().center()))
+                .map(|&n| {
+                    let center = tree.nodes[n.index()]
+                        .rect
+                        .as_ref()
+                        .expect("bulk-loaded node without rect")
+                        .center();
+                    (n, center)
+                })
                 .collect();
-            let groups = partition_recursive(&mut handles, max, |h| &h.1);
+            let groups = partition_recursive(&mut handles, max, dims, |h, d| h.1[d]);
             level_nodes = groups
                 .into_iter()
                 .map(|group| {
@@ -243,14 +372,16 @@ impl RStarTree {
                     let id = NodeId(tree.nodes.len() as u32);
                     tree.nodes.push(Node {
                         rect: Some(rect),
-                        parent: None,
+                        parent: NONE,
+                        next_sibling: NONE,
                         level,
-                        kind: NodeKind::Internal(children.clone()),
+                        kind: NodeKind::Internal {
+                            first_child: NONE,
+                            count: 0,
+                        },
                         live: true,
                     });
-                    for c in children {
-                        tree.nodes[c.index()].parent = Some(id);
-                    }
+                    tree.link_children(id, &children);
                     id
                 })
                 .collect();
@@ -318,7 +449,8 @@ impl RStarTree {
 
     /// Parent of `n`, if any.
     pub fn parent(&self, n: NodeId) -> Option<NodeId> {
-        self.node(n).parent
+        let p = self.node(n).parent;
+        (p != NONE).then_some(NodeId(p))
     }
 
     /// Bounding rectangle of `n` (`None` only for an empty root).
@@ -326,21 +458,97 @@ impl RStarTree {
         self.node(n).rect.as_ref()
     }
 
-    /// Children of an internal node; empty for leaves.
-    pub fn children(&self, n: NodeId) -> &[NodeId] {
-        match &self.node(n).kind {
-            NodeKind::Internal(c) => c,
-            NodeKind::Leaf(_) => &[],
+    /// Children of an internal node (collected from the sibling chain, in
+    /// chain order); empty for leaves.
+    pub fn children(&self, n: NodeId) -> Vec<NodeId> {
+        self.child_iter(n).collect()
+    }
+
+    /// Iterates the sibling-linked child chain of `n` in order.
+    fn child_iter(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let first = match &self.node(n).kind {
+            NodeKind::Internal { first_child, .. } => *first_child,
+            NodeKind::Leaf(_) => NONE,
+        };
+        std::iter::successors((first != NONE).then_some(NodeId(first)), move |c| {
+            let next = self.nodes[c.index()].next_sibling;
+            (next != NONE).then_some(NodeId(next))
+        })
+    }
+
+    /// Collects the child chain into a `Vec` for mutation algorithms.
+    fn child_vec(&self, n: NodeId) -> Vec<NodeId> {
+        self.child_iter(n).collect()
+    }
+
+    /// Rewrites `parent`'s child chain to exactly `children` (in order) and
+    /// points every child's parent link back at `parent`.
+    fn link_children(&mut self, parent: NodeId, children: &[NodeId]) {
+        self.chain_children(parent, children);
+        for &c in children {
+            self.nodes[c.index()].parent = parent.0;
         }
+    }
+
+    /// Rewrites `parent`'s child chain without touching the children's
+    /// parent links (deserialization reads parents from the file and lets
+    /// `check_invariants` cross-validate them against the chains).
+    fn chain_children(&mut self, parent: NodeId, children: &[NodeId]) {
+        let mut head = NONE;
+        for &c in children.iter().rev() {
+            self.nodes[c.index()].next_sibling = head;
+            head = c.0;
+        }
+        match &mut self.nodes[parent.index()].kind {
+            NodeKind::Internal { first_child, count } => {
+                *first_child = head;
+                *count = children.len() as u32;
+            }
+            NodeKind::Leaf(_) => unreachable!("chain_children on a leaf"),
+        }
+    }
+
+    /// Appends `child` at the end of `parent`'s child chain.
+    fn push_child(&mut self, parent: NodeId, child: NodeId) {
+        self.nodes[child.index()].next_sibling = NONE;
+        self.nodes[child.index()].parent = parent.0;
+        match &mut self.nodes[parent.index()].kind {
+            NodeKind::Internal { first_child, count } => {
+                *count += 1;
+                if *first_child == NONE {
+                    *first_child = child.0;
+                    return;
+                }
+                let mut cur = *first_child;
+                loop {
+                    let next = self.nodes[cur as usize].next_sibling;
+                    if next == NONE {
+                        break;
+                    }
+                    cur = next;
+                }
+                self.nodes[cur as usize].next_sibling = child.0;
+            }
+            NodeKind::Leaf(_) => unreachable!("push_child on a leaf"),
+        }
+    }
+
+    /// Unlinks `child` from `parent`'s chain (keeping the remaining order).
+    fn remove_child(&mut self, parent: NodeId, child: NodeId) {
+        let mut children = self.child_vec(parent);
+        children.retain(|&c| c != child);
+        self.chain_children(parent, &children);
     }
 
     /// `(id, point)` pairs stored in a leaf; empty for internal nodes.
     pub fn leaf_entries(&self, n: NodeId) -> impl Iterator<Item = (u64, &[f32])> {
-        let data: &[DataEntry] = match &self.node(n).kind {
-            NodeKind::Leaf(d) => d,
-            NodeKind::Internal(_) => &[],
+        let slots: &[u32] = match &self.node(n).kind {
+            NodeKind::Leaf(s) => s,
+            NodeKind::Internal { .. } => &[],
         };
-        data.iter().map(|e| (e.id, e.point.as_slice()))
+        slots
+            .iter()
+            .map(move |&s| (self.store.id(s), self.store.point(s)))
     }
 
     /// All `(id, point)` pairs stored under `n`.
@@ -349,8 +557,12 @@ impl RStarTree {
         let mut stack = vec![n];
         while let Some(cur) = stack.pop() {
             match &self.node(cur).kind {
-                NodeKind::Leaf(d) => out.extend(d.iter().map(|e| (e.id, e.point.as_slice()))),
-                NodeKind::Internal(c) => stack.extend_from_slice(c),
+                NodeKind::Leaf(slots) => out.extend(
+                    slots
+                        .iter()
+                        .map(|&s| (self.store.id(s), self.store.point(s))),
+                ),
+                NodeKind::Internal { .. } => stack.extend(self.child_iter(cur)),
             }
         }
         out
@@ -362,8 +574,8 @@ impl RStarTree {
         let mut stack = vec![n];
         while let Some(cur) = stack.pop() {
             match &self.node(cur).kind {
-                NodeKind::Leaf(d) => count += d.len(),
-                NodeKind::Internal(c) => stack.extend_from_slice(c),
+                NodeKind::Leaf(slots) => count += slots.len(),
+                NodeKind::Internal { .. } => stack.extend(self.child_iter(cur)),
             }
         }
         count
@@ -411,8 +623,12 @@ impl RStarTree {
     }
 
     fn release(&mut self, n: NodeId) {
-        self.nodes[n.index()].live = false;
-        self.nodes[n.index()].rect = None;
+        let node = &mut self.nodes[n.index()];
+        node.live = false;
+        node.rect = None;
+        node.parent = NONE;
+        node.next_sibling = NONE;
+        node.kind = NodeKind::Leaf(Vec::new());
         self.free.push(n.0);
     }
 
@@ -428,18 +644,18 @@ impl RStarTree {
 
     fn recompute_rect(&mut self, n: NodeId) {
         let rect = match &self.node(n).kind {
-            NodeKind::Leaf(d) => {
-                if d.is_empty() {
+            NodeKind::Leaf(slots) => {
+                if slots.is_empty() {
                     None
                 } else {
-                    Some(bounding_rect_of_points(d))
+                    Some(bounding_rect_of_slots(&self.store, slots))
                 }
             }
-            NodeKind::Internal(c) => {
-                if c.is_empty() {
+            NodeKind::Internal { count, .. } => {
+                if *count == 0 {
                     None
                 } else {
-                    Some(self.rect_of_children(c))
+                    Some(self.rect_of_children(&self.child_vec(n)))
                 }
             }
         };
@@ -450,7 +666,7 @@ impl RStarTree {
     fn adjust_upward(&mut self, mut n: NodeId) {
         loop {
             self.recompute_rect(n);
-            match self.node(n).parent {
+            match self.parent(n) {
                 Some(p) => n = p,
                 None => break,
             }
@@ -474,20 +690,24 @@ impl RStarTree {
             self.config.dims,
             "point dimensionality mismatch"
         );
+        let slot = self.store.alloc(id, &point);
         let mut reinserted = vec![false; self.height()];
-        self.insert_orphan(Orphan::Data(DataEntry { id, point }), 0, &mut reinserted);
+        self.insert_orphan(Orphan::Data(slot), 0, &mut reinserted);
         self.len += 1;
     }
 
-    /// Inserts an orphan (data entry or whole subtree) at the given level.
+    /// Inserts an orphan (data slot or whole subtree) at the given level.
     fn insert_orphan(&mut self, orphan: Orphan, level: u32, reinserted: &mut Vec<bool>) {
         match orphan {
-            Orphan::Data(entry) => {
+            Orphan::Data(slot) => {
                 debug_assert_eq!(level, 0);
-                let leaf = self.choose_subtree(&Rect::point(&entry.point), 0);
+                let rect = Rect::point(self.store.point(slot));
+                let leaf = self.choose_subtree(&rect, 0);
                 match &mut self.node_mut(leaf).kind {
-                    NodeKind::Leaf(d) => d.push(entry),
-                    NodeKind::Internal(_) => unreachable!("choose_subtree(0) returned internal"),
+                    NodeKind::Leaf(slots) => slots.push(slot),
+                    NodeKind::Internal { .. } => {
+                        unreachable!("choose_subtree(0) returned internal")
+                    }
                 }
                 self.adjust_upward(leaf);
                 if self.node(leaf).entry_count() > self.config.max_entries {
@@ -498,11 +718,7 @@ impl RStarTree {
                 let child_rect = self.node(child).rect.clone().expect("orphan without rect");
                 // A subtree of level L becomes the child of a node at L+1.
                 let target = self.choose_subtree(&child_rect, level + 1);
-                match &mut self.node_mut(target).kind {
-                    NodeKind::Internal(c) => c.push(child),
-                    NodeKind::Leaf(_) => unreachable!("subtree orphan aimed at a leaf"),
-                }
-                self.node_mut(child).parent = Some(target);
+                self.push_child(target, child);
                 self.adjust_upward(target);
                 if self.node(target).entry_count() > self.config.max_entries {
                     self.overflow(target, reinserted);
@@ -518,14 +734,12 @@ impl RStarTree {
         let mut n = self.root;
         while self.node(n).level > target_level {
             self.touch(n);
-            let children = match &self.node(n).kind {
-                NodeKind::Internal(c) => c,
-                NodeKind::Leaf(_) => unreachable!("leaf above target level"),
-            };
+            let children = self.child_vec(n);
+            debug_assert!(!children.is_empty(), "internal node without children");
             n = if self.node(n).level == 1 {
-                self.pick_min_overlap_child(children, rect)
+                self.pick_min_overlap_child(&children, rect)
             } else {
-                self.pick_min_area_child(children, rect)
+                self.pick_min_area_child(&children, rect)
             };
         }
         self.touch(n);
@@ -564,14 +778,14 @@ impl RStarTree {
         let mut best = by_area[0].1;
         let mut best_key = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
         for &(area_enlargement, c) in &by_area {
-            let r = self.node(c).rect.as_ref().unwrap();
+            let r = self.node(c).rect.as_ref().expect("child without rect");
             let enlarged = r.union(rect);
             let mut overlap_increase = 0.0;
             for &s in children {
                 if s == c {
                     continue;
                 }
-                let sr = self.node(s).rect.as_ref().unwrap();
+                let sr = self.node(s).rect.as_ref().expect("child without rect");
                 overlap_increase += enlarged.overlap(sr) - r.overlap(sr);
             }
             let key = (overlap_increase, area_enlargement, r.area());
@@ -612,40 +826,46 @@ impl RStarTree {
             .max(1);
         let level = self.node(n).level;
 
-        let orphans: Vec<Orphan> = match &mut self.node_mut(n).kind {
-            NodeKind::Leaf(d) => {
-                d.sort_by(|a, b| dist2(&a.point, &center).total_cmp(&dist2(&b.point, &center)));
-                d.split_off(d.len() - count.min(d.len()))
-                    .into_iter()
-                    .map(Orphan::Data)
-                    .collect()
+        let orphans: Vec<Orphan> = if self.is_leaf(n) {
+            let mut slots = match &mut self.node_mut(n).kind {
+                NodeKind::Leaf(s) => std::mem::take(s),
+                NodeKind::Internal { .. } => unreachable!(),
+            };
+            slots.sort_by(|&a, &b| {
+                dist2(self.store.point(a), &center).total_cmp(&dist2(self.store.point(b), &center))
+            });
+            let evicted = slots.split_off(slots.len() - count.min(slots.len()));
+            match &mut self.node_mut(n).kind {
+                NodeKind::Leaf(s) => *s = slots,
+                NodeKind::Internal { .. } => unreachable!(),
             }
-            NodeKind::Internal(_) => {
-                // Need rect centers, which requires immutable access; collect
-                // the order first.
-                let children = match &self.node(n).kind {
-                    NodeKind::Internal(c) => c.clone(),
-                    _ => unreachable!(),
-                };
-                let mut scored: Vec<(f64, NodeId)> = children
-                    .iter()
-                    .map(|&c| {
-                        let ccenter = self.node(c).rect.as_ref().unwrap().center();
-                        (dist2(&ccenter, &center), c)
-                    })
-                    .collect();
-                scored.sort_by(|a, b| a.0.total_cmp(&b.0));
-                let evicted: Vec<NodeId> = scored
-                    .split_off(scored.len() - count.min(scored.len()))
-                    .into_iter()
-                    .map(|(_, c)| c)
-                    .collect();
-                match &mut self.node_mut(n).kind {
-                    NodeKind::Internal(c) => c.retain(|x| !evicted.contains(x)),
-                    _ => unreachable!(),
-                }
-                evicted.into_iter().map(Orphan::Subtree).collect()
-            }
+            evicted.into_iter().map(Orphan::Data).collect()
+        } else {
+            let children = self.child_vec(n);
+            let mut scored: Vec<(f64, NodeId)> = children
+                .iter()
+                .map(|&c| {
+                    let ccenter = self
+                        .node(c)
+                        .rect
+                        .as_ref()
+                        .expect("child without rect")
+                        .center();
+                    (dist2(&ccenter, &center), c)
+                })
+                .collect();
+            scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let evicted: Vec<NodeId> = scored
+                .split_off(scored.len() - count.min(scored.len()))
+                .into_iter()
+                .map(|(_, c)| c)
+                .collect();
+            let kept: Vec<NodeId> = children
+                .into_iter()
+                .filter(|c| !evicted.contains(c))
+                .collect();
+            self.link_children(n, &kept);
+            evicted.into_iter().map(Orphan::Subtree).collect()
         };
 
         self.adjust_upward(n);
@@ -667,22 +887,21 @@ impl RStarTree {
             let level = self.node(n).level + 1;
             let new_root = self.alloc(Node {
                 rect: None,
-                parent: None,
+                parent: NONE,
+                next_sibling: NONE,
                 level,
-                kind: NodeKind::Internal(vec![n, sibling]),
+                kind: NodeKind::Internal {
+                    first_child: NONE,
+                    count: 0,
+                },
                 live: true,
             });
-            self.node_mut(n).parent = Some(new_root);
-            self.node_mut(sibling).parent = Some(new_root);
+            self.link_children(new_root, &[n, sibling]);
             self.root = new_root;
             self.recompute_rect(new_root);
         } else {
-            let parent = self.node(n).parent.expect("non-root without parent");
-            match &mut self.node_mut(parent).kind {
-                NodeKind::Internal(c) => c.push(sibling),
-                NodeKind::Leaf(_) => unreachable!("parent is a leaf"),
-            }
-            self.node_mut(sibling).parent = Some(parent);
+            let parent = self.parent(n).expect("non-root without parent");
+            self.push_child(parent, sibling);
             self.adjust_upward(parent);
             if self.node(parent).entry_count() > self.config.max_entries {
                 self.overflow(parent, reinserted);
@@ -696,10 +915,13 @@ impl RStarTree {
     fn split(&mut self, n: NodeId) -> NodeId {
         let m = self.config.min_entries;
         let rects: Vec<Rect> = match &self.node(n).kind {
-            NodeKind::Leaf(d) => d.iter().map(|e| Rect::point(&e.point)).collect(),
-            NodeKind::Internal(c) => c
+            NodeKind::Leaf(slots) => slots
                 .iter()
-                .map(|&c| self.node(c).rect.clone().expect("child without rect"))
+                .map(|&s| Rect::point(self.store.point(s)))
+                .collect(),
+            NodeKind::Internal { .. } => self
+                .child_iter(n)
+                .map(|c| self.node(c).rect.clone().expect("child without rect"))
                 .collect(),
         };
         let total = rects.len();
@@ -750,48 +972,58 @@ impl RStarTree {
             best_axis_order[split_at..].iter().copied().collect();
         let level = self.node(n).level;
 
-        let sibling_kind = match &mut self.node_mut(n).kind {
-            NodeKind::Leaf(d) => {
-                let mut keep = Vec::with_capacity(split_at);
-                let mut give = Vec::with_capacity(total - split_at);
-                for (i, e) in d.drain(..).enumerate() {
-                    if second_indices.contains(&i) {
-                        give.push(e);
-                    } else {
-                        keep.push(e);
-                    }
+        let sibling = if self.is_leaf(n) {
+            let slots = match &mut self.node_mut(n).kind {
+                NodeKind::Leaf(s) => std::mem::take(s),
+                NodeKind::Internal { .. } => unreachable!(),
+            };
+            let mut keep = Vec::with_capacity(split_at);
+            let mut give = Vec::with_capacity(total - split_at);
+            for (i, slot) in slots.into_iter().enumerate() {
+                if second_indices.contains(&i) {
+                    give.push(slot);
+                } else {
+                    keep.push(slot);
                 }
-                *d = keep;
-                NodeKind::Leaf(give)
             }
-            NodeKind::Internal(c) => {
-                let mut keep = Vec::with_capacity(split_at);
-                let mut give = Vec::with_capacity(total - split_at);
-                for (i, child) in c.drain(..).enumerate() {
-                    if second_indices.contains(&i) {
-                        give.push(child);
-                    } else {
-                        keep.push(child);
-                    }
+            match &mut self.node_mut(n).kind {
+                NodeKind::Leaf(s) => *s = keep,
+                NodeKind::Internal { .. } => unreachable!(),
+            }
+            self.alloc(Node {
+                rect: None,
+                parent: NONE,
+                next_sibling: NONE,
+                level,
+                kind: NodeKind::Leaf(give),
+                live: true,
+            })
+        } else {
+            let children = self.child_vec(n);
+            let mut keep = Vec::with_capacity(split_at);
+            let mut give = Vec::with_capacity(total - split_at);
+            for (i, child) in children.into_iter().enumerate() {
+                if second_indices.contains(&i) {
+                    give.push(child);
+                } else {
+                    keep.push(child);
                 }
-                *c = keep;
-                NodeKind::Internal(give)
             }
+            self.link_children(n, &keep);
+            let sibling = self.alloc(Node {
+                rect: None,
+                parent: NONE,
+                next_sibling: NONE,
+                level,
+                kind: NodeKind::Internal {
+                    first_child: NONE,
+                    count: 0,
+                },
+                live: true,
+            });
+            self.link_children(sibling, &give);
+            sibling
         };
-
-        let sibling = self.alloc(Node {
-            rect: None,
-            parent: None,
-            level,
-            kind: sibling_kind,
-            live: true,
-        });
-        if let NodeKind::Internal(children) = &self.nodes[sibling.index()].kind {
-            let children = children.clone();
-            for c in children {
-                self.node_mut(c).parent = Some(sibling);
-            }
-        }
         self.recompute_rect(n);
         self.recompute_rect(sibling);
         sibling
@@ -812,16 +1044,18 @@ impl RStarTree {
         let Some(leaf) = self.find_leaf(self.root, point, id) else {
             return false;
         };
-        match &mut self.node_mut(leaf).kind {
-            NodeKind::Leaf(d) => {
-                let pos = d
-                    .iter()
-                    .position(|e| e.id == id && e.point == point)
-                    .expect("find_leaf returned a leaf without the entry");
-                d.swap_remove(pos);
-            }
-            NodeKind::Internal(_) => unreachable!(),
-        }
+        let pos = match &self.node(leaf).kind {
+            NodeKind::Leaf(slots) => slots
+                .iter()
+                .position(|&s| self.store.id(s) == id && self.store.point(s) == point)
+                .expect("find_leaf returned a leaf without the entry"),
+            NodeKind::Internal { .. } => unreachable!(),
+        };
+        let slot = match &mut self.node_mut(leaf).kind {
+            NodeKind::Leaf(slots) => slots.swap_remove(pos),
+            NodeKind::Internal { .. } => unreachable!(),
+        };
+        self.store.release(slot);
         self.len -= 1;
         self.condense(leaf);
         true
@@ -830,19 +1064,19 @@ impl RStarTree {
     fn find_leaf(&self, n: NodeId, point: &[f32], id: u64) -> Option<NodeId> {
         self.touch(n);
         match &self.node(n).kind {
-            NodeKind::Leaf(d) => d
+            NodeKind::Leaf(slots) => slots
                 .iter()
-                .any(|e| e.id == id && e.point == point)
+                .any(|&s| self.store.id(s) == id && self.store.point(s) == point)
                 .then_some(n),
-            NodeKind::Internal(c) => c
-                .iter()
-                .filter(|&&child| {
+            NodeKind::Internal { .. } => self
+                .child_iter(n)
+                .filter(|&child| {
                     self.node(child)
                         .rect
                         .as_ref()
                         .is_some_and(|r| r.contains_point(point))
                 })
-                .find_map(|&child| self.find_leaf(child, point, id)),
+                .find_map(|child| self.find_leaf(child, point, id)),
         }
     }
 
@@ -853,24 +1087,27 @@ impl RStarTree {
         let mut orphans: Vec<(Orphan, u32)> = Vec::new();
         let mut cur = leaf;
         while cur != self.root {
-            let parent = self.node(cur).parent.expect("non-root without parent");
+            let parent = self.parent(cur).expect("non-root without parent");
             if self.node(cur).entry_count() < m {
-                match &mut self.node_mut(parent).kind {
-                    NodeKind::Internal(c) => c.retain(|&x| x != cur),
-                    NodeKind::Leaf(_) => unreachable!(),
-                }
+                self.remove_child(parent, cur);
                 let level = self.node(cur).level;
-                match std::mem::replace(&mut self.node_mut(cur).kind, NodeKind::Leaf(Vec::new())) {
-                    NodeKind::Leaf(d) => {
-                        orphans.extend(d.into_iter().map(|e| (Orphan::Data(e), 0)))
-                    }
-                    NodeKind::Internal(children) => {
-                        orphans.extend(
-                            children
-                                .into_iter()
-                                .map(|c| (Orphan::Subtree(c), level - 1)),
-                        );
-                    }
+                if self.is_leaf(cur) {
+                    let slots = match std::mem::replace(
+                        &mut self.node_mut(cur).kind,
+                        NodeKind::Leaf(Vec::new()),
+                    ) {
+                        NodeKind::Leaf(s) => s,
+                        NodeKind::Internal { .. } => unreachable!(),
+                    };
+                    orphans.extend(slots.into_iter().map(|s| (Orphan::Data(s), 0)));
+                } else {
+                    let children = self.child_vec(cur);
+                    self.node_mut(cur).kind = NodeKind::Leaf(Vec::new());
+                    orphans.extend(
+                        children
+                            .into_iter()
+                            .map(|c| (Orphan::Subtree(c), level - 1)),
+                    );
                 }
                 self.release(cur);
             } else {
@@ -888,11 +1125,12 @@ impl RStarTree {
         // Shrink the root while it is an internal node with one child.
         loop {
             let child = match &self.node(self.root).kind {
-                NodeKind::Internal(c) if c.len() == 1 => c[0],
+                NodeKind::Internal { first_child, count } if *count == 1 => NodeId(*first_child),
                 _ => break,
             };
             let old = self.root;
-            self.node_mut(child).parent = None;
+            self.node_mut(child).parent = NONE;
+            self.node_mut(child).next_sibling = NONE;
             self.root = child;
             self.release(old);
         }
@@ -938,6 +1176,12 @@ impl RStarTree {
     /// (best-so-far fill toward `k`), and every node left unexpanded is
     /// counted in [`BudgetedKnn::nodes_skipped`]. `None` means unlimited and
     /// behaves exactly like [`Self::knn_in_counted`].
+    ///
+    /// Leaf entries whose norm lower bound `(‖p‖ − ‖q‖)²` provably exceeds
+    /// the k-th best distance seen skip the full distance evaluation. A
+    /// pruned entry is charged to the budget exactly like an evaluated one
+    /// (so budgets, counters, and rankings are identical to an unpruned
+    /// scan); the skips are reported in [`BudgetedKnn::distances_pruned`].
     pub fn knn_in_budgeted(
         &self,
         scope: NodeId,
@@ -952,6 +1196,7 @@ impl RStarTree {
         );
         let mut touched = 0u64;
         let mut spent = 0u64;
+        let mut pruned = 0u64;
         let mut nodes_skipped = 0u64;
         let mut exhausted = false;
         let mut out = Vec::with_capacity(k);
@@ -960,6 +1205,7 @@ impl RStarTree {
                 neighbors: out,
                 accesses: touched,
                 distance_computations: spent,
+                distances_pruned: pruned,
                 nodes_skipped,
                 exhausted,
             };
@@ -986,7 +1232,23 @@ impl RStarTree {
                 other.dist2.total_cmp(&self.dist2)
             }
         }
+        /// Max-heap entry tracking the k smallest evaluated data distances.
+        #[derive(PartialEq)]
+        struct WorstOfBest(f64);
+        impl Eq for WorstOfBest {}
+        impl PartialOrd for WorstOfBest {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for WorstOfBest {
+            fn cmp(&self, other: &Self) -> Ordering {
+                self.0.total_cmp(&other.0)
+            }
+        }
 
+        let qnorm = norm_of(query);
+        let mut best_k: BinaryHeap<WorstOfBest> = BinaryHeap::with_capacity(k + 1);
         let mut heap = BinaryHeap::new();
         let scope_rect = match self.node(scope).rect.as_ref() {
             Some(r) => r,
@@ -1018,17 +1280,33 @@ impl RStarTree {
                     }
                     touched += 1;
                     match &self.node(n).kind {
-                        NodeKind::Leaf(d) => {
-                            spent += d.len() as u64;
-                            for e in d {
+                        NodeKind::Leaf(slots) => {
+                            // Charged as if every entry were evaluated — the
+                            // budget currency is layout- and pruning-free.
+                            spent += slots.len() as u64;
+                            for &s in slots {
+                                if best_k.len() == k {
+                                    let lb = self.store.norm(s) - qnorm;
+                                    let prunable =
+                                        best_k.peek().is_some_and(|w| lb * lb > w.0 * PRUNE_SLACK);
+                                    if prunable {
+                                        pruned += 1;
+                                        continue;
+                                    }
+                                }
+                                let d2 = dist2(self.store.point(s), query);
                                 heap.push(HeapItem {
-                                    dist2: dist2(&e.point, query),
-                                    kind: HeapKind::Data(e.id),
+                                    dist2: d2,
+                                    kind: HeapKind::Data(self.store.id(s)),
                                 });
+                                best_k.push(WorstOfBest(d2));
+                                if best_k.len() > k {
+                                    best_k.pop();
+                                }
                             }
                         }
-                        NodeKind::Internal(c) => {
-                            for &child in c {
+                        NodeKind::Internal { .. } => {
+                            for child in self.child_iter(n) {
                                 if let Some(r) = self.node(child).rect.as_ref() {
                                     spent += 1;
                                     heap.push(HeapItem {
@@ -1047,6 +1325,7 @@ impl RStarTree {
             neighbors: out,
             accesses: touched,
             distance_computations: spent,
+            distances_pruned: pruned,
             nodes_skipped,
             exhausted,
         }
@@ -1098,14 +1377,15 @@ impl RStarTree {
             }
             self.touch(n);
             match &self.node(n).kind {
-                NodeKind::Leaf(d) => {
+                NodeKind::Leaf(slots) => {
                     out.extend(
-                        d.iter()
-                            .filter(|e| range.contains_point(&e.point))
-                            .map(|e| e.id),
+                        slots
+                            .iter()
+                            .filter(|&&s| range.contains_point(self.store.point(s)))
+                            .map(|&s| self.store.id(s)),
                     );
                 }
-                NodeKind::Internal(c) => stack.extend_from_slice(c),
+                NodeKind::Internal { .. } => stack.extend(self.child_iter(n)),
             }
         }
         out
@@ -1125,18 +1405,58 @@ impl RStarTree {
 
     /// Non-panicking invariant check: returns a description of the first
     /// violation. Used by deserialization to reject corrupt files.
+    ///
+    /// Beyond the classic R\*-tree invariants this validates the arena
+    /// layout contract (DESIGN.md §11): every child/next-sibling link
+    /// resolves to a live in-bounds node, each child chain has exactly the
+    /// recorded length and terminates, traversal from the root reaches every
+    /// node at most once, the SoA feature block length equals
+    /// `dims × slot_count`, every live feature slot is referenced by exactly
+    /// one leaf, and the free lists are consistent with liveness.
     pub fn check_invariants(&self) -> Result<(), String> {
-        let root = self.root;
         let fail = |msg: String| Err(msg);
+
+        // --- Feature store layout ---
+        let slot_count = self.store.slot_count();
+        if self.store.data.len() != slot_count * self.config.dims {
+            return fail(format!(
+                "feature block length {} does not equal dims {} x slot count {slot_count}",
+                self.store.data.len(),
+                self.config.dims
+            ));
+        }
+        if self.store.norms.len() != slot_count || self.store.live.len() != slot_count {
+            return fail("feature store parallel arrays disagree on slot count".to_string());
+        }
+        let mut freed = std::collections::HashSet::new();
+        for &f in &self.store.free {
+            if f as usize >= slot_count {
+                return fail(format!("freed feature slot {f} out of bounds"));
+            }
+            if self.store.live[f as usize] {
+                return fail(format!("freed feature slot {f} still marked live"));
+            }
+            if !freed.insert(f) {
+                return fail(format!("feature slot {f} freed twice"));
+            }
+        }
+        let live_slots = self.store.live.iter().filter(|&&l| l).count();
+        if live_slots + freed.len() != slot_count {
+            return fail("feature slot liveness disagrees with the free list".to_string());
+        }
+
+        // --- Tree structure ---
+        let root = self.root;
         let root_node = self
             .nodes
             .get(root.index())
             .filter(|n| n.live)
             .ok_or_else(|| "root is not a live node".to_string())?;
-        if root_node.parent.is_some() {
+        if root_node.parent != NONE {
             return fail("root has a parent".to_string());
         }
         let mut seen_points = 0usize;
+        let mut seen_slots = std::collections::HashSet::new();
         let mut visited = std::collections::HashSet::new();
         let mut stack = vec![root];
         while let Some(n) = stack.pop() {
@@ -1157,39 +1477,68 @@ impl RStarTree {
                 return fail(format!("node {n:?} overfull: {}", node.entry_count()));
             }
             match &node.kind {
-                NodeKind::Leaf(d) => {
+                NodeKind::Leaf(slots) => {
                     if node.level != 0 {
                         return fail(format!("leaf at level {}", node.level));
                     }
-                    seen_points += d.len();
+                    seen_points += slots.len();
+                    for &s in slots {
+                        if s as usize >= slot_count {
+                            return fail(format!("leaf slot {s} out of bounds"));
+                        }
+                        if !self.store.live[s as usize] {
+                            return fail(format!("leaf references freed feature slot {s}"));
+                        }
+                        if !seen_slots.insert(s) {
+                            return fail(format!("feature slot {s} referenced by two leaves"));
+                        }
+                        if self.store.norms[s as usize] != norm_of(self.store.point(s)) {
+                            return fail(format!("stale cached norm for feature slot {s}"));
+                        }
+                    }
                     if let Some(rect) = &node.rect {
-                        for e in d {
-                            if e.point.len() != self.config.dims {
-                                return fail("point dimensionality mismatch".to_string());
-                            }
-                            if !rect.contains_point(&e.point) {
+                        for &s in slots {
+                            if !rect.contains_point(self.store.point(s)) {
                                 return fail("leaf rect does not contain its point".to_string());
                             }
                         }
-                    } else if !d.is_empty() {
+                    } else if !slots.is_empty() {
                         return fail("leaf with points but no rect".to_string());
                     }
                 }
-                NodeKind::Internal(c) => {
-                    if c.is_empty() {
+                NodeKind::Internal { first_child, count } => {
+                    if *count == 0 {
                         return fail("internal node without children".to_string());
                     }
                     let rect = node
                         .rect
                         .as_ref()
                         .ok_or_else(|| "internal node without rect".to_string())?;
-                    for &child in c {
+                    // Walk the sibling chain with an explicit bound so a
+                    // corrupt cyclic chain fails instead of looping forever.
+                    let mut chain = Vec::with_capacity(*count as usize);
+                    let mut cur = *first_child;
+                    for _ in 0..*count {
+                        if cur == NONE {
+                            return fail(format!(
+                                "child chain of {n:?} shorter than count {count}"
+                            ));
+                        }
+                        let child = NodeId(cur);
                         let cn = self
                             .nodes
                             .get(child.index())
                             .filter(|x| x.live)
                             .ok_or_else(|| format!("dangling child reference {child:?}"))?;
-                        if cn.parent != Some(n) {
+                        chain.push(child);
+                        cur = cn.next_sibling;
+                    }
+                    if cur != NONE {
+                        return fail(format!("child chain of {n:?} longer than count {count}"));
+                    }
+                    for &child in &chain {
+                        let cn = &self.nodes[child.index()];
+                        if cn.parent != n.0 {
                             return fail("bad parent pointer".to_string());
                         }
                         if cn.level + 1 != node.level {
@@ -1214,6 +1563,12 @@ impl RStarTree {
             return fail(format!(
                 "len {} does not match stored points {seen_points}",
                 self.len
+            ));
+        }
+        if seen_slots.len() != live_slots {
+            return fail(format!(
+                "live feature slots {live_slots} vs leaf-referenced slots {}",
+                seen_slots.len()
             ));
         }
         Ok(())
@@ -1253,39 +1608,38 @@ fn bounding_rect<'a>(mut rects: impl Iterator<Item = &'a Rect>) -> Rect {
     out
 }
 
-fn bounding_rect_of_points(entries: &[DataEntry]) -> Rect {
-    let mut rect = Rect::point(&entries[0].point);
-    for e in &entries[1..] {
-        rect.enlarge(&Rect::point(&e.point));
+fn bounding_rect_of_slots(store: &FeatureStore, slots: &[u32]) -> Rect {
+    let mut rect = Rect::point(store.point(slots[0]));
+    for &s in &slots[1..] {
+        rect.enlarge(&Rect::point(store.point(s)));
     }
     rect
 }
 
-fn dist2(a: &[f32], b: &[f32]) -> f64 {
+pub(crate) fn dist2(a: &[f32], b: &[f32]) -> f64 {
     a.iter().zip(b).map(|(x, y)| ((x - y) as f64).powi(2)).sum()
 }
 
 /// Recursively partitions `items` into chunks of at most `max` elements by
 /// median-splitting along the widest dimension — the bulk-load tiler.
-fn partition_recursive<T>(
+/// `coord(item, d)` is the d-th coordinate of an item's key point; the
+/// ordering decisions are identical to the legacy slice-keyed tiler.
+fn partition_recursive<T: Clone>(
     items: &mut [T],
     max: usize,
-    key: impl Fn(&T) -> &[f32] + Copy,
-) -> Vec<Vec<T>>
-where
-    T: Clone,
-{
+    dims: usize,
+    coord: impl Fn(&T, usize) -> f32 + Copy,
+) -> Vec<Vec<T>> {
     if items.len() <= max {
         return vec![items.to_vec()];
     }
-    let dims = key(&items[0]).len();
     let mut widest = 0usize;
     let mut widest_span = f32::NEG_INFINITY;
     for d in 0..dims {
         let mut lo = f32::INFINITY;
         let mut hi = f32::NEG_INFINITY;
         for item in items.iter() {
-            let v = key(item)[d];
+            let v = coord(item, d);
             lo = lo.min(v);
             hi = hi.max(v);
         }
@@ -1295,10 +1649,10 @@ where
         }
     }
     let mid = items.len() / 2;
-    items.sort_by(|a, b| key(a)[widest].total_cmp(&key(b)[widest]));
+    items.sort_by(|a, b| coord(a, widest).total_cmp(&coord(b, widest)));
     let (left, right) = items.split_at_mut(mid);
-    let mut out = partition_recursive(left, max, key);
-    out.extend(partition_recursive(right, max, key));
+    let mut out = partition_recursive(left, max, dims, coord);
+    out.extend(partition_recursive(right, max, dims, coord));
     out
 }
 
@@ -1306,9 +1660,15 @@ where
 // Persistence (see `crate::persist` for the public API)
 // ----------------------------------------------------------------------
 
-const PERSIST_MAGIC: &[u8; 4] = b"QDT1";
+/// Arena format: nodes + the contiguous SoA feature block.
+const PERSIST_MAGIC: &[u8; 4] = b"QDT2";
+/// The pre-arena node-owned format; rejected with a distinct error.
+const LEGACY_PERSIST_MAGIC: &[u8; 4] = b"QDT1";
 
-/// Serializes the full arena into `out` (little-endian).
+/// Serializes the full arena into `out` (little-endian): config header, the
+/// feature store (ids, one contiguous f32 block of `slot_count × dims`
+/// values, free list; norms are recomputed on load), then the node arena
+/// with explicit child lists (sibling chains are rebuilt on load).
 pub(crate) fn write_tree(tree: &RStarTree, out: &mut Vec<u8>) {
     out.extend_from_slice(PERSIST_MAGIC);
     let w64 = |out: &mut Vec<u8>, v: u64| out.extend_from_slice(&v.to_le_bytes());
@@ -1318,15 +1678,31 @@ pub(crate) fn write_tree(tree: &RStarTree, out: &mut Vec<u8>) {
     out.extend_from_slice(&tree.config.reinsert_fraction.to_le_bytes());
     w64(out, tree.len as u64);
     out.extend_from_slice(&tree.root.0.to_le_bytes());
+
+    // Feature store.
+    let slot_count = tree.store.slot_count();
+    w64(out, slot_count as u64);
+    w64(out, tree.store.data.len() as u64);
+    for id in &tree.store.ids {
+        w64(out, *id);
+    }
+    for v in &tree.store.data {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    w64(out, tree.store.free.len() as u64);
+    for f in &tree.store.free {
+        out.extend_from_slice(&f.to_le_bytes());
+    }
+
+    // Node arena.
     w64(out, tree.nodes.len() as u64);
-    for node in &tree.nodes {
+    for (i, node) in tree.nodes.iter().enumerate() {
         out.push(node.live as u8);
         if !node.live {
             continue;
         }
         out.extend_from_slice(&node.level.to_le_bytes());
-        let parent: i64 = node.parent.map_or(-1, |p| p.0 as i64);
-        out.extend_from_slice(&parent.to_le_bytes());
+        out.extend_from_slice(&node.parent.to_le_bytes());
         match node.rect.as_ref() {
             Some(rect) => {
                 out.push(1);
@@ -1335,18 +1711,16 @@ pub(crate) fn write_tree(tree: &RStarTree, out: &mut Vec<u8>) {
             None => out.push(0),
         }
         match &node.kind {
-            NodeKind::Leaf(entries) => {
+            NodeKind::Leaf(slots) => {
                 out.push(0);
-                w64(out, entries.len() as u64);
-                for e in entries {
-                    w64(out, e.id);
-                    for v in &e.point {
-                        out.extend_from_slice(&v.to_le_bytes());
-                    }
+                w64(out, slots.len() as u64);
+                for s in slots {
+                    out.extend_from_slice(&s.to_le_bytes());
                 }
             }
-            NodeKind::Internal(children) => {
+            NodeKind::Internal { .. } => {
                 out.push(1);
+                let children = tree.child_vec(NodeId(i as u32));
                 w64(out, children.len() as u64);
                 for c in children {
                     out.extend_from_slice(&c.0.to_le_bytes());
@@ -1385,11 +1759,6 @@ pub(crate) fn read_tree(data: &[u8]) -> std::io::Result<RStarTree> {
             b.copy_from_slice(self.bytes(4)?);
             Ok(u32::from_le_bytes(b))
         }
-        fn i64(&mut self) -> std::io::Result<i64> {
-            let mut b = [0u8; 8];
-            b.copy_from_slice(self.bytes(8)?);
-            Ok(i64::from_le_bytes(b))
-        }
         fn f32(&mut self) -> std::io::Result<f32> {
             let mut b = [0u8; 4];
             b.copy_from_slice(self.bytes(4)?);
@@ -1401,7 +1770,13 @@ pub(crate) fn read_tree(data: &[u8]) -> std::io::Result<RStarTree> {
     }
 
     let mut r = R { data, pos: 0 };
-    if r.bytes(4)? != PERSIST_MAGIC {
+    let magic = r.bytes(4)?;
+    if magic == LEGACY_PERSIST_MAGIC {
+        return Err(bad(
+            "legacy QDT1 (pre-arena) index file — rebuild and re-save the index",
+        ));
+    }
+    if magic != PERSIST_MAGIC {
         return Err(bad("not an R*-tree file"));
     }
     let dims = r.u64()? as usize;
@@ -1422,35 +1797,83 @@ pub(crate) fn read_tree(data: &[u8]) -> std::io::Result<RStarTree> {
     }
     let len = r.u64()? as usize;
     let root = NodeId(r.u32()?);
+    if len > data.len() / 8 {
+        return Err(bad("corrupt size fields"));
+    }
+
+    // Feature store: every slot costs at least 8 id bytes, so `slot_count`
+    // is bounded by the file size before any allocation happens.
+    let slot_count = r.u64()? as usize;
+    let block_len = r.u64()? as usize;
+    if slot_count > data.len() / 8 {
+        return Err(bad("corrupt feature slot count"));
+    }
+    match slot_count.checked_mul(dims) {
+        Some(expect) if expect == block_len => {}
+        _ => return Err(bad("feature block length does not equal dims x slot count")),
+    }
+    let mut ids = Vec::with_capacity(slot_count);
+    for _ in 0..slot_count {
+        ids.push(r.u64()?);
+    }
+    let block = r.f32s(block_len)?;
+    let free_count = r.u64()? as usize;
+    if free_count > slot_count {
+        return Err(bad("corrupt feature free list"));
+    }
+    let mut live = vec![true; slot_count];
+    let mut store_free = Vec::with_capacity(free_count);
+    for _ in 0..free_count {
+        let f = r.u32()?;
+        if f as usize >= slot_count || !live[f as usize] {
+            return Err(bad("corrupt feature free list"));
+        }
+        live[f as usize] = false;
+        store_free.push(f);
+    }
+    let norms = (0..slot_count)
+        .map(|s| norm_of(&block[s * dims..(s + 1) * dims]))
+        .collect();
+    let store = FeatureStore {
+        dims,
+        ids,
+        data: block,
+        norms,
+        live,
+        free: store_free,
+    };
+
+    // Node arena.
     let arena = r.u64()? as usize;
     if root.index() >= arena {
         return Err(bad("root out of range"));
     }
-    // Every serialized node costs at least one byte; `len` data entries cost
-    // at least 8 bytes each.
-    if arena > data.len() || len > data.len() / 8 {
+    // Every serialized node costs at least one byte.
+    if arena > data.len() {
         return Err(bad("corrupt size fields"));
     }
-
     let mut nodes = Vec::with_capacity(arena);
     let mut free = Vec::new();
+    let mut children_of: Vec<Vec<NodeId>> = Vec::with_capacity(arena);
     for i in 0..arena {
-        let live = r.bytes(1)?[0] != 0;
-        if !live {
+        let live_node = r.bytes(1)?[0] != 0;
+        if !live_node {
             free.push(i as u32);
             nodes.push(Node {
                 rect: None,
-                parent: None,
+                parent: NONE,
+                next_sibling: NONE,
                 level: 0,
                 kind: NodeKind::Leaf(Vec::new()),
                 live: false,
             });
+            children_of.push(Vec::new());
             continue;
         }
         let level = r.u32()?;
-        let parent = match r.i64()? {
-            -1 => None,
-            p if p >= 0 && (p as usize) < arena => Some(NodeId(p as u32)),
+        let parent = match r.u32()? {
+            NONE => NONE,
+            p if (p as usize) < arena => p,
             _ => return Err(bad("parent out of range")),
         };
         let rect = if r.bytes(1)?[0] != 0 {
@@ -1465,19 +1888,21 @@ pub(crate) fn read_tree(data: &[u8]) -> std::io::Result<RStarTree> {
         } else {
             None
         };
-        let kind = match r.bytes(1)?[0] {
+        let (kind, children) = match r.bytes(1)?[0] {
             0 => {
                 let count = r.u64()? as usize;
                 if count > max_entries {
                     return Err(bad("leaf overfull"));
                 }
-                let mut entries = Vec::with_capacity(count);
+                let mut slots = Vec::with_capacity(count);
                 for _ in 0..count {
-                    let id = r.u64()?;
-                    let point = r.f32s(dims)?;
-                    entries.push(DataEntry { id, point });
+                    let s = r.u32()?;
+                    if s as usize >= slot_count || !store.live[s as usize] {
+                        return Err(bad("leaf references a bad feature slot"));
+                    }
+                    slots.push(s);
                 }
-                NodeKind::Leaf(entries)
+                (NodeKind::Leaf(slots), Vec::new())
             }
             1 => {
                 let count = r.u64()? as usize;
@@ -1492,23 +1917,31 @@ pub(crate) fn read_tree(data: &[u8]) -> std::io::Result<RStarTree> {
                     }
                     children.push(NodeId(c));
                 }
-                NodeKind::Internal(children)
+                (
+                    NodeKind::Internal {
+                        first_child: NONE,
+                        count: 0,
+                    },
+                    children,
+                )
             }
             _ => return Err(bad("unknown node kind")),
         };
         nodes.push(Node {
             rect,
             parent,
+            next_sibling: NONE,
             level,
             kind,
             live: true,
         });
+        children_of.push(children);
     }
     if r.pos != data.len() {
         return Err(bad("trailing bytes in tree file"));
     }
 
-    let tree = RStarTree {
+    let mut tree = RStarTree {
         config: TreeConfig {
             dims,
             min_entries,
@@ -1519,8 +1952,16 @@ pub(crate) fn read_tree(data: &[u8]) -> std::io::Result<RStarTree> {
         free,
         root,
         len,
+        store,
         accesses: AtomicU64::new(0),
     };
+    // Rebuild sibling chains from the explicit child lists. Parents come
+    // from the file and are cross-validated against the chains below.
+    for (i, children) in children_of.into_iter().enumerate() {
+        if !children.is_empty() {
+            tree.chain_children(NodeId(i as u32), &children);
+        }
+    }
     // A structurally broken file must not produce a tree that misbehaves
     // later; the non-panicking checker rejects it cleanly.
     if let Err(msg) = tree.check_invariants() {
@@ -1530,7 +1971,6 @@ pub(crate) fn read_tree(data: &[u8]) -> std::io::Result<RStarTree> {
     }
     Ok(tree)
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1788,7 +2228,7 @@ mod tests {
             if tree.is_leaf(n) {
                 total += tree.leaf_entries(n).count();
             } else {
-                for &c in tree.children(n) {
+                for c in tree.children(n) {
                     assert_eq!(tree.parent(c), Some(n));
                 }
             }
@@ -1958,5 +2398,86 @@ mod tests {
         assert!(b.neighbors.is_empty());
         assert!(b.exhausted);
         assert_eq!(b.accesses, 0);
+    }
+
+    #[test]
+    fn pruned_budgeted_knn_matches_unpruned_ranking() {
+        // The norm lower bound may skip evaluations but must never change
+        // the ranking, the counters, or budget exhaustion points. Clustered
+        // data with a far-off query maximizes pruning opportunity.
+        let mut items = random_points(400, 8, 71);
+        for (i, (_, p)) in items.iter_mut().enumerate() {
+            if i % 3 == 0 {
+                for v in p.iter_mut() {
+                    *v += 200.0; // far cluster: large norm gap to near queries
+                }
+            }
+        }
+        let tree = RStarTree::bulk_load(TreeConfig::small(8), items.clone());
+        let q = vec![1.0f32; 8];
+        let mut saw_pruning = false;
+        for budget in [0u64, 1, 10, 50, 200, 1000, u64::MAX] {
+            let b = tree.knn_in_budgeted(tree.root(), &q, 25, Some(budget));
+            saw_pruning |= b.distances_pruned > 0;
+            assert!(b.distances_pruned <= b.distance_computations);
+            if !b.exhausted {
+                let want = brute_knn(&items, &q, 25);
+                let got: Vec<u64> = b.neighbors.iter().map(|n| n.id).collect();
+                assert_eq!(got, want, "budget {budget}");
+            }
+        }
+        assert!(saw_pruning, "test data should trigger the norm lower bound");
+    }
+
+    #[test]
+    fn check_invariants_catches_soa_length_mismatch() {
+        let items = random_points(100, 3, 73);
+        let mut tree = RStarTree::bulk_load(TreeConfig::small(3), items);
+        assert!(tree.check_invariants().is_ok());
+        tree.store.data.pop(); // SoA block no longer dims x slot_count
+        let err = tree.check_invariants().unwrap_err();
+        assert!(err.contains("feature block length"), "{err}");
+    }
+
+    #[test]
+    fn check_invariants_catches_corrupt_child_chain() {
+        let items = random_points(200, 2, 79);
+        let mut tree = RStarTree::bulk_load(TreeConfig::small(2), items);
+        let root = tree.root();
+        let first = tree.children(root)[0];
+        // Cut the chain short: the recorded count no longer matches.
+        tree.nodes[first.index()].next_sibling = NONE;
+        let err = tree.check_invariants().unwrap_err();
+        assert!(err.contains("child chain"), "{err}");
+    }
+
+    #[test]
+    fn check_invariants_catches_freed_slot_reference() {
+        let items = random_points(60, 2, 83);
+        let mut tree = RStarTree::bulk_load(TreeConfig::small(2), items);
+        // Free a slot that a leaf still references.
+        tree.store.release(0);
+        let err = tree.check_invariants().unwrap_err();
+        assert!(err.contains("slot"), "{err}");
+    }
+
+    #[test]
+    fn bulk_load_packs_features_contiguously() {
+        // Each leaf's slots form a contiguous ascending run of the SoA
+        // block — the cache-linearity the arena layout exists for.
+        let items = random_points(500, 3, 89);
+        let tree = RStarTree::bulk_load(TreeConfig::small(3), items);
+        for n in tree.node_ids() {
+            if !tree.is_leaf(n) {
+                continue;
+            }
+            let slots = match &tree.nodes[n.index()].kind {
+                NodeKind::Leaf(s) => s.clone(),
+                NodeKind::Internal { .. } => unreachable!(),
+            };
+            for w in slots.windows(2) {
+                assert_eq!(w[1], w[0] + 1, "leaf slots not contiguous");
+            }
+        }
     }
 }

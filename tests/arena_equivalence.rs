@@ -1,0 +1,479 @@
+//! Differential arena-equivalence harness (the gate for the arena refactor).
+//!
+//! The R\*-tree's node storage moved from per-node `BTreeMap` entries to a
+//! flat arena with a contiguous SoA feature block, and `knn_in_budgeted`
+//! gained a norm-based lower-bound prune. This suite proves the rewrite is
+//! *observationally invisible*: the pre-arena implementation is kept
+//! verbatim as `qd_index::legacy` (behind the `legacy-rfs` feature, slated
+//! for removal next PR) and every behavior the serving path exposes is
+//! compared between the two:
+//!
+//! 1. **Structure**: identical `NodeId` assignment, levels, child order,
+//!    rectangles (bit-for-bit), leaf contents, representative lists, and
+//!    `leaf_of` maps — for both the incremental-insert and bulk-load builds.
+//! 2. **Sessions**: bit-identical `ServedOutcome`s, observability counters,
+//!    span trees, and degradation reports at `QD_THREADS=1` and `8`, under
+//!    the chaos fault plans (the CI chaos job reruns this suite under eight
+//!    `QD_FAULT_SEED`s), across the full `distance_budget` sweep including
+//!    0 and `u64::MAX`.
+//! 3. **Pruning**: the arena's pruned budgeted k-NN returns the identical
+//!    id/score prefix as the unpruned legacy scan at every budget, and its
+//!    distance-computation charge never exceeds (in fact equals — the prune
+//!    skips evaluations without touching the budget currency) the legacy
+//!    charge. Pruning savings are visible only in `distances_pruned`.
+//! 4. **Arena invariants**: child/sibling links always resolve to live
+//!    in-bounds nodes, root traversal visits every live node exactly once,
+//!    `leaf_of` is consistent with the set of live leaves, and the SoA
+//!    feature block stays exactly `dims × stored points` under churn.
+
+#![cfg(feature = "legacy-rfs")]
+
+use qd_fault::{FaultPlan, Mode};
+use query_decomposition::index::legacy;
+use query_decomposition::index::KnnIndex;
+use query_decomposition::obs;
+use query_decomposition::prelude::*;
+use std::fmt::Write as _;
+use std::sync::OnceLock;
+
+type ArenaRfs = RfsStructure<RStarTree>;
+type LegacyRfs = RfsStructure<legacy::RStarTree>;
+
+/// Shared fixture: the `fault_properties.rs` corpus plus the RFS structure
+/// built through identical generic code over both tree implementations.
+fn fixture() -> &'static (Corpus, ArenaRfs, LegacyRfs) {
+    static FIXTURE: OnceLock<(Corpus, ArenaRfs, LegacyRfs)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let corpus = Corpus::build(&CorpusConfig {
+            size: 300,
+            image_size: 24,
+            seed: 23,
+            filler_count: 5,
+            with_viewpoints: false,
+        });
+        let cfg = RfsConfig::test_small();
+        let arena = ArenaRfs::build_with(corpus.features(), &cfg);
+        let legacy = LegacyRfs::build_with(corpus.features(), &cfg);
+        (corpus, arena, legacy)
+    })
+}
+
+/// The chaos seed: `QD_FAULT_SEED` when set (CI runs eight), 0 otherwise.
+fn fault_seed() -> u64 {
+    std::env::var(qd_fault::FAULT_SEED_ENV)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// The distance-budget sweep the ISSUE pins: both degenerate ends plus a
+/// spread that exercises mid-scan exhaustion.
+const BUDGETS: [Option<u64>; 7] = [
+    None,
+    Some(0),
+    Some(1),
+    Some(10),
+    Some(200),
+    Some(5000),
+    Some(u64::MAX),
+];
+
+fn f32_bits(v: &[f32]) -> String {
+    v.iter()
+        .map(|x| format!("{:08x}", x.to_bits()))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Serializes everything the RFS exposes about its tree — every bit of it
+/// must match between the legacy and arena layouts.
+fn serialize_structure<I: KnnIndex>(rfs: &RfsStructure<I>, corpus_len: usize) -> String {
+    let t = rfs.tree();
+    let mut s = String::new();
+    writeln!(
+        s,
+        "len={} dims={} height={} nodes={} root={}",
+        t.len(),
+        t.dims(),
+        t.height(),
+        t.node_count(),
+        t.root().index()
+    )
+    .unwrap();
+    let mut ids = t.node_ids();
+    ids.sort_unstable_by_key(|n| n.index());
+    for n in ids {
+        let rect = match t.node_rect(n) {
+            Some(r) => format!("{}|{}", f32_bits(r.min()), f32_bits(r.max())),
+            None => "-".to_string(),
+        };
+        let children: Vec<String> = t
+            .children(n)
+            .iter()
+            .map(|c| c.index().to_string())
+            .collect();
+        let items: Vec<String> = t
+            .leaf_items(n)
+            .iter()
+            .map(|(id, p)| format!("{id}:{}", f32_bits(p)))
+            .collect();
+        let reps: Vec<String> = rfs
+            .representatives(n)
+            .iter()
+            .map(|r| r.to_string())
+            .collect();
+        writeln!(
+            s,
+            "node={} level={} parent={} subtree_len={} rect={} children=[{}] items=[{}] reps=[{}]",
+            n.index(),
+            t.level(n),
+            t.parent(n)
+                .map_or("-".to_string(), |p| p.index().to_string()),
+            t.subtree_len(n),
+            rect,
+            children.join(","),
+            items.join(";"),
+            reps.join(",")
+        )
+        .unwrap();
+    }
+    for image in 0..corpus_len {
+        writeln!(s, "leaf_of {image}={}", rfs.leaf_of(image).index()).unwrap();
+    }
+    s
+}
+
+/// Tentpole gate 1: the two layouts build byte-identical structures through
+/// the shared generic build path — for the paper's incremental-insert build
+/// and for the kd bulk load.
+#[test]
+fn arena_and_legacy_build_identical_structures() {
+    let (corpus, arena, legacy) = fixture();
+    arena.validate();
+    legacy.validate();
+    assert_eq!(
+        serialize_structure(arena, corpus.len()),
+        serialize_structure(legacy, corpus.len()),
+        "incremental-insert structures diverged"
+    );
+
+    let bulk_cfg = RfsConfig {
+        bulk_load: true,
+        ..RfsConfig::test_small()
+    };
+    let arena_bulk = ArenaRfs::build_with(corpus.features(), &bulk_cfg);
+    let legacy_bulk = LegacyRfs::build_with(corpus.features(), &bulk_cfg);
+    arena_bulk.validate();
+    legacy_bulk.validate();
+    assert_eq!(
+        serialize_structure(&arena_bulk, corpus.len()),
+        serialize_structure(&legacy_bulk, corpus.len()),
+        "bulk-loaded structures diverged"
+    );
+}
+
+fn standard_query(name: &str) -> QuerySpec {
+    let (corpus, _, _) = fixture();
+    queries::standard_queries(corpus.taxonomy())
+        .into_iter()
+        .find(|q| q.name == name)
+        .expect("standard query")
+}
+
+/// Serializes a served session (or its typed error) deterministically,
+/// excluding wall-clock fields; floats are raw bits.
+fn serialize_session(outcome: &Result<ServedOutcome, QdError>) -> String {
+    let mut s = String::new();
+    let served = match outcome {
+        Ok(served) => served,
+        Err(e) => return format!("error {e}\n"),
+    };
+    let o = served.outcome();
+    writeln!(
+        s,
+        "kind={}",
+        match served {
+            ServedOutcome::Complete(_) => "complete",
+            ServedOutcome::Degraded { .. } => "degraded",
+        }
+    )
+    .unwrap();
+    let results: Vec<String> = o.results.iter().map(|id| id.to_string()).collect();
+    writeln!(s, "results=[{}]", results.join(",")).unwrap();
+    for g in &o.groups {
+        let images: Vec<String> = g
+            .images
+            .iter()
+            .map(|(id, d)| format!("{id}:{:08x}", d.to_bits()))
+            .collect();
+        writeln!(
+            s,
+            "group home={} score={:016x} images=[{}]",
+            g.home.index(),
+            g.ranking_score.to_bits(),
+            images.join(",")
+        )
+        .unwrap();
+    }
+    for r in &o.round_trace {
+        let p = match r.precision {
+            Some(p) => format!("{:016x}", p.to_bits()),
+            None => "-".to_string(),
+        };
+        writeln!(
+            s,
+            "round={} precision={p} gtir={:016x}",
+            r.round,
+            r.gtir.to_bits()
+        )
+        .unwrap();
+    }
+    writeln!(
+        s,
+        "feedback_accesses={} knn_accesses={} subquery_count={}",
+        o.feedback_accesses, o.knn_accesses, o.subquery_count
+    )
+    .unwrap();
+    match served.degradation() {
+        None => writeln!(s, "degradation=-").unwrap(),
+        Some(d) => writeln!(
+            s,
+            "degradation budget_spent={} nodes_skipped={} subqueries_dropped={} displays_skipped={}",
+            d.budget_spent, d.nodes_skipped, d.subqueries_dropped, d.displays_skipped
+        )
+        .unwrap(),
+    }
+    s
+}
+
+/// One observed session against either tree: serialized outcome, the full
+/// counter ledger, and the span tree.
+fn observed_session<I: KnnIndex + Sync>(
+    corpus: &Corpus,
+    rfs: &RfsStructure<I>,
+    query_name: &str,
+    cfg: &QdConfig,
+    workers: usize,
+) -> String {
+    let query = standard_query(query_name);
+    let k = corpus.ground_truth(&query).len();
+    let (outcome, trace) = obs::with_recorder(|| {
+        qd_runtime::with_threads(workers, || {
+            let mut user = SimulatedUser::oracle(&query, 13);
+            qd_core::session::try_run_session(corpus, rfs, &query, &mut user, k, cfg)
+        })
+    });
+    let mut s = serialize_session(&outcome);
+    for (name, value) in &trace.counters {
+        writeln!(s, "counter {name}={value}").unwrap();
+    }
+    s.push_str(&trace.render());
+    s
+}
+
+/// Tentpole gate 2: sessions are bit-identical — results, groups, round
+/// traces, distance/node counters, span trees, degradation reports — between
+/// legacy and arena, at 1 and 8 workers, across the whole budget sweep,
+/// under the active chaos seed's fault plans. Since the budget currency
+/// (`distance_computations`) charges identically with and without pruning,
+/// *equality* is asserted for every counter: pruning must not alter the
+/// counters the serving path reports, only `distances_pruned` (which qd-core
+/// deliberately does not export as a session counter).
+#[test]
+fn sessions_bit_identical_across_budgets_threads_and_chaos() {
+    let (corpus, arena, legacy) = fixture();
+    let seed = fault_seed();
+    let plans = [
+        FaultPlan::new(seed), // no faults armed
+        FaultPlan::new(seed).all_sites(Mode::Probability(0.4)),
+    ];
+    for budget in BUDGETS {
+        let cfg = QdConfig {
+            distance_budget: budget,
+            ..QdConfig::default()
+        };
+        for query in ["bird", "rose"] {
+            for (pi, plan) in plans.iter().enumerate() {
+                let mut lines = Vec::new();
+                for workers in [1usize, 8] {
+                    let a = qd_fault::with_plan(plan, || {
+                        observed_session(corpus, arena, query, &cfg, workers)
+                    });
+                    let l = qd_fault::with_plan(plan, || {
+                        observed_session(corpus, legacy, query, &cfg, workers)
+                    });
+                    assert_eq!(
+                        a, l,
+                        "arena/legacy diverged (query={query}, budget={budget:?}, \
+                         plan={pi}, workers={workers}, seed={seed})"
+                    );
+                    lines.push(a);
+                }
+                assert_eq!(
+                    lines[0], lines[1],
+                    "thread count left a fingerprint (query={query}, budget={budget:?}, \
+                     plan={pi}, seed={seed})"
+                );
+            }
+        }
+    }
+}
+
+/// Satellite: pruning correctness as a property over scopes and budgets.
+/// The legacy tree computes the unpruned reference answer; at every budget
+/// in the sweep the arena's pruned scan must return the identical id/score
+/// prefix, charge the identical budget currency, and report its savings
+/// only through `distances_pruned`.
+#[test]
+fn pruned_knn_matches_unpruned_reference_at_every_budget() {
+    let (corpus, arena, legacy) = fixture();
+    let at = arena.tree();
+    let lt = legacy.tree();
+    // Scopes: the root plus every child of the root (the localized scopes
+    // the paper's subqueries actually use), against queries taken from
+    // corpus feature vectors (dense region) and a far-out synthetic point.
+    let mut scopes = vec![at.root()];
+    scopes.extend(at.children(at.root()));
+    let far: Vec<f32> = vec![1e3; at.dims()];
+    let queries: Vec<Vec<f32>> = vec![
+        corpus.features()[0].clone(),
+        corpus.features()[137].clone(),
+        far,
+    ];
+    let mut pruned_total = 0u64;
+    for scope in scopes {
+        assert!(lt.contains_node(scope), "scope ids must agree");
+        for q in &queries {
+            for budget in BUDGETS {
+                for k in [1usize, 5, 40] {
+                    let a = at.knn_in_budgeted(scope, q, k, budget);
+                    let l = lt.knn_in_budgeted(scope, q, k, budget);
+                    let a_ids: Vec<(u64, u32)> = a
+                        .neighbors
+                        .iter()
+                        .map(|n| (n.id, n.distance.to_bits()))
+                        .collect();
+                    let l_ids: Vec<(u64, u32)> = l
+                        .neighbors
+                        .iter()
+                        .map(|n| (n.id, n.distance.to_bits()))
+                        .collect();
+                    assert_eq!(
+                        a_ids,
+                        l_ids,
+                        "ranking diverged (scope={}, k={k}, budget={budget:?})",
+                        scope.index()
+                    );
+                    assert_eq!(a.accesses, l.accesses);
+                    assert_eq!(a.exhausted, l.exhausted);
+                    assert_eq!(a.nodes_skipped, l.nodes_skipped);
+                    // The budget currency is charged identically; pruning
+                    // may only reduce actual evaluations, reported apart.
+                    assert_eq!(a.distance_computations, l.distance_computations);
+                    assert!(a.distances_pruned <= a.distance_computations);
+                    assert_eq!(l.distances_pruned, 0, "legacy tree never prunes");
+                    pruned_total += a.distances_pruned;
+                }
+            }
+        }
+    }
+    assert!(
+        pruned_total > 0,
+        "the sweep never exercised the pruning path"
+    );
+}
+
+/// Satellite: arena invariant properties under churn. Inserts and removes
+/// drive allocation, release, reinsert, split, and condense; after every
+/// batch the full invariant check must hold, the root traversal must visit
+/// each live node exactly once, and `leaf_of`-style leaf lookups must agree
+/// with the set of live leaves.
+#[test]
+fn arena_invariants_hold_under_churn() {
+    let dims = 4;
+    let mut tree = RStarTree::new(TreeConfig::small(dims));
+    let point = |i: u64| -> Vec<f32> {
+        (0..dims)
+            .map(|d| {
+                let x = i
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .rotate_left(11 + d as u32);
+                (x % 1000) as f32 / 10.0
+            })
+            .collect()
+    };
+    for i in 0..250u64 {
+        tree.insert(point(i), i);
+        if i % 3 == 0 && i > 40 {
+            let victim = i / 2;
+            assert!(tree.remove(&point(victim), victim) || victim > i);
+        }
+        if i % 25 == 0 {
+            tree.validate();
+        }
+    }
+    tree.validate();
+
+    // Root traversal visits every live node exactly once.
+    let mut visited = std::collections::BTreeSet::new();
+    let mut stack = vec![tree.root()];
+    while let Some(n) = stack.pop() {
+        assert!(tree.contains_node(n), "traversal reached a dead node");
+        assert!(
+            visited.insert(n.index()),
+            "node {} visited twice",
+            n.index()
+        );
+        for c in tree.children(n) {
+            assert_eq!(tree.parent(c), Some(n), "child/parent links disagree");
+            stack.push(c);
+        }
+    }
+    assert_eq!(
+        visited.len(),
+        tree.node_count(),
+        "traversal missed live nodes"
+    );
+
+    // Every live leaf is reachable and every stored point lives in exactly
+    // one leaf (the tree-level ground truth behind the RFS `leaf_of` map).
+    let mut ids_seen = std::collections::BTreeSet::new();
+    for n in tree.node_ids() {
+        assert!(visited.contains(&n.index()), "live node unreachable");
+        if tree.is_leaf(n) {
+            for (id, _) in tree.leaf_items(n) {
+                assert!(ids_seen.insert(id), "image {id} stored in two leaves");
+            }
+        } else {
+            assert!(tree.leaf_items(n).is_empty());
+        }
+    }
+    assert_eq!(ids_seen.len(), tree.len(), "leaf union misses points");
+}
+
+/// Satellite: the RFS `leaf_of` map is a bijection-compatible assignment
+/// against the live leaves of the arena tree: every image maps to a live
+/// leaf that stores it, and every live leaf is the image of some id.
+#[test]
+fn rfs_leaf_of_agrees_with_live_leaves() {
+    let (corpus, arena, _) = fixture();
+    let t = arena.tree();
+    let mut leaves_hit = std::collections::BTreeSet::new();
+    for image in 0..corpus.len() {
+        let leaf = arena.leaf_of(image);
+        assert!(t.contains_node(leaf), "leaf_of returned a dead node");
+        assert!(t.is_leaf(leaf), "leaf_of returned an internal node");
+        assert!(
+            t.leaf_items(leaf).iter().any(|(id, _)| *id == image as u64),
+            "leaf_of({image}) points at a leaf that does not store it"
+        );
+        leaves_hit.insert(leaf.index());
+    }
+    let live_leaves: std::collections::BTreeSet<usize> = t
+        .node_ids()
+        .into_iter()
+        .filter(|&n| t.is_leaf(n))
+        .map(|n| n.index())
+        .collect();
+    assert_eq!(leaves_hit, live_leaves, "some live leaf holds no image");
+}

@@ -138,7 +138,7 @@ proptest! {
         let tree = RStarTree::bulk_load(TreeConfig::small(3), items.clone());
         let root = tree.root();
         prop_assume!(!tree.is_leaf(root));
-        for &child in tree.children(root) {
+        for child in tree.children(root) {
             let local: Vec<(u64, Vec<f32>)> = tree
                 .subtree_items(child)
                 .into_iter()
