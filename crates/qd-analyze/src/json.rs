@@ -1,0 +1,210 @@
+//! Hand-rolled JSON rendering for `check --json`.
+//!
+//! Same idiom as qd-bench's `BENCH_qd.json` writer (qd-analyze sits on
+//! layer 0 and cannot depend on qd-bench, so the ~80 lines are duplicated
+//! rather than the layering broken): an insertion-ordered value tree and a
+//! deterministic two-space renderer. No maps, no timestamps, no float
+//! formatting — two runs over the same tree emit identical bytes, which CI
+//! verifies by diffing consecutive runs.
+
+use crate::CheckReport;
+
+/// A JSON value with insertion-ordered object keys.
+pub enum Json {
+    /// A string (escaped on render).
+    Str(String),
+    /// A non-negative integer (the only numbers findings carry).
+    Num(u64),
+    /// A boolean.
+    Bool(bool),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys render in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Renders with two-space indentation and a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Str(s) => {
+                out.push('"');
+                escape_into(s, out);
+                out.push('"');
+            }
+            Json::Num(n) => out.push_str(&n.to_string()),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    pad(out, indent + 1);
+                    item.render_into(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                pad(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    pad(out, indent + 1);
+                    out.push('"');
+                    escape_into(key, out);
+                    out.push_str("\": ");
+                    value.render_into(out, indent + 1);
+                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                pad(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn pad(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn finding_to_json(f: &crate::rules::Finding) -> Json {
+    obj(vec![
+        ("rule", Json::Str(f.rule.to_string())),
+        ("file", Json::Str(f.file.clone())),
+        ("line", Json::Num(f.line as u64)),
+        ("message", Json::Str(f.message.clone())),
+        ("hint", Json::Str(f.hint.clone())),
+    ])
+}
+
+/// Renders a [`CheckReport`] as the `check --json` document. Findings keep
+/// the report's (file, line, rule) order; nothing here depends on wall
+/// clock, environment, or iteration order of any hash container, so the
+/// bytes are stable across runs.
+pub fn report_to_json(report: &CheckReport) -> String {
+    let stale: Vec<Json> = report
+        .stale
+        .iter()
+        .map(|e| {
+            let mut fields = vec![
+                ("rule", Json::Str(e.rule.to_string())),
+                ("file", Json::Str(e.file.clone())),
+            ];
+            if let Some((lo, hi)) = e.range {
+                fields.push(("lines", Json::Str(format!("{lo}-{hi}"))));
+            }
+            fields.push(("justification", Json::Str(e.justification.clone())));
+            obj(fields)
+        })
+        .collect();
+    obj(vec![
+        ("tool", Json::Str("qd-analyze".to_string())),
+        ("schema", Json::Num(1)),
+        ("files_scanned", Json::Num(report.files_scanned as u64)),
+        ("clean", Json::Bool(report.is_clean())),
+        (
+            "counts",
+            obj(vec![
+                ("reported", Json::Num(report.reported.len() as u64)),
+                ("suppressed", Json::Num(report.suppressed.len() as u64)),
+                ("stale", Json::Num(report.stale.len() as u64)),
+            ]),
+        ),
+        (
+            "reported",
+            Json::Arr(report.reported.iter().map(finding_to_json).collect()),
+        ),
+        (
+            "suppressed",
+            Json::Arr(report.suppressed.iter().map(finding_to_json).collect()),
+        ),
+        ("stale", Json::Arr(stale)),
+    ])
+    .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_deterministic_insertion_ordered_output() {
+        let v = obj(vec![
+            ("b", Json::Num(2)),
+            (
+                "a",
+                Json::Arr(vec![Json::Str("x\"y".into()), Json::Bool(true)]),
+            ),
+            ("empty", Json::Arr(Vec::new())),
+        ]);
+        let one = v.render();
+        assert_eq!(one, v.render());
+        // Keys stay in insertion order — "b" before "a".
+        assert!(one.find("\"b\"").unwrap() < one.find("\"a\"").unwrap());
+        assert!(one.contains("\"x\\\"y\""));
+        assert!(one.contains("\"empty\": []"));
+        assert!(one.ends_with("}\n"));
+    }
+
+    #[test]
+    fn report_document_carries_the_findings() {
+        let report = CheckReport {
+            reported: vec![crate::rules::Finding {
+                rule: crate::rules::RuleId::R7,
+                file: "a.rs".into(),
+                line: 3,
+                message: "msg".into(),
+                hint: "hint".into(),
+            }],
+            suppressed: Vec::new(),
+            stale: Vec::new(),
+            files_scanned: 1,
+        };
+        let doc = report_to_json(&report);
+        assert!(doc.contains("\"tool\": \"qd-analyze\""));
+        assert!(doc.contains("\"clean\": false"));
+        assert!(doc.contains("\"rule\": \"R7\""));
+        assert!(doc.contains("\"line\": 3"));
+        assert_eq!(doc, report_to_json(&report));
+    }
+}

@@ -18,18 +18,33 @@
 //! | R6 | no `todo!`/`unimplemented!`/`dbg!` |
 //! | R7 | no `.unwrap()`/`.expect(` in qd-core/qd-corpus/qd-index/qd-runtime `src/` outside `#[cfg(test)]` code |
 //! | R8 | no string-literal counter/span names at `qd_obs` call sites in `src/` outside `#[cfg(test)]` — names come from the `qd_obs::ctr`/`qd_obs::sp` catalogs |
+//! | R9 | crate dependencies point strictly down the layering manifest (`qd-analyze.layers`); engine crates never reach qd-bench or the CLI |
+//! | R10 | every `io::Result` fn in the persistence modules reaches a qd-fault site, and every declared site is exercised by `tests/fault_properties.rs` |
+//! | R11 | every `qd_obs::ctr`/`qd_obs::sp` catalog name is referenced outside qd-obs (reverse of R8 — no dead metrics) |
+//! | R12 | narrowing `as` casts in engine-crate src carry a `// CAST:` justification within 3 lines |
+//! | R13 | `#[allow(...)]` in first-party src carries an `// ALLOW:` justification within 3 lines |
 //!
 //! The crate is dependency-free (the build environment is offline, so `syn`
-//! is not an option): a hand-rolled comment/string-aware scrubber
-//! ([`scan`]) feeds line-oriented rule matchers ([`rules`]). Justified
-//! exceptions live in `qd-analyze.allow` at the workspace root ([`allow`]);
-//! stale entries are themselves an error.
+//! is not an option). A hand-rolled Rust lexer ([`lex`]) produces a lossless
+//! comment/string/raw-string-aware token stream; the line-oriented scrub
+//! view ([`scan`]) is derived from it, and the [`model::Workspace`] adds the
+//! cross-file facts (crate manifests, the layering table, per-file token
+//! streams). Rules implement the [`rules::Rule`] trait; R1–R8 plus R12/R13
+//! are file-scoped ([`rules`]), R9–R11 are cross-file ([`wsrules`]).
+//! Justified exceptions live in `qd-analyze.allow` at the workspace root
+//! ([`allow`]), optionally scoped to line ranges; stale entries are
+//! themselves an error. [`json::report_to_json`] renders the machine-readable
+//! findings report (`check --json`), byte-identical across runs.
 //!
 //! Run it as `cargo run -p qd-analyze -- check`.
 
 pub mod allow;
+pub mod json;
+pub mod lex;
+pub mod model;
 pub mod rules;
 pub mod scan;
+pub mod wsrules;
 
 use rules::Finding;
 use std::path::{Path, PathBuf};
@@ -37,9 +52,13 @@ use std::path::{Path, PathBuf};
 /// Name of the allowlist file at the workspace root.
 pub const ALLOWLIST_FILE: &str = "qd-analyze.allow";
 
-/// The source directories walked, relative to the workspace root. `vendor/`
-/// (third-party stubs) and `target/` are deliberately absent.
+/// The source directories walked, relative to the workspace root.
 const WALKED: [&str; 3] = ["src", "tests", "examples"];
+
+/// Directory names never descended into, wherever they appear: vendored
+/// third-party stubs are not first-party code, and build output is not
+/// source. Hidden directories (`.git`, `.github`) are skipped too.
+const EXCLUDED_DIRS: [&str; 2] = ["vendor", "target"];
 
 /// Everything one `check` run produced.
 #[derive(Debug)]
@@ -81,7 +100,8 @@ impl std::fmt::Display for CheckError {
 
 /// Collects every `.rs` file under the workspace's walked roots:
 /// `src/`, `tests/`, `examples/`, and each `crates/*/{src,tests,benches,examples}`.
-/// Returned paths are workspace-relative with forward slashes, sorted.
+/// `vendor/` and `target/` are never entered ([`EXCLUDED_DIRS`]). Returned
+/// paths are workspace-relative with forward slashes, sorted.
 pub fn source_files(root: &Path) -> Result<Vec<String>, CheckError> {
     let mut roots: Vec<PathBuf> = WALKED.iter().map(|d| root.join(d)).collect();
     let crates_dir = root.join("crates");
@@ -112,7 +132,13 @@ fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<String>) -> Result<(), Chec
     for entry in entries.flatten() {
         let p = entry.path();
         if p.is_dir() {
-            collect_rs(&p, root, out)?;
+            let name = p.file_name().map(|n| n.to_string_lossy().into_owned());
+            let skip = name
+                .as_deref()
+                .is_some_and(|n| EXCLUDED_DIRS.contains(&n) || n.starts_with('.'));
+            if !skip {
+                collect_rs(&p, root, out)?;
+            }
         } else if p.extension().is_some_and(|e| e == "rs") {
             let rel = p
                 .strip_prefix(root)
@@ -127,17 +153,23 @@ fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<String>) -> Result<(), Chec
     Ok(())
 }
 
-/// Runs the full check over the workspace at `root`, applying the allowlist
-/// at `root/qd-analyze.allow` when present.
+/// Runs the full check over the workspace at `root`: builds the workspace
+/// model, runs every rule R1–R13, and applies the allowlist at
+/// `root/qd-analyze.allow` when present.
 pub fn run_check(root: &Path) -> Result<CheckReport, CheckError> {
     let files = source_files(root)?;
+    let ws = model::Workspace::load(root, &files).map_err(|(p, e)| CheckError::Io(p, e))?;
+
     let mut findings = Vec::new();
-    for rel in &files {
-        let path = root.join(rel);
-        let source = std::fs::read_to_string(&path).map_err(|e| CheckError::Io(path.clone(), e))?;
-        findings.extend(rules::analyze_file(rel, &scan::scrub(&source)));
+    for rule in rules::all_rules() {
+        rule.check(&ws, &mut findings);
     }
-    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+    });
+    findings.dedup_by(|a, b| {
+        a.rule == b.rule && a.file == b.file && a.line == b.line && a.message == b.message
+    });
 
     let allow_path = root.join(ALLOWLIST_FILE);
     let entries = if allow_path.is_file() {

@@ -1,19 +1,27 @@
-//! The repo-specific rules R1–R8.
+//! The repo-specific rules R1–R13.
 //!
-//! Every rule matches on scrubbed source (comments and literal bodies
-//! blanked, see [`crate::scan`]), so mentions of a forbidden pattern in docs,
+//! Every file-scoped rule matches on scrubbed source (comments and literal
+//! bodies blanked, see [`crate::scan`], itself a rendering of the
+//! [`crate::lex`] token stream), so mentions of a forbidden pattern in docs,
 //! strings, or test fixtures never fire. Rules are heuristic by design —
 //! tight enough that the workspace runs clean, loose enough to never need a
 //! type checker. The failure direction is chosen per rule: R1/R2/R4/R5/R6
 //! over-approximate (a false positive is an allowlist entry away from
-//! shipping), R3 under-approximates (it only tracks names *declared* as hash
-//! containers in the same file).
+//! shipping), R3 and R12 under-approximate (R3 only tracks names *declared*
+//! as hash containers in the same file; R12 only recognizes casts whose
+//! *target* type is narrow).
+//!
+//! The cross-file rules R9–R11 live in [`crate::wsrules`]; everything is
+//! driven through the [`Rule`] trait, which receives the full workspace
+//! model ([`crate::model::Workspace`]: token streams, scrub views, crate
+//! manifests, layering table).
 
+use crate::model::Workspace;
 use crate::scan::{word_occurrences, Scrubbed};
 use std::fmt;
 
 /// Identifier of one lint rule.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum RuleId {
     /// `partial_cmp` inside a `sort_by`/`max_by`/`min_by` comparator.
     R1,
@@ -31,11 +39,24 @@ pub enum RuleId {
     R7,
     /// String-literal counter/span names passed to `qd_obs` hooks.
     R8,
+    /// Crate-layering DAG: dependencies must point strictly down the
+    /// checked-in layering manifest.
+    R9,
+    /// Failpoint coverage: I/O fns carry qd-fault sites, and no declared
+    /// site is dead (unexercised by the chaos suite).
+    R10,
+    /// Observability catalog closure: every `qd_obs::ctr`/`qd_obs::sp` name
+    /// is emitted at least once.
+    R11,
+    /// Lossy `as` casts in engine-crate src need a `// CAST:` justification.
+    R12,
+    /// `#[allow(...)]` in first-party src needs an `// ALLOW:` justification.
+    R13,
 }
 
 impl RuleId {
     /// All rules, in report order.
-    pub const ALL: [RuleId; 8] = [
+    pub const ALL: [RuleId; 13] = [
         RuleId::R1,
         RuleId::R2,
         RuleId::R3,
@@ -44,6 +65,11 @@ impl RuleId {
         RuleId::R6,
         RuleId::R7,
         RuleId::R8,
+        RuleId::R9,
+        RuleId::R10,
+        RuleId::R11,
+        RuleId::R12,
+        RuleId::R13,
     ];
 
     /// One-line description, shown by `qd-analyze rules`.
@@ -81,21 +107,39 @@ impl RuleId {
                  qd_obs::sp catalogs, so every metric is greppable and the \
                  trace vocabulary stays closed"
             }
+            RuleId::R9 => {
+                "crate dependencies must point strictly down the layering \
+                 manifest (qd-analyze.layers): engine crates can never pull \
+                 in qd-bench or the CLI facade, and the manifest itself must \
+                 cover exactly the first-party crate set"
+            }
+            RuleId::R10 => {
+                "failpoint coverage: every io::Result-returning fn in the \
+                 qd-corpus cache and qd-index persistence modules reaches a \
+                 qd-fault site (fire/fire_keyed/should_fail), and every \
+                 declared qd_fault::site name is exercised by \
+                 tests/fault_properties.rs — no dead failpoints"
+            }
+            RuleId::R11 => {
+                "observability catalog closure (reverse of R8): every name \
+                 declared in qd_obs::ctr / qd_obs::sp is referenced outside \
+                 qd-obs at least once; a dead catalog name means a golden or \
+                 dashboard is watching a counter nothing increments"
+            }
+            RuleId::R12 => {
+                "narrowing `as` casts (target u8/i8/u16/i16/u32/i32/f32) in \
+                 engine-crate src need a // CAST: comment within 3 lines \
+                 stating why the value fits"
+            }
+            RuleId::R13 => {
+                "#[allow(...)] in first-party src needs an adjacent // ALLOW: \
+                 comment justifying the lint suppression"
+            }
         }
     }
 
     fn parse(s: &str) -> Option<RuleId> {
-        match s {
-            "R1" => Some(RuleId::R1),
-            "R2" => Some(RuleId::R2),
-            "R3" => Some(RuleId::R3),
-            "R4" => Some(RuleId::R4),
-            "R5" => Some(RuleId::R5),
-            "R6" => Some(RuleId::R6),
-            "R7" => Some(RuleId::R7),
-            "R8" => Some(RuleId::R8),
-            _ => None,
-        }
+        RuleId::ALL.into_iter().find(|r| r.to_string() == s)
     }
 }
 
@@ -135,39 +179,111 @@ impl fmt::Display for Finding {
     }
 }
 
-/// Runs every rule over one scrubbed file. `rel_path` must use forward
-/// slashes; per-rule crate exemptions key off its prefix.
+/// One lint: an id plus a pass over the workspace model. File-scoped rules
+/// (R1–R8, R12, R13) loop over [`Workspace::files`] and match on the scrub
+/// view; cross-file rules (R9–R11 in [`crate::wsrules`]) read manifests,
+/// catalogs, and token streams across files.
+pub trait Rule {
+    /// Which rule this is.
+    fn id(&self) -> RuleId;
+    /// Appends this rule's findings for the whole workspace.
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>);
+}
+
+/// The file-scoped rules, paired with their matcher. Shared by
+/// [`analyze_file`] (the single-file path the fixture tests drive) and the
+/// [`Rule`] instances [`all_rules`] returns.
+type FileRuleFn = fn(&str, &Scrubbed, &mut Vec<Finding>);
+const FILE_RULES: [(RuleId, FileRuleFn); 10] = [
+    (RuleId::R1, rule_r1),
+    (RuleId::R2, rule_r2),
+    (RuleId::R3, rule_r3),
+    (RuleId::R4, rule_r4),
+    (RuleId::R5, rule_r5),
+    (RuleId::R6, rule_r6),
+    (RuleId::R7, rule_r7),
+    (RuleId::R8, rule_r8),
+    (RuleId::R12, rule_r12),
+    (RuleId::R13, rule_r13),
+];
+
+/// Whether a file-scoped rule applies to `rel_path` (forward slashes,
+/// workspace-relative). Per-rule crate exemptions key off path prefixes.
+fn rule_applies(id: RuleId, rel_path: &str) -> bool {
+    let in_src = rel_path.starts_with("src/") || rel_path.contains("/src/");
+    match id {
+        RuleId::R1 | RuleId::R5 | RuleId::R6 => true,
+        RuleId::R2 => !rel_path.starts_with("crates/qd-runtime/"),
+        RuleId::R3 => ["crates/qd-core/", "crates/qd-cluster/", "crates/qd-index/"]
+            .iter()
+            .any(|p| rel_path.starts_with(p)),
+        RuleId::R4 => !rel_path.starts_with("crates/qd-bench/"),
+        RuleId::R7 => [
+            "crates/qd-core/src/",
+            "crates/qd-corpus/src/",
+            "crates/qd-index/src/",
+            "crates/qd-runtime/src/",
+        ]
+        .iter()
+        .any(|p| rel_path.starts_with(p)),
+        RuleId::R8 => in_src && !rel_path.starts_with("crates/qd-obs/"),
+        RuleId::R12 => [
+            "crates/qd-core/src/",
+            "crates/qd-index/src/",
+            "crates/qd-cluster/src/",
+            "crates/qd-linalg/src/",
+        ]
+        .iter()
+        .any(|p| rel_path.starts_with(p)),
+        RuleId::R13 => in_src,
+        // Cross-file rules are not file-scoped.
+        RuleId::R9 | RuleId::R10 | RuleId::R11 => false,
+    }
+}
+
+/// A file-scoped rule lifted to the [`Rule`] trait.
+struct FileRule {
+    id: RuleId,
+    run: FileRuleFn,
+}
+
+impl Rule for FileRule {
+    fn id(&self) -> RuleId {
+        self.id
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for file in &ws.files {
+            if rule_applies(self.id, &file.rel_path) {
+                (self.run)(&file.rel_path, &file.scrubbed, out);
+            }
+        }
+    }
+}
+
+/// Every rule R1–R13, in report order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    let mut out: Vec<Box<dyn Rule>> = FILE_RULES
+        .iter()
+        .map(|&(id, run)| Box::new(FileRule { id, run }) as Box<dyn Rule>)
+        .collect();
+    out.push(Box::new(crate::wsrules::Layering));
+    out.push(Box::new(crate::wsrules::FaultCoverage));
+    out.push(Box::new(crate::wsrules::ObsClosure));
+    out.sort_by_key(|r| r.id());
+    out
+}
+
+/// Runs every *file-scoped* rule over one scrubbed file. `rel_path` must use
+/// forward slashes; per-rule crate exemptions key off its prefix. Cross-file
+/// rules (R9–R11) need the full workspace model and only run via
+/// [`all_rules`] + [`crate::run_check`].
 pub fn analyze_file(rel_path: &str, scrubbed: &Scrubbed) -> Vec<Finding> {
     let mut out = Vec::new();
-    rule_r1(rel_path, scrubbed, &mut out);
-    if !rel_path.starts_with("crates/qd-runtime/") {
-        rule_r2(rel_path, scrubbed, &mut out);
-    }
-    if ["crates/qd-core/", "crates/qd-cluster/", "crates/qd-index/"]
-        .iter()
-        .any(|p| rel_path.starts_with(p))
-    {
-        rule_r3(rel_path, scrubbed, &mut out);
-    }
-    if !rel_path.starts_with("crates/qd-bench/") {
-        rule_r4(rel_path, scrubbed, &mut out);
-    }
-    rule_r5(rel_path, scrubbed, &mut out);
-    rule_r6(rel_path, scrubbed, &mut out);
-    if [
-        "crates/qd-core/src/",
-        "crates/qd-corpus/src/",
-        "crates/qd-index/src/",
-        "crates/qd-runtime/src/",
-    ]
-    .iter()
-    .any(|p| rel_path.starts_with(p))
-    {
-        rule_r7(rel_path, scrubbed, &mut out);
-    }
-    let in_src = rel_path.starts_with("src/") || rel_path.contains("/src/");
-    if in_src && !rel_path.starts_with("crates/qd-obs/") {
-        rule_r8(rel_path, scrubbed, &mut out);
+    for (id, run) in FILE_RULES {
+        if rule_applies(id, rel_path) {
+            run(rel_path, scrubbed, &mut out);
+        }
     }
     out.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.message.cmp(&b.message)));
     out.dedup_by(|a, b| a.rule == b.rule && a.line == b.line && a.message == b.message);
@@ -470,7 +586,7 @@ fn rule_r5(rel_path: &str, scrubbed: &Scrubbed, out: &mut Vec<Finding>) {
 /// the trailing `;` of a braceless item like `#[cfg(test)] mod testutil;`).
 /// Runs on scrubbed lines, so braces inside strings and comments are already
 /// blanked and simple depth counting is exact.
-fn cfg_test_lines(lines: &[String]) -> Vec<bool> {
+pub(crate) fn cfg_test_lines(lines: &[String]) -> Vec<bool> {
     let mut mask = vec![false; lines.len()];
     let mut i = 0usize;
     while i < lines.len() {
@@ -593,6 +709,96 @@ fn rule_r8(rel_path: &str, scrubbed: &Scrubbed, out: &mut Vec<Finding>) {
                 }
             }
         }
+    }
+}
+
+/// Cast targets R12 treats as narrowing. The source type is unknown without
+/// a type checker, so the rule keys off the *target*: anything at most 32
+/// bits can truncate or lose precision when fed from the usize/u64/f64
+/// arithmetic this codebase does internally. A deliberate
+/// under-approximation — `f64 as usize` escapes — chosen so every hit is
+/// worth a comment.
+const R12_NARROW_TARGETS: [&str; 7] = ["u8", "i8", "u16", "i16", "u32", "i32", "f32"];
+
+/// How many preceding lines R12/R13 search for their justification comment.
+const JUSTIFY_WINDOW: usize = 3;
+
+/// R12: a narrowing `as` cast in engine-crate src without a `// CAST:`
+/// comment on the same line or within [`JUSTIFY_WINDOW`] lines above.
+/// `#[cfg(test)]` code is exempt (fixture arithmetic casts freely).
+fn rule_r12(rel_path: &str, scrubbed: &Scrubbed, out: &mut Vec<Finding>) {
+    let test_mask = cfg_test_lines(&scrubbed.lines);
+    for (li, line) in scrubbed.lines.iter().enumerate() {
+        if test_mask[li] {
+            continue;
+        }
+        for start in word_occurrences(line, "as") {
+            let mut rest = line[start + 2..].trim_start();
+            if rest.is_empty() {
+                // rustfmt can break a long expression after `as`.
+                rest = scrubbed
+                    .lines
+                    .get(li + 1)
+                    .map(|l| l.trim_start())
+                    .unwrap_or("");
+            }
+            let target: String = rest
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if !R12_NARROW_TARGETS.contains(&target.as_str()) {
+                continue;
+            }
+            let lo = li.saturating_sub(JUSTIFY_WINDOW);
+            if (lo..=li).any(|i| scrubbed.cast_comment[i]) {
+                continue;
+            }
+            out.push(Finding {
+                rule: RuleId::R12,
+                file: rel_path.to_string(),
+                line: li + 1,
+                message: format!("narrowing `as {target}` cast without a // CAST: justification"),
+                hint: "state why the value fits (range bound, counted quantity, \
+                       precision argument) in a // CAST: comment within 3 lines, \
+                       or use a checked conversion"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// R13: `#[allow(...)]` / `#![allow(...)]` in first-party src without an
+/// `// ALLOW:` comment on the same line or within [`JUSTIFY_WINDOW`] lines
+/// above. A lint suppression is a claim that the lint is wrong *here*; the
+/// comment records why, so the suppression can be audited and removed.
+fn rule_r13(rel_path: &str, scrubbed: &Scrubbed, out: &mut Vec<Finding>) {
+    let test_mask = cfg_test_lines(&scrubbed.lines);
+    for (li, line) in scrubbed.lines.iter().enumerate() {
+        if test_mask[li] {
+            continue;
+        }
+        let t = line.trim_start();
+        let Some(rest) = t
+            .strip_prefix("#[allow(")
+            .or_else(|| t.strip_prefix("#![allow("))
+        else {
+            continue;
+        };
+        let lo = li.saturating_sub(JUSTIFY_WINDOW);
+        if (lo..=li).any(|i| scrubbed.allow_comment[i]) {
+            continue;
+        }
+        let lints = rest.split(')').next().unwrap_or("").trim();
+        out.push(Finding {
+            rule: RuleId::R13,
+            file: rel_path.to_string(),
+            line: li + 1,
+            message: format!("#[allow({lints})] without an // ALLOW: justification"),
+            hint: "say why the lint is a false positive here in an // ALLOW: \
+                   comment within 3 lines, or fix the code instead of \
+                   suppressing the lint"
+                .to_string(),
+        });
     }
 }
 
@@ -767,5 +973,63 @@ mod tests {
         // Unqualified calls are out of scope (heuristic matches qd_obs:: paths).
         let unqualified = "fn f() { count(\"scratch.name\", 1); }";
         assert!(findings("crates/qd-core/src/x.rs", unqualified).is_empty());
+    }
+
+    #[test]
+    fn r12_catches_unjustified_narrowing_casts() {
+        let src = "fn f(n: usize) -> u32 { n as u32 }";
+        let f = findings("crates/qd-index/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, RuleId::R12);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn r12_accepts_cast_comments_within_window() {
+        let same_line = "fn f(n: usize) -> u32 { n as u32 } // CAST: slot count < 2^32";
+        assert!(findings("crates/qd-index/src/x.rs", same_line).is_empty());
+        let above = "fn f(n: usize) -> u32 {\n    // CAST: node count bounded by corpus size\n    n as u32\n}";
+        assert!(findings("crates/qd-index/src/x.rs", above).is_empty());
+        let too_far = "fn f(n: usize) -> u32 {\n    // CAST: too far away\n    let _a = 0;\n    let _b = 0;\n    let _c = 0;\n    n as u32\n}";
+        assert_eq!(findings("crates/qd-index/src/x.rs", too_far).len(), 1);
+    }
+
+    #[test]
+    fn r12_ignores_widening_casts_test_code_and_other_crates() {
+        let widening = "fn f(n: u32) -> u64 { n as u64 }\nfn g(x: f32) -> f64 { x as f64 }\nfn h(n: u32) -> usize { n as usize }";
+        assert!(findings("crates/qd-core/src/x.rs", widening).is_empty());
+        let gated = "#[cfg(test)]\nmod tests {\n    fn t(i: usize) -> f32 { i as f32 }\n}";
+        assert!(findings("crates/qd-core/src/x.rs", gated).is_empty());
+        let narrowing = "fn f(n: usize) -> u32 { n as u32 }";
+        // Engine crates only: qd-corpus / qd-bench / the facade are exempt.
+        assert!(findings("crates/qd-corpus/src/x.rs", narrowing).is_empty());
+        assert!(findings("crates/qd-bench/src/x.rs", narrowing).is_empty());
+        // `use x as y` renames never look like narrow targets.
+        let rename = "use std::io::Read as _;\nuse a::b as c;";
+        assert!(findings("crates/qd-core/src/x.rs", rename).is_empty());
+    }
+
+    #[test]
+    fn r13_catches_unjustified_allow_attributes() {
+        let src = "#[allow(clippy::too_many_arguments)]\nfn f() {}";
+        let f = findings("crates/qd-core/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, RuleId::R13);
+        assert!(f[0].message.contains("clippy::too_many_arguments"));
+        // Inner attributes are covered too.
+        let inner = "#![allow(dead_code)]";
+        assert_eq!(findings("src/lib.rs", inner).len(), 1);
+    }
+
+    #[test]
+    fn r13_accepts_allow_comments_and_exempts_tests() {
+        let justified = "// ALLOW: the knobs mirror the paper's Table 2 params\n#[allow(clippy::too_many_arguments)]\nfn f() {}";
+        assert!(findings("crates/qd-core/src/x.rs", justified).is_empty());
+        let gated = "#[cfg(test)]\nmod tests {\n    #[allow(dead_code)]\n    fn t() {}\n}";
+        assert!(findings("crates/qd-core/src/x.rs", gated).is_empty());
+        // Non-src trees (tests/, benches/) are out of scope.
+        let src = "#[allow(dead_code)]\nfn f() {}";
+        assert!(findings("tests/x.rs", src).is_empty());
+        assert!(findings("crates/qd-bench/benches/x.rs", src).is_empty());
     }
 }

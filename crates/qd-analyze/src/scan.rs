@@ -1,262 +1,135 @@
-//! A line/comment/string-aware scrubber for Rust source.
+//! The line-oriented scrub view, derived from the token stream.
 //!
-//! The rules in [`crate::rules`] match on *code*, never on comment or string
-//! contents, so the first pass replaces every comment and every
-//! string/char-literal body with spaces while preserving the line structure
-//! (so findings report real line numbers). A full parser is unnecessary —
-//! and unavailable: the build environment is offline, so `syn` cannot be
-//! pulled in — but the scrubber must still get the lexical grammar right:
-//! nested block comments, raw strings with arbitrary `#` counts, byte
-//! strings, char literals vs. lifetimes, and escapes.
+//! The syntactic rules (R1–R8 and the cast/allow justification windows of
+//! R12/R13) match on *code*, never on comment or string contents, so this
+//! module renders the [`crate::lex`] token stream into per-line text with
+//! every comment and every string/char-literal body blanked to spaces while
+//! preserving the line structure (so findings report real line numbers).
+//! Quote characters are kept, so "a string literal starts here" remains
+//! visible to rules like R8.
+//!
+//! The view also records, per line, whether the *comment* text on that line
+//! carries one of the justification markers the rules look for: `SAFETY`
+//! (R5), `CAST:` (R12), and `ALLOW:` (R13) — the one place rules read
+//! comment contents.
+
+use crate::lex::{lex, Token, TokenKind};
 
 /// One source file after scrubbing.
 #[derive(Debug)]
 pub struct Scrubbed {
     /// Source lines with comments and literal bodies blanked out.
     pub lines: Vec<String>,
-    /// `true` for lines whose *comment* text contains `SAFETY` — the one
-    /// place rule R5 must look inside comments.
+    /// `true` for lines whose comment text contains `SAFETY` (rule R5).
     pub safety_comment: Vec<bool>,
-}
-
-#[derive(Clone, Copy, PartialEq)]
-enum State {
-    Code,
-    LineComment,
-    /// Nesting depth.
-    BlockComment(u32),
-    Str,
-    /// Number of `#` delimiters.
-    RawStr(u32),
-    Char,
+    /// `true` for lines whose comment text contains `CAST:` (rule R12).
+    pub cast_comment: Vec<bool>,
+    /// `true` for lines whose comment text contains `ALLOW:` (rule R13).
+    pub allow_comment: Vec<bool>,
 }
 
 /// Scrubs `source`: comments and string/char bodies become spaces, everything
-/// else is kept verbatim. Newlines are preserved exactly.
+/// else is kept verbatim. Newlines are preserved exactly. Implemented as a
+/// rendering of the token stream — [`lex`] is the only lexical authority.
 pub fn scrub(source: &str) -> Scrubbed {
-    let bytes: Vec<char> = source.chars().collect();
-    let mut out = String::with_capacity(source.len());
-    let mut lines: Vec<String> = Vec::new();
-    let mut safety: Vec<bool> = Vec::new();
-    let mut line_has_safety = false;
-    // Rolling window of comment text on the current line, for `SAFETY`.
-    let mut comment_text = String::new();
-
-    let mut state = State::Code;
-    let mut i = 0usize;
-    while i < bytes.len() {
-        let c = bytes[i];
-        let next = bytes.get(i + 1).copied();
-
-        if c == '\n' {
-            if state == State::LineComment {
-                state = State::Code;
-            }
-            if comment_text.contains("SAFETY") {
-                line_has_safety = true;
-            }
-            comment_text.clear();
-            lines.push(std::mem::take(&mut out));
-            safety.push(line_has_safety);
-            line_has_safety = false;
-            i += 1;
-            continue;
-        }
-
-        match state {
-            State::Code => match c {
-                '/' if next == Some('/') => {
-                    state = State::LineComment;
-                    out.push_str("  ");
-                    i += 2;
-                }
-                '/' if next == Some('*') => {
-                    state = State::BlockComment(1);
-                    out.push_str("  ");
-                    i += 2;
-                }
-                '"' => {
-                    state = State::Str;
-                    out.push('"');
-                    i += 1;
-                }
-                'r' | 'b' => {
-                    // Possible raw / byte string start: r", r#", br", b", b'.
-                    let (prefix_len, hashes, kind) = raw_prefix(&bytes, i);
-                    match kind {
-                        PrefixKind::RawStr => {
-                            state = State::RawStr(hashes);
-                            for _ in 0..prefix_len {
-                                out.push(' ');
-                            }
-                            out.push('"');
-                            i += prefix_len + 1; // prefix + opening quote
-                        }
-                        PrefixKind::Str => {
-                            state = State::Str;
-                            out.push(' ');
-                            out.push('"');
-                            i += 2; // b"
-                        }
-                        PrefixKind::Char => {
-                            state = State::Char;
-                            out.push(' ');
-                            out.push('\'');
-                            i += 2; // b'
-                        }
-                        PrefixKind::None => {
-                            out.push(c);
-                            i += 1;
-                        }
-                    }
-                }
-                '\'' => {
-                    // Lifetime (`'a`, `'static`) or char literal (`'x'`,
-                    // `'\n'`)? A lifetime is `'` + ident char *not* followed
-                    // by a closing `'`.
-                    let is_lifetime = matches!(next, Some(n) if n.is_alphabetic() || n == '_')
-                        && bytes.get(i + 2).copied() != Some('\'');
-                    if is_lifetime {
-                        out.push('\'');
-                        i += 1;
-                    } else {
-                        state = State::Char;
-                        out.push('\'');
-                        i += 1;
-                    }
-                }
-                _ => {
-                    out.push(c);
-                    i += 1;
-                }
-            },
-            State::LineComment => {
-                comment_text.push(c);
-                out.push(' ');
-                i += 1;
-            }
-            State::BlockComment(depth) => {
-                if c == '*' && next == Some('/') {
-                    state = if depth == 1 {
-                        State::Code
-                    } else {
-                        State::BlockComment(depth - 1)
-                    };
-                    out.push_str("  ");
-                    i += 2;
-                } else if c == '/' && next == Some('*') {
-                    state = State::BlockComment(depth + 1);
-                    out.push_str("  ");
-                    i += 2;
-                } else {
-                    comment_text.push(c);
-                    out.push(' ');
-                    i += 1;
-                }
-            }
-            State::Str => {
-                if c == '\\' && next.is_some() {
-                    out.push_str("  ");
-                    i += 2;
-                } else if c == '"' {
-                    state = State::Code;
-                    out.push('"');
-                    i += 1;
-                } else {
-                    out.push(' ');
-                    i += 1;
-                }
-            }
-            State::RawStr(hashes) => {
-                if c == '"' && closes_raw(&bytes, i, hashes) {
-                    state = State::Code;
-                    out.push('"');
-                    for _ in 0..hashes {
-                        out.push(' ');
-                    }
-                    i += 1 + hashes as usize;
-                } else {
-                    out.push(' ');
-                    i += 1;
-                }
-            }
-            State::Char => {
-                if c == '\\' && next.is_some() {
-                    out.push_str("  ");
-                    i += 2;
-                } else if c == '\'' {
-                    state = State::Code;
-                    out.push('\'');
-                    i += 1;
-                } else {
-                    out.push(' ');
-                    i += 1;
-                }
-            }
-        }
-    }
-    if comment_text.contains("SAFETY") {
-        line_has_safety = true;
-    }
-    lines.push(out);
-    safety.push(line_has_safety);
-    Scrubbed {
-        lines,
-        safety_comment: safety,
-    }
+    scrub_tokens(&lex(source))
 }
 
-enum PrefixKind {
-    RawStr,
-    Str,
-    Char,
-    None,
+/// Renders an already-lexed token stream into the scrub view.
+pub fn scrub_tokens(tokens: &[Token]) -> Scrubbed {
+    let mut sink = Sink::default();
+    for token in tokens {
+        match token.kind {
+            TokenKind::Ws
+            | TokenKind::Ident
+            | TokenKind::Lifetime
+            | TokenKind::Num
+            | TokenKind::Punct => sink.verbatim(&token.text),
+            TokenKind::LineComment | TokenKind::BlockComment => sink.comment(&token.text),
+            TokenKind::Str => sink.quoted(&token.text, '"'),
+            TokenKind::Char => sink.quoted(&token.text, '\''),
+        }
+    }
+    sink.finish()
 }
 
-/// Classifies a possible raw/byte literal starting at `i` (which holds `r` or
-/// `b`). Returns (prefix length excluding the opening quote, hash count,
-/// kind). Identifiers like `raw` or `break` fall through to `None` because an
-/// ident char precedes the quote position check — the caller only lands here
-/// on `r`/`b`, and we require the literal shape exactly.
-fn raw_prefix(bytes: &[char], i: usize) -> (usize, u32, PrefixKind) {
-    // Not a literal prefix if the previous char is part of an identifier
-    // (e.g. the `r` of `Vec::ar` — or any ident ending in r/b).
-    if i > 0 {
-        let p = bytes[i - 1];
-        if p.is_alphanumeric() || p == '_' {
-            return (0, 0, PrefixKind::None);
-        }
-    }
-    let c = bytes[i];
-    let mut j = i + 1;
-    if c == 'b' && bytes.get(j) == Some(&'r') {
-        j += 1;
-    }
-    if c == 'b' && j == i + 1 {
-        // b"..." or b'...'
-        return match bytes.get(j) {
-            Some('"') => (1, 0, PrefixKind::Str),
-            Some('\'') => (1, 0, PrefixKind::Char),
-            _ => (0, 0, PrefixKind::None),
-        };
-    }
-    if c == 'b' || c == 'r' {
-        // r#*" or br#*"
-        let mut hashes = 0u32;
-        while bytes.get(j) == Some(&'#') {
-            hashes += 1;
-            j += 1;
-        }
-        if bytes.get(j) == Some(&'"') {
-            return (j - i, hashes, PrefixKind::RawStr);
-        }
-    }
-    (0, 0, PrefixKind::None)
+/// Accumulates scrubbed lines plus the per-line comment-marker flags.
+#[derive(Default)]
+struct Sink {
+    lines: Vec<String>,
+    markers: Vec<(bool, bool, bool)>,
+    cur: String,
+    cur_comment: String,
 }
 
-/// True if the `"` at `i` is followed by `hashes` `#` chars.
-fn closes_raw(bytes: &[char], i: usize, hashes: u32) -> bool {
-    (1..=hashes as usize).all(|k| bytes.get(i + k) == Some(&'#'))
+impl Sink {
+    fn newline(&mut self) {
+        let m = (
+            self.cur_comment.contains("SAFETY"),
+            self.cur_comment.contains("CAST:"),
+            self.cur_comment.contains("ALLOW:"),
+        );
+        self.markers.push(m);
+        self.lines.push(std::mem::take(&mut self.cur));
+        self.cur_comment.clear();
+    }
+
+    /// Emits token text unchanged (code tokens).
+    fn verbatim(&mut self, text: &str) {
+        for c in text.chars() {
+            if c == '\n' {
+                self.newline();
+            } else {
+                self.cur.push(c);
+            }
+        }
+    }
+
+    /// Blanks a comment token to spaces, collecting its text per line for
+    /// the justification markers.
+    fn comment(&mut self, text: &str) {
+        for c in text.chars() {
+            if c == '\n' {
+                self.newline();
+            } else {
+                self.cur_comment.push(c);
+                self.cur.push(' ');
+            }
+        }
+    }
+
+    /// Blanks a string/char literal body, keeping only the opening and
+    /// closing delimiter (`quote`) so rules can still see where literals
+    /// start and end.
+    fn quoted(&mut self, text: &str, quote: char) {
+        let chars: Vec<char> = text.chars().collect();
+        let open = chars.iter().position(|&c| c == quote);
+        // For raw strings the closing quote is followed by the `#`s; for
+        // everything else it is the final char (when terminated).
+        let close = chars.iter().rposition(|&c| c == quote);
+        for (i, &c) in chars.iter().enumerate() {
+            if c == '\n' {
+                self.newline();
+            } else if Some(i) == open || (Some(i) == close && close != open) {
+                self.cur.push(quote);
+            } else {
+                self.cur.push(' ');
+            }
+        }
+    }
+
+    fn finish(mut self) -> Scrubbed {
+        self.newline();
+        let (safety, rest): (Vec<bool>, Vec<(bool, bool)>) =
+            self.markers.iter().map(|&(s, c, a)| (s, (c, a))).unzip();
+        let (cast, allow) = rest.into_iter().unzip();
+        Scrubbed {
+            lines: self.lines,
+            safety_comment: safety,
+            cast_comment: cast,
+            allow_comment: allow,
+        }
+    }
 }
 
 /// True if the byte range `[start, end)` of `line` is a standalone word
@@ -328,6 +201,15 @@ mod tests {
     }
 
     #[test]
+    fn multiline_strings_preserve_line_structure() {
+        let s = scrub("let s = \"first\nsecond\";\nafter();");
+        assert_eq!(s.lines.len(), 3);
+        assert!(!s.lines[0].contains("first"));
+        assert!(!s.lines[1].contains("second"));
+        assert_eq!(s.lines[2], "after();");
+    }
+
+    #[test]
     fn lifetimes_are_not_char_literals() {
         let s = scrub("fn f<'a>(x: &'a str) -> &'a str { x }");
         assert!(s.lines[0].contains("&'a str"));
@@ -345,6 +227,18 @@ mod tests {
         let s = scrub("// SAFETY: index checked above\nunsafe { x() }");
         assert!(s.safety_comment[0]);
         assert!(!s.safety_comment[1]);
+    }
+
+    #[test]
+    fn cast_and_allow_markers_are_recorded_per_line() {
+        let s = scrub("// CAST: count < 2^24, exact in f32\nlet a = n as f32;\n/* ALLOW: seven knobs, see design */\n#[allow(clippy::too_many_arguments)]");
+        assert!(s.cast_comment[0]);
+        assert!(!s.cast_comment[1]);
+        assert!(s.allow_comment[2]);
+        assert!(!s.allow_comment[3]);
+        // Markers inside string literals never count.
+        let lit = scrub("let s = \"CAST: not a comment\";");
+        assert!(!lit.cast_comment[0]);
     }
 
     #[test]

@@ -1,0 +1,507 @@
+//! The cross-file rules R9–R11.
+//!
+//! These are the rules the old line-based scrubber could not express: each
+//! one relates facts from *different* files — manifests against the layering
+//! table (R9), failpoint declarations against I/O fns and the chaos suite
+//! (R10), the observability catalogs against their call sites (R11). They
+//! run only through [`crate::run_check`], which hands them the full
+//! [`Workspace`] model.
+
+use crate::model::{Workspace, LAYERS_FILE};
+use crate::rules::{cfg_test_lines, Finding, Rule, RuleId};
+use crate::scan::word_occurrences;
+use std::collections::HashSet;
+
+/// R9: the crate-layering DAG.
+///
+/// The checked-in manifest (`qd-analyze.layers`) assigns every first-party
+/// crate a layer; a crate's `[dependencies]` may only name crates on
+/// *strictly lower* layers. Engine crates therefore can never pull in
+/// qd-bench or the CLI facade. The manifest itself is kept closed: an entry
+/// naming a crate that no longer exists, or a crate missing from the
+/// manifest, is a finding too. On top of the manifest edges, every `src/`
+/// file is token-scanned for identifiers of same-or-higher-layer first-party
+/// crates — so a path like `qd_bench::report::…` fails even if someone also
+/// forgot the manifest edge (dev-dependency leakage into src).
+pub struct Layering;
+
+impl Rule for Layering {
+    fn id(&self) -> RuleId {
+        RuleId::R9
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        if ws.layers.is_empty() {
+            out.push(Finding {
+                rule: RuleId::R9,
+                file: LAYERS_FILE.to_string(),
+                line: 1,
+                message: "layering manifest missing or empty".to_string(),
+                hint: "add one `<layer> <crate-name>` line per first-party crate; \
+                       dependencies must point strictly down"
+                    .to_string(),
+            });
+            return;
+        }
+        for entry in &ws.layers {
+            if !ws.crates.iter().any(|c| c.name == entry.crate_name) {
+                out.push(Finding {
+                    rule: RuleId::R9,
+                    file: LAYERS_FILE.to_string(),
+                    line: entry.line,
+                    message: format!("layering entry names unknown crate `{}`", entry.crate_name),
+                    hint: "remove the entry or fix the crate name".to_string(),
+                });
+            }
+        }
+        for c in &ws.crates {
+            if ws.layer_of(&c.name).is_none() {
+                out.push(Finding {
+                    rule: RuleId::R9,
+                    file: c.manifest_rel.clone(),
+                    line: 1,
+                    message: format!("crate `{}` is missing from {LAYERS_FILE}", c.name),
+                    hint: format!("assign it a layer in {LAYERS_FILE}"),
+                });
+            }
+        }
+        // Manifest edges: every first-party dependency must point strictly
+        // down. Vendored stubs are not in the layer table and are ignored.
+        for c in &ws.crates {
+            let Some(layer) = ws.layer_of(&c.name) else {
+                continue;
+            };
+            for dep in &c.deps {
+                let Some(dep_layer) = ws.layer_of(&dep.name) else {
+                    continue;
+                };
+                if dep_layer >= layer {
+                    out.push(Finding {
+                        rule: RuleId::R9,
+                        file: c.manifest_rel.clone(),
+                        line: dep.line,
+                        message: format!(
+                            "`{}` (layer {layer}) depends on `{}` (layer {dep_layer}); \
+                             dependencies must point strictly down the layer table",
+                            c.name, dep.name
+                        ),
+                        hint: format!(
+                            "invert or remove the dependency, or re-justify the \
+                             layering in {LAYERS_FILE}"
+                        ),
+                    });
+                }
+            }
+        }
+        // Token-level scan of src/ for references to same-or-higher layers.
+        for file in &ws.files {
+            let in_src = file.rel_path.starts_with("src/") || file.rel_path.contains("/src/");
+            if !in_src {
+                continue;
+            }
+            let Some(owner) = ws.crate_of_file(&file.rel_path) else {
+                continue;
+            };
+            let Some(owner_layer) = ws.layer_of(&owner.name) else {
+                continue;
+            };
+            let idents = file.ident_set();
+            for entry in &ws.layers {
+                if entry.crate_name == owner.name || entry.layer < owner_layer {
+                    continue;
+                }
+                let ident = entry.crate_name.replace('-', "_");
+                if !idents.contains(ident.as_str()) {
+                    continue;
+                }
+                let line = file
+                    .tokens
+                    .iter()
+                    .find(|t| t.text == ident)
+                    .map(|t| t.line)
+                    .unwrap_or(1);
+                out.push(Finding {
+                    rule: RuleId::R9,
+                    file: file.rel_path.clone(),
+                    line,
+                    message: format!(
+                        "src of `{}` (layer {owner_layer}) references `{ident}` \
+                         (layer {})",
+                        owner.name, entry.layer
+                    ),
+                    hint: "engine src may only reach strictly lower layers; move \
+                           the code or the crate boundary"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// The qd-fault entry points whose presence marks a fn as fault-covered.
+const SITE_HOOKS: [&str; 3] = ["fire", "fire_keyed", "should_fail"];
+
+/// The persistence modules R10 audits: every `io::Result`-returning fn here
+/// must reach a failpoint so the chaos suite can prove its error path.
+const R10_FILES: [&str; 2] = [
+    "crates/qd-corpus/src/cache.rs",
+    "crates/qd-index/src/persist.rs",
+];
+
+/// Where fault sites are declared and where they must be exercised.
+const FAULT_LIB: &str = "crates/qd-fault/src/lib.rs";
+const FAULT_TESTS: &str = "tests/fault_properties.rs";
+
+/// R10: failpoint coverage, both directions.
+///
+/// Forward: every `io::Result`-returning fn in the persistence modules
+/// ([`R10_FILES`]) contains a qd-fault call (`fire`/`fire_keyed`/
+/// `should_fail`) — directly, or by calling a same-file fn that does
+/// (computed to a fixed point, so `load → try_load → should_fail` passes).
+/// Reverse: every `pub const NAME: &str` in `qd_fault::site` appears as an
+/// identifier in `tests/fault_properties.rs`, so no declared failpoint is
+/// dead weight the chaos suite never pulls.
+pub struct FaultCoverage;
+
+impl Rule for FaultCoverage {
+    fn id(&self) -> RuleId {
+        RuleId::R10
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        for rel in R10_FILES {
+            let Some(file) = ws.file(rel) else {
+                continue;
+            };
+            let lines = &file.scrubbed.lines;
+            let test_mask = cfg_test_lines(lines);
+            let fns = extract_fns(lines);
+            // Fixed point: a fn passes if its body has a hook, or calls a
+            // passing same-file fn.
+            let mut passes: Vec<bool> = fns
+                .iter()
+                .map(|f| {
+                    body_lines(lines, f).any(|l| {
+                        SITE_HOOKS
+                            .iter()
+                            .any(|h| !word_occurrences(l, h).is_empty())
+                    })
+                })
+                .collect();
+            loop {
+                let mut changed = false;
+                for i in 0..fns.len() {
+                    if passes[i] {
+                        continue;
+                    }
+                    let delegated = fns.iter().enumerate().any(|(j, callee)| {
+                        j != i
+                            && passes[j]
+                            && body_lines(lines, &fns[i])
+                                .any(|l| !word_occurrences(l, &callee.name).is_empty())
+                    });
+                    if delegated {
+                        passes[i] = true;
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            for (f, pass) in fns.iter().zip(&passes) {
+                if *pass || !f.returns_io_result || test_mask[f.line - 1] {
+                    continue;
+                }
+                out.push(Finding {
+                    rule: RuleId::R10,
+                    file: rel.to_string(),
+                    line: f.line,
+                    message: format!(
+                        "`{}` returns io::Result but reaches no qd-fault site",
+                        f.name
+                    ),
+                    hint: "add a qd_fault::should_fail/fire call on the I/O path \
+                           (and a chaos test for it), or route through a helper \
+                           that has one"
+                        .to_string(),
+                });
+            }
+        }
+
+        // Reverse direction: declared sites must be exercised.
+        let Some(fault_lib) = ws.file(FAULT_LIB) else {
+            return;
+        };
+        let sites = str_consts_in_mod(&fault_lib.scrubbed.lines, "site");
+        if sites.is_empty() {
+            return;
+        }
+        let Some(tests) = ws.file(FAULT_TESTS) else {
+            out.push(Finding {
+                rule: RuleId::R10,
+                file: FAULT_TESTS.to_string(),
+                line: 1,
+                message: "tests/fault_properties.rs not found — declared fault \
+                          sites cannot be checked for coverage"
+                    .to_string(),
+                hint: "restore the chaos property suite".to_string(),
+            });
+            return;
+        };
+        let test_idents = tests.ident_set();
+        for (name, line) in sites {
+            if !test_idents.contains(name.as_str()) {
+                out.push(Finding {
+                    rule: RuleId::R10,
+                    file: FAULT_LIB.to_string(),
+                    line,
+                    message: format!(
+                        "fault site `{name}` is never exercised by {FAULT_TESTS} \
+                         — dead failpoint"
+                    ),
+                    hint: "add a chaos test that injects this site by name, or \
+                           delete the site"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// Where the observability catalogs live.
+const OBS_LIB: &str = "crates/qd-obs/src/lib.rs";
+
+/// R11: observability catalog closure (the reverse direction of R8).
+///
+/// R8 forces every production call site to use a `qd_obs::ctr`/`qd_obs::sp`
+/// constant; R11 forces every constant to have at least one reference
+/// outside qd-obs. Together they keep the metric vocabulary exactly equal to
+/// what the engine emits — a dead catalog name means a golden file or
+/// dashboard is watching a counter nothing increments.
+pub struct ObsClosure;
+
+impl Rule for ObsClosure {
+    fn id(&self) -> RuleId {
+        RuleId::R11
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        let Some(obs) = ws.file(OBS_LIB) else {
+            return;
+        };
+        let mut names = Vec::new();
+        for module in ["ctr", "sp"] {
+            for (name, line) in str_consts_in_mod(&obs.scrubbed.lines, module) {
+                names.push((module, name, line));
+            }
+        }
+        if names.is_empty() {
+            return;
+        }
+        let outside: Vec<HashSet<&str>> = ws
+            .files
+            .iter()
+            .filter(|f| !f.rel_path.starts_with("crates/qd-obs/"))
+            .map(|f| f.ident_set())
+            .collect();
+        for (module, name, line) in names {
+            if outside.iter().any(|set| set.contains(name.as_str())) {
+                continue;
+            }
+            out.push(Finding {
+                rule: RuleId::R11,
+                file: OBS_LIB.to_string(),
+                line,
+                message: format!(
+                    "catalog name `{module}::{name}` is never referenced outside \
+                     qd-obs — dead metric"
+                ),
+                hint: "emit it from the engine path it was declared for, or \
+                       delete it from the catalog (and any goldens naming it)"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// One fn found in a scrubbed file.
+struct FnDecl {
+    name: String,
+    /// 1-based line of the `fn` keyword.
+    line: usize,
+    /// Whether the signature mentions `io::Result`.
+    returns_io_result: bool,
+    /// 0-based inclusive line range of the body (empty for bodyless decls).
+    body: Option<(usize, usize)>,
+}
+
+/// The body lines of `f` (whole lines; rustfmt never puts two fns on one).
+fn body_lines<'a>(lines: &'a [String], f: &FnDecl) -> impl Iterator<Item = &'a str> {
+    let (lo, hi) = f.body.unwrap_or((1, 0));
+    lines
+        .iter()
+        .take(if hi >= lo { hi + 1 } else { 0 })
+        .skip(lo)
+        .map(String::as_str)
+}
+
+/// Finds every `fn name…` in scrubbed lines, records whether its signature
+/// (the text up to the opening `{` or a terminating `;`) mentions
+/// `io::Result`, and brace-matches the body. Scrubbed input means braces in
+/// strings/comments are already blanked, so depth counting is exact.
+fn extract_fns(lines: &[String]) -> Vec<FnDecl> {
+    let mut out = Vec::new();
+    for (li, line) in lines.iter().enumerate() {
+        for start in word_occurrences(line, "fn") {
+            let rest = line[start + 2..].trim_start();
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if name.is_empty() {
+                continue; // `fn(…)` pointer type, not a declaration
+            }
+            // Walk forward for the signature end: the first `{` opens the
+            // body; a `;` first means a bodyless decl (trait method, extern).
+            let mut sig = String::new();
+            let mut cur = li;
+            let mut col = start;
+            let mut body = None;
+            'sig: while cur < lines.len() {
+                for c in lines[cur][col..].chars() {
+                    match c {
+                        '{' => {
+                            body = Some(cur);
+                            break 'sig;
+                        }
+                        ';' => break 'sig,
+                        _ => sig.push(c),
+                    }
+                }
+                sig.push(' ');
+                cur += 1;
+                col = 0;
+            }
+            let returns_io_result = sig.contains("io::Result");
+            let body = body.map(|open_line| {
+                // Brace-match from the opening line to the body end.
+                let mut depth = 0i64;
+                let mut end = lines.len() - 1;
+                let from_col = if open_line == li { start } else { 0 };
+                'body: for (bi, bline) in lines.iter().enumerate().skip(open_line) {
+                    let skip = if bi == open_line { from_col } else { 0 };
+                    for c in bline[skip..].chars() {
+                        match c {
+                            '{' => depth += 1,
+                            '}' => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    end = bi;
+                                    break 'body;
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                (open_line, end)
+            });
+            out.push(FnDecl {
+                name,
+                line: li + 1,
+                returns_io_result,
+                body,
+            });
+        }
+    }
+    out
+}
+
+/// Collects `pub const NAME: &str = …;` declarations inside `pub mod <name>`
+/// of a scrubbed file, with their 1-based lines. The `&str` type filter
+/// excludes the aggregate catalogs (`SITES`, `COUNTERS`, `SPANS`), whose
+/// types are slices/arrays.
+fn str_consts_in_mod(lines: &[String], mod_name: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    let header = format!("pub mod {mod_name}");
+    let Some(open) = lines.iter().position(|l| {
+        let t = l.trim_start();
+        t.strip_prefix(&header)
+            .is_some_and(|r| r.trim_start().starts_with('{'))
+    }) else {
+        return out;
+    };
+    let mut depth = 0i64;
+    for (li, line) in lines.iter().enumerate().skip(open) {
+        for c in line.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if let Some(rest) = line.trim_start().strip_prefix("pub const ") {
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            let ty = rest[name.len()..]
+                .trim_start()
+                .strip_prefix(':')
+                .map(str::trim_start)
+                .unwrap_or("");
+            if !name.is_empty() && ty.starts_with("&str") {
+                out.push((name, li + 1));
+            }
+        }
+        if depth <= 0 {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scrub;
+
+    #[test]
+    fn extract_fns_reads_signatures_and_bodies() {
+        let src = "pub fn save(&self, p: &Path) -> io::Result<()> {\n\
+                       fs::write(p, b\"x\")\n\
+                   }\n\
+                   fn helper(n: usize) -> usize { n }\n\
+                   type F = fn(usize) -> u8;\n";
+        let fns = extract_fns(&scrub(src).lines);
+        assert_eq!(fns.len(), 2);
+        assert_eq!(fns[0].name, "save");
+        assert!(fns[0].returns_io_result);
+        assert_eq!(fns[0].body, Some((0, 2)));
+        assert_eq!(fns[1].name, "helper");
+        assert!(!fns[1].returns_io_result);
+    }
+
+    #[test]
+    fn extract_fns_handles_multiline_signatures() {
+        let src = "fn load(\n    path: &Path,\n    budget: usize,\n) -> std::io::Result<Corpus> {\n    body()\n}";
+        let fns = extract_fns(&scrub(src).lines);
+        assert_eq!(fns.len(), 1);
+        assert!(fns[0].returns_io_result);
+        assert_eq!(fns[0].body, Some((3, 5)));
+    }
+
+    #[test]
+    fn str_consts_sees_only_str_typed_consts_in_the_mod() {
+        let src = "pub mod site {\n\
+                       /// doc\n\
+                       pub const CACHE_READ: &str = \"corpus.cache.read\";\n\
+                       pub const SITES: &[(&str, &str)] = &[];\n\
+                   }\n\
+                   pub const OUTSIDE: &str = \"nope\";\n";
+        let consts = str_consts_in_mod(&scrub(src).lines, "site");
+        assert_eq!(consts.len(), 1);
+        assert_eq!(consts[0], ("CACHE_READ".to_string(), 3));
+    }
+}

@@ -215,6 +215,14 @@ fn scratch_workspace(name: &str, allowlist: Option<&str>) -> PathBuf {
     )
     .unwrap();
     std::fs::write(root.join("Cargo.toml"), "[workspace]\n").unwrap();
+    // Keep the cross-file rules quiet so these tests stay about the
+    // allowlist contract: one manifest, one layer entry, no dep edges.
+    std::fs::write(
+        root.join("crates/qd-core/Cargo.toml"),
+        "[package]\nname = \"qd-core\"\n",
+    )
+    .unwrap();
+    std::fs::write(root.join("qd-analyze.layers"), "0 qd-core\n").unwrap();
     if let Some(text) = allowlist {
         std::fs::write(root.join(qd_analyze::ALLOWLIST_FILE), text).unwrap();
     }

@@ -89,6 +89,8 @@ impl KMeans {
             for (c, (sum, &count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
                 if count > 0 {
                     for (cj, s) in c.iter_mut().zip(sum) {
+                        // CAST: f64-accumulated centroid mean narrowed back
+                        // to the f32 feature domain the members live in.
                         *cj = (s / count as f64) as f32;
                     }
                 }

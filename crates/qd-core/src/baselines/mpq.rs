@@ -49,10 +49,12 @@ fn representatives(
     let c = MAX_CLUSTERS.min(rel.len());
     let fit = KMeans::new(c).with_seed(seed).fit(&rel);
     let medoids = fit.medoid_indices(&rel);
+    // CAST: corpus-bounded counts (≤ tens of thousands) are exact in f32.
     let total = rel.len() as f32;
     let reps: Vec<Vec<f32>> = medoids.iter().map(|&i| rel[i].to_vec()).collect();
     let weights: Vec<f32> = medoids
         .iter()
+        // CAST: cluster sizes are corpus-bounded counts, exact in f32.
         .map(|&i| fit.members(fit.assignments[i]).len() as f32 / total)
         .collect();
     (reps, weights)

@@ -100,9 +100,9 @@ pub fn resolve_scope<I: KnnIndex>(
 /// scope holds fewer than `min_pool` images the scope is expanded to
 /// ancestors until it can supply that many candidates (or the root is
 /// reached). Pass 0 to disable.
-// The seven knobs of `run_local_query` plus the distance budget; callers are
-// the two wrappers below and `try_execute_subqueries`, which thread config
-// fields straight through.
+// ALLOW: the seven knobs of `run_local_query` plus the distance budget;
+// callers are the two wrappers below and `try_execute_subqueries`, which
+// thread config fields straight through.
 #[allow(clippy::too_many_arguments)]
 pub fn try_run_local_query<I: KnnIndex>(
     tree: &I,

@@ -102,11 +102,11 @@ pub trait FeedbackHierarchy {
 /// makes every such traversal deterministic by construction instead of by an
 /// adjacent sort (qd-analyze rule R3).
 ///
-/// Generic over the index implementation solely for the differential
-/// arena-equivalence harness: the same build and navigation code runs over
-/// the arena tree (the default, and the only instantiation production code
-/// uses) and the `legacy-rfs` reference tree, so any divergence between the
-/// two is attributable to the storage layout.
+/// Generic over the index implementation — a seam inherited from the
+/// differential arena-equivalence harness, where the same build and
+/// navigation code ran over the arena tree (the default, and today the only
+/// instantiation) and the since-retired pre-arena reference tree so any
+/// divergence was attributable to the storage layout.
 #[derive(Debug)]
 pub struct RfsStructure<I: KnnIndex = RStarTree> {
     tree: I,
@@ -127,8 +127,8 @@ impl RfsStructure {
 
 impl<I: KnnIndex + IndexBuild + Sync> RfsStructure<I> {
     /// [`RfsStructure::build`] over any index implementation — the entry
-    /// point the arena-equivalence harness uses to build the legacy and
-    /// arena structures through identical code.
+    /// point the arena-equivalence harness builds through, so the golden
+    /// snapshots pin exactly the code path production uses.
     ///
     /// # Panics
     /// Panics if `features` is empty or rows differ in length.
@@ -212,8 +212,11 @@ impl<I: KnnIndex + IndexBuild + Sync> RfsStructure<I> {
                     // of a mixed leaf silences its minority categories, and
                     // a category invisible at the leaf level is invisible
                     // everywhere above it.
+                    // CAST: pool_len is a node-capacity-bounded count
+                    // (≤ max_entries, well under 2^24), exact in f32.
                     ((config.representative_fraction * pool_len as f32).round() as usize).max(2)
                 } else {
+                    // CAST: same bound as above — pool_len is exact in f32.
                     (config.upper_fraction * pool_len as f32).round() as usize
                 };
                 target.clamp(1, pool_len)

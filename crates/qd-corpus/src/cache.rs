@@ -168,6 +168,9 @@ pub fn read_header(path: &Path) -> io::Result<CorpusConfig> {
     let mut file = std::fs::File::open(path)?;
     let mut head = [0u8; 4 + 8 * 4 + 1];
     std::io::Read::read_exact(&mut file, &mut head)?;
+    if qd_fault::should_fail(qd_fault::site::CACHE_READ) {
+        return Err(io::Error::other("injected fault: corpus cache read"));
+    }
     let mut r = Reader {
         data: &head,
         pos: 0,

@@ -51,6 +51,16 @@ pub mod site {
     /// One localized subquery worker panics (keyed by subquery index); the
     /// session drops that subquery from the merge and reports degradation.
     pub const SESSION_SUBQUERY_PANIC: &str = "session.subquery.panic";
+    /// R\*-tree persistence `load` fails with an injected `io::Error` after
+    /// the read.
+    pub const INDEX_READ: &str = "index.persist.read";
+    /// R\*-tree persistence `from_bytes` observes a deterministically
+    /// truncated byte buffer (torn read); the length-checked reader must
+    /// reject it rather than panic or misparse.
+    pub const INDEX_SHORT_READ: &str = "index.persist.short_read";
+    /// R\*-tree persistence `save` fails with an injected `io::Error` before
+    /// any bytes reach the filesystem.
+    pub const INDEX_WRITE: &str = "index.persist.write";
     /// Client→server transmission of the remote query fails; the client
     /// retries on a deterministic backoff schedule.
     pub const CLIENT_TRANSPORT: &str = "client.transport.send";
@@ -83,6 +93,15 @@ pub const SITES: &[(&str, &str)] = &[
     (
         site::SESSION_SUBQUERY_PANIC,
         "one subquery worker panics; dropped from merge",
+    ),
+    (site::INDEX_READ, "index load returns an injected IO error"),
+    (
+        site::INDEX_SHORT_READ,
+        "index load sees a torn (truncated) buffer",
+    ),
+    (
+        site::INDEX_WRITE,
+        "index save fails before any bytes are written",
     ),
     (
         site::CLIENT_TRANSPORT,

@@ -25,8 +25,6 @@
 //! The tree stores owned points (`Vec<f32>`) tagged with caller-assigned
 //! `u64` ids; for the CBIR workload these are image ids.
 
-#[cfg(feature = "legacy-rfs")]
-pub mod legacy;
 pub mod persist;
 pub mod rect;
 pub mod traits;

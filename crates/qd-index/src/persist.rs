@@ -23,17 +23,28 @@ pub fn to_bytes(tree: &RStarTree) -> Vec<u8> {
 
 /// Deserializes a tree from bytes produced by [`to_bytes`].
 pub fn from_bytes(data: &[u8]) -> io::Result<RStarTree> {
+    if let Some(payload) = qd_fault::fire(qd_fault::site::INDEX_SHORT_READ) {
+        // Torn read: parse a deterministic, payload-chosen prefix; the
+        // length-checked reader rejects it with a typed error, never panics.
+        return read_tree(&data[..payload as usize % (data.len() + 1)]);
+    }
     read_tree(data)
 }
 
 /// Saves the tree to `path`.
 pub fn save(tree: &RStarTree, path: &Path) -> io::Result<()> {
+    if qd_fault::should_fail(qd_fault::site::INDEX_WRITE) {
+        return Err(io::Error::other("injected fault: index persist write"));
+    }
     std::fs::write(path, to_bytes(tree))
 }
 
 /// Loads a tree from `path`.
 pub fn load(path: &Path) -> io::Result<RStarTree> {
     let data = std::fs::read(path)?;
+    if qd_fault::should_fail(qd_fault::site::INDEX_READ) {
+        return Err(io::Error::other("injected fault: index persist read"));
+    }
     from_bytes(&data)
 }
 

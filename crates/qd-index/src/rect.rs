@@ -83,6 +83,8 @@ impl Rect {
             .zip(&self.max)
             .map(|(lo, hi)| ((hi - lo) as f64).powi(2))
             .sum::<f64>()
+            // CAST: f64-accumulated diagonal narrowed back to the f32
+            // geometry domain; a heuristic quantity, rounding is harmless.
             .sqrt() as f32
     }
 

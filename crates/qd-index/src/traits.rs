@@ -1,14 +1,13 @@
-//! Read/build abstraction over the R\*-tree implementations.
+//! Read/build abstraction over the R\*-tree.
 //!
-//! Exists for the differential arena-equivalence harness: `qd-core`'s RFS
-//! builder and the localized-k-NN executor are generic over [`KnnIndex`], so
-//! the exact same build and query code runs against the arena tree
-//! ([`crate::RStarTree`]) and, under the `legacy-rfs` feature, against the
-//! pre-arena reference implementation ([`crate::legacy::RStarTree`]). Any
-//! observable divergence between the two is then attributable to the storage
-//! layout alone. The trait (and the legacy module behind it) is test-only
-//! scaffolding slated for removal once the equivalence harness has served
-//! its one-PR purpose.
+//! Born as the seam of the differential arena-equivalence harness: `qd-core`'s
+//! RFS builder and the localized-k-NN executor are generic over [`KnnIndex`],
+//! so during the arena refactor the exact same build and query code ran
+//! against both the arena tree ([`crate::RStarTree`]) and the since-retired
+//! pre-arena reference implementation, attributing any observable divergence
+//! to the storage layout alone. The reference tree is gone (its behavior is
+//! pinned by the golden snapshots in `tests/arena_equivalence.rs`); the trait
+//! stays as the structural/query surface the RFS layer builds against.
 
 use crate::rect::Rect;
 use crate::tree::{BudgetedKnn, NodeId, TreeConfig};
@@ -145,82 +144,5 @@ impl IndexBuild for crate::RStarTree {
     }
     fn insert(&mut self, point: Vec<f32>, id: u64) {
         crate::RStarTree::insert(self, point, id)
-    }
-}
-
-#[cfg(feature = "legacy-rfs")]
-impl KnnIndex for crate::legacy::RStarTree {
-    fn root(&self) -> NodeId {
-        crate::legacy::RStarTree::root(self)
-    }
-    fn dims(&self) -> usize {
-        crate::legacy::RStarTree::dims(self)
-    }
-    fn len(&self) -> usize {
-        crate::legacy::RStarTree::len(self)
-    }
-    fn height(&self) -> usize {
-        crate::legacy::RStarTree::height(self)
-    }
-    fn node_count(&self) -> usize {
-        crate::legacy::RStarTree::node_count(self)
-    }
-    fn node_ids(&self) -> Vec<NodeId> {
-        crate::legacy::RStarTree::node_ids(self)
-    }
-    fn contains_node(&self, n: NodeId) -> bool {
-        crate::legacy::RStarTree::contains_node(self, n)
-    }
-    fn level(&self, n: NodeId) -> u32 {
-        crate::legacy::RStarTree::level(self, n)
-    }
-    fn is_leaf(&self, n: NodeId) -> bool {
-        crate::legacy::RStarTree::is_leaf(self, n)
-    }
-    fn parent(&self, n: NodeId) -> Option<NodeId> {
-        crate::legacy::RStarTree::parent(self, n)
-    }
-    fn node_rect(&self, n: NodeId) -> Option<&Rect> {
-        crate::legacy::RStarTree::node_rect(self, n)
-    }
-    fn children(&self, n: NodeId) -> Vec<NodeId> {
-        crate::legacy::RStarTree::children(self, n).to_vec()
-    }
-    fn leaf_items(&self, n: NodeId) -> Vec<(u64, &[f32])> {
-        crate::legacy::RStarTree::leaf_entries(self, n).collect()
-    }
-    fn subtree_items(&self, n: NodeId) -> Vec<(u64, &[f32])> {
-        crate::legacy::RStarTree::subtree_items(self, n)
-    }
-    fn subtree_len(&self, n: NodeId) -> usize {
-        crate::legacy::RStarTree::subtree_len(self, n)
-    }
-    fn knn_in_budgeted(
-        &self,
-        scope: NodeId,
-        query: &[f32],
-        k: usize,
-        budget: Option<u64>,
-    ) -> BudgetedKnn {
-        crate::legacy::RStarTree::knn_in_budgeted(self, scope, query, k, budget)
-    }
-    fn check_invariants(&self) -> Result<(), String> {
-        crate::legacy::RStarTree::check_invariants(self)
-    }
-    fn validate(&self) {
-        crate::legacy::RStarTree::validate(self)
-    }
-}
-
-#[cfg(feature = "legacy-rfs")]
-impl IndexBuild for crate::legacy::RStarTree {
-    fn new(config: TreeConfig) -> Self {
-        crate::legacy::RStarTree::new(config)
-    }
-    fn bulk_load(config: TreeConfig, items: Vec<(u64, Vec<f32>)>) -> Self {
-        crate::legacy::RStarTree::bulk_load(config, items)
-    }
-    fn insert(&mut self, point: Vec<f32>, id: u64) {
-        crate::legacy::RStarTree::insert(self, point, id)
     }
 }

@@ -172,6 +172,8 @@ impl FeatureStore {
             self.live[s] = true;
             slot
         } else {
+            // CAST: slot indices are u32 by arena design; a tree would need
+            // 2^32 stored points to overflow, far past the 15k corpus scale.
             let slot = self.ids.len() as u32;
             self.ids.push(id);
             self.data.extend_from_slice(point);
@@ -336,6 +338,8 @@ impl RStarTree {
                     .map(|(id, point)| tree.store.alloc(id, &point))
                     .collect();
                 let rect = bounding_rect_of_slots(&tree.store, &slots);
+                // CAST: node indices are u32 by arena design; the node count
+                // is bounded by the point count, far below 2^32.
                 let id = NodeId(tree.nodes.len() as u32);
                 tree.nodes.push(Node {
                     rect: Some(rect),
@@ -369,6 +373,7 @@ impl RStarTree {
                 .map(|group| {
                     let children: Vec<NodeId> = group.into_iter().map(|(n, _)| n).collect();
                     let rect = tree.rect_of_children(&children);
+                    // CAST: node indices are u32 by arena design (see alloc).
                     let id = NodeId(tree.nodes.len() as u32);
                     tree.nodes.push(Node {
                         rect: Some(rect),
@@ -418,6 +423,7 @@ impl RStarTree {
 
     /// All live node handles, in arbitrary order.
     pub fn node_ids(&self) -> Vec<NodeId> {
+        // CAST: the arena length fits u32 by design (see alloc).
         (0..self.nodes.len() as u32)
             .map(NodeId)
             .filter(|n| self.nodes[n.index()].live)
@@ -502,6 +508,7 @@ impl RStarTree {
         match &mut self.nodes[parent.index()].kind {
             NodeKind::Internal { first_child, count } => {
                 *first_child = head;
+                // CAST: fan-out is capped by max_entries (~100), fits u32.
                 *count = children.len() as u32;
             }
             NodeKind::Leaf(_) => unreachable!("chain_children on a leaf"),
@@ -616,6 +623,7 @@ impl RStarTree {
             self.nodes[i as usize] = node;
             NodeId(i)
         } else {
+            // CAST: node indices are u32 by arena design (see alloc).
             let i = self.nodes.len() as u32;
             self.nodes.push(node);
             NodeId(i)
@@ -821,6 +829,7 @@ impl RStarTree {
             .as_ref()
             .expect("overflowing node without rect")
             .center();
+        // CAST: max_entries is a small node capacity (~100), exact in f32.
         let count = ((self.config.max_entries as f32 * self.config.reinsert_fraction).ceil()
             as usize)
             .max(1);
@@ -1264,6 +1273,8 @@ impl RStarTree {
                 HeapKind::Data(id) => {
                     out.push(Neighbor {
                         id,
+                        // CAST: f64 search-heap distance narrowed back to the
+                        // f32 feature domain the points live in.
                         distance: item.dist2.sqrt() as f32,
                     });
                     if out.len() == k {
@@ -1697,6 +1708,7 @@ pub(crate) fn write_tree(tree: &RStarTree, out: &mut Vec<u8>) {
     // Node arena.
     w64(out, tree.nodes.len() as u64);
     for (i, node) in tree.nodes.iter().enumerate() {
+        // CAST: bool is 0 or 1, exact in u8 — the on-disk liveness flag.
         out.push(node.live as u8);
         if !node.live {
             continue;
@@ -1720,6 +1732,7 @@ pub(crate) fn write_tree(tree: &RStarTree, out: &mut Vec<u8>) {
             }
             NodeKind::Internal { .. } => {
                 out.push(1);
+                // CAST: i indexes the node arena, u32 by design (see alloc).
                 let children = tree.child_vec(NodeId(i as u32));
                 w64(out, children.len() as u64);
                 for c in children {
@@ -1858,6 +1871,8 @@ pub(crate) fn read_tree(data: &[u8]) -> std::io::Result<RStarTree> {
     for i in 0..arena {
         let live_node = r.bytes(1)?[0] != 0;
         if !live_node {
+            // CAST: i < arena ≤ data.len() (checked above); overflowing u32
+            // would require a >4 GiB in-memory index image.
             free.push(i as u32);
             nodes.push(Node {
                 rect: None,
@@ -1959,6 +1974,8 @@ pub(crate) fn read_tree(data: &[u8]) -> std::io::Result<RStarTree> {
     // from the file and are cross-validated against the chains below.
     for (i, children) in children_of.into_iter().enumerate() {
         if !children.is_empty() {
+            // CAST: i < arena ≤ data.len() (checked above); overflowing u32
+            // would require a >4 GiB in-memory index image.
             tree.chain_children(NodeId(i as u32), &children);
         }
     }

@@ -55,6 +55,8 @@ impl Metric {
                 .iter()
                 .zip(b)
                 .map(|(x, y)| (x - y).abs() as f64)
+                // CAST: f64-accumulated distance narrowed back to the f32
+                // feature domain; the widening was only to stabilize the sum.
                 .sum::<f64>() as f32,
             Metric::Chebyshev => a
                 .iter()
@@ -73,6 +75,7 @@ impl Metric {
                 } else if na == 0.0 || nb == 0.0 {
                     1.0
                 } else {
+                    // CAST: cosine distance lies in [0, 2]; f32 holds it.
                     (1.0 - dot / (na.sqrt() * nb.sqrt())).max(0.0) as f32
                 }
             }
@@ -86,6 +89,8 @@ impl Metric {
                         *wj as f64 * ((x - y) as f64).powi(2)
                     })
                     .sum::<f64>()
+                    // CAST: f64-accumulated weighted distance narrowed back
+                    // to the f32 feature domain.
                     .sqrt() as f32
             }
         }
@@ -126,6 +131,8 @@ impl Metric {
                 if v < 1e-12 {
                     max_weight
                 } else {
+                    // CAST: v ≥ 1e-12 bounds 1/v ≤ 1e12, inside f32 range;
+                    // the min() clamp caps it at max_weight anyway.
                     ((1.0 / v) as f32).min(max_weight)
                 }
             })
@@ -138,6 +145,8 @@ fn sq_l2(a: &[f32], b: &[f32]) -> f32 {
     a.iter()
         .zip(b)
         .map(|(x, y)| ((x - y) as f64).powi(2))
+        // CAST: f64-accumulated squared distance narrowed back to the f32
+        // feature domain; the widening was only to stabilize the sum.
         .sum::<f64>() as f32
 }
 

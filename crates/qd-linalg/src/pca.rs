@@ -56,11 +56,15 @@ impl Pca {
                     *acc += x as f64;
                 }
             }
+            // CAST: f64-accumulated column means narrowed back to the f32
+            // feature domain.
             m.into_iter().map(|x| (x / n) as f32).collect()
         };
 
         let components = order[..k]
             .iter()
+            // CAST: eigenvector entries are unit-normalized (|x| ≤ 1);
+            // narrowing to the f32 projection domain loses only precision.
             .map(|&c| (0..dim).map(|r| eigvecs[(r, c)] as f32).collect())
             .collect();
         let explained_variance = order[..k].iter().map(|&c| eigvals[c].max(0.0)).collect();
@@ -119,6 +123,8 @@ impl Pca {
                     .zip(axis)
                     .zip(&self.mean)
                     .map(|((x, a), m)| ((x - m) as f64) * (*a as f64))
+                    // CAST: f64-accumulated projection narrowed back to the
+                    // f32 feature domain.
                     .sum::<f64>() as f32
             })
             .collect()

@@ -128,6 +128,7 @@ impl Normalizer {
                 s.push(x);
             }
         }
+        // CAST: f64 running means narrowed back to the f32 feature domain.
         let means = stats.iter().map(|s| s.mean() as f32).collect();
         let inv_stds = stats
             .iter()
@@ -136,6 +137,7 @@ impl Normalizer {
                 if sd < 1e-9 {
                     1.0
                 } else {
+                    // CAST: sd ≥ 1e-9 bounds 1/sd ≤ 1e9, inside f32 range.
                     (1.0 / sd) as f32
                 }
             })

@@ -54,11 +54,14 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     a.iter()
         .zip(b)
         .map(|(x, y)| *x as f64 * *y as f64)
+        // CAST: f64-accumulated dot product narrowed back to the f32
+        // feature domain; the widening was only to stabilize the sum.
         .sum::<f64>() as f32
 }
 
 /// Euclidean (L2) norm.
 pub fn norm(a: &[f32]) -> f32 {
+    // CAST: f64-accumulated norm narrowed back to the f32 feature domain.
     (a.iter().map(|x| (*x as f64).powi(2)).sum::<f64>()).sqrt() as f32
 }
 
@@ -90,6 +93,7 @@ pub fn centroid<V: AsRef<[f32]>>(vectors: &[V]) -> Vec<f32> {
         }
     }
     let inv = 1.0 / vectors.len() as f64;
+    // CAST: f64-accumulated centroid narrowed back to the f32 feature domain.
     acc.into_iter().map(|a| (a * inv) as f32).collect()
 }
 
@@ -107,6 +111,7 @@ pub fn centroid_of<V: AsRef<[f32]>>(data: &[V], indices: &[usize]) -> Vec<f32> {
         }
     }
     let inv = 1.0 / indices.len() as f64;
+    // CAST: f64-accumulated centroid narrowed back to the f32 feature domain.
     acc.into_iter().map(|a| (a * inv) as f32).collect()
 }
 

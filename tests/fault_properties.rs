@@ -247,6 +247,104 @@ fn client_submit_retries_deterministically_under_chaos() {
 }
 
 #[test]
+fn cache_sites_inject_failures_on_every_persistence_path() {
+    use query_decomposition::corpus::cache;
+    let config = CorpusConfig {
+        size: 40,
+        image_size: 16,
+        seed: 7,
+        filler_count: 2,
+        with_viewpoints: false,
+    };
+    let corpus = Corpus::build(&config);
+    let dir = std::env::temp_dir().join("qd_fault_cache_sites");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("corpus.qdc");
+    std::fs::remove_file(&path).ok();
+
+    // CACHE_WRITE fires before the atomic rename: no partial file appears.
+    let write_plan = FaultPlan::new(fault_seed()).site(qd_fault::site::CACHE_WRITE, Mode::Always);
+    let err = qd_fault::with_plan(&write_plan, || cache::save(&corpus, &path)).unwrap_err();
+    assert!(err.to_string().contains("injected"), "{err}");
+    assert!(!path.exists(), "failed save must not leave a file behind");
+
+    cache::save(&corpus, &path).unwrap();
+
+    // CACHE_READ covers both the full load and the header-only probe.
+    let read_plan = FaultPlan::new(fault_seed()).site(qd_fault::site::CACHE_READ, Mode::Always);
+    qd_fault::with_plan(&read_plan, || {
+        assert!(cache::load(&path, &config).is_err());
+        assert!(cache::read_header(&path).is_err());
+    });
+
+    // CACHE_SHORT_READ: the checked parser rejects torn prefixes with a
+    // typed error and never panics; the one payload that keeps every byte
+    // yields the intact corpus.
+    let torn_plan =
+        FaultPlan::new(fault_seed()).site(qd_fault::site::CACHE_SHORT_READ, Mode::Always);
+    qd_fault::with_plan(&torn_plan, || {
+        if let Ok(loaded) = cache::load(&path, &config) {
+            assert_eq!(loaded.len(), corpus.len());
+        }
+    });
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn index_persistence_sites_inject_failures_on_every_path() {
+    use query_decomposition::index::persist;
+    let (_, rfs) = fixture();
+    let tree = rfs.tree();
+    let dir = std::env::temp_dir().join("qd_fault_index_sites");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("tree.qdt");
+    std::fs::remove_file(&path).ok();
+
+    // INDEX_WRITE fires before any bytes reach the filesystem.
+    let write_plan = FaultPlan::new(fault_seed()).site(qd_fault::site::INDEX_WRITE, Mode::Always);
+    let err = qd_fault::with_plan(&write_plan, || persist::save(tree, &path)).unwrap_err();
+    assert!(err.to_string().contains("injected"), "{err}");
+    assert!(!path.exists(), "failed save must not leave a file behind");
+
+    persist::save(tree, &path).unwrap();
+
+    // INDEX_READ surfaces after the filesystem read, as a typed error.
+    let read_plan = FaultPlan::new(fault_seed()).site(qd_fault::site::INDEX_READ, Mode::Always);
+    let err = qd_fault::with_plan(&read_plan, || persist::load(&path)).unwrap_err();
+    assert!(err.to_string().contains("injected"), "{err}");
+
+    // INDEX_SHORT_READ: the length-checked reader rejects torn prefixes and
+    // never panics; the one payload keeping every byte yields the full tree.
+    let torn_plan =
+        FaultPlan::new(fault_seed()).site(qd_fault::site::INDEX_SHORT_READ, Mode::Always);
+    let bytes = persist::to_bytes(tree);
+    qd_fault::with_plan(&torn_plan, || {
+        if let Ok(loaded) = persist::from_bytes(&bytes) {
+            loaded.validate();
+            assert_eq!(loaded.len(), tree.len());
+        }
+    });
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn session_sites_degrade_deterministically_site_by_site() {
+    for site in [
+        qd_fault::site::SESSION_ROUND_DISPLAY,
+        qd_fault::site::SESSION_SUBQUERY_PANIC,
+    ] {
+        let plan = FaultPlan::new(fault_seed()).site(site, Mode::Probability(0.5));
+        let first = serve_both_thread_counts(&plan, "bird", &QdConfig::default());
+        let second = serve_both_thread_counts(&plan, "bird", &QdConfig::default());
+        assert_eq!(first, second, "site {site}: outcome not reproducible");
+        assert!(
+            !first.starts_with("error,"),
+            "site {site} must degrade or complete, never error: {first}"
+        );
+    }
+}
+
+#[test]
 fn rfs_build_survives_representative_selection_panics() {
     let (corpus, _) = fixture();
     let plan =
