@@ -102,10 +102,10 @@ impl RuleId {
                  errors or degrade, they never panic on input"
             }
             RuleId::R8 => {
-                "no string-literal counter/span names at qd_obs call sites in \
-                 src outside #[cfg(test)]: names come from the qd_obs::ctr / \
-                 qd_obs::sp catalogs, so every metric is greppable and the \
-                 trace vocabulary stays closed"
+                "no string-literal counter/span/histogram names at qd_obs call \
+                 sites in src outside #[cfg(test)]: names come from the \
+                 qd_obs::ctr / qd_obs::sp / qd_obs::hist catalogs, so every \
+                 metric is greppable and the trace vocabulary stays closed"
             }
             RuleId::R9 => {
                 "crate dependencies must point strictly down the layering \
@@ -122,9 +122,10 @@ impl RuleId {
             }
             RuleId::R11 => {
                 "observability catalog closure (reverse of R8): every name \
-                 declared in qd_obs::ctr / qd_obs::sp is referenced outside \
-                 qd-obs at least once; a dead catalog name means a golden or \
-                 dashboard is watching a counter nothing increments"
+                 declared in qd_obs::ctr / qd_obs::sp / qd_obs::hist is \
+                 referenced outside qd-obs at least once; a dead catalog name \
+                 means a golden or dashboard is watching a metric nothing \
+                 records"
             }
             RuleId::R12 => {
                 "narrowing `as` casts (target u8/i8/u16/i16/u32/i32/f32) in \
@@ -663,12 +664,13 @@ fn rule_r7(rel_path: &str, scrubbed: &Scrubbed, out: &mut Vec<Finding>) {
     }
 }
 
-/// The `qd_obs` hooks whose first argument is a counter/span name.
-const R8_HOOKS: [&str; 4] = ["count", "span", "span_indexed", "measured"];
+/// The `qd_obs` hooks whose first argument is a counter/span/histogram name.
+const R8_HOOKS: [&str; 5] = ["count", "span", "span_indexed", "measured", "observe"];
 
 /// R8: a string literal passed as the name argument of a `qd_obs` hook in
-/// `src/` outside `#[cfg(test)]` code. Production counter and span names
-/// must be the `qd_obs::ctr` / `qd_obs::sp` catalog constants: the catalogs
+/// `src/` outside `#[cfg(test)]` code. Production counter, span, and
+/// histogram names must be the `qd_obs::ctr` / `qd_obs::sp` /
+/// `qd_obs::hist` catalog constants: the catalogs
 /// keep the trace vocabulary closed (goldens, BENCH_qd.json consumers, and
 /// conservation tests all grep by constant), and a literal at the call site
 /// silently forks it. The scrubber blanks string bodies but keeps the quote
@@ -702,7 +704,8 @@ fn rule_r8(rel_path: &str, scrubbed: &Scrubbed, out: &mut Vec<Finding>) {
                         file: rel_path.to_string(),
                         line: li + 1,
                         message: format!("string-literal name passed to qd_obs::{hook}"),
-                        hint: "name it with a qd_obs::ctr / qd_obs::sp catalog constant \
+                        hint: "name it with a qd_obs::ctr / qd_obs::sp / qd_obs::hist \
+                               catalog constant \
                                (add one there if this is a genuinely new metric)"
                             .to_string(),
                     });
@@ -921,13 +924,14 @@ mod tests {
                        qd_obs::span(\"phase\", || ());\n\
                        qd_obs::span_indexed(\"phase\", 3, || ());\n\
                        let (_, c) = qd_obs::measured(\"phase\", || ());\n\
+                       qd_obs::observe(\"lat.ad_hoc\", 9);\n\
                    }";
         let f = findings("crates/qd-core/src/x.rs", src);
-        assert_eq!(f.len(), 4, "{f:?}");
+        assert_eq!(f.len(), 5, "{f:?}");
         assert!(f.iter().all(|x| x.rule == RuleId::R8));
         assert_eq!(f[0].line, 2);
         // Facade src is covered too.
-        assert_eq!(findings("src/bin/qd.rs", src).len(), 4);
+        assert_eq!(findings("src/bin/qd.rs", src).len(), 5);
     }
 
     #[test]
@@ -951,6 +955,7 @@ mod tests {
                        qd_obs::count(qd_obs::ctr::KNN_DISTANCE, n);\n\
                        qd_obs::span(qd_obs::sp::RFS_BUILD, || ());\n\
                        qd_obs::span_indexed(qd_obs::sp::SUBQUERY, 0, || ());\n\
+                       qd_obs::observe(qd_obs::hist::QD_QUERY_DISTANCES, n);\n\
                    }";
         assert!(findings("crates/qd-core/src/x.rs", src).is_empty());
     }

@@ -274,11 +274,12 @@ const OBS_LIB: &str = "crates/qd-obs/src/lib.rs";
 
 /// R11: observability catalog closure (the reverse direction of R8).
 ///
-/// R8 forces every production call site to use a `qd_obs::ctr`/`qd_obs::sp`
-/// constant; R11 forces every constant to have at least one reference
-/// outside qd-obs. Together they keep the metric vocabulary exactly equal to
-/// what the engine emits — a dead catalog name means a golden file or
-/// dashboard is watching a counter nothing increments.
+/// R8 forces every production call site to use a
+/// `qd_obs::ctr`/`qd_obs::sp`/`qd_obs::hist` constant; R11 forces every
+/// constant to have at least one reference outside qd-obs. Together they
+/// keep the metric vocabulary exactly equal to what the engine emits — a
+/// dead catalog name means a golden file or dashboard is watching a metric
+/// nothing records.
 pub struct ObsClosure;
 
 impl Rule for ObsClosure {
@@ -291,7 +292,7 @@ impl Rule for ObsClosure {
             return;
         };
         let mut names = Vec::new();
-        for module in ["ctr", "sp"] {
+        for module in ["ctr", "sp", "hist"] {
             for (name, line) in str_consts_in_mod(&obs.scrubbed.lines, module) {
                 names.push((module, name, line));
             }

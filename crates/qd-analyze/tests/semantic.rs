@@ -331,6 +331,46 @@ fn r11_positive_dead_catalog_name() {
 }
 
 #[test]
+fn r11_positive_dead_hist_name() {
+    let report = check_workspace(
+        "r11_hist_dead",
+        &[
+            ("crates/qd-obs/Cargo.toml", &manifest("qd-obs", &[])),
+            (
+                "crates/qd-obs/src/lib.rs",
+                "pub mod hist {\n    pub const LATENCY: &str = \"q.latency\";\n}\n",
+            ),
+            ("qd-analyze.layers", "0 qd-obs\n"),
+        ],
+    );
+    let r11 = findings_of(&report, RuleId::R11);
+    assert_eq!(r11.len(), 1, "{r11:?}");
+    assert!(r11[0].message.contains("hist::LATENCY"));
+}
+
+#[test]
+fn r11_negative_referenced_hist_name_is_clean() {
+    let report = check_workspace(
+        "r11_hist_live",
+        &[
+            ("crates/qd-obs/Cargo.toml", &manifest("qd-obs", &[])),
+            (
+                "crates/qd-obs/src/lib.rs",
+                "pub mod hist {\n    pub const LATENCY: &str = \"q.latency\";\n}\n",
+            ),
+            ("crates/qd-core/Cargo.toml", &manifest("qd-core", &[])),
+            (
+                "crates/qd-core/src/lib.rs",
+                "pub fn serve(n: u64) {\n    qd_obs::observe(qd_obs::hist::LATENCY, n)\n}\n",
+            ),
+            ("qd-analyze.layers", "0 qd-obs\n1 qd-core\n"),
+        ],
+    );
+    let r11 = findings_of(&report, RuleId::R11);
+    assert!(r11.is_empty(), "{r11:?}");
+}
+
+#[test]
 fn r11_negative_reference_inside_qd_obs_does_not_count() {
     // The only reference is qd-obs's own aggregate table — still dead.
     let report = check_workspace(

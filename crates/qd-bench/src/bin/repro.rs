@@ -20,12 +20,15 @@
 //!
 //! `--json` ignores the command and instead writes the machine-readable
 //! observability report `BENCH_qd.json` ({commit, config, tables, counters,
-//! span_tree}). It runs at the `Tiny` scale by default (`--quick` upgrades
-//! it to `Quick`) and its output is byte-identical across consecutive runs
-//! and across `QD_THREADS` settings — CI diffs it to pin the observability
-//! contract. `--json --timing` additionally appends the Figure 10/11
-//! wall-clock timing tables; those are non-deterministic, so CI never passes
-//! the flag.
+//! histograms, span_tree} — the histograms carry exact p50/p90/p99/max
+//! per-query distance and node-access distributions for QD vs MV). It runs
+//! at the `Tiny` scale by default (`--quick` upgrades it to `Quick`) and
+//! its output is byte-identical across consecutive runs and across
+//! `QD_THREADS` settings — CI diffs it to pin the observability contract.
+//! `--json --timing` additionally appends the Figure 10/11 wall-clock
+//! timing tables plus the `timing_percentiles` table (per-round /
+//! final-k-NN / per-query wall-clock percentiles in microseconds); those
+//! are non-deterministic, so CI never passes the flag.
 
 use qd_bench::experiments;
 use qd_bench::BenchScale;

@@ -797,7 +797,7 @@ pub fn ablate_feature_weights(scale: BenchScale, seed: u64) {
 /// The machine-readable bench report (`repro --json`): runs the Table 1
 /// workload (MV vs QD over the eleven standard queries) under a `qd_obs`
 /// recorder and writes `BENCH_qd.json` with the schema
-/// `{commit, config, tables, counters, span_tree}`.
+/// `{commit, config, tables, counters, histograms, span_tree}`.
 ///
 /// Deterministic by construction: the RFS is built *inside* the recorder so
 /// its build span and counters are part of the report, the corpus
@@ -806,20 +806,20 @@ pub fn ablate_feature_weights(scale: BenchScale, seed: u64) {
 /// thread count is recorded — CI compares consecutive runs and a
 /// `QD_THREADS=8` run byte-for-byte.
 ///
-/// `with_timing` opts in to the Figure 10/11 timing sweep: two extra tables
-/// (`fig10_overall_time`, `fig11_iteration_time`) carrying wall-clock
-/// milliseconds are appended to the report. Timing is inherently
-/// non-deterministic, so the flag is off by default and off in the CI
-/// byte-diff job; everything outside the two timing tables is unchanged by
-/// the flag.
+/// `with_timing` opts in to the Figure 10/11 timing sweep: three extra
+/// tables (`fig10_overall_time`, `fig11_iteration_time`,
+/// `timing_percentiles`) carrying wall-clock readings are appended to the
+/// report. Timing is inherently non-deterministic, so the flag is off by
+/// default and off in the CI byte-diff job; everything outside the timing
+/// tables is unchanged by the flag.
 pub fn json_report(scale: BenchScale, seed: u64, with_timing: bool) {
     let corpus = bench_corpus(scale, seed);
     let qd_cfg = QdConfig::default();
     let baseline_cfg = BaselineConfig::default();
-    let ((rows, avg), trace) = qd_obs::with_recorder(|| {
+    let ((rows, timings, avg), trace) = qd_obs::with_recorder(|| {
         let rfs = RfsStructure::build(corpus.features(), &scale.rfs_config());
         let qs = queries::standard_queries(corpus.taxonomy());
-        let rows = qd_runtime::par_map_indexed(&qs, |i, query| {
+        let per_query = qd_runtime::par_map_indexed(&qs, |i, query| {
             qd_obs::span_indexed(qd_obs::sp::BENCH_QUERY, i as u64, || {
                 let k = corpus.ground_truth(query).len();
                 let mut b_user = SimulatedUser::oracle(query, baseline_cfg.seed)
@@ -829,17 +829,24 @@ pub fn json_report(scale: BenchScale, seed: u64, with_timing: bool) {
                 let mut q_user =
                     SimulatedUser::oracle(query, qd_cfg.seed).with_patience(qd_cfg.user_patience);
                 let q = run_session(&corpus, &rfs, query, &mut q_user, k, &qd_cfg);
-                eval::QualityRow {
+                let row = eval::QualityRow {
                     query: query.name.clone(),
                     baseline_precision: qd_core::metrics::precision(&corpus, query, &b.results),
                     baseline_gtir: qd_core::metrics::gtir(&corpus, query, &b.results),
                     qd_precision: qd_core::metrics::precision(&corpus, query, &q.results),
                     qd_gtir: qd_core::metrics::gtir(&corpus, query, &q.results),
-                }
+                };
+                (row, (q.round_durations, q.final_knn_duration))
             })
         });
+        let mut rows = Vec::with_capacity(per_query.len());
+        let mut timings = crate::timing::TimingHists::new();
+        for (row, (rounds, final_knn)) in per_query {
+            rows.push(row);
+            timings.record_query(&rounds, final_knn);
+        }
         let avg = eval::average_row(&rows);
-        (rows, avg)
+        (rows, timings, avg)
     });
 
     let mut table = Table::new(
@@ -910,6 +917,7 @@ pub fn json_report(scale: BenchScale, seed: u64, with_timing: bool) {
         }
         tables.push(("fig10_overall_time".to_string(), fig10));
         tables.push(("fig11_iteration_time".to_string(), fig11));
+        tables.push(("timing_percentiles".to_string(), timings.table()));
     }
     let path = std::path::Path::new("BENCH_qd.json");
     match report::write_bench_report(path, config, tables, &trace) {

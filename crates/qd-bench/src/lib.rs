@@ -14,5 +14,6 @@ pub mod experiments;
 pub mod fixtures;
 pub mod report;
 pub mod simqueries;
+pub mod timing;
 
 pub use fixtures::{bench_corpus, bench_rfs, BenchScale};

@@ -277,6 +277,100 @@ pub fn span_to_json(span: &qd_obs::Span) -> JsonValue {
     JsonValue::Obj(pairs)
 }
 
+/// One `qd_obs` histogram as a JSON object:
+/// `{count, sum, min, max, p50, p90, p99, buckets}`. Percentiles are exact
+/// nearest-rank values from the raw observation multiset; `buckets` is the
+/// log2 view keyed `"0"` / `"le_N"` in ascending bound order.
+pub fn hist_to_json(hist: &qd_obs::Hist) -> JsonValue {
+    let buckets = JsonValue::Obj(
+        hist.buckets()
+            .into_iter()
+            .map(|(upper, count)| {
+                let label = if upper == 0 {
+                    "0".to_string()
+                } else {
+                    format!("le_{upper}")
+                };
+                (label, JsonValue::u64(count))
+            })
+            .collect(),
+    );
+    JsonValue::Obj(vec![
+        ("count".to_string(), JsonValue::u64(hist.count())),
+        ("sum".to_string(), JsonValue::u64(hist.sum())),
+        ("min".to_string(), JsonValue::u64(hist.min())),
+        ("max".to_string(), JsonValue::u64(hist.max())),
+        ("p50".to_string(), JsonValue::u64(hist.p50())),
+        ("p90".to_string(), JsonValue::u64(hist.p90())),
+        ("p99".to_string(), JsonValue::u64(hist.p99())),
+        ("buckets".to_string(), buckets),
+    ])
+}
+
+/// A `qd_obs` histogram map as a JSON object (BTreeMap keys: sorted, stable).
+pub fn hists_to_json(hists: &BTreeMap<String, qd_obs::Hist>) -> JsonValue {
+    JsonValue::Obj(
+        hists
+            .iter()
+            .map(|(name, hist)| (name.clone(), hist_to_json(hist)))
+            .collect(),
+    )
+}
+
+/// A whole trace as machine-readable JSON:
+/// `{counters, histograms, span_tree}`. This is the `qd trace --json`
+/// payload — everything in it derives from the deterministic recorder, so
+/// two runs of the same session render identical bytes.
+pub fn trace_to_json(trace: &qd_obs::Trace) -> JsonValue {
+    JsonValue::Obj(vec![
+        ("counters".to_string(), counters_to_json(&trace.counters)),
+        ("histograms".to_string(), hists_to_json(&trace.hists)),
+        ("span_tree".to_string(), span_to_json(&trace.root)),
+    ])
+}
+
+/// Renders a trace as Chrome/Perfetto trace-event JSON
+/// (`{traceEvents: [...], displayTimeUnit: "ms"}`, one complete `ph:"X"`
+/// event per span). There is no wall clock in a deterministic trace, so the
+/// timeline axis is *counter cost*: a span's duration is
+/// `max(1, sum of its own counters)` plus its children's durations, the
+/// span's self segment comes first, and children follow sequentially in
+/// recording order. The result is a flame chart of where the counted work
+/// went, byte-identical across runs and thread counts.
+pub fn chrome_trace_json(trace: &qd_obs::Trace) -> JsonValue {
+    fn cost(span: &qd_obs::Span) -> u64 {
+        let own: u64 = span.counters.values().sum();
+        own.max(1) + span.children.iter().map(cost).sum::<u64>()
+    }
+    fn emit(span: &qd_obs::Span, ts: u64, events: &mut Vec<JsonValue>) {
+        let name = match span.index {
+            Some(index) => format!("{}#{index}", span.name),
+            None => span.name.clone(),
+        };
+        events.push(JsonValue::Obj(vec![
+            ("name".to_string(), JsonValue::str(name)),
+            ("ph".to_string(), JsonValue::str("X")),
+            ("ts".to_string(), JsonValue::u64(ts)),
+            ("dur".to_string(), JsonValue::u64(cost(span))),
+            ("pid".to_string(), JsonValue::u64(0)),
+            ("tid".to_string(), JsonValue::u64(0)),
+            ("args".to_string(), counters_to_json(&span.counters)),
+        ]));
+        let own: u64 = span.counters.values().sum();
+        let mut child_ts = ts + own.max(1);
+        for child in &span.children {
+            emit(child, child_ts, events);
+            child_ts += cost(child);
+        }
+    }
+    let mut events = Vec::new();
+    emit(&trace.root, 0, &mut events);
+    JsonValue::Obj(vec![
+        ("traceEvents".to_string(), JsonValue::Arr(events)),
+        ("displayTimeUnit".to_string(), JsonValue::str("ms")),
+    ])
+}
+
 /// The current git commit, or `"unknown"` outside a repository. The commit
 /// is the only environment-derived field in the report — everything else
 /// depends exclusively on `(scale, seed)`, which is what makes consecutive
@@ -294,7 +388,8 @@ pub fn current_commit() -> String {
 }
 
 /// Assembles the `BENCH_qd.json` document — schema
-/// `{commit, config, tables: {...}, counters: {...}, span_tree}` — and
+/// `{commit, config, tables: {...}, counters: {...}, histograms: {...},
+/// span_tree}` — and
 /// writes it to `path`. Deliberately excludes wall-clock readings and
 /// thread counts: the report must be byte-identical across consecutive
 /// runs and across `QD_THREADS` settings (the CI observability job
@@ -318,6 +413,7 @@ pub fn write_bench_report(
             ),
         ),
         ("counters".to_string(), counters_to_json(&trace.counters)),
+        ("histograms".to_string(), hists_to_json(&trace.hists)),
         ("span_tree".to_string(), span_to_json(&trace.root)),
     ]);
     fs::write(path, doc.render())
@@ -414,6 +510,72 @@ mod tests {
         assert!(json.contains("\"header\""));
         assert!(json.contains("\"rows\""));
         assert!(json.contains("\"1\""));
+    }
+
+    #[test]
+    fn hist_serialization_includes_percentiles_and_buckets() {
+        let mut hist = qd_obs::Hist::new();
+        for v in [0, 3, 5, 9, 100] {
+            hist.record(v);
+        }
+        let json = hist_to_json(&hist).render();
+        assert!(json.contains("\"count\": 5"));
+        assert!(json.contains("\"sum\": 117"));
+        assert!(json.contains("\"min\": 0"));
+        assert!(json.contains("\"max\": 100"));
+        assert!(json.contains("\"p50\": 5"));
+        assert!(json.contains("\"p90\": 100"));
+        // Zero bucket labeled "0", log2 buckets labeled "le_N".
+        assert!(json.contains("\"0\": 1"));
+        assert!(json.contains("\"le_3\": 1"));
+        assert!(json.contains("\"le_7\": 1"));
+        assert!(json.contains("\"le_15\": 1"));
+        assert!(json.contains("\"le_127\": 1"));
+    }
+
+    #[test]
+    fn trace_to_json_carries_all_three_sections() {
+        let (_, trace) = qd_obs::with_recorder(|| {
+            qd_obs::span("work", || {
+                qd_obs::count("w.items", 4);
+                qd_obs::observe("w.latency", 12);
+            });
+        });
+        let json = trace_to_json(&trace).render();
+        assert!(json.contains("\"counters\""));
+        assert!(json.contains("\"histograms\""));
+        assert!(json.contains("\"span_tree\""));
+        assert!(json.contains("\"w.latency\""));
+        // Deterministic: same trace renders the same bytes.
+        assert_eq!(json, trace_to_json(&trace).render());
+    }
+
+    #[test]
+    fn chrome_trace_layout_is_sequential_counter_cost() {
+        let (_, trace) = qd_obs::with_recorder(|| {
+            qd_obs::span("outer", || {
+                qd_obs::count("o.work", 10);
+                qd_obs::span_indexed("inner", 0, || {
+                    qd_obs::count("i.work", 3);
+                });
+                qd_obs::span_indexed("inner", 1, || {
+                    qd_obs::count("i.work", 5);
+                });
+            });
+        });
+        let json = chrome_trace_json(&trace).render();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"displayTimeUnit\": \"ms\""));
+        assert!(json.contains("\"inner#0\""));
+        assert!(json.contains("\"inner#1\""));
+        // root has no own counters → self segment 1; outer starts at ts=1
+        // with dur = 10 (own) + 3 + 5 (children) = 18; inner#0 at
+        // ts = 1 + 10 = 11 (dur 3), inner#1 at ts = 14 (dur 5).
+        assert!(json.contains("\"ts\": 11"));
+        assert!(json.contains("\"ts\": 14"));
+        assert!(json.contains("\"dur\": 18"));
+        // Counter-free spans still get a visible 1-unit self segment.
+        assert!(json.contains("\"ts\": 0"));
     }
 
     #[test]

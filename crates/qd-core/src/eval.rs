@@ -43,14 +43,29 @@ impl Baseline {
         k: usize,
         cfg: &BaselineConfig,
     ) -> baselines::BaselineOutcome {
-        match self {
+        let mut run_inner = || match self {
             Baseline::MultipleViewpoints => baselines::mv::run_session(corpus, query, user, k, cfg),
             Baseline::QueryPointMovement => {
                 baselines::qpm::run_session(corpus, query, user, k, cfg)
             }
             Baseline::MultipointQuery => baselines::mpq::run_session(corpus, query, user, k, cfg),
             Baseline::Qcluster => baselines::qcluster::run_session(corpus, query, user, k, cfg),
+        };
+        if !qd_obs::enabled() {
+            return run_inner();
         }
+        // Baselines are full sequential scans: every candidate scored is a
+        // record read, so node accesses equal distance computations by
+        // construction. Recording both keeps the QD-vs-baseline histograms
+        // symmetric in BENCH_qd.json.
+        let (out, counters) = qd_obs::measured(qd_obs::sp::BASELINE_RUN, run_inner);
+        let scanned = counters
+            .get(qd_obs::ctr::BASELINE_DISTANCE)
+            .copied()
+            .unwrap_or(0);
+        qd_obs::observe(qd_obs::hist::BASELINE_QUERY_DISTANCES, scanned);
+        qd_obs::observe(qd_obs::hist::BASELINE_QUERY_NODE_ACCESSES, scanned);
+        out
     }
 }
 

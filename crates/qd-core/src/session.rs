@@ -178,6 +178,11 @@ pub fn run_feedback_rounds(
         let is_final = round == cfg.rounds;
         let mut next_active: Vec<NodeId> = Vec::new();
         qd_obs::span_indexed(qd_obs::sp::ROUND, round as u64, || {
+            // What the user waits on this round, in deterministic cost
+            // units: the representative displays generated. One histogram
+            // observation per round, zero included (a round that displayed
+            // nothing is a data point).
+            let mut round_displays = 0u64;
             for &node in &active {
                 // Failpoint: the display read for this node fails. Keyed by
                 // the node's stable index (not an invocation counter), so the
@@ -195,6 +200,7 @@ pub fn run_feedback_rounds(
                 let mut shown: Vec<usize> = hierarchy.representatives(node).to_vec();
                 shown.shuffle(&mut rng); // the GUI's "Random" browsing order
                 qd_obs::count(qd_obs::ctr::SESSION_DISPLAYS, shown.len() as u64);
+                round_displays += shown.len() as u64;
                 let marked = user.mark_relevant(&shown, labels);
                 qd_obs::count(qd_obs::ctr::SESSION_MARKS, marked.len() as u64);
                 if marked.is_empty() {
@@ -224,6 +230,7 @@ pub fn run_feedback_rounds(
                     }
                 }
             }
+            qd_obs::observe(qd_obs::hist::QD_ROUND_DISPLAYS, round_displays);
         });
 
         round_durations.push(round_start.elapsed());
@@ -374,6 +381,9 @@ pub fn try_execute_subqueries<I: KnnIndex + Sync>(
     let start = Instant::now();
     validate_subqueries(corpus, rfs, subqueries, cfg)?;
     if subqueries.is_empty() || k == 0 {
+        // A dead query still contributes to the per-query distribution:
+        // it cost nothing.
+        qd_obs::observe(qd_obs::hist::QD_QUERY_DISTANCES, 0);
         return Ok(FinalExecution {
             results: Vec::new(),
             groups: Vec::new(),
@@ -438,6 +448,13 @@ pub fn try_execute_subqueries<I: KnnIndex + Sync>(
                     panic!("injected fault: subquery {i} worker");
                 }
                 result.support = support;
+                // Per-subquery distance distribution (Fig. 11): one
+                // observation per surviving subquery, recorded inside the
+                // SUBQUERY span so fan-out merge order stays deterministic.
+                qd_obs::observe(
+                    qd_obs::hist::QD_SUBQUERY_DISTANCES,
+                    result.distance_computations,
+                );
                 Ok::<_, QdError>(result)
             })
         })
@@ -465,6 +482,10 @@ pub fn try_execute_subqueries<I: KnnIndex + Sync>(
     // subsequently dropped still shows up in the report.
     let counter = |name: &str| final_counters.get(name).copied().unwrap_or(0);
     let budget_spent = counter(qd_obs::ctr::KNN_DISTANCE);
+    // Per-query distance distribution (Figs. 10/12): the measured counters
+    // already include work from dropped subqueries, so the observation
+    // charges everything the query actually spent.
+    qd_obs::observe(qd_obs::hist::QD_QUERY_DISTANCES, budget_spent);
     let nodes_skipped = counter(qd_obs::ctr::KNN_NODES_SKIPPED);
     let exhausted = counter(qd_obs::ctr::KNN_BUDGET_EXHAUSTED) > 0;
     let degradation = (subqueries_dropped > 0 || exhausted).then_some(Degradation {
@@ -577,6 +598,12 @@ pub fn try_run_session<I: KnnIndex + Sync>(
 ) -> Result<ServedOutcome, QdError> {
     let rounds = run_feedback_rounds(rfs, corpus.labels(), user, cfg);
     let execution = try_execute_subqueries(corpus, rfs, &rounds.final_marks, k, cfg)?;
+    // Per-query node-access distribution (Fig. 13): feedback-phase tree
+    // walks plus the final k-NN's budgeted accesses.
+    qd_obs::observe(
+        qd_obs::hist::QD_QUERY_NODE_ACCESSES,
+        rounds.feedback_accesses + execution.knn_accesses,
+    );
 
     // Quality trace: GTIR of the relevant images seen so far per round, and
     // the final round's retrieval quality. A session that died early keeps

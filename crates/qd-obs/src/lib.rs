@@ -24,9 +24,14 @@
 //!   caller **in input order** after the join. The merged trace is
 //!   byte-identical to the one a sequential run records directly.
 //!
-//! Counter and span names are `&'static str` constants in [`ctr`] and
-//! [`sp`] — qd-analyze rule R8 rejects string literals at call sites, so
-//! every site is listed in the catalogs.
+//! Counter, span, and histogram names are `&'static str` constants in
+//! [`ctr`], [`sp`], and [`hist`] — qd-analyze rule R8 rejects string
+//! literals at call sites, so every site is listed in the catalogs.
+//!
+//! Beyond counters and spans the recorder collects [`Hist`]ograms
+//! (per-query / per-round / per-subquery cost distributions, fed by
+//! [`observe`]) and a [`Trace`] can be folded into a flame-style profile
+//! table ([`Trace::profile`]) of inclusive/self counter cost per span name.
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -113,6 +118,9 @@ pub mod sp {
     /// One benchmark query's full session (indexed by query position).
     pub const BENCH_QUERY: &str = "bench.query";
 
+    /// One baseline technique's full feedback session.
+    pub const BASELINE_RUN: &str = "baseline.run";
+
     /// Every span with a one-line description, for CLI/report listings.
     pub const SPANS: &[(&str, &str)] = &[
         (ROUND, "one feedback round"),
@@ -122,7 +130,187 @@ pub mod sp {
         (RFS_LEVEL, "one RFS level's representative selection"),
         (MV_VIEWPOINT, "one MV viewpoint channel retrieval"),
         (BENCH_QUERY, "one benchmark query session"),
+        (BASELINE_RUN, "one baseline technique feedback session"),
     ];
+}
+
+/// The histogram catalog: every named distribution the engine observes.
+///
+/// Counters answer "how much total work"; histograms answer "how is that
+/// work distributed per query, per round, per subquery" — which is what
+/// makes the paper's linear-scaling claims (Figs. 10–13) testable as
+/// distribution assertions rather than aggregate totals.
+pub mod hist {
+    /// Distance computations spent by one QD session (one observation per
+    /// query).
+    pub const QD_QUERY_DISTANCES: &str = "qd.query.distance_computations";
+    /// Index node reads performed by one QD session: feedback displays plus
+    /// localized k-NN frontier reads (one observation per query).
+    pub const QD_QUERY_NODE_ACCESSES: &str = "qd.query.node_accesses";
+    /// Distance computations spent by one localized subquery (one
+    /// observation per subquery; compares decomposition policies).
+    pub const QD_SUBQUERY_DISTANCES: &str = "qd.subquery.distance_computations";
+    /// Representative displays generated in one feedback round — the
+    /// deterministic per-round display-latency proxy (one observation per
+    /// round).
+    pub const QD_ROUND_DISPLAYS: &str = "qd.round.display_cost";
+    /// Candidate scorings spent by one baseline session (one observation
+    /// per query).
+    pub const BASELINE_QUERY_DISTANCES: &str = "baseline.query.distance_computations";
+    /// Record reads performed by one baseline session. Baselines retrieve
+    /// by full sequential scans, so every candidate scoring is exactly one
+    /// record read — this equals the distance count by construction, kept
+    /// as its own distribution so QD-vs-baseline node-access comparisons
+    /// stay symmetric.
+    pub const BASELINE_QUERY_NODE_ACCESSES: &str = "baseline.query.node_accesses";
+
+    /// Every histogram with a one-line description, for CLI/report listings.
+    pub const HISTS: &[(&str, &str)] = &[
+        (QD_QUERY_DISTANCES, "per-query QD distance computations"),
+        (QD_QUERY_NODE_ACCESSES, "per-query QD index node reads"),
+        (QD_SUBQUERY_DISTANCES, "per-subquery distance computations"),
+        (QD_ROUND_DISPLAYS, "per-round representative displays"),
+        (
+            BASELINE_QUERY_DISTANCES,
+            "per-query baseline candidate scorings",
+        ),
+        (
+            BASELINE_QUERY_NODE_ACCESSES,
+            "per-query baseline record reads",
+        ),
+    ];
+}
+
+/// A deterministic histogram: the recorded observation multiset plus a
+/// fixed log2 bucket view.
+///
+/// Observations are kept verbatim in recording order — that is what makes
+/// the *exact* p50/p90/p99/max extraction possible (log2 buckets alone can
+/// only bound a quantile) and what keeps merged traces byte-identical: the
+/// executor absorbs per-task histograms in input order, so a parallel run
+/// appends the same values in the same order as a sequential one. The
+/// multiset is bounded by the observation count (one entry per query,
+/// round, or subquery — never per counted event), so retention is cheap.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Hist {
+    values: Vec<u64>,
+}
+
+impl Hist {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Hist::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.values.push(value);
+    }
+
+    /// Appends another histogram's observations in their recorded order
+    /// (the executor merges per-task histograms in input order).
+    pub fn merge(&mut self, other: &Hist) {
+        self.values.extend_from_slice(&other.values);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.values.len() as u64
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.values.iter().fold(0u64, |a, &v| a.saturating_add(v))
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> u64 {
+        self.values.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.values.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The recorded observations, in recording order.
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// Exact nearest-rank percentile: the smallest recorded value such that
+    /// at least `p`% of observations are ≤ it. Returns 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.values.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        sorted[rank.clamp(1, n) - 1]
+    }
+
+    /// Exact median (nearest-rank).
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// Exact 90th percentile (nearest-rank).
+    pub fn p90(&self) -> u64 {
+        self.percentile(90.0)
+    }
+
+    /// Exact 99th percentile (nearest-rank).
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+
+    /// The fixed log2 bucket view: `(upper_bound, count)` pairs, ascending,
+    /// non-empty buckets only. Bucket 0 holds exactly the value 0; bucket
+    /// `i ≥ 1` holds `[2^(i-1), 2^i - 1]`, so `upper_bound` is `2^i - 1`
+    /// (saturating to `u64::MAX` for the top bucket).
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        let mut counts: BTreeMap<u64, u64> = BTreeMap::new();
+        for &v in &self.values {
+            *counts.entry(bucket_upper(v)).or_default() += 1;
+        }
+        counts.into_iter().collect()
+    }
+
+    /// One-line summary used by [`Trace::render`]: exact quantiles followed
+    /// by the log2 bucket counts.
+    fn render_line(&self) -> String {
+        let mut s = format!(
+            "n={} p50={} p90={} p99={} max={} |",
+            self.count(),
+            self.p50(),
+            self.p90(),
+            self.p99(),
+            self.max()
+        );
+        for (upper, count) in self.buckets() {
+            if upper == 0 {
+                let _ = write!(s, " 0:{count}");
+            } else {
+                let _ = write!(s, " le_{upper}:{count}");
+            }
+        }
+        s
+    }
+}
+
+/// The inclusive upper bound of the log2 bucket holding `value`.
+fn bucket_upper(value: u64) -> u64 {
+    if value == 0 {
+        return 0;
+    }
+    let bits = u64::BITS - value.leading_zeros();
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
 }
 
 /// One node of the span tree: a named (optionally indexed) region with the
@@ -204,18 +392,27 @@ pub struct Trace {
     /// Total per-counter sums over the whole scope. Always equal to
     /// `root.inclusive_counters()`.
     pub counters: BTreeMap<String, u64>,
+    /// Named observation distributions recorded via [`observe`].
+    pub hists: BTreeMap<String, Hist>,
     /// The hierarchical span tree (the root span is the scope itself).
     pub root: Span,
 }
 
 impl Trace {
-    /// Deterministic pretty-printer: the counter ledger followed by the
-    /// indented span tree (what `qd trace` prints).
+    /// Deterministic pretty-printer: the counter ledger, the histogram
+    /// summaries (omitted when nothing was observed), then the indented
+    /// span tree (what `qd trace` prints).
     pub fn render(&self) -> String {
         let mut s = String::new();
         s.push_str("counters:\n");
         for (name, value) in &self.counters {
             let _ = writeln!(s, "  {name} = {value}");
+        }
+        if !self.hists.is_empty() {
+            s.push_str("hists:\n");
+            for (name, hist) in &self.hists {
+                let _ = writeln!(s, "  {name}: {}", hist.render_line());
+            }
         }
         s.push_str("spans:\n");
         self.root.render_into(&mut s, 1);
@@ -228,12 +425,121 @@ impl Trace {
         self.root.find_all(name, &mut out);
         out
     }
+
+    /// Folds the span tree into a flame-style profile: one row per span
+    /// name, aggregating call count, self counter cost (counters recorded
+    /// while a span of that name was innermost), and inclusive counter cost
+    /// (the span's whole subtree). Rows are sorted by span name.
+    ///
+    /// Standard flame-table semantics apply: when same-name spans nest,
+    /// `calls` counts both while the shared descendants' cost lands in the
+    /// name's inclusive column once per enclosing ancestor — `self` columns
+    /// always sum to the trace totals, inclusive columns need not.
+    pub fn profile(&self) -> Vec<ProfileRow> {
+        fn walk(span: &Span, rows: &mut BTreeMap<String, ProfileRow>) {
+            let row = rows.entry(span.name.clone()).or_insert_with(|| ProfileRow {
+                name: span.name.clone(),
+                ..ProfileRow::default()
+            });
+            row.calls += 1;
+            for (name, value) in &span.counters {
+                *row.self_counters.entry(name.clone()).or_default() += value;
+            }
+            for (name, value) in span.inclusive_counters() {
+                *row.inclusive_counters.entry(name).or_default() += value;
+            }
+            for child in &span.children {
+                walk(child, rows);
+            }
+        }
+        let mut rows = BTreeMap::new();
+        walk(&self.root, &mut rows);
+        rows.into_values().collect()
+    }
+}
+
+/// One row of the flame-style profile table: every span sharing a name,
+/// aggregated (see [`Trace::profile`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProfileRow {
+    /// Span name (a [`sp`] constant at every instrumented site).
+    pub name: String,
+    /// How many spans with this name closed in the trace.
+    pub calls: u64,
+    /// Counters recorded while a span of this name was innermost.
+    pub self_counters: BTreeMap<String, u64>,
+    /// Subtree-inclusive counter sums over all spans of this name.
+    pub inclusive_counters: BTreeMap<String, u64>,
+}
+
+/// Renders profile rows as an aligned text table, one line per
+/// `(span, counter)` pair: `span  calls  counter  self  inclusive`. The
+/// span/calls cells appear on the name's first line only. Counter-free
+/// spans render a single `-` line so every span name stays visible.
+/// Deterministic: CI byte-diffs this table across runs and thread counts.
+pub fn render_profile(rows: &[ProfileRow]) -> String {
+    let header = ["span", "calls", "counter", "self", "inclusive"];
+    let mut cells: Vec<[String; 5]> = Vec::new();
+    for row in rows {
+        let mut first = true;
+        let label = |first: &mut bool| {
+            if *first {
+                *first = false;
+                (row.name.clone(), row.calls.to_string())
+            } else {
+                (String::new(), String::new())
+            }
+        };
+        if row.inclusive_counters.is_empty() {
+            let (name, calls) = label(&mut first);
+            cells.push([
+                name,
+                calls,
+                "-".to_string(),
+                "0".to_string(),
+                "0".to_string(),
+            ]);
+        }
+        for (counter, inclusive) in &row.inclusive_counters {
+            let own = row.self_counters.get(counter).copied().unwrap_or(0);
+            let (name, calls) = label(&mut first);
+            cells.push([
+                name,
+                calls,
+                counter.clone(),
+                own.to_string(),
+                inclusive.to_string(),
+            ]);
+        }
+    }
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in &cells {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, row: &[String]| {
+        let text = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect::<Vec<_>>()
+            .join("  ");
+        let _ = writeln!(out, "{}", text.trim_end());
+    };
+    line(&mut out, &header.map(String::from));
+    for row in &cells {
+        line(&mut out, row);
+    }
+    out
 }
 
 /// The live recorder: a totals ledger plus the stack of open spans
 /// (`stack[0]` is the scope's root span and is never popped).
 struct RecorderState {
     totals: BTreeMap<String, u64>,
+    hists: BTreeMap<String, Hist>,
     stack: Vec<Span>,
 }
 
@@ -241,6 +547,7 @@ impl RecorderState {
     fn new() -> Self {
         RecorderState {
             totals: BTreeMap::new(),
+            hists: BTreeMap::new(),
             stack: vec![Span::new("root", None)],
         }
     }
@@ -260,6 +567,7 @@ impl RecorderState {
         let root = self.stack.pop().unwrap_or_default();
         Trace {
             counters: self.totals,
+            hists: self.hists,
             root,
         }
     }
@@ -315,6 +623,22 @@ pub fn count(name: &str, delta: u64) {
         if let Some(open) = state.stack.last_mut() {
             *open.counters.entry(name.to_string()).or_default() += delta;
         }
+    });
+}
+
+/// Records one observation into the named histogram (a [`hist`] catalog
+/// constant at every instrumented site). Unlike [`count`], a zero is
+/// meaningful — "this round displayed nothing" is a data point — so zeros
+/// are recorded. No-op without a recorder.
+pub fn observe(name: &str, value: u64) {
+    CURRENT.with(|c| {
+        let mut cur = c.borrow_mut();
+        let Some(state) = cur.as_mut() else { return };
+        state
+            .hists
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
     });
 }
 
@@ -397,15 +721,18 @@ pub fn observe_task<R>(handle: &Option<ObsHandle>, f: impl FnOnce() -> R) -> (R,
 }
 
 /// Merges a task's trace into this thread's recorder: totals add into the
-/// ledger, the task's root-level counters add into the innermost open
-/// span, and the task's child spans graft on in order. No-op without a
-/// recorder.
+/// ledger, histogram observations append in their recorded order, the
+/// task's root-level counters add into the innermost open span, and the
+/// task's child spans graft on in order. No-op without a recorder.
 pub fn absorb(trace: Trace) {
     CURRENT.with(|c| {
         let mut cur = c.borrow_mut();
         let Some(state) = cur.as_mut() else { return };
         for (name, value) in trace.counters {
             *state.totals.entry(name).or_default() += value;
+        }
+        for (name, hist) in trace.hists {
+            state.hists.entry(name).or_default().merge(&hist);
         }
         if let Some(open) = state.stack.last_mut() {
             for (name, value) in trace.root.counters {
@@ -521,6 +848,7 @@ mod tests {
         let work = |task: u64| {
             span_indexed("task", task, || {
                 count("work", task + 1);
+                observe("lat", task * 10);
             })
         };
         let ((), direct) = with_recorder(|| {
@@ -591,8 +919,220 @@ mod tests {
     }
 
     #[test]
+    fn hist_records_and_extracts_exact_quantiles() {
+        let mut h = Hist::new();
+        assert_eq!((h.count(), h.min(), h.max(), h.p50()), (0, 0, 0, 0));
+        for v in [5u64, 1, 9, 3, 7, 0, 2, 8, 6, 4] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.sum(), 45);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 9);
+        // Nearest-rank over the exact multiset {0..9}: p50 is the 5th value.
+        assert_eq!(h.p50(), 4);
+        assert_eq!(h.p90(), 8);
+        assert_eq!(h.p99(), 9);
+        assert_eq!(h.percentile(100.0), 9);
+    }
+
+    #[test]
+    fn hist_buckets_are_log2_with_exact_bounds() {
+        let mut h = Hist::new();
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1024, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(
+            h.buckets(),
+            vec![
+                (0, 1),
+                (1, 1),
+                (3, 2),
+                (7, 2),
+                (15, 1),
+                (2047, 1),
+                (u64::MAX, 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn hist_merge_appends_in_input_order() {
+        let mut a = Hist::new();
+        a.record(1);
+        a.record(2);
+        let mut b = Hist::new();
+        b.record(3);
+        a.merge(&b);
+        assert_eq!(a.values(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn observe_lands_in_the_trace_and_keeps_zeros() {
+        observe("dropped", 7); // no recorder: silently dropped
+        let ((), trace) = with_recorder(|| {
+            observe("lat", 4);
+            observe("lat", 0);
+            span("phase", || observe("other", 2));
+        });
+        assert_eq!(trace.hists["lat"].values(), &[4, 0]);
+        assert_eq!(trace.hists["other"].values(), &[2]);
+        assert!(!trace.hists.contains_key("dropped"));
+    }
+
+    #[test]
+    fn render_includes_hists_only_when_observed() {
+        let ((), plain) = with_recorder(|| count("a", 1));
+        assert!(!plain.render().contains("hists:"));
+        let ((), observed) = with_recorder(|| {
+            observe("lat", 3);
+            observe("lat", 5);
+        });
+        assert_eq!(
+            observed.render(),
+            "counters:\nhists:\n  lat: n=2 p50=3 p90=5 p99=5 max=5 | le_3:1 le_7:1\nspans:\n  root\n"
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_wellformed() {
+        let ((), trace) = with_recorder(|| {});
+        assert!(trace.counters.is_empty());
+        assert!(trace.hists.is_empty());
+        assert_eq!(trace.root.name, "root");
+        assert!(trace.root.children.is_empty());
+        assert_eq!(trace.render(), "counters:\nspans:\n  root\n");
+        assert!(trace.spans_named("anything").is_empty());
+        // The profile of an empty trace is the bare root row.
+        let profile = trace.profile();
+        assert_eq!(profile.len(), 1);
+        assert_eq!(profile[0].name, "root");
+        assert_eq!(profile[0].calls, 1);
+        assert!(profile[0].inclusive_counters.is_empty());
+    }
+
+    #[test]
+    fn nested_same_name_spans_are_each_found() {
+        // find_all / spans_named must report a span that is its own
+        // ancestor's namesake twice, and in depth-first order.
+        let ((), trace) = with_recorder(|| {
+            span_indexed("x", 1, || {
+                count("c", 1);
+                span("y", || span_indexed("x", 2, || count("c", 2)));
+            });
+        });
+        let xs = trace.spans_named("x");
+        assert_eq!(xs.len(), 2);
+        assert_eq!(xs[0].index, Some(1));
+        assert_eq!(xs[1].index, Some(2));
+        // The outer x's inclusive view counts the inner x's work exactly
+        // once, even though both spans share a name.
+        assert_eq!(xs[0].inclusive_counters()["c"], 3);
+        assert_eq!(xs[1].inclusive_counters()["c"], 2);
+    }
+
+    #[test]
+    fn inclusive_counters_count_each_descendant_once() {
+        // Double-count guard: a diamond-shaped name layout (same counter at
+        // several depths) sums to the ledger total, no more.
+        let ((), trace) = with_recorder(|| {
+            count("c", 1);
+            span("a", || {
+                count("c", 2);
+                span("b", || count("c", 4));
+                span("b", || count("c", 8));
+            });
+        });
+        assert_eq!(trace.root.inclusive_counters()["c"], 15);
+        assert_eq!(trace.counters["c"], 15);
+        let a = &trace.root.children[0];
+        assert_eq!(a.inclusive_counters()["c"], 14);
+    }
+
+    #[test]
+    fn span_guard_unwinds_inside_a_panicked_task() {
+        // A fan-out task that panics mid-span: observe_task's recorder is
+        // discarded with the unwind, but a surviving sibling's trace still
+        // absorbs cleanly and the caller's stack is intact.
+        let handle_holder = with_recorder(|| {
+            let handle = current();
+            let panicked = std::panic::catch_unwind(|| {
+                observe_task(&handle, || {
+                    span("doomed", || {
+                        count("pre", 1);
+                        observe("lat", 9);
+                        panic!("boom");
+                    })
+                })
+            });
+            assert!(panicked.is_err());
+            let ((), survivor) = observe_task(&handle, || {
+                span("ok", || count("post", 1));
+            });
+            absorb(survivor.expect("observed"));
+        });
+        let trace = handle_holder.1;
+        // The panicked task's private recorder died with it; only the
+        // survivor's span reached the merged trace.
+        assert!(!trace.counters.contains_key("pre"));
+        assert!(!trace.hists.contains_key("lat"));
+        assert_eq!(trace.counters["post"], 1);
+        assert_eq!(trace.root.children[0].name, "ok");
+    }
+
+    #[test]
+    fn profile_aggregates_calls_self_and_inclusive_cost() {
+        let ((), trace) = with_recorder(|| {
+            count("root.work", 1);
+            for i in 0..3 {
+                span_indexed("phase", i, || {
+                    count("phase.work", 2);
+                    span("leaf", || count("leaf.work", 5));
+                });
+            }
+        });
+        let profile = trace.profile();
+        let names: Vec<&str> = profile.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["leaf", "phase", "root"]);
+        let phase = &profile[1];
+        assert_eq!(phase.calls, 3);
+        assert_eq!(phase.self_counters["phase.work"], 6);
+        assert_eq!(phase.inclusive_counters["phase.work"], 6);
+        assert_eq!(phase.inclusive_counters["leaf.work"], 15);
+        assert!(!phase.self_counters.contains_key("leaf.work"));
+        let root = &profile[2];
+        assert_eq!(root.calls, 1);
+        assert_eq!(root.inclusive_counters, trace.counters);
+        // Self columns across all rows sum to the ledger.
+        let mut self_total: BTreeMap<String, u64> = BTreeMap::new();
+        for row in &profile {
+            for (name, value) in &row.self_counters {
+                *self_total.entry(name.clone()).or_default() += value;
+            }
+        }
+        assert_eq!(self_total, trace.counters);
+    }
+
+    #[test]
+    fn render_profile_is_aligned_and_stable() {
+        let ((), trace) = with_recorder(|| {
+            span("empty", || ());
+            span("phase", || count("work.items", 4));
+        });
+        let text = render_profile(&trace.profile());
+        assert_eq!(
+            text,
+            "span   calls  counter     self  inclusive\n\
+             empty  1      -           0     0\n\
+             phase  1      work.items  4     4\n\
+             root   1      work.items  0     4\n"
+        );
+        assert_eq!(text, render_profile(&trace.profile()));
+    }
+
+    #[test]
     fn catalogs_are_wellformed() {
-        for catalog in [ctr::COUNTERS, sp::SPANS] {
+        for catalog in [ctr::COUNTERS, sp::SPANS, hist::HISTS] {
             let mut names: Vec<&str> = catalog.iter().map(|&(n, _)| n).collect();
             let before = names.len();
             names.sort_unstable();

@@ -389,6 +389,56 @@ mod tests {
     }
 
     #[test]
+    fn histograms_merge_in_input_order_across_worker_counts() {
+        let items: Vec<u64> = (0..40).collect();
+        let run = |workers| {
+            with_threads(workers, || {
+                qd_obs::with_recorder(|| {
+                    par_map(&items, |&x| {
+                        qd_obs::observe("t.latency", x * 3);
+                        x
+                    })
+                })
+            })
+        };
+        let (out1, trace1) = run(1);
+        let (out8, trace8) = run(8);
+        assert_eq!(out1, out8);
+        assert_eq!(trace1, trace8);
+        // Observations land in input order, not completion order.
+        let hist = &trace1.hists["t.latency"];
+        let expected: Vec<u64> = items.iter().map(|&x| x * 3).collect();
+        assert_eq!(hist.values(), expected.as_slice());
+    }
+
+    #[test]
+    fn panicking_tasks_drop_their_partial_histograms() {
+        let items: Vec<u64> = (0..12).collect();
+        let run = |workers| {
+            with_threads(workers, || {
+                qd_obs::with_recorder(|| {
+                    par_try_map(&items, |&x| {
+                        qd_obs::observe("t.work", x + 1);
+                        if x % 5 == 2 {
+                            panic!("injected {x}");
+                        }
+                        qd_obs::observe("t.done", 1);
+                        x
+                    })
+                })
+            })
+        };
+        let (out1, trace1) = run(1);
+        let (out8, trace8) = run(8);
+        assert_eq!(out1, out8);
+        assert_eq!(trace1, trace8);
+        // Panicked tasks still absorb the observations they made before
+        // dying; only survivors reach `t.done`.
+        assert_eq!(trace1.hists["t.work"].count(), 12);
+        assert_eq!(trace1.hists["t.done"].count(), 10);
+    }
+
+    #[test]
     fn panicking_tasks_keep_their_partial_traces() {
         let items: Vec<u64> = (0..12).collect();
         let run = |workers| {

@@ -5,7 +5,8 @@
 //! qd build-rfs    --corpus corpus.qdc --out rfs.qdr [--node-max N] [--rep-fraction F] [--bulk]
 //! qd stats        --corpus corpus.qdc [--rfs rfs.qdr]
 //! qd query        --corpus corpus.qdc --rfs rfs.qdr --query <name> [--k N] [--seed S] [--rounds N]
-//! qd trace        --corpus corpus.qdc --rfs rfs.qdr --query <name> [--k N] [--seed S] [--rounds N]
+//! qd trace        --corpus corpus.qdc --rfs rfs.qdr --query <name> [--k N] [--seed S] [--rounds N] [--json] [--export-chrome PATH]
+//! qd profile      --corpus corpus.qdc --rfs rfs.qdr --query <name> [--k N] [--seed S] [--rounds N]
 //! qd list-queries --corpus corpus.qdc
 //! qd export       --corpus corpus.qdc --ids 0,17,42 --dir out/
 //! ```
@@ -15,9 +16,18 @@
 //! prints the grouped results plus precision/GTIR against ground truth.
 //!
 //! `trace` runs the same session under a `qd_obs` recorder and prints the
-//! deterministic execution trace instead: the session-wide counter totals
-//! followed by the span tree (feedback rounds, the final fan-out, one span
-//! per subquery). The same session always prints the same trace.
+//! deterministic execution trace instead: the session-wide counter totals,
+//! histograms, and the span tree (feedback rounds, the final fan-out, one
+//! span per subquery). The same session always prints the same trace.
+//! `--json` emits the machine-readable `{counters, histograms, span_tree}`
+//! form instead of the human renderer; `--export-chrome PATH` additionally
+//! writes a Chrome/Perfetto trace-event file whose timeline is
+//! deterministic counter cost (open it at `chrome://tracing` or
+//! `ui.perfetto.dev`).
+//!
+//! `profile` folds the same trace's span tree into a flame-style table:
+//! per span name, the call count plus self and subtree-inclusive cost for
+//! every counter touched. Deterministic like `trace`.
 
 use query_decomposition::core::eval::Baseline;
 use query_decomposition::corpus::cache;
@@ -30,7 +40,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
         eprintln!(
-            "usage: qd <build-corpus|build-rfs|stats|query|trace|list-queries|export> [options]"
+            "usage: qd <build-corpus|build-rfs|stats|query|trace|profile|list-queries|export> [options]"
         );
         eprintln!("       see the module docs (or `src/bin/qd.rs`) for per-command options");
         return ExitCode::from(2);
@@ -42,6 +52,7 @@ fn main() -> ExitCode {
         "stats" => stats(&opts),
         "query" => query(&opts),
         "trace" => trace(&opts),
+        "profile" => profile(&opts),
         "list-queries" => list_queries(&opts),
         "export" => export(&opts),
         other => Err(format!("unknown command {other:?}")),
@@ -316,7 +327,21 @@ fn query(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn trace(opts: &Options) -> Result<(), String> {
+/// Runs one traced oracle session — the shared back half of `trace` and
+/// `profile`. Returns the query name, effective seed and k, the outcome,
+/// and the recorded trace.
+fn traced_session(
+    opts: &Options,
+) -> Result<
+    (
+        String,
+        u64,
+        usize,
+        QdOutcome,
+        query_decomposition::obs::Trace,
+    ),
+    String,
+> {
     let (corpus, rfs, query) = load_session_inputs(opts)?;
     let gt = corpus.ground_truth(&query).len();
     let k = opts.parse_or("k", gt)?;
@@ -330,13 +355,41 @@ fn trace(opts: &Options) -> Result<(), String> {
     let (out, trace) = query_decomposition::obs::with_recorder(|| {
         run_session(&corpus, &rfs, &query, &mut user, k, &cfg)
     });
+    Ok((query.name.clone(), seed, k, out, trace))
+}
+
+fn trace(opts: &Options) -> Result<(), String> {
+    let (name, seed, k, out, trace) = traced_session(opts)?;
+    if let Some(path) = opts.get("export-chrome") {
+        let path = PathBuf::from(path);
+        let json = qd_bench::report::chrome_trace_json(&trace).render();
+        std::fs::write(&path, json).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprintln!("[wrote {}]", path.display());
+    }
+    if opts.flag("json") {
+        print!("{}", qd_bench::report::trace_to_json(&trace).render());
+        return Ok(());
+    }
     println!(
-        "trace of query {:?} (seed {seed}, k = {k}): {} subqueries, {} results",
-        query.name,
+        "trace of query {name:?} (seed {seed}, k = {k}): {} subqueries, {} results",
         out.subquery_count,
         out.results.len()
     );
     print!("{}", trace.render());
+    Ok(())
+}
+
+fn profile(opts: &Options) -> Result<(), String> {
+    let (name, seed, k, out, trace) = traced_session(opts)?;
+    println!(
+        "profile of query {name:?} (seed {seed}, k = {k}): {} subqueries, {} results",
+        out.subquery_count,
+        out.results.len()
+    );
+    print!(
+        "{}",
+        query_decomposition::obs::render_profile(&trace.profile())
+    );
     Ok(())
 }
 

@@ -330,6 +330,100 @@ fn qd_spends_fewer_distance_computations_than_mv() {
     );
 }
 
+/// Golden profile snapshot: the flame-style aggregation of the same pinned
+/// session, byte for byte. Pins both `Trace::profile`'s fold and
+/// `render_profile`'s table format — the same bytes `qd profile` prints.
+#[test]
+fn session_profile_matches_golden() {
+    let (_, trace) = observed_serve("bird", &QdConfig::default());
+    assert_matches_golden("qd_profile.txt", &obs::render_profile(&trace.profile()));
+}
+
+/// Golden Chrome-trace snapshot: the counter-cost timeline export of the
+/// pinned session. The file is valid Chrome/Perfetto trace-event JSON and,
+/// because the timeline derives from deterministic counters rather than a
+/// clock, it is byte-stable across runs and thread counts.
+#[test]
+fn chrome_trace_export_matches_golden() {
+    let run = |workers| {
+        qd_runtime::with_threads(workers, || {
+            let (_, trace) = observed_serve("bird", &QdConfig::default());
+            qd_bench::report::chrome_trace_json(&trace).render()
+        })
+    };
+    let json = run(1);
+    assert_eq!(json, run(8), "export must not depend on thread count");
+    assert_matches_golden("qd_chrome_trace.json", &json);
+}
+
+/// Histogram conservation: the per-query distance observation is the same
+/// number the counters report, the observation count matches the session
+/// count, and the node-access observation equals the outcome's access
+/// fields.
+#[test]
+fn histograms_agree_with_counters_and_outcomes() {
+    for cfg in [
+        QdConfig::default(),
+        QdConfig {
+            distance_budget: Some(2),
+            ..QdConfig::default()
+        },
+    ] {
+        let (served, trace) = observed_serve("bird", &cfg);
+        let o = served.outcome();
+        let query_distances = &trace.hists[obs::hist::QD_QUERY_DISTANCES];
+        assert_eq!(query_distances.count(), 1, "one observation per session");
+        assert_eq!(
+            query_distances.sum(),
+            trace
+                .counters
+                .get(obs::ctr::KNN_DISTANCE)
+                .copied()
+                .unwrap_or(0),
+            "per-query distance observations conserve the counter total"
+        );
+        let sub = &trace.hists[obs::hist::QD_SUBQUERY_DISTANCES];
+        assert_eq!(sub.count(), o.subquery_count as u64);
+        let accesses = &trace.hists[obs::hist::QD_QUERY_NODE_ACCESSES];
+        assert_eq!(accesses.sum(), o.feedback_accesses + o.knn_accesses);
+        let displays = &trace.hists[obs::hist::QD_ROUND_DISPLAYS];
+        assert!(
+            displays.count() > 0,
+            "every round observes its display cost"
+        );
+    }
+}
+
+/// The baseline side of the Fig. 12/13 histograms: one observation per MV
+/// session, equal to the baseline distance counter (full scans read one
+/// record per scored candidate, so node accesses mirror distances).
+#[test]
+fn baseline_histograms_record_per_session_scan_cost() {
+    let (corpus, _) = fixture();
+    let query = standard_query("bird");
+    let k = corpus.ground_truth(&query).len();
+    let ((), trace) = obs::with_recorder(|| {
+        let mut user = SimulatedUser::oracle(&query, 13);
+        Baseline::MultipleViewpoints.run(corpus, &query, &mut user, k, &BaselineConfig::default());
+    });
+    let distances = &trace.hists[obs::hist::BASELINE_QUERY_DISTANCES];
+    assert_eq!(distances.count(), 1);
+    assert_eq!(
+        distances.sum(),
+        trace.counters[obs::ctr::BASELINE_DISTANCE],
+        "the observation charges exactly what the session scanned"
+    );
+    assert_eq!(
+        distances,
+        &trace.hists[obs::hist::BASELINE_QUERY_NODE_ACCESSES],
+        "sequential scans: node accesses mirror distance computations"
+    );
+    assert!(
+        !trace.spans_named(obs::sp::BASELINE_RUN).is_empty(),
+        "the baseline session runs under its catalog span"
+    );
+}
+
 /// Regression test for the `budget_spent` accounting fix: a subquery whose
 /// worker panics *after* performing its k-NN work used to vanish from the
 /// degradation report (the old code summed the surviving locals). Routed
