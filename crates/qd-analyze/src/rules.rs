@@ -97,9 +97,10 @@ impl RuleId {
             RuleId::R5 => "every unsafe block needs an adjacent // SAFETY: comment",
             RuleId::R6 => "no todo!/unimplemented!/dbg! anywhere",
             RuleId::R7 => {
-                "no .unwrap()/.expect( in qd-core/qd-corpus/qd-index/qd-runtime \
-                 src outside #[cfg(test)] code: serving paths return typed \
-                 errors or degrade, they never panic on input"
+                "no .unwrap()/.expect( in qd-core/qd-corpus/qd-index/\
+                 qd-runtime/qd-serve src outside #[cfg(test)] code: serving \
+                 paths return typed errors or degrade, they never panic on \
+                 input"
             }
             RuleId::R8 => {
                 "no string-literal counter/span/histogram names at qd_obs call \
@@ -224,6 +225,7 @@ fn rule_applies(id: RuleId, rel_path: &str) -> bool {
             "crates/qd-corpus/src/",
             "crates/qd-index/src/",
             "crates/qd-runtime/src/",
+            "crates/qd-serve/src/",
         ]
         .iter()
         .any(|p| rel_path.starts_with(p)),
@@ -631,7 +633,7 @@ pub(crate) fn cfg_test_lines(lines: &[String]) -> Vec<bool> {
 }
 
 /// R7: `.unwrap()` / `.expect(` on the serving-path crates (qd-core,
-/// qd-corpus, qd-index, qd-runtime) outside `#[cfg(test)]` code. These
+/// qd-corpus, qd-index, qd-runtime, qd-serve) outside `#[cfg(test)]` code. These
 /// crates sit on the interactive path, where the degradation contract says
 /// bad input and injected faults surface as typed errors or degraded
 /// results — never a panic. `unwrap_or`/`unwrap_or_else`/`unwrap_or_default`

@@ -797,7 +797,7 @@ pub fn ablate_feature_weights(scale: BenchScale, seed: u64) {
 /// The machine-readable bench report (`repro --json`): runs the Table 1
 /// workload (MV vs QD over the eleven standard queries) under a `qd_obs`
 /// recorder and writes `BENCH_qd.json` with the schema
-/// `{commit, config, tables, counters, histograms, span_tree}`.
+/// `{commit, config, tables, serving, counters, histograms, span_tree}`.
 ///
 /// Deterministic by construction: the RFS is built *inside* the recorder so
 /// its build span and counters are part of the report, the corpus
@@ -805,6 +805,11 @@ pub fn ablate_feature_weights(scale: BenchScale, seed: u64) {
 /// same bytes as a cold one, and nothing derived from wall-clock time or
 /// thread count is recorded — CI compares consecutive runs and a
 /// `QD_THREADS=8` run byte-for-byte.
+///
+/// The `serving` section comes from [`serving_section`]: an overloaded
+/// multi-tenant `qd-serve` run under its own recorder, so the engine
+/// workload's `counters`/`histograms` sections never mix with `serve.*`
+/// names.
 ///
 /// `with_timing` opts in to the Figure 10/11 timing sweep: three extra
 /// tables (`fig10_overall_time`, `fig11_iteration_time`,
@@ -919,14 +924,131 @@ pub fn json_report(scale: BenchScale, seed: u64, with_timing: bool) {
         tables.push(("fig11_iteration_time".to_string(), fig11));
         tables.push(("timing_percentiles".to_string(), timings.table()));
     }
+    let serving = serving_section(scale, seed);
     let path = std::path::Path::new("BENCH_qd.json");
-    match report::write_bench_report(path, config, tables, &trace) {
+    match report::write_bench_report(path, config, tables, Some(serving), &trace) {
         Ok(()) => println!("[wrote {}]", path.display()),
         Err(e) => {
             eprintln!("error: could not write {}: {e}", path.display());
             std::process::exit(1);
         }
     }
+}
+
+/// The `serving` section of `BENCH_qd.json`: a deliberately overloaded
+/// multi-tenant run (arrival rate 4/tick against 4 active slots and a
+/// 4-deep queue) over the scenario matrix, reported as the outcome mix,
+/// shed/evicted id sets, and throughput/latency/cost percentiles. The
+/// simulation runs in its own recorder scope, so the engine workload's
+/// `counters`/`histograms` sections are unaffected, and everything here is
+/// a pure function of `(scale, seed)` — the CI byte-diff covers it.
+fn serving_section(scale: BenchScale, seed: u64) -> JsonValue {
+    use qd_serve::{LoadConfig, LoadPlan, ServeConfig, Server, SessionOutcome};
+
+    let corpus = bench_corpus(scale, seed);
+    let rfs = bench_rfs(scale, seed);
+    let load_cfg = LoadConfig {
+        users: 16,
+        seed,
+        arrivals_per_tick: 4,
+        rounds: 3,
+        k: None,
+        deadline: 900,
+    };
+    let serve_cfg = ServeConfig {
+        max_active: 4,
+        queue_capacity: 4,
+        ..ServeConfig::default()
+    };
+    let plan = LoadPlan::generate(&corpus, &load_cfg);
+    let server = Server::new(corpus, rfs, serve_cfg.clone());
+    let (serve_report, serve_trace) = qd_obs::with_recorder(|| server.run(&plan));
+
+    let (complete, degraded, evicted, failed) = serve_report.state_counts();
+    let ids = |list: Vec<qd_serve::SessionId>| {
+        JsonValue::Arr(list.into_iter().map(|id| JsonValue::u64(id.0)).collect())
+    };
+    let truncated = serve_report.sessions.iter().filter(|s| s.truncated).count();
+    let answered = (complete + degraded) as f64;
+    JsonValue::Obj(vec![
+        (
+            "load".to_string(),
+            JsonValue::Obj(vec![
+                ("users".to_string(), JsonValue::u64(load_cfg.users as u64)),
+                ("seed".to_string(), JsonValue::u64(load_cfg.seed)),
+                (
+                    "arrivals_per_tick".to_string(),
+                    JsonValue::u64(load_cfg.arrivals_per_tick),
+                ),
+                ("rounds".to_string(), JsonValue::u64(load_cfg.rounds as u64)),
+                ("deadline".to_string(), JsonValue::u64(load_cfg.deadline)),
+            ]),
+        ),
+        (
+            "scheduler".to_string(),
+            JsonValue::Obj(vec![
+                (
+                    "max_active".to_string(),
+                    JsonValue::u64(serve_cfg.max_active as u64),
+                ),
+                (
+                    "queue_capacity".to_string(),
+                    JsonValue::u64(serve_cfg.queue_capacity as u64),
+                ),
+                ("shed_seed".to_string(), JsonValue::u64(serve_cfg.shed_seed)),
+            ]),
+        ),
+        ("ticks".to_string(), JsonValue::u64(serve_report.ticks)),
+        (
+            "outcomes".to_string(),
+            JsonValue::Obj(vec![
+                ("complete".to_string(), JsonValue::u64(complete as u64)),
+                ("degraded".to_string(), JsonValue::u64(degraded as u64)),
+                ("evicted".to_string(), JsonValue::u64(evicted as u64)),
+                ("failed".to_string(), JsonValue::u64(failed as u64)),
+            ]),
+        ),
+        (
+            "truncated_sessions".to_string(),
+            JsonValue::u64(truncated as u64),
+        ),
+        (
+            "degradation_rate".to_string(),
+            JsonValue::f64(serve_report.degradation_rate()),
+        ),
+        (
+            "throughput_sessions_per_tick".to_string(),
+            JsonValue::f64(if serve_report.ticks == 0 {
+                0.0
+            } else {
+                answered / serve_report.ticks as f64
+            }),
+        ),
+        ("shed_sessions".to_string(), ids(serve_report.shed_ids())),
+        (
+            "evicted_sessions".to_string(),
+            ids(serve_report.evicted_ids()),
+        ),
+        (
+            "failed_sessions".to_string(),
+            JsonValue::Arr(
+                serve_report
+                    .sessions
+                    .iter()
+                    .filter(|s| matches!(&s.outcome, SessionOutcome::Failed(_)))
+                    .map(|s| JsonValue::u64(s.id.0))
+                    .collect(),
+            ),
+        ),
+        (
+            "counters".to_string(),
+            report::counters_to_json(&serve_trace.counters),
+        ),
+        (
+            "histograms".to_string(),
+            report::hists_to_json(&serve_trace.hists),
+        ),
+    ])
 }
 
 /// Baseline shoot-out: QD against all four baselines on Table 1's metric.

@@ -388,19 +388,23 @@ pub fn current_commit() -> String {
 }
 
 /// Assembles the `BENCH_qd.json` document — schema
-/// `{commit, config, tables: {...}, counters: {...}, histograms: {...},
-/// span_tree}` — and
+/// `{commit, config, tables: {...}, serving, counters: {...},
+/// histograms: {...}, span_tree}` — and
 /// writes it to `path`. Deliberately excludes wall-clock readings and
 /// thread counts: the report must be byte-identical across consecutive
 /// runs and across `QD_THREADS` settings (the CI observability job
-/// verifies both).
+/// verifies both). The `serving` value (when present) carries the
+/// multi-tenant serving simulation's outcome mix and latency/cost
+/// percentiles, assembled by the caller from its own recorder scope so the
+/// engine-workload `counters`/`histograms` sections stay untouched.
 pub fn write_bench_report(
     path: &std::path::Path,
     config: JsonValue,
     tables: Vec<(String, Table)>,
+    serving: Option<JsonValue>,
     trace: &qd_obs::Trace,
 ) -> std::io::Result<()> {
-    let doc = JsonValue::Obj(vec![
+    let mut fields = vec![
         ("commit".to_string(), JsonValue::str(current_commit())),
         ("config".to_string(), config),
         (
@@ -412,10 +416,14 @@ pub fn write_bench_report(
                     .collect(),
             ),
         ),
-        ("counters".to_string(), counters_to_json(&trace.counters)),
-        ("histograms".to_string(), hists_to_json(&trace.hists)),
-        ("span_tree".to_string(), span_to_json(&trace.root)),
-    ]);
+    ];
+    if let Some(serving) = serving {
+        fields.push(("serving".to_string(), serving));
+    }
+    fields.push(("counters".to_string(), counters_to_json(&trace.counters)));
+    fields.push(("histograms".to_string(), hists_to_json(&trace.hists)));
+    fields.push(("span_tree".to_string(), span_to_json(&trace.root)));
+    let doc = JsonValue::Obj(fields);
     fs::write(path, doc.render())
 }
 

@@ -218,9 +218,24 @@ pub struct SubmitReport {
     /// Submissions performed, 1 if the first attempt succeeded.
     pub attempts: usize,
     /// Total abstract backoff waited, in units of the base delay: attempt
-    /// `i` that fails adds `2^(i-1)` units. Deterministic — no clock is
-    /// consulted.
+    /// `i` that fails adds `2^(i-1)` units, capped at `2^32` per attempt
+    /// (see [`backoff_unit`]); the total saturates instead of wrapping.
+    /// Deterministic — no clock is consulted.
     pub backoff_units: u64,
+}
+
+/// Exponent cap for a single attempt's backoff contribution. Without it a
+/// retry policy allowing more than 64 attempts overflows the `1 << (i-1)`
+/// shift (a panic in debug, silent wraparound in release); with it the
+/// schedule grows exponentially to `2^32` base-delay units and plateaus
+/// there.
+const MAX_BACKOFF_SHIFT: u32 = 32;
+
+/// One failed attempt's backoff contribution: `2^(attempt-1)` base-delay
+/// units, capped at `2^MAX_BACKOFF_SHIFT` so arbitrarily persistent
+/// policies stay overflow-free.
+fn backoff_unit(attempt: usize) -> u64 {
+    1u64 << attempt.saturating_sub(1).min(MAX_BACKOFF_SHIFT as usize)
 }
 
 /// Derives a deterministically corrupted copy of `remote` from a fault
@@ -261,9 +276,10 @@ pub fn submit_with_retry(
     for attempt in 1..=max_attempts {
         if qd_fault::fire(qd_fault::site::CLIENT_TRANSPORT).is_some() {
             last_error = format!("transport send failed (attempt {attempt})");
-            backoff_units += 1u64 << (attempt - 1);
+            let unit = backoff_unit(attempt);
+            backoff_units = backoff_units.saturating_add(unit);
             qd_obs::count(qd_obs::ctr::CLIENT_RETRIES, 1);
-            qd_obs::count(qd_obs::ctr::CLIENT_BACKOFF_UNITS, 1u64 << (attempt - 1));
+            qd_obs::count(qd_obs::ctr::CLIENT_BACKOFF_UNITS, unit);
             continue;
         }
         let (query, corrupted) = match qd_fault::fire(qd_fault::site::CLIENT_MARK_CORRUPT) {
@@ -280,9 +296,10 @@ pub fn submit_with_retry(
             }
             Err(e) if corrupted => {
                 last_error = format!("server rejected corrupted payload: {e}");
-                backoff_units += 1u64 << (attempt - 1);
+                let unit = backoff_unit(attempt);
+                backoff_units = backoff_units.saturating_add(unit);
                 qd_obs::count(qd_obs::ctr::CLIENT_RETRIES, 1);
-                qd_obs::count(qd_obs::ctr::CLIENT_BACKOFF_UNITS, 1u64 << (attempt - 1));
+                qd_obs::count(qd_obs::ctr::CLIENT_BACKOFF_UNITS, unit);
             }
             Err(e) => return Err(e),
         }
@@ -432,6 +449,38 @@ mod tests {
         assert_eq!(again.attempts, report.attempts);
         assert_eq!(again.backoff_units, report.backoff_units);
         assert_eq!(again.execution.results, report.execution.results);
+    }
+
+    #[test]
+    fn huge_retry_policies_saturate_instead_of_overflowing() {
+        let (corpus, rfs, client) = client_fixture();
+        let query = testutil::query("rose");
+        let k = corpus.ground_truth(&query).len();
+        let cfg = QdConfig::default();
+        let mut user = SimulatedUser::oracle(&query, 5);
+        let remote = client_feedback(&client, corpus.labels(), &mut user, &cfg);
+
+        // 200 attempts against a permanently dead transport: before the cap,
+        // attempt 66's `1 << 65` overflowed the shift. Now the schedule
+        // plateaus at 2^32 units per attempt and the total saturates.
+        let down = qd_fault::FaultPlan::new(17)
+            .site(qd_fault::site::CLIENT_TRANSPORT, qd_fault::Mode::Always);
+        let policy = RetryPolicy { max_attempts: 200 };
+        let err = qd_fault::with_plan(&down, || {
+            submit_with_retry(corpus, rfs, &remote, k, &cfg, policy)
+        })
+        .unwrap_err();
+        assert!(
+            matches!(err, QdError::RetriesExhausted { attempts: 200, .. }),
+            "{err}"
+        );
+
+        // The per-attempt schedule itself: exponential up to the cap, then
+        // flat — and in particular never a shift overflow.
+        assert_eq!(backoff_unit(1), 1);
+        assert_eq!(backoff_unit(33), 1 << 32);
+        assert_eq!(backoff_unit(66), 1 << 32);
+        assert_eq!(backoff_unit(usize::MAX), 1 << 32);
     }
 
     #[test]

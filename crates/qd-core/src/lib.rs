@@ -46,7 +46,8 @@ pub use error::QdError;
 pub use metrics::{gtir, precision, RoundTrace};
 pub use rfs::{FeedbackHierarchy, RfsConfig, RfsStructure};
 pub use session::{
-    try_execute_subqueries, try_run_session, validate_subqueries, Degradation, MergeStrategy,
-    QdConfig, QdOutcome, ResultGroup, ServedOutcome,
+    assemble_outcome, run_feedback_rounds, try_execute_subqueries, try_run_session,
+    validate_subqueries, Degradation, FeedbackRounds, FeedbackStepper, FinalExecution,
+    MergeStrategy, QdConfig, QdOutcome, ResultGroup, ServedOutcome,
 };
 pub use user::SimulatedUser;

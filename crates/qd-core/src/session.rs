@@ -151,32 +151,84 @@ pub struct FeedbackRounds {
     pub displays_skipped: u64,
 }
 
-/// Runs the feedback rounds of a QD session over any [`FeedbackHierarchy`]:
-/// display representatives, collect user marks, split into child subqueries,
-/// repeat. Performs **no k-NN work** — this is the part of the protocol the
-/// paper runs on the client.
-pub fn run_feedback_rounds(
-    hierarchy: &impl FeedbackHierarchy,
-    labels: &[SubconceptId],
-    user: &mut SimulatedUser,
-    cfg: &QdConfig,
-) -> FeedbackRounds {
-    assert!(cfg.rounds >= 1, "at least one feedback round required");
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut active: Vec<NodeId> = vec![hierarchy.root()];
-    let mut relevant_seen: Vec<usize> = Vec::new();
-    let mut relevant_snapshots = Vec::with_capacity(cfg.rounds);
-    let mut feedback_accesses = 0u64;
-    let mut displays_skipped = 0u64;
-    let mut round_durations: Vec<Duration> = Vec::with_capacity(cfg.rounds);
+/// Resumable feedback-phase state machine: one [`step_round`] call per
+/// feedback round, so a multi-tenant scheduler (qd-serve) can interleave
+/// many sessions' rounds and enforce deadlines between them.
+/// [`run_feedback_rounds`] is a drive-to-completion loop over this stepper,
+/// so a stepped session executes exactly the statements a solo session does
+/// — same RNG consumption, same observability calls, same marks.
+///
+/// [`step_round`]: FeedbackStepper::step_round
+pub struct FeedbackStepper<'a, H: FeedbackHierarchy> {
+    hierarchy: &'a H,
+    labels: &'a [SubconceptId],
+    cfg: QdConfig,
+    rng: StdRng,
+    active: Vec<NodeId>,
+    relevant_seen: Vec<usize>,
+    relevant_snapshots: Vec<Vec<usize>>,
+    feedback_accesses: u64,
+    displays_skipped: u64,
+    round_durations: Vec<Duration>,
     // BTreeMap, so the flattening below yields subqueries in node-id order
     // with no explicit sort (qd-analyze rule R3).
-    let mut final_marks: BTreeMap<NodeId, Vec<usize>> = BTreeMap::new();
+    final_marks: BTreeMap<NodeId, Vec<usize>>,
+    /// Marks collected in the most recent round only — the best-so-far
+    /// subquery set a deadline truncation promotes to final marks.
+    last_round_marks: BTreeMap<NodeId, Vec<usize>>,
+    /// Next round to run, 1-based.
+    round: usize,
+    done: bool,
+}
 
-    for round in 1..=cfg.rounds {
+impl<'a, H: FeedbackHierarchy> FeedbackStepper<'a, H> {
+    /// A stepper positioned before round 1.
+    pub fn new(hierarchy: &'a H, labels: &'a [SubconceptId], cfg: QdConfig) -> Self {
+        assert!(cfg.rounds >= 1, "at least one feedback round required");
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        let active = vec![hierarchy.root()];
+        FeedbackStepper {
+            hierarchy,
+            labels,
+            cfg,
+            rng,
+            active,
+            relevant_seen: Vec::new(),
+            relevant_snapshots: Vec::new(),
+            feedback_accesses: 0,
+            displays_skipped: 0,
+            round_durations: Vec::new(),
+            final_marks: BTreeMap::new(),
+            last_round_marks: BTreeMap::new(),
+            round: 1,
+            done: false,
+        }
+    }
+
+    /// True once the feedback phase is over (final round ran, the query
+    /// died, or [`truncate`](FeedbackStepper::truncate) was called).
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Feedback rounds executed so far.
+    pub fn rounds_run(&self) -> usize {
+        self.round_durations.len()
+    }
+
+    /// Runs one feedback round: display representatives, collect user
+    /// marks, split into child subqueries. Returns `true` when the feedback
+    /// phase is over; further calls are no-ops.
+    pub fn step_round(&mut self, user: &mut SimulatedUser) -> bool {
+        if self.done {
+            return true;
+        }
+        let round = self.round;
         let round_start = Instant::now();
-        let is_final = round == cfg.rounds;
+        let is_final = round == self.cfg.rounds;
         let mut next_active: Vec<NodeId> = Vec::new();
+        let active = std::mem::take(&mut self.active);
+        self.last_round_marks.clear();
         qd_obs::span_indexed(qd_obs::sp::ROUND, round as u64, || {
             // What the user waits on this round, in deterministic cost
             // units: the representative displays generated. One histogram
@@ -191,37 +243,41 @@ pub fn run_feedback_rounds(
                 if qd_fault::fire_keyed(qd_fault::site::SESSION_ROUND_DISPLAY, node.index() as u64)
                     .is_some()
                 {
-                    displays_skipped += 1;
+                    self.displays_skipped += 1;
                     continue;
                 }
                 // Displaying a node's representatives reads exactly that node.
-                feedback_accesses += 1;
+                self.feedback_accesses += 1;
                 qd_obs::count(qd_obs::ctr::SESSION_NODES_VISITED, 1);
-                let mut shown: Vec<usize> = hierarchy.representatives(node).to_vec();
-                shown.shuffle(&mut rng); // the GUI's "Random" browsing order
+                let mut shown: Vec<usize> = self.hierarchy.representatives(node).to_vec();
+                shown.shuffle(&mut self.rng); // the GUI's "Random" browsing order
                 qd_obs::count(qd_obs::ctr::SESSION_DISPLAYS, shown.len() as u64);
                 round_displays += shown.len() as u64;
-                let marked = user.mark_relevant(&shown, labels);
+                let marked = user.mark_relevant(&shown, self.labels);
                 qd_obs::count(qd_obs::ctr::SESSION_MARKS, marked.len() as u64);
                 if marked.is_empty() {
                     continue; // irrelevant subquery: discarded
                 }
-                relevant_seen.extend_from_slice(&marked);
+                self.relevant_seen.extend_from_slice(&marked);
+                self.last_round_marks
+                    .entry(node)
+                    .or_default()
+                    .extend(marked.iter().copied());
 
                 if is_final {
-                    final_marks.entry(node).or_default().extend(marked);
+                    self.final_marks.entry(node).or_default().extend(marked);
                 } else {
                     // Split: one subquery per child cluster a marked
                     // representative traces to. Leaves cannot split further
                     // and stay active with their marks carried into the
                     // final round.
-                    if hierarchy.is_leaf(node) {
+                    if self.hierarchy.is_leaf(node) {
                         if !next_active.contains(&node) {
                             next_active.push(node);
                         }
                     } else {
                         for &rep in &marked {
-                            if let Some(child) = hierarchy.child_containing(node, rep) {
+                            if let Some(child) = self.hierarchy.child_containing(node, rep) {
                                 if !next_active.contains(&child) {
                                     next_active.push(child);
                                 }
@@ -233,24 +289,56 @@ pub fn run_feedback_rounds(
             qd_obs::observe(qd_obs::hist::QD_ROUND_DISPLAYS, round_displays);
         });
 
-        round_durations.push(round_start.elapsed());
-        relevant_snapshots.push(relevant_seen.clone());
-        if !is_final {
-            if next_active.is_empty() {
-                break; // the user found nothing relevant: the query dies here
-            }
-            active = next_active;
+        self.round_durations.push(round_start.elapsed());
+        self.relevant_snapshots.push(self.relevant_seen.clone());
+        if is_final {
+            self.done = true;
+        } else if next_active.is_empty() {
+            self.done = true; // the user found nothing relevant: the query dies here
+        } else {
+            self.active = next_active;
+            self.round += 1;
         }
+        self.done
     }
 
-    let final_marks: Vec<(NodeId, Vec<usize>)> = final_marks.into_iter().collect();
-    FeedbackRounds {
-        final_marks,
-        relevant_snapshots,
-        feedback_accesses,
-        round_durations,
-        displays_skipped,
+    /// Ends the feedback phase now — deadline enforcement. The most recent
+    /// round's marks become the final subquery marks (a valid best-so-far
+    /// prefix of the session), and no further rounds run. A no-op once the
+    /// phase is already over.
+    pub fn truncate(&mut self) {
+        if !self.done && self.final_marks.is_empty() {
+            self.final_marks = std::mem::take(&mut self.last_round_marks);
+        }
+        self.done = true;
     }
+
+    /// Consumes the stepper, yielding the feedback-phase product.
+    pub fn finish(self) -> FeedbackRounds {
+        let final_marks: Vec<(NodeId, Vec<usize>)> = self.final_marks.into_iter().collect();
+        FeedbackRounds {
+            final_marks,
+            relevant_snapshots: self.relevant_snapshots,
+            feedback_accesses: self.feedback_accesses,
+            round_durations: self.round_durations,
+            displays_skipped: self.displays_skipped,
+        }
+    }
+}
+
+/// Runs the feedback rounds of a QD session over any [`FeedbackHierarchy`]:
+/// display representatives, collect user marks, split into child subqueries,
+/// repeat. Performs **no k-NN work** — this is the part of the protocol the
+/// paper runs on the client.
+pub fn run_feedback_rounds(
+    hierarchy: &impl FeedbackHierarchy,
+    labels: &[SubconceptId],
+    user: &mut SimulatedUser,
+    cfg: &QdConfig,
+) -> FeedbackRounds {
+    let mut stepper = FeedbackStepper::new(hierarchy, labels, cfg.clone());
+    while !stepper.step_round(user) {}
+    stepper.finish()
 }
 
 /// Why (and how far) an otherwise-successful execution fell short of the
@@ -269,6 +357,9 @@ pub struct Degradation {
     /// Feedback-round node displays that failed (their marks were never
     /// collected).
     pub displays_skipped: u64,
+    /// Feedback rounds never run because a serving deadline truncated the
+    /// session (qd-serve); the final marks are the last completed round's.
+    pub rounds_truncated: usize,
 }
 
 /// The server-side tail of a QD session: localized multipoint k-NN per
@@ -493,6 +584,7 @@ pub fn try_execute_subqueries<I: KnnIndex + Sync>(
         nodes_skipped,
         subqueries_dropped,
         displays_skipped: 0,
+        rounds_truncated: 0,
     });
 
     let (groups, results) = match cfg.merge {
@@ -598,6 +690,20 @@ pub fn try_run_session<I: KnnIndex + Sync>(
 ) -> Result<ServedOutcome, QdError> {
     let rounds = run_feedback_rounds(rfs, corpus.labels(), user, cfg);
     let execution = try_execute_subqueries(corpus, rfs, &rounds.final_marks, k, cfg)?;
+    Ok(assemble_outcome(corpus, query, cfg, &rounds, execution))
+}
+
+/// Assembles the served outcome of a session from its two halves: the
+/// feedback-phase product and the final execution. Factored out of
+/// [`try_run_session`] so a stepped session (qd-serve) that ran its halves
+/// across scheduler turns produces an outcome byte-identical to a solo run.
+pub fn assemble_outcome(
+    corpus: &Corpus,
+    query: &QuerySpec,
+    cfg: &QdConfig,
+    rounds: &FeedbackRounds,
+    execution: FinalExecution,
+) -> ServedOutcome {
     // Per-query node-access distribution (Fig. 13): feedback-phase tree
     // walks plus the final k-NN's budgeted accesses.
     qd_obs::observe(
@@ -644,17 +750,17 @@ pub fn try_run_session<I: KnnIndex + Sync>(
         feedback_accesses: rounds.feedback_accesses,
         knn_accesses: execution.knn_accesses,
         subquery_count: execution.subquery_count,
-        round_durations: rounds.round_durations,
+        round_durations: rounds.round_durations.clone(),
         final_knn_duration: execution.duration,
     };
     let exec_degraded = execution.degradation.is_some();
     let mut report = execution.degradation.unwrap_or_default();
     report.displays_skipped = rounds.displays_skipped;
-    Ok(if exec_degraded || report.displays_skipped > 0 {
+    if exec_degraded || report.displays_skipped > 0 {
         ServedOutcome::Degraded { outcome, report }
     } else {
         ServedOutcome::Complete(outcome)
-    })
+    }
 }
 
 /// Runs one complete QD session for `query`, retrieving `k` images
@@ -873,6 +979,52 @@ mod tests {
         for &id in results {
             assert!(id < corpus_len, "result id {id} out of range");
         }
+    }
+
+    #[test]
+    fn stepped_feedback_matches_the_solo_run() {
+        let (corpus, rfs) = testutil::shared();
+        let query = testutil::query("car");
+        let cfg = QdConfig::default();
+        let mut u1 = SimulatedUser::oracle(&query, 7);
+        let a = run_feedback_rounds(rfs, corpus.labels(), &mut u1, &cfg);
+        let mut u2 = SimulatedUser::oracle(&query, 7);
+        let mut stepper = FeedbackStepper::new(rfs, corpus.labels(), cfg.clone());
+        let mut steps = 0;
+        while !stepper.step_round(&mut u2) {
+            steps += 1;
+        }
+        assert_eq!(steps + 1, stepper.rounds_run());
+        let b = stepper.finish();
+        assert_eq!(a.final_marks, b.final_marks);
+        assert_eq!(a.relevant_snapshots, b.relevant_snapshots);
+        assert_eq!(a.feedback_accesses, b.feedback_accesses);
+        assert_eq!(a.displays_skipped, b.displays_skipped);
+    }
+
+    #[test]
+    fn truncated_stepper_yields_best_so_far_marks() {
+        let (corpus, rfs) = testutil::shared();
+        let query = testutil::query("bird");
+        let cfg = QdConfig::default();
+        let mut user = SimulatedUser::oracle(&query, 21);
+        let mut stepper = FeedbackStepper::new(rfs, corpus.labels(), cfg.clone());
+        stepper.step_round(&mut user); // round 1 of 3
+        assert!(!stepper.is_done());
+        stepper.truncate();
+        assert!(stepper.is_done());
+        // Further steps are no-ops after truncation.
+        assert!(stepper.step_round(&mut user));
+        let rounds = stepper.finish();
+        assert_eq!(rounds.round_durations.len(), 1);
+        assert!(
+            !rounds.final_marks.is_empty(),
+            "round-1 marks must be promoted to final marks"
+        );
+        // The best-so-far marks still execute into a valid ranked list.
+        let k = corpus.ground_truth(&query).len();
+        let exec = try_execute_subqueries(corpus, rfs, &rounds.final_marks, k, &cfg).unwrap();
+        assert_valid_ranked_list(&exec.results, corpus.len(), k);
     }
 
     #[test]

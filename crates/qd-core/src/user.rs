@@ -23,6 +23,12 @@ pub struct SimulatedUser {
     /// Maximum images the user inspects per feedback round;
     /// `usize::MAX` = inspects everything shown.
     patience: usize,
+    /// Pending mid-session intent change: after `after` judgments the
+    /// relevant set is swapped for this one (Barz & Denzler-style query
+    /// ambiguity — the user changes their mind about what they wanted).
+    drift: Option<(HashSet<SubconceptId>, usize)>,
+    /// Judgments made so far, driving the drift trigger.
+    judged: usize,
     rng: StdRng,
 }
 
@@ -33,8 +39,18 @@ impl SimulatedUser {
             relevant: query.leaf_ids().into_iter().collect(),
             noise: 0.0,
             patience: usize::MAX,
+            drift: None,
+            judged: 0,
             rng: StdRng::seed_from_u64(seed),
         }
+    }
+
+    /// Schedules a mid-session intent drift (builder style): after `after`
+    /// judgments the user starts judging by `target`'s ground truth instead
+    /// of the original query's.
+    pub fn with_drift(mut self, target: &QuerySpec, after: usize) -> Self {
+        self.drift = Some((target.leaf_ids().into_iter().collect(), after));
+        self
     }
 
     /// Sets the judgment noise rate (builder style).
@@ -57,6 +73,16 @@ impl SimulatedUser {
 
     /// Judges one displayed image by its ground-truth label.
     pub fn judge(&mut self, label: SubconceptId) -> bool {
+        if self
+            .drift
+            .as_ref()
+            .is_some_and(|(_, after)| self.judged >= *after)
+        {
+            if let Some((target, _)) = self.drift.take() {
+                self.relevant = target;
+            }
+        }
+        self.judged += 1;
         let truthful = self.relevant.contains(&label);
         if self.noise > 0.0 && self.rng.random::<f32>() < self.noise {
             !truthful
@@ -143,6 +169,25 @@ mod tests {
         let ja: Vec<bool> = (0..50).map(|_| a.judge(eagle)).collect();
         let jb: Vec<bool> = (0..50).map(|_| b.judge(eagle)).collect();
         assert_eq!(ja, jb);
+    }
+
+    #[test]
+    fn drift_switches_intent_after_threshold() {
+        let (t, q) = setup(); // bird
+        let horse = qd_corpus::queries::standard_queries(&t)
+            .into_iter()
+            .find(|s| s.name == "horse")
+            .expect("horse query");
+        let eagle = t.require("bird/eagle");
+        let polo = t.require("horse/polo");
+        let mut u = SimulatedUser::oracle(&q, 5).with_drift(&horse, 3);
+        // Before the threshold the original intent holds.
+        for _ in 0..3 {
+            assert!(u.judge(eagle));
+        }
+        // After three judgments the user now wants horses, not birds.
+        assert!(!u.judge(eagle));
+        assert!(u.judge(polo));
     }
 
     #[test]

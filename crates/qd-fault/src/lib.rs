@@ -68,6 +68,18 @@ pub mod site {
     /// out-of-range image id; server-side validation rejects it and the
     /// client retries with a fresh encode.
     pub const CLIENT_MARK_CORRUPT: &str = "client.marks.corrupt";
+    /// The admission check for one arriving session fails (keyed by session
+    /// id); the supervisor sheds that session at the door instead of
+    /// activating or queueing it.
+    pub const SERVE_ADMISSION: &str = "serve.admission.reject";
+    /// One session's scheduler step panics inside its worker (keyed by
+    /// session id); the supervisor catches the panic, quarantines the
+    /// session, and evicts it without disturbing its neighbors.
+    pub const SERVE_STEP_PANIC: &str = "serve.scheduler.step";
+    /// The supervisor force-evicts one session at the start of its turn
+    /// (keyed by session id) — a simulated operator kill; the session
+    /// terminates as `Evicted` and its slot is reclaimed.
+    pub const SERVE_EVICT: &str = "serve.session.evict";
 }
 
 /// Every registered site, with a one-line description. The chaos property
@@ -110,6 +122,18 @@ pub const SITES: &[(&str, &str)] = &[
     (
         site::CLIENT_MARK_CORRUPT,
         "one transmitted mark corrupted out of range",
+    ),
+    (
+        site::SERVE_ADMISSION,
+        "admission check fails; session shed at the door",
+    ),
+    (
+        site::SERVE_STEP_PANIC,
+        "one session's scheduler step panics; session evicted",
+    ),
+    (
+        site::SERVE_EVICT,
+        "supervisor force-evicts one session mid-flight",
     ),
 ];
 

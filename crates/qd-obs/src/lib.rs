@@ -69,6 +69,18 @@ pub mod ctr {
     pub const CLIENT_RETRIES: &str = "client.retries";
     /// Exponential-backoff units accumulated across client retries.
     pub const CLIENT_BACKOFF_UNITS: &str = "client.backoff_units";
+    /// Sessions the supervisor admitted (activated or queued).
+    pub const SERVE_ADMITTED: &str = "serve.sessions_admitted";
+    /// Sessions shed by admission control (table and queue full, or the
+    /// admission failpoint fired).
+    pub const SERVE_SHED: &str = "serve.sessions_shed";
+    /// Sessions evicted mid-flight (poisoned by a panic, force-evicted by
+    /// the eviction failpoint, or stalled past the tick limit).
+    pub const SERVE_EVICTED: &str = "serve.sessions_evicted";
+    /// Scheduler steps executed (one per session turn).
+    pub const SERVE_STEPS: &str = "serve.scheduler_steps";
+    /// Sessions whose feedback phase was truncated by a deadline.
+    pub const SERVE_TRUNCATIONS: &str = "serve.deadline_truncations";
 
     /// Every counter with a one-line description, for CLI/report listings.
     pub const COUNTERS: &[(&str, &str)] = &[
@@ -98,6 +110,11 @@ pub mod ctr {
         (BASELINE_DISTANCE, "baseline candidate scorings"),
         (CLIENT_RETRIES, "client submissions retried"),
         (CLIENT_BACKOFF_UNITS, "client backoff units accumulated"),
+        (SERVE_ADMITTED, "sessions admitted by the supervisor"),
+        (SERVE_SHED, "sessions shed by admission control"),
+        (SERVE_EVICTED, "sessions evicted mid-flight"),
+        (SERVE_STEPS, "scheduler steps executed"),
+        (SERVE_TRUNCATIONS, "sessions truncated by a deadline"),
     ];
 }
 
@@ -120,6 +137,11 @@ pub mod sp {
 
     /// One baseline technique's full feedback session.
     pub const BASELINE_RUN: &str = "baseline.run";
+    /// One complete multi-tenant serving run (arrivals through drain).
+    pub const SERVE_RUN: &str = "serve.run";
+    /// One scheduler tick that stepped at least one session (indexed by
+    /// tick number).
+    pub const SERVE_TICK: &str = "serve.tick";
 
     /// Every span with a one-line description, for CLI/report listings.
     pub const SPANS: &[(&str, &str)] = &[
@@ -131,6 +153,8 @@ pub mod sp {
         (MV_VIEWPOINT, "one MV viewpoint channel retrieval"),
         (BENCH_QUERY, "one benchmark query session"),
         (BASELINE_RUN, "one baseline technique feedback session"),
+        (SERVE_RUN, "one multi-tenant serving run"),
+        (SERVE_TICK, "one scheduler tick with session steps"),
     ];
 }
 
@@ -163,6 +187,17 @@ pub mod hist {
     /// as its own distribution so QD-vs-baseline node-access comparisons
     /// stay symmetric.
     pub const BASELINE_QUERY_NODE_ACCESSES: &str = "baseline.query.node_accesses";
+    /// Scheduler ticks from a session's arrival to its terminal state (one
+    /// observation per admitted session) — the deterministic latency proxy
+    /// of the serving layer: queue wait plus one tick per scheduler turn.
+    pub const SERVE_LATENCY_TICKS: &str = "serve.session.latency_ticks";
+    /// Deterministic cost units (representative displays plus distance
+    /// computations) one session spent before terminating (one observation
+    /// per admitted session).
+    pub const SERVE_COST_UNITS: &str = "serve.session.cost_units";
+    /// Sessions stepped in one scheduler tick (one observation per active
+    /// tick) — the serving throughput distribution.
+    pub const SERVE_TICK_STEPS: &str = "serve.tick.sessions_stepped";
 
     /// Every histogram with a one-line description, for CLI/report listings.
     pub const HISTS: &[(&str, &str)] = &[
@@ -178,6 +213,9 @@ pub mod hist {
             BASELINE_QUERY_NODE_ACCESSES,
             "per-query baseline record reads",
         ),
+        (SERVE_LATENCY_TICKS, "per-session serving latency in ticks"),
+        (SERVE_COST_UNITS, "per-session deterministic cost units"),
+        (SERVE_TICK_STEPS, "sessions stepped per scheduler tick"),
     ];
 }
 

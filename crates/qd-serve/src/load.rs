@@ -1,0 +1,320 @@
+//! Seeded open-loop load generation: who shows up, when, and how they
+//! behave.
+//!
+//! A [`LoadPlan`] is a fully materialized arrival schedule — every session's
+//! query, behavior scenario, deadline, and seeds are fixed before the server
+//! starts. The generator is a pure function of `(corpus, LoadConfig)`, so
+//! the same plan can be replayed against any scheduler configuration and the
+//! per-session work is identical (the isolation property tests depend on
+//! this).
+
+use qd_core::session::QdConfig;
+use qd_core::SimulatedUser;
+use qd_corpus::{queries, Corpus, QuerySpec};
+use qd_fault::FaultPlan;
+
+/// Stable identifier of one simulated tenant session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(pub u64);
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{:03}", self.0)
+    }
+}
+
+/// How a simulated tenant behaves across their feedback rounds — the
+/// scenario matrix of the serving simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scenario {
+    /// Marks exactly the ground truth, pages through every display.
+    Cooperative,
+    /// Starts with one intent, switches to another query's ground truth
+    /// after `after` judgments (query ambiguity mid-session).
+    DriftingIntent {
+        /// Judgments made before the intent switch.
+        after: usize,
+    },
+    /// Flips a fraction of judgments at random — self-contradictory marks.
+    ContradictoryMarks {
+        /// Probability that a single judgment is flipped.
+        noise: f32,
+    },
+    /// Inspects only a few images per round and carries a serving deadline,
+    /// so the scheduler truncates the session to its best-so-far prefix.
+    ImpatientTruncation {
+        /// Images inspected per feedback round.
+        patience: usize,
+    },
+}
+
+impl Scenario {
+    /// Stable lowercase label for reports and histogram keys.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scenario::Cooperative => "cooperative",
+            Scenario::DriftingIntent { .. } => "drifting-intent",
+            Scenario::ContradictoryMarks { .. } => "contradictory-marks",
+            Scenario::ImpatientTruncation { .. } => "impatient-truncation",
+        }
+    }
+}
+
+/// Everything one session brings to the door: identity, arrival time,
+/// query, behavior, budgets, and (optionally) a private fault plan the
+/// server installs around that session's steps only.
+#[derive(Debug, Clone)]
+pub struct SessionSpec {
+    /// Stable session identity; fault decisions key off this.
+    pub id: SessionId,
+    /// Scheduler tick at which the session arrives.
+    pub arrival_tick: u64,
+    /// Behavior scenario driving the simulated user.
+    pub scenario: Scenario,
+    /// The query the session starts with.
+    pub query: QuerySpec,
+    /// Drift target for [`Scenario::DriftingIntent`] sessions.
+    pub drift_to: Option<QuerySpec>,
+    /// Seed of the session's simulated user.
+    pub user_seed: u64,
+    /// Results requested.
+    pub k: usize,
+    /// Engine configuration (rounds, merge rule, shuffle seed, budget).
+    pub cfg: QdConfig,
+    /// Optional serving deadline in deterministic cost units (representative
+    /// displays + distance computations). When spent cost reaches the
+    /// deadline, the feedback phase truncates to its best-so-far prefix and
+    /// the final k-NN runs on whatever budget remains.
+    pub deadline: Option<u64>,
+    /// Optional per-session fault plan: installed around this session's
+    /// steps only, so one tenant's injected faults cannot leak into a
+    /// neighbor's execution.
+    pub fault_plan: Option<FaultPlan>,
+}
+
+impl SessionSpec {
+    /// Builds the session's simulated user per its scenario.
+    pub fn user(&self) -> SimulatedUser {
+        let user = SimulatedUser::oracle(&self.query, self.user_seed);
+        match self.scenario {
+            Scenario::Cooperative => user,
+            Scenario::DriftingIntent { after } => {
+                let target = self.drift_to.as_ref().unwrap_or(&self.query);
+                user.with_drift(target, after)
+            }
+            Scenario::ContradictoryMarks { noise } => user.with_noise(noise),
+            Scenario::ImpatientTruncation { patience } => user.with_patience(patience),
+        }
+    }
+}
+
+/// Knobs of the load generator.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Number of sessions generated.
+    pub users: usize,
+    /// Master seed; every per-session choice hashes off this.
+    pub seed: u64,
+    /// Open-loop arrival rate: sessions arriving per scheduler tick.
+    pub arrivals_per_tick: u64,
+    /// Feedback rounds per session.
+    pub rounds: usize,
+    /// Results per session; `None` = each query's ground-truth size.
+    pub k: Option<usize>,
+    /// Cost-unit deadline attached to impatient sessions.
+    pub deadline: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        Self {
+            users: 12,
+            seed: 7,
+            arrivals_per_tick: 2,
+            rounds: 3,
+            k: None,
+            deadline: 900,
+        }
+    }
+}
+
+/// A materialized arrival schedule: session specs sorted by
+/// `(arrival_tick, id)`.
+#[derive(Debug, Clone)]
+pub struct LoadPlan {
+    /// The sessions, in arrival order.
+    pub specs: Vec<SessionSpec>,
+}
+
+/// SplitMix64 — the crate's only hash, used for every seeded choice.
+pub(crate) fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl LoadPlan {
+    /// Generates the deterministic scenario-matrix load: each session's
+    /// query, scenario, and seeds are pure hashes of `(cfg.seed, id)`, and
+    /// arrivals are open-loop at `arrivals_per_tick`.
+    pub fn generate(corpus: &Corpus, cfg: &LoadConfig) -> LoadPlan {
+        assert!(cfg.users >= 1, "at least one user required");
+        assert!(cfg.arrivals_per_tick >= 1, "arrival rate must be positive");
+        let queries = queries::standard_queries(corpus.taxonomy());
+        let specs = (0..cfg.users as u64)
+            .map(|i| {
+                let h = mix64(cfg.seed ^ mix64(i + 1));
+                let qi = (h as usize) % queries.len();
+                let query = queries[qi].clone();
+                let scenario = match (h >> 16) % 4 {
+                    0 => Scenario::Cooperative,
+                    1 => Scenario::DriftingIntent { after: 30 },
+                    2 => Scenario::ContradictoryMarks { noise: 0.35 },
+                    _ => Scenario::ImpatientTruncation { patience: 12 },
+                };
+                // Drift target: always a *different* standard query.
+                let drift_to = match scenario {
+                    Scenario::DriftingIntent { .. } => {
+                        let step = 1 + ((h >> 24) as usize) % (queries.len() - 1);
+                        Some(queries[(qi + step) % queries.len()].clone())
+                    }
+                    _ => None,
+                };
+                let deadline = match scenario {
+                    Scenario::ImpatientTruncation { .. } => Some(cfg.deadline),
+                    _ => None,
+                };
+                let k = cfg.k.unwrap_or_else(|| corpus.ground_truth(&query).len());
+                SessionSpec {
+                    id: SessionId(i),
+                    arrival_tick: i / cfg.arrivals_per_tick,
+                    scenario,
+                    query,
+                    drift_to,
+                    user_seed: mix64(h ^ 0xD1B5_4A32_D192_ED03),
+                    k,
+                    cfg: QdConfig {
+                        rounds: cfg.rounds,
+                        seed: mix64(h ^ 0xA24B_AED4_963E_E407),
+                        ..QdConfig::default()
+                    },
+                    deadline,
+                    fault_plan: None,
+                }
+            })
+            .collect();
+        LoadPlan { specs }
+    }
+
+    /// A single-session plan containing only `id` (arriving at tick 0) —
+    /// the "run this tenant alone" baseline the isolation property compares
+    /// a multi-tenant run against.
+    pub fn solo(&self, id: SessionId) -> Option<LoadPlan> {
+        self.specs.iter().find(|s| s.id == id).map(|s| {
+            let mut spec = s.clone();
+            spec.arrival_tick = 0;
+            LoadPlan { specs: vec![spec] }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qd_corpus::CorpusConfig;
+
+    fn corpus() -> Corpus {
+        Corpus::build(&CorpusConfig {
+            size: 120,
+            image_size: 16,
+            seed: 5,
+            filler_count: 2,
+            with_viewpoints: false,
+        })
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let c = corpus();
+        let cfg = LoadConfig::default();
+        let a = LoadPlan::generate(&c, &cfg);
+        let b = LoadPlan::generate(&c, &cfg);
+        assert_eq!(a.specs.len(), cfg.users);
+        for (x, y) in a.specs.iter().zip(&b.specs) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.arrival_tick, y.arrival_tick);
+            assert_eq!(x.scenario, y.scenario);
+            assert_eq!(x.query.name, y.query.name);
+            assert_eq!(x.user_seed, y.user_seed);
+            assert_eq!(x.k, y.k);
+        }
+    }
+
+    #[test]
+    fn arrivals_are_open_loop_and_sorted() {
+        let c = corpus();
+        let plan = LoadPlan::generate(
+            &c,
+            &LoadConfig {
+                users: 9,
+                arrivals_per_tick: 3,
+                ..LoadConfig::default()
+            },
+        );
+        let ticks: Vec<u64> = plan.specs.iter().map(|s| s.arrival_tick).collect();
+        assert_eq!(ticks, vec![0, 0, 0, 1, 1, 1, 2, 2, 2]);
+    }
+
+    #[test]
+    fn drift_targets_differ_from_the_original_query() {
+        let c = corpus();
+        let plan = LoadPlan::generate(
+            &c,
+            &LoadConfig {
+                users: 64,
+                ..LoadConfig::default()
+            },
+        );
+        let mut drifting = 0;
+        for spec in &plan.specs {
+            if let Scenario::DriftingIntent { .. } = spec.scenario {
+                drifting += 1;
+                let target = spec.drift_to.as_ref().expect("drift target");
+                assert_ne!(target.name, spec.query.name);
+            }
+        }
+        assert!(drifting > 0, "matrix should include drifting sessions");
+    }
+
+    #[test]
+    fn solo_plan_preserves_the_spec_but_rebases_arrival() {
+        let c = corpus();
+        let plan = LoadPlan::generate(&c, &LoadConfig::default());
+        let solo = plan.solo(SessionId(5)).expect("session 5 exists");
+        assert_eq!(solo.specs.len(), 1);
+        assert_eq!(solo.specs[0].id, SessionId(5));
+        assert_eq!(solo.specs[0].arrival_tick, 0);
+        assert_eq!(solo.specs[0].user_seed, plan.specs[5].user_seed);
+        assert!(plan.solo(SessionId(999)).is_none());
+    }
+
+    #[test]
+    fn impatient_sessions_carry_the_deadline() {
+        let c = corpus();
+        let plan = LoadPlan::generate(
+            &c,
+            &LoadConfig {
+                users: 64,
+                deadline: 123,
+                ..LoadConfig::default()
+            },
+        );
+        for spec in &plan.specs {
+            match spec.scenario {
+                Scenario::ImpatientTruncation { .. } => assert_eq!(spec.deadline, Some(123)),
+                _ => assert_eq!(spec.deadline, None),
+            }
+        }
+    }
+}

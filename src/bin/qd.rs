@@ -9,6 +9,7 @@
 //! qd profile      --corpus corpus.qdc --rfs rfs.qdr --query <name> [--k N] [--seed S] [--rounds N]
 //! qd list-queries --corpus corpus.qdc
 //! qd export       --corpus corpus.qdc --ids 0,17,42 --dir out/
+//! qd serve-sim    --corpus corpus.qdc --rfs rfs.qdr [--users N] [--seed S] [--arrivals N] [--rounds N] [--deadline COST] [--max-active N] [--queue N] [--shed-seed S]
 //! ```
 //!
 //! `query` runs a full QD session with the simulated oracle user (the CLI
@@ -28,6 +29,13 @@
 //! `profile` folds the same trace's span tree into a flame-style table:
 //! per span name, the call count plus self and subtree-inclusive cost for
 //! every counter touched. Deterministic like `trace`.
+//!
+//! `serve-sim` runs the multi-tenant serving simulation (qd-serve): a
+//! seeded open-loop load of simulated users — cooperative, drifting-intent,
+//! contradictory-marks, impatient-truncation — driven through the
+//! supervised session scheduler over the loaded corpus + RFS snapshot. It
+//! prints the per-session outcomes and the serving latency/cost/throughput
+//! percentiles. Everything is deterministic for a fixed seed set.
 
 use query_decomposition::core::eval::Baseline;
 use query_decomposition::corpus::cache;
@@ -40,7 +48,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
         eprintln!(
-            "usage: qd <build-corpus|build-rfs|stats|query|trace|profile|list-queries|export> [options]"
+            "usage: qd <build-corpus|build-rfs|stats|query|trace|profile|list-queries|export|serve-sim> [options]"
         );
         eprintln!("       see the module docs (or `src/bin/qd.rs`) for per-command options");
         return ExitCode::from(2);
@@ -55,6 +63,7 @@ fn main() -> ExitCode {
         "profile" => profile(&opts),
         "list-queries" => list_queries(&opts),
         "export" => export(&opts),
+        "serve-sim" => serve_sim(&opts),
         other => Err(format!("unknown command {other:?}")),
     };
     match result {
@@ -390,6 +399,68 @@ fn profile(opts: &Options) -> Result<(), String> {
         "{}",
         query_decomposition::obs::render_profile(&trace.profile())
     );
+    Ok(())
+}
+
+fn serve_sim(opts: &Options) -> Result<(), String> {
+    let corpus = load_corpus(opts)?;
+    let rfs_path = opts.require("rfs")?;
+    let rfs = RfsStructure::load(Path::new(rfs_path))
+        .map_err(|e| format!("cannot load RFS {rfs_path}: {e}"))?;
+    if rfs.len() != corpus.len() {
+        return Err(format!(
+            "RFS indexes {} images but the corpus has {} — rebuild with `qd build-rfs`",
+            rfs.len(),
+            corpus.len()
+        ));
+    }
+    let load_cfg = LoadConfig {
+        users: opts.parse_or("users", 12usize)?,
+        seed: opts.parse_or("seed", 7u64)?,
+        arrivals_per_tick: opts.parse_or("arrivals", 2u64)?,
+        rounds: opts.parse_or("rounds", 3usize)?,
+        k: None,
+        deadline: opts.parse_or("deadline", 900u64)?,
+    };
+    let serve_cfg = ServeConfig {
+        max_active: opts.parse_or("max-active", 4usize)?,
+        queue_capacity: opts.parse_or("queue", 8usize)?,
+        shed_seed: opts.parse_or("shed-seed", ServeConfig::default().shed_seed)?,
+        ..ServeConfig::default()
+    };
+    let plan = LoadPlan::generate(&corpus, &load_cfg);
+    let server = Server::new(
+        std::sync::Arc::new(corpus),
+        std::sync::Arc::new(rfs),
+        serve_cfg,
+    );
+    let (report, trace) = query_decomposition::obs::with_recorder(|| server.run(&plan));
+    print!("{}", report.summary());
+    println!("degradation rate: {:.3}", report.degradation_rate());
+    for (name, label) in [
+        (
+            query_decomposition::obs::hist::SERVE_LATENCY_TICKS,
+            "latency (ticks)  ",
+        ),
+        (
+            query_decomposition::obs::hist::SERVE_COST_UNITS,
+            "cost (units)     ",
+        ),
+        (
+            query_decomposition::obs::hist::SERVE_TICK_STEPS,
+            "steps per tick   ",
+        ),
+    ] {
+        if let Some(h) = trace.hists.get(name) {
+            println!(
+                "{label} p50={} p90={} p99={} max={}",
+                h.p50(),
+                h.p90(),
+                h.p99(),
+                h.max()
+            );
+        }
+    }
     Ok(())
 }
 

@@ -26,6 +26,7 @@
 //! | [`cluster`] | k-means / k-means++, silhouette, agglomerative |
 //! | [`corpus`] | synthetic Corel-style corpus + the 11 test queries |
 //! | [`core`] | RFS structure, QD sessions, baselines, metrics |
+//! | [`serve`] | multi-tenant session server: admission, deadlines, isolation |
 //! | [`obs`] | deterministic observability: counters, spans, traces |
 //!
 //! ## Quickstart
@@ -64,6 +65,7 @@ pub use qd_imagery as imagery;
 pub use qd_index as index;
 pub use qd_linalg as linalg;
 pub use qd_obs as obs;
+pub use qd_serve as serve;
 
 /// The types most applications need.
 pub mod prelude {
@@ -81,4 +83,8 @@ pub mod prelude {
     pub use qd_features::{FeatureExtractor, FEATURE_DIM};
     pub use qd_imagery::{Image, SceneTemplate, Viewpoint};
     pub use qd_index::{RStarTree, TreeConfig};
+    pub use qd_serve::{
+        EvictReason, LoadConfig, LoadPlan, Scenario, ServeConfig, ServeReport, Server, SessionId,
+        SessionOutcome, SessionReport, SessionSpec, SessionState,
+    };
 }
