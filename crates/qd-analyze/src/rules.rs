@@ -226,6 +226,7 @@ fn rule_applies(id: RuleId, rel_path: &str) -> bool {
             "crates/qd-index/src/",
             "crates/qd-runtime/src/",
             "crates/qd-serve/src/",
+            "crates/qd-shard/src/",
         ]
         .iter()
         .any(|p| rel_path.starts_with(p)),

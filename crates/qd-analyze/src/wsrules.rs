@@ -143,9 +143,10 @@ const SITE_HOOKS: [&str; 3] = ["fire", "fire_keyed", "should_fail"];
 
 /// The persistence modules R10 audits: every `io::Result`-returning fn here
 /// must reach a failpoint so the chaos suite can prove its error path.
-const R10_FILES: [&str; 2] = [
+const R10_FILES: [&str; 3] = [
     "crates/qd-corpus/src/cache.rs",
     "crates/qd-index/src/persist.rs",
+    "crates/qd-shard/src/persist.rs",
 ];
 
 /// Where fault sites are declared and where they must be exercised.

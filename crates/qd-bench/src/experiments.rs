@@ -925,8 +925,9 @@ pub fn json_report(scale: BenchScale, seed: u64, with_timing: bool) {
         tables.push(("timing_percentiles".to_string(), timings.table()));
     }
     let serving = serving_section(scale, seed);
+    let sharding = sharding_section(scale, seed);
     let path = std::path::Path::new("BENCH_qd.json");
-    match report::write_bench_report(path, config, tables, Some(serving), &trace) {
+    match report::write_bench_report(path, config, tables, Some(serving), Some(sharding), &trace) {
         Ok(()) => println!("[wrote {}]", path.display()),
         Err(e) => {
             eprintln!("error: could not write {}: {e}", path.display());
@@ -1047,6 +1048,101 @@ fn serving_section(scale: BenchScale, seed: u64) -> JsonValue {
         (
             "histograms".to_string(),
             report::hists_to_json(&serve_trace.hists),
+        ),
+    ])
+}
+
+/// The `sharding` section of `BENCH_qd.json`: builds a sharded index at
+/// K ∈ {1, 2, 4, 7} over the bench corpus and probes the scatter-gather
+/// merge against the monolithic R\*-tree — unbudgeted k-NN answers must be
+/// the same multiset of `(distance, id)` pairs at every K. Like the
+/// serving section it runs in its own recorder scope (so the `shard.*`
+/// counters and histograms reported here never leak into the engine
+/// workload's sections) and is a pure function of `(scale, seed)` — the
+/// CI byte-diff covers it.
+fn sharding_section(scale: BenchScale, seed: u64) -> JsonValue {
+    use qd_index::KnnIndex;
+    use qd_shard::{ShardConfig, ShardSet};
+
+    let corpus = bench_corpus(scale, seed);
+    let solo = bench_rfs(scale, seed);
+    let tree_cfg = scale.rfs_config().tree_config(corpus.dim());
+    let k = 10usize.min(corpus.len());
+    let probes: Vec<usize> = (0..5).map(|i| i * (corpus.len() - 1) / 4).collect();
+    // The answer is order-insensitive across index shapes: equal distances
+    // may rank differently between one tree and a merged scatter, so the
+    // probe compares the sorted `(distance bits, id)` multiset.
+    let answer = |knn: qd_index::BudgetedKnn| -> Vec<(u32, u64)> {
+        let mut a: Vec<(u32, u64)> = knn
+            .neighbors
+            .iter()
+            .map(|n| (n.distance.to_bits(), n.id))
+            .collect();
+        a.sort_unstable();
+        a
+    };
+    let ((rows, shard_sizes), shard_trace) = qd_obs::with_recorder(|| {
+        let mut rows = Vec::new();
+        let mut sizes = Vec::new();
+        for shards in [1usize, 2, 4, 7] {
+            let set = ShardSet::build(
+                corpus.features(),
+                tree_cfg.clone(),
+                ShardConfig::new(shards, seed),
+            );
+            if shards == 4 {
+                sizes = (0..set.shard_count())
+                    .map(|s| set.shard_members(s).len() as u64)
+                    .collect();
+            }
+            let mut exact = 0usize;
+            for &p in &probes {
+                let q = corpus.features()[p].as_slice();
+                let sharded = answer(set.knn_in_budgeted(set.root(), q, k, None));
+                let tree = solo.tree();
+                let monolithic = answer(tree.knn_in_budgeted(tree.root(), q, k, None));
+                if sharded == monolithic {
+                    exact += 1;
+                }
+            }
+            // One budgeted probe per K exercises the largest-remainder
+            // budget split and the anytime merge accounting.
+            let q = corpus.features()[probes[0]].as_slice();
+            let budgeted = set.knn_in_budgeted(set.root(), q, k, Some(256));
+            rows.push((shards, exact, budgeted.accesses, budgeted.exhausted));
+        }
+        (rows, sizes)
+    });
+    JsonValue::Obj(vec![
+        ("seed".to_string(), JsonValue::u64(seed)),
+        ("k".to_string(), JsonValue::u64(k as u64)),
+        ("probes".to_string(), JsonValue::u64(probes.len() as u64)),
+        (
+            "shard_sizes_at_4".to_string(),
+            JsonValue::Arr(shard_sizes.into_iter().map(JsonValue::u64).collect()),
+        ),
+        (
+            "equivalence".to_string(),
+            JsonValue::Arr(
+                rows.into_iter()
+                    .map(|(shards, exact, accesses, exhausted)| {
+                        JsonValue::Obj(vec![
+                            ("shards".to_string(), JsonValue::u64(shards as u64)),
+                            ("exact_matches".to_string(), JsonValue::u64(exact as u64)),
+                            ("budgeted_accesses".to_string(), JsonValue::u64(accesses)),
+                            ("budgeted_exhausted".to_string(), JsonValue::Bool(exhausted)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "counters".to_string(),
+            report::counters_to_json(&shard_trace.counters),
+        ),
+        (
+            "histograms".to_string(),
+            report::hists_to_json(&shard_trace.hists),
         ),
     ])
 }

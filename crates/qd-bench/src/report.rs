@@ -388,20 +388,23 @@ pub fn current_commit() -> String {
 }
 
 /// Assembles the `BENCH_qd.json` document — schema
-/// `{commit, config, tables: {...}, serving, counters: {...},
+/// `{commit, config, tables: {...}, serving, sharding, counters: {...},
 /// histograms: {...}, span_tree}` — and
 /// writes it to `path`. Deliberately excludes wall-clock readings and
 /// thread counts: the report must be byte-identical across consecutive
 /// runs and across `QD_THREADS` settings (the CI observability job
 /// verifies both). The `serving` value (when present) carries the
 /// multi-tenant serving simulation's outcome mix and latency/cost
-/// percentiles, assembled by the caller from its own recorder scope so the
-/// engine-workload `counters`/`histograms` sections stay untouched.
+/// percentiles, and `sharding` (when present) the scatter-gather
+/// equivalence probes; both are assembled by the caller from their own
+/// recorder scopes so the engine-workload `counters`/`histograms`
+/// sections stay untouched.
 pub fn write_bench_report(
     path: &std::path::Path,
     config: JsonValue,
     tables: Vec<(String, Table)>,
     serving: Option<JsonValue>,
+    sharding: Option<JsonValue>,
     trace: &qd_obs::Trace,
 ) -> std::io::Result<()> {
     let mut fields = vec![
@@ -419,6 +422,9 @@ pub fn write_bench_report(
     ];
     if let Some(serving) = serving {
         fields.push(("serving".to_string(), serving));
+    }
+    if let Some(sharding) = sharding {
+        fields.push(("sharding".to_string(), sharding));
     }
     fields.push(("counters".to_string(), counters_to_json(&trace.counters)));
     fields.push(("histograms".to_string(), hists_to_json(&trace.hists)));

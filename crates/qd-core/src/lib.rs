@@ -46,7 +46,7 @@ pub use error::QdError;
 pub use metrics::{gtir, precision, RoundTrace};
 pub use rfs::{FeedbackHierarchy, RfsConfig, RfsStructure};
 pub use session::{
-    assemble_outcome, run_feedback_rounds, try_execute_subqueries, try_run_session,
+    assemble_outcome, run_feedback_rounds, split_budget, try_execute_subqueries, try_run_session,
     validate_subqueries, Degradation, FeedbackRounds, FeedbackStepper, FinalExecution,
     MergeStrategy, QdConfig, QdOutcome, ResultGroup, ServedOutcome,
 };

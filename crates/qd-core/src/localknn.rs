@@ -46,6 +46,10 @@ pub struct LocalResult {
     pub distance_computations: u64,
     /// Frontier nodes the k-NN left unexplored because its budget ran out.
     pub nodes_skipped: u64,
+    /// Whole index partitions (shards) that contributed nothing to this
+    /// subquery because their scatter leg failed. Always 0 over a monolithic
+    /// tree; the session layer folds it into degradation reporting.
+    pub legs_dropped: u64,
     /// True when the budget ran out and `neighbors` is best-so-far rather
     /// than the exact local answer.
     pub exhausted: bool,
@@ -173,6 +177,7 @@ pub fn try_run_local_query<I: KnnIndex>(
                 accesses: b.accesses,
                 distance_computations: b.distance_computations,
                 nodes_skipped: b.nodes_skipped,
+                legs_dropped: b.partitions_dropped,
                 exhausted: b.exhausted,
             })
         }
@@ -212,6 +217,9 @@ pub fn try_run_local_query<I: KnnIndex>(
                 accesses: 0,
                 distance_computations: allowed as u64,
                 nodes_skipped: skipped,
+                // The weighted scan reads every scope item directly, never
+                // scattering across partitions — no legs to lose.
+                legs_dropped: 0,
                 exhausted: skipped > 0,
             })
         }

@@ -176,6 +176,7 @@ mod tests {
             accesses: 0,
             distance_computations: 0,
             nodes_skipped: 0,
+            legs_dropped: 0,
             exhausted: false,
         }
     }

@@ -78,6 +78,20 @@ impl RfsConfig {
             seed: 0,
         }
     }
+
+    /// The tree configuration this RFS config induces for `dims`-dimensional
+    /// features — the single source of truth shared by the monolithic build
+    /// and `qd-shard`'s per-shard builds, so a shard over a given member set
+    /// grows an arena byte-identical to the tree an unsharded build over the
+    /// same members would produce.
+    pub fn tree_config(&self, dims: usize) -> TreeConfig {
+        TreeConfig {
+            dims,
+            min_entries: self.node_min,
+            max_entries: self.node_max,
+            reinsert_fraction: 0.3,
+        }
+    }
 }
 
 /// The navigation interface relevance-feedback rounds need. Implemented by
@@ -107,11 +121,160 @@ pub trait FeedbackHierarchy {
 /// navigation code ran over the arena tree (the default, and today the only
 /// instantiation) and the since-retired pre-arena reference tree so any
 /// divergence was attributable to the storage layout.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RfsStructure<I: KnnIndex = RStarTree> {
     tree: I,
     reps: BTreeMap<NodeId, Vec<usize>>,
     leaf_of: BTreeMap<usize, NodeId>,
+}
+
+/// Per-node image-id lists: candidate pools or selected representatives,
+/// keyed by node handle.
+type NodePools = BTreeMap<NodeId, Vec<usize>>;
+
+/// The image → leaf map of `tree` (shared by every construction path).
+fn leaf_map<I: KnnIndex>(tree: &I) -> BTreeMap<usize, NodeId> {
+    let mut leaf_of = BTreeMap::new();
+    for n in tree.node_ids() {
+        if tree.is_leaf(n) {
+            for (id, _) in tree.leaf_items(n) {
+                leaf_of.insert(id as usize, n);
+            }
+        }
+    }
+    leaf_of
+}
+
+/// Bottom-up per-node representative selection over `tree` — the shared back
+/// half of every build path. Levels build bottom-up (an internal node's pool
+/// is its children's representatives), but nodes *within* a level are
+/// independent, so each level fans out across the qd-runtime pool. Every
+/// node derives its randomness from `config.seed` and its own stable node
+/// index — never a shared RNG stream — so the selection is bit-identical
+/// whatever the thread count or completion order.
+///
+/// With `previous = Some((old_pools, old_reps))` this is an *incremental
+/// refresh*: a node whose candidate pool is identical to its old pool keeps
+/// its old representatives untouched, and every other node re-selects from
+/// scratch with the same node-index-keyed seed a full rebuild would use
+/// (counted in `rfs.representatives_refreshed`) — which makes a refreshed
+/// structure exactly equal to a full rebuild over the mutated tree.
+fn select_representatives<I: KnnIndex + Sync>(
+    tree: &I,
+    features: &[Vec<f32>],
+    config: &RfsConfig,
+    previous: Option<(&NodePools, &NodePools)>,
+) -> NodePools {
+    // `by_level` is a BTreeMap so iterating it visits levels in ascending
+    // order — leaves first — with no separate sorted key list.
+    let mut by_level: BTreeMap<u32, Vec<NodeId>> = BTreeMap::new();
+    for n in tree.node_ids() {
+        by_level.entry(tree.level(n)).or_default().push(n);
+    }
+
+    let mut reps: BTreeMap<NodeId, Vec<usize>> = BTreeMap::new();
+    for (level, mut nodes) in by_level {
+        nodes.sort_unstable(); // deterministic order
+        let reps_ref = &reps;
+        let pool_of = |n: NodeId| -> Vec<usize> {
+            if level == 0 {
+                tree.leaf_items(n)
+                    .into_iter()
+                    .map(|(id, _)| id as usize)
+                    .collect()
+            } else {
+                tree.children(n)
+                    .iter()
+                    .flat_map(|c| reps_ref.get(c).cloned().unwrap_or_default())
+                    .collect()
+            }
+        };
+        let target_of = |pool_len: usize| -> usize {
+            let target = if level == 0 {
+                // At least two representatives per leaf: a single medoid
+                // of a mixed leaf silences its minority categories, and
+                // a category invisible at the leaf level is invisible
+                // everywhere above it.
+                // CAST: pool_len is a node-capacity-bounded count
+                // (≤ max_entries, well under 2^24), exact in f32.
+                ((config.representative_fraction * pool_len as f32).round() as usize).max(2)
+            } else {
+                // CAST: same bound as above — pool_len is exact in f32.
+                (config.upper_fraction * pool_len as f32).round() as usize
+            };
+            target.clamp(1, pool_len)
+        };
+        // A panicking selection worker (real bug or the `rfs.select.panic`
+        // failpoint, keyed by stable node index) is isolated by
+        // `par_try_map`; the node falls back to a deterministic prefix of
+        // its pool rather than aborting the whole build.
+        let selected = qd_obs::span_indexed(qd_obs::sp::RFS_LEVEL, u64::from(level), || {
+            qd_runtime::par_try_map(&nodes, |&n| {
+                if qd_fault::fire_keyed(qd_fault::site::RFS_SELECT_PANIC, n.index() as u64)
+                    .is_some()
+                {
+                    panic!(
+                        "injected fault: representative selection for node {}",
+                        n.index()
+                    );
+                }
+                let pool = pool_of(n);
+                if pool.is_empty() {
+                    return Vec::new();
+                }
+                if let Some((old_pools, old_reps)) = previous {
+                    if old_pools.get(&n) == Some(&pool) {
+                        if let Some(old) = old_reps.get(&n) {
+                            return old.clone();
+                        }
+                    }
+                    qd_obs::count(qd_obs::ctr::RFS_REFRESHED, 1);
+                }
+                qd_obs::count(qd_obs::ctr::RFS_SELECTIONS, 1);
+                let target = target_of(pool.len());
+                if target == pool.len() {
+                    pool.clone()
+                } else if config.kmeans_representatives {
+                    let pool_features: Vec<&[f32]> =
+                        pool.iter().map(|&id| features[id].as_slice()).collect();
+                    let fit = KMeans::new(target)
+                        .with_seed(config.seed ^ (n.index() as u64) << 1)
+                        .fit(&pool_features);
+                    qd_obs::count(qd_obs::ctr::RFS_KMEANS_ITERATIONS, fit.iterations as u64);
+                    fit.medoid_indices(&pool_features)
+                        .into_iter()
+                        .map(|i| pool[i])
+                        .collect()
+                } else {
+                    let mut rng =
+                        StdRng::seed_from_u64(config.seed ^ ((n.index() as u64) << 1 | 1));
+                    let mut shuffled = pool.clone();
+                    shuffled.shuffle(&mut rng);
+                    shuffled.truncate(target);
+                    shuffled
+                }
+            })
+        });
+        let final_selections: Vec<Vec<usize>> = nodes
+            .iter()
+            .zip(selected)
+            .map(|(&n, sel)| match sel {
+                Ok(s) => s,
+                Err(_) => {
+                    // Degraded selection: the pool prefix (already in
+                    // deterministic traversal order) keeps every node
+                    // covered by *some* representatives.
+                    let pool = pool_of(n);
+                    let target = target_of(pool.len().max(1)).min(pool.len());
+                    pool.into_iter().take(target).collect()
+                }
+            })
+            .collect();
+        for (n, sel) in nodes.into_iter().zip(final_selections) {
+            reps.insert(n, sel);
+        }
+    }
+    reps
 }
 
 impl RfsStructure {
@@ -141,12 +304,7 @@ impl<I: KnnIndex + IndexBuild + Sync> RfsStructure<I> {
     fn build_inner(features: &[Vec<f32>], config: &RfsConfig) -> Self {
         assert!(!features.is_empty(), "cannot build an RFS over no images");
         let dims = features[0].len();
-        let tree_config = TreeConfig {
-            dims,
-            min_entries: config.node_min,
-            max_entries: config.node_max,
-            reinsert_fraction: 0.3,
-        };
+        let tree_config = config.tree_config(dims);
         let items: Vec<(u64, Vec<f32>)> = features
             .iter()
             .enumerate()
@@ -163,127 +321,8 @@ impl<I: KnnIndex + IndexBuild + Sync> RfsStructure<I> {
         };
         qd_obs::count(qd_obs::ctr::RFS_NODES_CREATED, tree.node_count() as u64);
 
-        let mut leaf_of = BTreeMap::new();
-        for n in tree.node_ids() {
-            if tree.is_leaf(n) {
-                for (id, _) in tree.leaf_items(n) {
-                    leaf_of.insert(id as usize, n);
-                }
-            }
-        }
-
-        // Bottom-up representative selection, level by level. `by_level` is a
-        // BTreeMap so iterating it visits levels in ascending order — leaves
-        // first — with no separate sorted key list.
-        let mut by_level: BTreeMap<u32, Vec<NodeId>> = BTreeMap::new();
-        for n in tree.node_ids() {
-            by_level.entry(tree.level(n)).or_default().push(n);
-        }
-
-        // Levels build bottom-up (an internal node's pool is its children's
-        // representatives), but nodes *within* a level are independent, so
-        // each level fans out across the qd-runtime pool. Every node derives
-        // its randomness from `config.seed` and its own stable node index —
-        // never a shared RNG stream — so the selection is bit-identical
-        // whatever the thread count or completion order.
-        let mut reps: BTreeMap<NodeId, Vec<usize>> = BTreeMap::new();
-        for (level, mut nodes) in by_level {
-            nodes.sort_unstable(); // deterministic order
-            let reps_ref = &reps;
-            let tree_ref = &tree;
-            let pool_of = |n: NodeId| -> Vec<usize> {
-                if level == 0 {
-                    tree_ref
-                        .leaf_items(n)
-                        .into_iter()
-                        .map(|(id, _)| id as usize)
-                        .collect()
-                } else {
-                    tree_ref
-                        .children(n)
-                        .iter()
-                        .flat_map(|c| reps_ref.get(c).cloned().unwrap_or_default())
-                        .collect()
-                }
-            };
-            let target_of = |pool_len: usize| -> usize {
-                let target = if level == 0 {
-                    // At least two representatives per leaf: a single medoid
-                    // of a mixed leaf silences its minority categories, and
-                    // a category invisible at the leaf level is invisible
-                    // everywhere above it.
-                    // CAST: pool_len is a node-capacity-bounded count
-                    // (≤ max_entries, well under 2^24), exact in f32.
-                    ((config.representative_fraction * pool_len as f32).round() as usize).max(2)
-                } else {
-                    // CAST: same bound as above — pool_len is exact in f32.
-                    (config.upper_fraction * pool_len as f32).round() as usize
-                };
-                target.clamp(1, pool_len)
-            };
-            // A panicking selection worker (real bug or the `rfs.select.panic`
-            // failpoint, keyed by stable node index) is isolated by
-            // `par_try_map`; the node falls back to a deterministic prefix of
-            // its pool rather than aborting the whole build.
-            let selected = qd_obs::span_indexed(qd_obs::sp::RFS_LEVEL, u64::from(level), || {
-                qd_runtime::par_try_map(&nodes, |&n| {
-                    if qd_fault::fire_keyed(qd_fault::site::RFS_SELECT_PANIC, n.index() as u64)
-                        .is_some()
-                    {
-                        panic!(
-                            "injected fault: representative selection for node {}",
-                            n.index()
-                        );
-                    }
-                    let pool = pool_of(n);
-                    if pool.is_empty() {
-                        return Vec::new();
-                    }
-                    qd_obs::count(qd_obs::ctr::RFS_SELECTIONS, 1);
-                    let target = target_of(pool.len());
-                    if target == pool.len() {
-                        pool.clone()
-                    } else if config.kmeans_representatives {
-                        let pool_features: Vec<&[f32]> =
-                            pool.iter().map(|&id| features[id].as_slice()).collect();
-                        let fit = KMeans::new(target)
-                            .with_seed(config.seed ^ (n.index() as u64) << 1)
-                            .fit(&pool_features);
-                        qd_obs::count(qd_obs::ctr::RFS_KMEANS_ITERATIONS, fit.iterations as u64);
-                        fit.medoid_indices(&pool_features)
-                            .into_iter()
-                            .map(|i| pool[i])
-                            .collect()
-                    } else {
-                        let mut rng =
-                            StdRng::seed_from_u64(config.seed ^ ((n.index() as u64) << 1 | 1));
-                        let mut shuffled = pool.clone();
-                        shuffled.shuffle(&mut rng);
-                        shuffled.truncate(target);
-                        shuffled
-                    }
-                })
-            });
-            let final_selections: Vec<Vec<usize>> = nodes
-                .iter()
-                .zip(selected)
-                .map(|(&n, sel)| match sel {
-                    Ok(s) => s,
-                    Err(_) => {
-                        // Degraded selection: the pool prefix (already in
-                        // deterministic traversal order) keeps every node
-                        // covered by *some* representatives.
-                        let pool = pool_of(n);
-                        let target = target_of(pool.len().max(1)).min(pool.len());
-                        pool.into_iter().take(target).collect()
-                    }
-                })
-                .collect();
-            for (n, sel) in nodes.into_iter().zip(final_selections) {
-                reps.insert(n, sel);
-            }
-        }
-
+        let leaf_of = leaf_map(&tree);
+        let reps = select_representatives(&tree, features, config, None);
         let built = Self {
             tree,
             reps,
@@ -294,6 +333,87 @@ impl<I: KnnIndex + IndexBuild + Sync> RfsStructure<I> {
         #[cfg(debug_assertions)]
         built.validate();
         built
+    }
+}
+
+impl<I: KnnIndex + Sync> RfsStructure<I> {
+    /// Decorates an already-constructed index with representatives and the
+    /// leaf map — the entry point for index types without single-insert
+    /// construction, e.g. `qd-shard`'s `ShardSet`. Runs the exact bottom-up
+    /// selection of [`RfsStructure::build`], inside the same `rfs.build`
+    /// span, so a `ShardSet` of one shard decorates identically to the
+    /// monolithic build over the same tree.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the resulting structure violates an
+    /// invariant.
+    pub fn build_on(tree: I, features: &[Vec<f32>], config: &RfsConfig) -> Self {
+        qd_obs::span(qd_obs::sp::RFS_BUILD, || {
+            qd_obs::count(qd_obs::ctr::RFS_NODES_CREATED, tree.node_count() as u64);
+            let leaf_of = leaf_map(&tree);
+            let reps = select_representatives(&tree, features, config, None);
+            let built = Self {
+                tree,
+                reps,
+                leaf_of,
+            };
+            #[cfg(debug_assertions)]
+            built.validate();
+            built
+        })
+    }
+
+    /// Re-decorates a *mutated* index incrementally: a node whose candidate
+    /// pool (leaf contents, or children's representatives) is unchanged from
+    /// `self` keeps its representative list; every node insert/delete
+    /// actually touched re-selects with the same node-index-keyed seed a
+    /// full rebuild would use. The result is exactly equal to
+    /// [`RfsStructure::build_on`] over the same mutated tree — the refresh
+    /// saves the k-means work, never changes the answer.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the resulting structure violates an
+    /// invariant.
+    pub fn rebuild_with_refresh(&self, tree: I, features: &[Vec<f32>], config: &RfsConfig) -> Self {
+        qd_obs::span(qd_obs::sp::RFS_BUILD, || {
+            qd_obs::count(qd_obs::ctr::RFS_NODES_CREATED, tree.node_count() as u64);
+            let old_pools = self.pools();
+            let leaf_of = leaf_map(&tree);
+            let reps =
+                select_representatives(&tree, features, config, Some((&old_pools, &self.reps)));
+            let built = Self {
+                tree,
+                reps,
+                leaf_of,
+            };
+            #[cfg(debug_assertions)]
+            built.validate();
+            built
+        })
+    }
+
+    /// Every node's current candidate pool: a leaf's stored images, an
+    /// internal node's concatenated child representatives — the comparison
+    /// baseline the incremental refresh diffs new pools against.
+    fn pools(&self) -> BTreeMap<NodeId, Vec<usize>> {
+        let mut pools = BTreeMap::new();
+        for n in self.tree.node_ids() {
+            let pool: Vec<usize> = if self.tree.is_leaf(n) {
+                self.tree
+                    .leaf_items(n)
+                    .into_iter()
+                    .map(|(id, _)| id as usize)
+                    .collect()
+            } else {
+                self.tree
+                    .children(n)
+                    .iter()
+                    .flat_map(|c| self.reps.get(c).cloned().unwrap_or_default())
+                    .collect()
+            };
+            pools.insert(n, pool);
+        }
+        pools
     }
 }
 
@@ -348,6 +468,30 @@ impl<I: KnnIndex> RfsStructure<I> {
     /// True if the structure is empty (never the case once built).
     pub fn is_empty(&self) -> bool {
         self.tree.is_empty()
+    }
+
+    /// The full per-node representative map, in ascending node order —
+    /// what shard persistence serializes alongside the tree bytes.
+    pub fn reps_map(&self) -> &BTreeMap<NodeId, Vec<usize>> {
+        &self.reps
+    }
+
+    /// Reassembles a structure from a deserialized tree and representative
+    /// map, deriving the leaf map and re-checking every invariant — the
+    /// loader-side counterpart of [`Self::reps_map`].
+    ///
+    /// # Errors
+    /// Returns the first invariant violation as a description, without
+    /// panicking, so persistence loaders can surface it as typed corruption.
+    pub fn from_parts(tree: I, reps: BTreeMap<NodeId, Vec<usize>>) -> Result<Self, String> {
+        let leaf_of = leaf_map(&tree);
+        let built = Self {
+            tree,
+            reps,
+            leaf_of,
+        };
+        built.check_invariants()?;
+        Ok(built)
     }
 }
 

@@ -351,9 +351,15 @@ pub struct Degradation {
     /// Index frontier nodes (or weighted-scan items) skipped because a
     /// subquery's budget share ran out.
     pub nodes_skipped: u64,
-    /// Subqueries dropped because their worker panicked; their result slots
-    /// were redistributed to the survivors.
+    /// Subqueries dropped because their worker panicked — or, over a sharded
+    /// index, because every shard leg carrying them failed; their result
+    /// slots were redistributed to the survivors.
     pub subqueries_dropped: usize,
+    /// Shard scatter legs lost across all subqueries (always 0 over a
+    /// monolithic tree). A nonzero count with `subqueries_dropped == 0`
+    /// means every subquery still answered from its surviving shards —
+    /// degraded coverage, not lost subqueries.
+    pub shard_legs_dropped: u64,
     /// Feedback-round node displays that failed (their marks were never
     /// collected).
     pub displays_skipped: u64,
@@ -427,8 +433,10 @@ pub fn validate_subqueries<I: KnnIndex>(
 /// quotas (largest-remainder rounding, ties to the lower index), falling
 /// back to an even split when every quota is zero. Budgets are fixed before
 /// the fan-out so no live counter is ever shared between workers — the
-/// degraded answer is bit-identical at every thread count.
-fn split_budget(total: Option<u64>, quotas: &[usize]) -> Vec<Option<u64>> {
+/// degraded answer is bit-identical at every thread count. Public because
+/// `qd-shard` reuses the identical split to apportion a subquery's budget
+/// share across shard scatter legs (proportional to shard populations).
+pub fn split_budget(total: Option<u64>, quotas: &[usize]) -> Vec<Option<u64>> {
     let Some(total) = total else {
         return vec![None; quotas.len()];
     };
@@ -562,10 +570,18 @@ pub fn try_execute_subqueries<I: KnnIndex + Sync>(
             Err(p) => panics.push(p.message),
         }
     }
-    let subqueries_dropped = panics.len();
     if locals.is_empty() {
         return Err(QdError::AllSubqueriesFailed { panics });
     }
+    // Over a sharded index a subquery can "survive" the fan-out yet return
+    // nothing because every shard leg carrying it failed — account it as a
+    // dropped subquery, same as a panicked worker (degraded, not an error,
+    // as long as some other subquery still answered).
+    let subqueries_dropped = panics.len()
+        + locals
+            .iter()
+            .filter(|l| l.legs_dropped > 0 && l.neighbors.is_empty())
+            .count();
 
     let knn_accesses = locals.iter().map(|l| l.accesses).sum();
     // Degradation accounting comes from the measured counters, not from the
@@ -579,13 +595,19 @@ pub fn try_execute_subqueries<I: KnnIndex + Sync>(
     qd_obs::observe(qd_obs::hist::QD_QUERY_DISTANCES, budget_spent);
     let nodes_skipped = counter(qd_obs::ctr::KNN_NODES_SKIPPED);
     let exhausted = counter(qd_obs::ctr::KNN_BUDGET_EXHAUSTED) > 0;
-    let degradation = (subqueries_dropped > 0 || exhausted).then_some(Degradation {
-        budget_spent,
-        nodes_skipped,
-        subqueries_dropped,
-        displays_skipped: 0,
-        rounds_truncated: 0,
-    });
+    // Lost shard legs surface through the same measured counters as budget
+    // work, so whole-shard loss degrades the report even when every subquery
+    // still answered from its surviving shards.
+    let shard_legs_dropped = counter(qd_obs::ctr::SHARD_LEGS_DROPPED);
+    let degradation =
+        (subqueries_dropped > 0 || exhausted || shard_legs_dropped > 0).then_some(Degradation {
+            budget_spent,
+            nodes_skipped,
+            subqueries_dropped,
+            shard_legs_dropped,
+            displays_skipped: 0,
+            rounds_truncated: 0,
+        });
 
     let (groups, results) = match cfg.merge {
         MergeStrategy::SingleList => {

@@ -80,6 +80,17 @@ pub mod site {
     /// (keyed by session id) — a simulated operator kill; the session
     /// terminates as `Evicted` and its slot is reclaimed.
     pub const SERVE_EVICT: &str = "serve.session.evict";
+    /// One shard's scatter leg panics inside its fan-out worker (keyed by
+    /// shard index); the gather drops that leg, charges its work, and the
+    /// query degrades instead of failing while ≥ 1 shard survives.
+    pub const SHARD_SCATTER: &str = "shard.scatter.panic";
+    /// The gather refuses one shard's prefix at merge time (keyed by shard
+    /// index) — a simulated late shard: its work is still charged but its
+    /// neighbors are merged without it.
+    pub const SHARD_MERGE: &str = "shard.merge.drop";
+    /// Publishing a new shard-set snapshot (or persisting one) fails with a
+    /// typed error; readers keep the previous snapshot.
+    pub const SHARD_PUBLISH: &str = "shard.publish.fail";
 }
 
 /// Every registered site, with a one-line description. The chaos property
@@ -134,6 +145,18 @@ pub const SITES: &[(&str, &str)] = &[
     (
         site::SERVE_EVICT,
         "supervisor force-evicts one session mid-flight",
+    ),
+    (
+        site::SHARD_SCATTER,
+        "one shard's scatter leg panics; leg dropped from gather",
+    ),
+    (
+        site::SHARD_MERGE,
+        "one shard's prefix refused at merge; neighbors merged",
+    ),
+    (
+        site::SHARD_PUBLISH,
+        "snapshot publication fails; old snapshot kept",
     ),
 ];
 

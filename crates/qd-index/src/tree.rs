@@ -34,6 +34,21 @@ impl NodeId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Handle with the given raw index. The inverse of [`NodeId::index`];
+    /// composite indexes (e.g. `qd-shard`'s `shard * stride + local`
+    /// encoding) round-trip through this without the arena's involvement.
+    ///
+    /// # Panics
+    /// Panics when `index` does not fit the arena's u32 handles or equals
+    /// `u32::MAX` (the internal "no node" sentinel).
+    pub fn from_index(index: usize) -> Self {
+        assert!(
+            index < u32::MAX as usize,
+            "node index {index} out of u32 handle range"
+        );
+        NodeId(index as u32) // CAST: asserted above to fit u32 below the NONE sentinel.
+    }
 }
 
 /// Sentinel for "no node" in the u32 link fields (`parent`, `next_sibling`,
@@ -120,6 +135,11 @@ pub struct BudgetedKnn {
     pub distances_pruned: u64,
     /// Frontier nodes left unexpanded because the budget ran out.
     pub nodes_skipped: u64,
+    /// Index partitions whose scatter leg was dropped from the answer
+    /// (panicked worker or merge-time refusal). Always 0 for a single
+    /// monolithic tree; a sharded index (`qd-shard`) reports its lost legs
+    /// here so sessions can account whole-shard loss as degradation.
+    pub partitions_dropped: u64,
     /// True when the budget ran out before the search completed.
     pub exhausted: bool,
 }
@@ -1216,6 +1236,7 @@ impl RStarTree {
                 distance_computations: spent,
                 distances_pruned: pruned,
                 nodes_skipped,
+                partitions_dropped: 0,
                 exhausted,
             };
         }
@@ -1338,6 +1359,7 @@ impl RStarTree {
             distance_computations: spent,
             distances_pruned: pruned,
             nodes_skipped,
+            partitions_dropped: 0,
             exhausted,
         }
     }

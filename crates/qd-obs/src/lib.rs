@@ -81,6 +81,19 @@ pub mod ctr {
     pub const SERVE_STEPS: &str = "serve.scheduler_steps";
     /// Sessions whose feedback phase was truncated by a deadline.
     pub const SERVE_TRUNCATIONS: &str = "serve.deadline_truncations";
+    /// Snapshot swaps the supervisor applied mid-run (new shard-set
+    /// generations picked up by subsequently promoted sessions).
+    pub const SERVE_SWAPS: &str = "serve.snapshot_swaps";
+    /// Scatter legs fanned out across shards by sharded localized k-NN.
+    pub const SHARD_LEGS: &str = "shard.scatter_legs";
+    /// Scatter legs dropped (panicked worker or merge-time refusal); their
+    /// spent work is still charged to the query's budget accounting.
+    pub const SHARD_LEGS_DROPPED: &str = "shard.legs_dropped";
+    /// Shard-set snapshots successfully published.
+    pub const SHARD_PUBLISHES: &str = "shard.snapshots_published";
+    /// RFS nodes whose representative set was re-selected by an incremental
+    /// refresh (insert/delete touched their pool).
+    pub const RFS_REFRESHED: &str = "rfs.representatives_refreshed";
 
     /// Every counter with a one-line description, for CLI/report listings.
     pub const COUNTERS: &[(&str, &str)] = &[
@@ -115,6 +128,11 @@ pub mod ctr {
         (SERVE_EVICTED, "sessions evicted mid-flight"),
         (SERVE_STEPS, "scheduler steps executed"),
         (SERVE_TRUNCATIONS, "sessions truncated by a deadline"),
+        (SERVE_SWAPS, "snapshot swaps applied mid-run"),
+        (SHARD_LEGS, "scatter legs fanned out across shards"),
+        (SHARD_LEGS_DROPPED, "scatter legs dropped from the gather"),
+        (SHARD_PUBLISHES, "shard-set snapshots published"),
+        (RFS_REFRESHED, "representative sets incrementally refreshed"),
     ];
 }
 
@@ -142,6 +160,12 @@ pub mod sp {
     /// One scheduler tick that stepped at least one session (indexed by
     /// tick number).
     pub const SERVE_TICK: &str = "serve.tick";
+    /// One shard's RFS construction during a sharded build (indexed by
+    /// shard).
+    pub const SHARD_BUILD: &str = "shard.build";
+    /// One shard's scatter leg of a sharded localized k-NN (indexed by
+    /// shard).
+    pub const SHARD_LEG: &str = "shard.leg";
 
     /// Every span with a one-line description, for CLI/report listings.
     pub const SPANS: &[(&str, &str)] = &[
@@ -155,6 +179,8 @@ pub mod sp {
         (BASELINE_RUN, "one baseline technique feedback session"),
         (SERVE_RUN, "one multi-tenant serving run"),
         (SERVE_TICK, "one scheduler tick with session steps"),
+        (SHARD_BUILD, "one shard's RFS construction"),
+        (SHARD_LEG, "one shard's scatter leg"),
     ];
 }
 
@@ -198,6 +224,10 @@ pub mod hist {
     /// Sessions stepped in one scheduler tick (one observation per active
     /// tick) — the serving throughput distribution.
     pub const SERVE_TICK_STEPS: &str = "serve.tick.sessions_stepped";
+    /// Distance computations spent by one shard's scatter leg (one
+    /// observation per surviving leg) — the shard load-balance
+    /// distribution of the largest-remainder budget split.
+    pub const SHARD_LEG_DISTANCES: &str = "shard.leg.distance_computations";
 
     /// Every histogram with a one-line description, for CLI/report listings.
     pub const HISTS: &[(&str, &str)] = &[
@@ -216,6 +246,7 @@ pub mod hist {
         (SERVE_LATENCY_TICKS, "per-session serving latency in ticks"),
         (SERVE_COST_UNITS, "per-session deterministic cost units"),
         (SERVE_TICK_STEPS, "sessions stepped per scheduler tick"),
+        (SHARD_LEG_DISTANCES, "per-leg shard distance computations"),
     ];
 }
 

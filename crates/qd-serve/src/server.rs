@@ -28,6 +28,7 @@ use qd_core::session::{
 };
 use qd_core::{QdError, RfsStructure, SimulatedUser};
 use qd_corpus::Corpus;
+use qd_index::{KnnIndex, RStarTree};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Mutex};
 
@@ -149,13 +150,14 @@ impl SessionReport {
                 o.subquery_count, o.feedback_accesses, o.knn_accesses, o.results
             ),
             SessionOutcome::Degraded { outcome, report } => format!(
-                "degraded,sub={},fb={},knn={},spent={},skipped={},dropped={},displays={},rounds_cut={},results={:?}",
+                "degraded,sub={},fb={},knn={},spent={},skipped={},dropped={},legs={},displays={},rounds_cut={},results={:?}",
                 outcome.subquery_count,
                 outcome.feedback_accesses,
                 outcome.knn_accesses,
                 report.budget_spent,
                 report.nodes_skipped,
                 report.subqueries_dropped,
+                report.shard_legs_dropped,
                 report.displays_skipped,
                 report.rounds_truncated,
                 outcome.results
@@ -305,11 +307,11 @@ impl ServeReport {
 }
 
 /// Where a live session is in its protocol.
-enum Phase<'a> {
+enum Phase<'a, I: KnnIndex> {
     /// Feedback rounds in progress. Boxed: the stepper (marks, per-round
     /// state) dwarfs the other variants, and the phase moves through
     /// worker threads every tick.
-    Feedback(Box<FeedbackStepper<'a, RfsStructure>>),
+    Feedback(Box<FeedbackStepper<'a, RfsStructure<I>>>),
     /// Feedback done; the final localized k-NN is the next step.
     Final(FeedbackRounds),
     /// Terminal; never scheduled again.
@@ -318,12 +320,22 @@ enum Phase<'a> {
 
 /// The per-session state that lives inside the scheduler's active slots and
 /// travels through the parallel step workers.
-struct Body<'a> {
+struct Body<'a, I: KnnIndex> {
     user: SimulatedUser,
-    phase: Phase<'a>,
+    phase: Phase<'a, I>,
+    /// The snapshot this session was promoted against. Every step of the
+    /// session — feedback rounds and the final k-NN — runs against this
+    /// reference, so a snapshot swap mid-run never changes an in-flight
+    /// session's answer (DESIGN.md §14).
+    rfs: &'a RfsStructure<I>,
     truncated: bool,
     rounds_run: usize,
 }
+
+/// One entry of a tick's step batch: session id, its spec, cost spent so
+/// far, and the body handed to the worker (behind a `Mutex` so the fan-out
+/// can move it out on panic-free completion).
+type BatchEntry<'a, I> = (u64, &'a SessionSpec, u64, Mutex<Option<Body<'a, I>>>);
 
 /// What one scheduler step produced.
 enum StepEvent {
@@ -335,8 +347,8 @@ enum StepEvent {
 
 /// One worker-side step result: the session state handed back, the event,
 /// and the step's private trace.
-struct WorkOut<'a> {
-    body: Body<'a>,
+struct WorkOut<'a, I: KnnIndex> {
+    body: Body<'a, I>,
     event: StepEvent,
     trace: qd_obs::Trace,
 }
@@ -376,13 +388,13 @@ fn merge_trace(acc: &mut qd_obs::Trace, step: qd_obs::Trace) {
 /// deadline truncation, or the final localized k-NN. Runs on a worker
 /// thread, inside the session's private recorder (and fault plan, when it
 /// has one), so everything it observes lands in the session's own trace.
-fn step_session<'a>(
+fn step_session<'a, I: KnnIndex + Sync>(
     corpus: &Corpus,
-    rfs: &'a RfsStructure,
     spec: &SessionSpec,
     spent: u64,
-    body: &mut Body<'a>,
+    body: &mut Body<'a, I>,
 ) -> StepEvent {
+    let rfs = body.rfs;
     match std::mem::replace(&mut body.phase, Phase::Done) {
         Phase::Feedback(mut stepper) => {
             let over_deadline = spec.deadline.is_some_and(|d| spent >= d);
@@ -426,27 +438,54 @@ fn step_session<'a>(
 /// The multi-tenant session server: a shared immutable snapshot plus a
 /// scheduler configuration. `run` is a pure function of the load plan (and
 /// the ambient fault plan, if one is installed).
-pub struct Server {
+///
+/// Generic over the index type behind the RFS snapshot: the default
+/// `RStarTree` serves a monolithic arena, while `qd-shard`'s `ShardSet`
+/// serves a partitioned corpus through the same scheduler unchanged.
+pub struct Server<I: KnnIndex + Sync = RStarTree> {
     corpus: Arc<Corpus>,
-    rfs: Arc<RfsStructure>,
+    rfs: Arc<RfsStructure<I>>,
     cfg: ServeConfig,
 }
 
-impl Server {
+impl<I: KnnIndex + Sync> Server<I> {
     /// A server over a shared corpus + RFS snapshot.
-    pub fn new(corpus: Arc<Corpus>, rfs: Arc<RfsStructure>, cfg: ServeConfig) -> Self {
+    pub fn new(corpus: Arc<Corpus>, rfs: Arc<RfsStructure<I>>, cfg: ServeConfig) -> Self {
         assert!(cfg.max_active >= 1, "at least one active slot required");
         Server { corpus, rfs, cfg }
     }
 
     /// Drives every session in `plan` to a terminal state and reports.
     pub fn run(&self, plan: &LoadPlan) -> ServeReport {
-        qd_obs::span(qd_obs::sp::SERVE_RUN, || self.run_inner(plan))
+        self.run_with_swaps(plan, &[])
     }
 
-    fn run_inner(&self, plan: &LoadPlan) -> ServeReport {
+    /// Like [`Server::run`], but publishes replacement snapshots mid-run:
+    /// at each `(tick, snapshot)` pair (ascending by tick) the active
+    /// snapshot is swapped before that tick's promotions, so sessions
+    /// promoted afterwards run against the new snapshot while every
+    /// in-flight session keeps the reference it captured at promotion —
+    /// the copy-on-write contract of DESIGN.md §14.
+    pub fn run_with_swaps(
+        &self,
+        plan: &LoadPlan,
+        swaps: &[(u64, Arc<RfsStructure<I>>)],
+    ) -> ServeReport {
+        assert!(
+            swaps.windows(2).all(|w| w[0].0 <= w[1].0),
+            "snapshot swaps must be ascending by tick"
+        );
+        qd_obs::span(qd_obs::sp::SERVE_RUN, || self.run_inner(plan, swaps))
+    }
+
+    fn run_inner<'a>(
+        &'a self,
+        plan: &LoadPlan,
+        swaps: &'a [(u64, Arc<RfsStructure<I>>)],
+    ) -> ServeReport {
         let corpus: &Corpus = &self.corpus;
-        let rfs: &RfsStructure = &self.rfs;
+        let mut rfs: &'a RfsStructure<I> = &self.rfs;
+        let mut next_swap = 0usize;
         let cfg = &self.cfg;
 
         // Arrival order: (tick, id). The generator already emits this order,
@@ -456,7 +495,7 @@ impl Server {
         let mut arrivals: VecDeque<usize> = order.into();
 
         let mut metas: BTreeMap<u64, Meta> = BTreeMap::new();
-        let mut bodies: BTreeMap<u64, Body<'_>> = BTreeMap::new();
+        let mut bodies: BTreeMap<u64, Body<'_, I>> = BTreeMap::new();
         let mut rr: VecDeque<u64> = VecDeque::new(); // active, round-robin order
         let mut queue: VecDeque<u64> = VecDeque::new(); // admitted, waiting
         let mut reports: BTreeMap<u64, SessionReport> = BTreeMap::new();
@@ -479,6 +518,15 @@ impl Server {
                         continue;
                     }
                 }
+            }
+
+            // 0. Snapshot publication: swaps due at this tick take effect
+            //    before promotion, so newly promoted sessions capture the
+            //    fresh snapshot and in-flight ones keep theirs.
+            while swaps.get(next_swap).is_some_and(|(t, _)| *t <= tick) {
+                rfs = &swaps[next_swap].1;
+                next_swap += 1;
+                qd_obs::count(qd_obs::ctr::SERVE_SWAPS, 1);
             }
 
             // 1. Admission: everyone whose arrival tick has come.
@@ -513,6 +561,7 @@ impl Server {
                                 corpus.labels(),
                                 spec.cfg.clone(),
                             ))),
+                            rfs,
                             truncated: false,
                             rounds_run: 0,
                         },
@@ -524,7 +573,7 @@ impl Server {
             // 3. Pick this tick's batch, applying forced evictions at the
             //    door of the turn.
             let batch_size = cfg.step_batch.min(rr.len());
-            let mut handles: Vec<(u64, &SessionSpec, u64, Mutex<Option<Body<'_>>>)> = Vec::new();
+            let mut handles: Vec<BatchEntry<'_, I>> = Vec::new();
             for _ in 0..batch_size {
                 let Some(id) = rr.pop_front() else { break };
                 if qd_fault::fire_keyed(qd_fault::site::SERVE_EVICT, id).is_some() {
@@ -575,7 +624,7 @@ impl Server {
                                 {
                                     panic!("injected fault: poisoned step of session {id}");
                                 }
-                                step_session(corpus, rfs, spec, *spent, &mut body)
+                                step_session(corpus, spec, *spent, &mut body)
                             })
                         };
                         let (event, trace) = match &spec.fault_plan {
@@ -693,10 +742,10 @@ impl Server {
         plan: &LoadPlan,
         id: u64,
         spec: &SessionSpec,
-        out: Result<Option<WorkOut<'a>>, qd_runtime::TaskPanic>,
+        out: Result<Option<WorkOut<'a, I>>, qd_runtime::TaskPanic>,
         tick: u64,
         metas: &mut BTreeMap<u64, Meta>,
-        bodies: &mut BTreeMap<u64, Body<'a>>,
+        bodies: &mut BTreeMap<u64, Body<'a, I>>,
         rr: &mut VecDeque<u64>,
         reports: &mut BTreeMap<u64, SessionReport>,
     ) {

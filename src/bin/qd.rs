@@ -10,6 +10,8 @@
 //! qd list-queries --corpus corpus.qdc
 //! qd export       --corpus corpus.qdc --ids 0,17,42 --dir out/
 //! qd serve-sim    --corpus corpus.qdc --rfs rfs.qdr [--users N] [--seed S] [--arrivals N] [--rounds N] [--deadline COST] [--max-active N] [--queue N] [--shed-seed S]
+//! qd shard        --corpus corpus.qdc --out rfs.qds [--shards K] [--shard-seed S] [--node-max N] [--rep-fraction F]
+//! qd shard        --corpus corpus.qdc --rfs rfs.qds --query <name> [--k N] [--seed S] [--rounds N]
 //! ```
 //!
 //! `query` runs a full QD session with the simulated oracle user (the CLI
@@ -30,6 +32,12 @@
 //! per span name, the call count plus self and subtree-inclusive cost for
 //! every counter touched. Deterministic like `trace`.
 //!
+//! `shard` is the sharded-index face (qd-shard): with `--out` it partitions
+//! the corpus into `--shards` deterministic shards, builds one RFS arena per
+//! shard, and writes the QDS1 snapshot; with `--rfs` + `--query` it loads a
+//! QDS1 snapshot and runs a full QD session through the scatter-gather
+//! index — same protocol, same results as the monolithic path.
+//!
 //! `serve-sim` runs the multi-tenant serving simulation (qd-serve): a
 //! seeded open-loop load of simulated users — cooperative, drifting-intent,
 //! contradictory-marks, impatient-truncation — driven through the
@@ -48,7 +56,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
         eprintln!(
-            "usage: qd <build-corpus|build-rfs|stats|query|trace|profile|list-queries|export|serve-sim> [options]"
+            "usage: qd <build-corpus|build-rfs|stats|query|trace|profile|list-queries|export|serve-sim|shard> [options]"
         );
         eprintln!("       see the module docs (or `src/bin/qd.rs`) for per-command options");
         return ExitCode::from(2);
@@ -64,6 +72,7 @@ fn main() -> ExitCode {
         "list-queries" => list_queries(&opts),
         "export" => export(&opts),
         "serve-sim" => serve_sim(&opts),
+        "shard" => shard(&opts),
         other => Err(format!("unknown command {other:?}")),
     };
     match result {
@@ -490,5 +499,92 @@ fn export(opts: &Options) -> Result<(), String> {
         write_ppm(&img, &path).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
         println!("wrote {}", path.display());
     }
+    Ok(())
+}
+
+fn shard(opts: &Options) -> Result<(), String> {
+    use query_decomposition::index::KnnIndex;
+    use query_decomposition::shard::{build_sharded_rfs, persist, ShardConfig};
+
+    let corpus = load_corpus(opts)?;
+    if let Some(out) = opts.get("out") {
+        // Build mode: partition, build one RFS arena per shard, save QDS1.
+        let out = PathBuf::from(out);
+        let shards = opts.parse_or("shards", 4usize)?;
+        let shard_seed = opts.parse_or("shard-seed", 42u64)?;
+        let default_node_max = (corpus.len() / 8).clamp(10, 100);
+        let node_max = opts.parse_or("node-max", default_node_max)?;
+        let config = RfsConfig {
+            node_min: (node_max * 2 / 5).max(2),
+            node_max,
+            representative_fraction: opts.parse_or("rep-fraction", 0.05f32)?,
+            ..RfsConfig::paper()
+        };
+        eprintln!(
+            "building sharded RFS: {shards} shards (seed {shard_seed}), node capacity {}…",
+            config.node_max
+        );
+        let rfs = build_sharded_rfs(
+            corpus.features(),
+            &config,
+            ShardConfig::new(shards, shard_seed),
+        );
+        persist::save(&rfs, &out).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+        let set = rfs.tree();
+        let sizes: Vec<String> = (0..set.shard_count())
+            .map(|s| set.shard_members(s).len().to_string())
+            .collect();
+        println!(
+            "wrote {} ({} shards of [{}] images, {} nodes, {} representatives)",
+            out.display(),
+            set.shard_count(),
+            sizes.join(", "),
+            set.node_count(),
+            rfs.all_representatives().len(),
+        );
+        return Ok(());
+    }
+
+    // Query mode: load a QDS1 snapshot and run a session through it.
+    let rfs_path = opts.require("rfs")?;
+    let rfs = persist::load(Path::new(rfs_path))
+        .map_err(|e| format!("cannot load sharded RFS {rfs_path}: {e}"))?;
+    if rfs.len() != corpus.len() {
+        return Err(format!(
+            "sharded RFS indexes {} images but the corpus has {} — rebuild with `qd shard --out`",
+            rfs.len(),
+            corpus.len()
+        ));
+    }
+    let name = opts.require("query")?;
+    let query = queries::standard_queries(corpus.taxonomy())
+        .into_iter()
+        .find(|q| q.name == name)
+        .ok_or_else(|| format!("no standard query named {name:?} (see `qd list-queries`)"))?;
+    let gt = corpus.ground_truth(&query).len();
+    let k = opts.parse_or("k", gt)?;
+    let seed = opts.parse_or("seed", 7u64)?;
+    let cfg = QdConfig {
+        rounds: opts.parse_or("rounds", 3usize)?,
+        seed,
+        ..QdConfig::default()
+    };
+    let mut user = SimulatedUser::oracle(&query, seed);
+    let out = run_session(&corpus, &rfs, &query, &mut user, k, &cfg);
+    println!(
+        "query {:?} over {} shards: {} subqueries, {} results (k = {k})",
+        query.name,
+        rfs.tree().shard_count(),
+        out.subquery_count,
+        out.results.len()
+    );
+    println!(
+        "precision {:.3}  recall {:.3}  GTIR {:.3}  (feedback reads {}, kNN reads {})",
+        precision(&corpus, &query, &out.results),
+        recall(&corpus, &query, &out.results),
+        gtir(&corpus, &query, &out.results),
+        out.feedback_accesses,
+        out.knn_accesses
+    );
     Ok(())
 }

@@ -26,6 +26,7 @@
 //! | [`cluster`] | k-means / k-means++, silhouette, agglomerative |
 //! | [`corpus`] | synthetic Corel-style corpus + the 11 test queries |
 //! | [`core`] | RFS structure, QD sessions, baselines, metrics |
+//! | [`shard`] | sharded index: scatter-gather k-NN, incremental updates, snapshots |
 //! | [`serve`] | multi-tenant session server: admission, deadlines, isolation |
 //! | [`obs`] | deterministic observability: counters, spans, traces |
 //!
@@ -66,6 +67,7 @@ pub use qd_index as index;
 pub use qd_linalg as linalg;
 pub use qd_obs as obs;
 pub use qd_serve as serve;
+pub use qd_shard as shard;
 
 /// The types most applications need.
 pub mod prelude {
@@ -87,4 +89,5 @@ pub mod prelude {
         EvictReason, LoadConfig, LoadPlan, Scenario, ServeConfig, ServeReport, Server, SessionId,
         SessionOutcome, SessionReport, SessionSpec, SessionState,
     };
+    pub use qd_shard::{build_sharded_rfs, ShardConfig, ShardPublisher, ShardSet};
 }

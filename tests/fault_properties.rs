@@ -82,14 +82,16 @@ fn check_and_serialize(outcome: &Result<ServedOutcome, QdError>, k: usize) -> St
                         report.budget_spent > 0
                             || report.nodes_skipped > 0
                             || report.subqueries_dropped > 0
+                            || report.shard_legs_dropped > 0
                             || report.displays_skipped > 0,
                         "degraded outcome with an empty report"
                     );
                     format!(
-                        "degraded,{},{},{},{},{},{:?}",
+                        "degraded,{},{},{},{},{},{},{:?}",
                         report.budget_spent,
                         report.nodes_skipped,
                         report.subqueries_dropped,
+                        report.shard_legs_dropped,
                         report.displays_skipped,
                         outcome.subquery_count,
                         outcome.results
@@ -436,4 +438,273 @@ fn rfs_build_survives_representative_selection_panics() {
     let results = &served.outcome().results;
     assert!(results.len() <= k);
     assert!(results.iter().all(|&id| id < corpus.len()));
+}
+
+/// Sharded companion of [`fixture`]: the same corpus behind a four-shard
+/// scatter-gather index, so the `shard.*` failpoints have legs to kill.
+fn sharded_fixture() -> &'static RfsStructure<ShardSet> {
+    static SHARDED: OnceLock<RfsStructure<ShardSet>> = OnceLock::new();
+    SHARDED.get_or_init(|| {
+        let (corpus, _) = fixture();
+        build_sharded_rfs(
+            corpus.features(),
+            &RfsConfig::test_small(),
+            ShardConfig::new(4, 23),
+        )
+    })
+}
+
+/// `shard.scatter.panic` and `shard.merge.drop` targeted at a single shard
+/// (the failpoints key off the shard index, so `Mode::Once(victim)` kills
+/// exactly that leg): the scatter-gather query loses the victim's images and
+/// nothing else — the survivors' merge is still exact, the dropped partition
+/// is counted, and the answer is byte-identical at 1 and 8 workers.
+#[test]
+fn shard_scatter_and_merge_faults_drop_one_leg_never_the_query() {
+    use query_decomposition::index::KnnIndex;
+    let (corpus, _) = fixture();
+    let set = sharded_fixture().tree();
+    let k = 25;
+    let probe = corpus.features()[17].clone();
+
+    let clean = set.knn_in_budgeted(set.root(), &probe, k, None);
+    assert_eq!(clean.partitions_dropped, 0);
+    assert_eq!(clean.neighbors.len(), k);
+
+    for site in [qd_fault::site::SHARD_SCATTER, qd_fault::site::SHARD_MERGE] {
+        for victim in 0..set.shard_count() {
+            let plan = FaultPlan::new(fault_seed()).site(site, Mode::Once(victim as u64));
+            let run = |threads: usize| {
+                qd_fault::with_plan(&plan, || {
+                    qd_runtime::with_threads(threads, || {
+                        set.knn_in_budgeted(set.root(), &probe, k, None)
+                    })
+                })
+            };
+            let one = run(1);
+            let eight = run(8);
+            assert_eq!(
+                one.neighbors, eight.neighbors,
+                "site {site} victim {victim}: diverged between 1 and 8 workers"
+            );
+            assert_eq!(
+                one.partitions_dropped, 1,
+                "site {site} victim {victim}: exactly the targeted leg must drop"
+            );
+            // Degradation, not an error: the surviving shards' exact merged
+            // answer is what remains, and the victim's images never appear.
+            let mut expected: Vec<_> = (0..set.shard_count())
+                .filter(|&s| s != victim)
+                .flat_map(|s| {
+                    let tree = set.shard(s);
+                    tree.knn_in_budgeted(tree.root(), &probe, k, None).neighbors
+                })
+                .collect();
+            expected.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
+            expected.truncate(k);
+            assert_eq!(
+                one.neighbors, expected,
+                "site {site} victim {victim}: survivors' merge is not exact"
+            );
+            let victims = set.shard_members(victim);
+            assert!(
+                one.neighbors.iter().all(|n| !victims.contains(&n.id)),
+                "site {site} victim {victim}: a dropped shard's image leaked into the answer"
+            );
+        }
+    }
+}
+
+/// Whole-shard loss through the session layer's accounting: a subquery whose
+/// scope is the synthetic root scatters across every shard, so killing all
+/// its legs empties it — and the report must say so. As long as another
+/// subquery still answers, the session degrades instead of erroring, with
+/// `subqueries_dropped` counting the emptied subquery and
+/// `shard_legs_dropped` counting the lost legs. Byte-identical at 1 and 8
+/// workers.
+#[test]
+fn whole_shard_loss_is_honest_degradation_while_a_subquery_survives() {
+    use query_decomposition::index::KnnIndex;
+    let (corpus, _) = fixture();
+    let rfs = sharded_fixture();
+    let set = rfs.tree();
+    let k = 20;
+    // Threshold 1.0 keeps the in-shard subquery from expanding past its own
+    // shard (an image inside its leaf is never past its leaf's diagonal), so
+    // only the root-homed subquery scatters.
+    let cfg = QdConfig {
+        boundary_threshold: 1.0,
+        ..QdConfig::default()
+    };
+    let leaf = set
+        .node_ids()
+        .into_iter()
+        .find(|&n| set.is_leaf(n))
+        .expect("a sharded set has leaves");
+    let marks: Vec<usize> = set
+        .subtree_items(leaf)
+        .into_iter()
+        .take(2)
+        .map(|(id, _)| id as usize)
+        .collect();
+    let subqueries = [(set.root(), vec![4usize, 9]), (leaf, marks)];
+
+    // Phase 1: every scatter leg dies (`Mode::Always`); the root subquery
+    // comes back empty and is accounted as dropped.
+    let all_dead = FaultPlan::new(fault_seed()).site(qd_fault::site::SHARD_SCATTER, Mode::Always);
+    let run_all_dead = |threads: usize| {
+        qd_fault::with_plan(&all_dead, || {
+            qd_runtime::with_threads(threads, || {
+                let exec =
+                    qd_core::session::try_execute_subqueries(corpus, rfs, &subqueries, k, &cfg)
+                        .expect("one subquery survives: degraded, not an error");
+                let d = exec
+                    .degradation
+                    .clone()
+                    .expect("whole-shard loss must be reported");
+                assert_eq!(d.subqueries_dropped, 1, "the emptied subquery is dropped");
+                assert_eq!(
+                    d.shard_legs_dropped,
+                    set.shard_count() as u64,
+                    "every scatter leg of the root subquery was lost"
+                );
+                assert!(
+                    !exec.results.is_empty(),
+                    "the surviving subquery still answers"
+                );
+                format!(
+                    "{},{},{},{},{:?}",
+                    d.budget_spent,
+                    d.nodes_skipped,
+                    d.subqueries_dropped,
+                    d.shard_legs_dropped,
+                    exec.results
+                )
+            })
+        })
+    };
+    let one = run_all_dead(1);
+    assert_eq!(
+        one,
+        run_all_dead(8),
+        "all-legs-dead diverged across workers"
+    );
+    assert_eq!(one, run_all_dead(1), "all-legs-dead not reproducible");
+
+    // Phase 2: exactly one leg dies (`Mode::Once`); the root subquery keeps
+    // its three survivors, so nothing is dropped at the subquery level but
+    // the lost leg still degrades the report.
+    let one_dead = FaultPlan::new(fault_seed()).site(qd_fault::site::SHARD_SCATTER, Mode::Once(1));
+    let run_one_dead = |threads: usize| {
+        qd_fault::with_plan(&one_dead, || {
+            qd_runtime::with_threads(threads, || {
+                let exec =
+                    qd_core::session::try_execute_subqueries(corpus, rfs, &subqueries, k, &cfg)
+                        .expect("three legs survive: degraded, not an error");
+                let d = exec
+                    .degradation
+                    .clone()
+                    .expect("a lost leg must degrade the report");
+                assert_eq!(d.subqueries_dropped, 0, "no subquery came back empty");
+                assert_eq!(d.shard_legs_dropped, 1, "exactly the targeted leg was lost");
+                assert!(!exec.results.is_empty());
+                format!(
+                    "{},{},{},{},{:?}",
+                    d.budget_spent,
+                    d.nodes_skipped,
+                    d.subqueries_dropped,
+                    d.shard_legs_dropped,
+                    exec.results
+                )
+            })
+        })
+    };
+    let first = run_one_dead(1);
+    assert_eq!(
+        first,
+        run_one_dead(8),
+        "one-leg-dead diverged across workers"
+    );
+}
+
+/// `shard.publish.fail`: a refused publication is all-or-nothing — the typed
+/// error surfaces, the generation does not advance, and readers keep seeing
+/// the previous snapshot. Disarmed, the same publication goes through.
+#[test]
+fn publish_failpoint_keeps_the_previous_snapshot_published() {
+    use query_decomposition::shard::PublishError;
+    use std::sync::Arc;
+    let (corpus, _) = fixture();
+    let cfg = RfsConfig::test_small();
+    let next = || build_sharded_rfs(corpus.features(), &cfg, ShardConfig::new(3, 5));
+    let publisher = ShardPublisher::new(build_sharded_rfs(
+        corpus.features(),
+        &cfg,
+        ShardConfig::new(2, 5),
+    ));
+    let before = publisher.snapshot();
+
+    let plan = FaultPlan::new(fault_seed()).site(qd_fault::site::SHARD_PUBLISH, Mode::Always);
+    let err = qd_fault::with_plan(&plan, || publisher.publish(next())).unwrap_err();
+    assert_eq!(err, PublishError::Injected);
+    assert!(err.to_string().contains("injected"), "{err}");
+    assert_eq!(
+        publisher.generation(),
+        0,
+        "a refused publication must not bump the generation"
+    );
+    assert!(
+        Arc::ptr_eq(&before, &publisher.snapshot()),
+        "readers must keep seeing the old snapshot"
+    );
+
+    // The failpoint disarmed, the same publication succeeds.
+    let after = publisher
+        .publish(next())
+        .expect("publication succeeds without the failpoint");
+    assert_eq!(publisher.generation(), 1);
+    assert!(Arc::ptr_eq(&after, &publisher.snapshot()));
+    assert!(!Arc::ptr_eq(&before, &after));
+}
+
+/// Full sessions over the sharded RFS under `shard.*` chaos keep the same
+/// three-way contract as the monolithic suite, thread-invariantly — and
+/// since a lost scatter leg is absorbed inside the fan-out (never a panic,
+/// never an error), shard chaos can only complete or degrade.
+#[test]
+fn sharded_sessions_keep_the_contract_under_shard_site_chaos() {
+    let (corpus, _) = fixture();
+    let rfs = sharded_fixture();
+    let query = queries::standard_queries(corpus.taxonomy())
+        .into_iter()
+        .find(|q| q.name == "bird")
+        .expect("standard query");
+    let k = corpus.ground_truth(&query).len();
+    for site in [qd_fault::site::SHARD_SCATTER, qd_fault::site::SHARD_MERGE] {
+        let plan = FaultPlan::new(fault_seed()).site(site, Mode::Probability(0.5));
+        let run = |threads: usize| {
+            qd_fault::with_plan(&plan, || {
+                qd_runtime::with_threads(threads, || {
+                    let mut user = SimulatedUser::oracle(&query, 13);
+                    let out = qd_core::session::try_run_session(
+                        corpus,
+                        rfs,
+                        &query,
+                        &mut user,
+                        k,
+                        &QdConfig::default(),
+                    );
+                    check_and_serialize(&out, k)
+                })
+            })
+        };
+        let one = run(1);
+        let eight = run(8);
+        assert_eq!(one, eight, "site {site}: diverged between thread counts");
+        assert_eq!(one, run(1), "site {site}: not reproducible run to run");
+        assert!(
+            !one.starts_with("error,"),
+            "site {site}: shard chaos must degrade or complete, never error: {one}"
+        );
+    }
 }

@@ -277,6 +277,7 @@ mod nan_regression {
             accesses: 0,
             distance_computations: 0,
             nodes_skipped: 0,
+            legs_dropped: 0,
             exhausted: false,
         }
     }

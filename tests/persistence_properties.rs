@@ -4,9 +4,76 @@
 
 use proptest::prelude::*;
 use query_decomposition::index::{persist, RStarTree, TreeConfig};
+use query_decomposition::shard::{build_sharded_rfs, persist as shard_persist, ShardConfig};
 
 fn point(dims: usize) -> impl Strategy<Value = Vec<f32>> {
     prop::collection::vec(-50.0f32..50.0, dims)
+}
+
+/// A tiny sharded RFS serialized to QDS1 — small enough that the
+/// corruption sweeps below can afford to be exhaustive over every byte.
+fn tiny_qds1() -> Vec<u8> {
+    let features: Vec<Vec<f32>> = (0..30u64)
+        .map(|i| {
+            (0..3)
+                .map(|d| {
+                    let x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(7 + d);
+                    (x % 1000) as f32 / 10.0
+                })
+                .collect()
+        })
+        .collect();
+    let cfg = query_decomposition::core::rfs::RfsConfig {
+        node_min: 2,
+        node_max: 4,
+        ..query_decomposition::core::rfs::RfsConfig::test_small()
+    };
+    let rfs = build_sharded_rfs(&features, &cfg, ShardConfig::new(2, 9));
+    shard_persist::to_bytes(&rfs)
+}
+
+/// Every single-byte flip of a QDS1 snapshot loads as a typed
+/// [`shard_persist::CacheError`] or as a shard set that still passes the
+/// full invariant check — never a panic, never a silently broken set.
+/// Exhaustive over byte positions, with a high-bit and a low-bit mask per
+/// position (the random-mask sweep below covers the rest of the space).
+#[test]
+fn qds1_single_byte_flips_never_panic() {
+    let bytes = tiny_qds1();
+    let mut survived = 0usize;
+    for i in 0..bytes.len() {
+        for mask in [0x01u8, 0xff] {
+            let mut mangled = bytes.clone();
+            mangled[i] ^= mask;
+            if let Ok(loaded) = shard_persist::from_bytes(&mangled) {
+                // Survived the validator — must actually be sound.
+                loaded.validate();
+                survived += 1;
+            }
+        }
+    }
+    // Some flips (a coordinate inside a point payload) are undetectable
+    // but harmless; most must be caught. Both regimes must be exercised.
+    assert!(
+        survived < bytes.len(),
+        "validator is not rejecting anything"
+    );
+}
+
+/// Every truncation of a QDS1 snapshot is rejected with a typed error —
+/// exhaustive over all prefix lengths.
+#[test]
+fn qds1_truncations_are_rejected() {
+    let bytes = tiny_qds1();
+    for cut in 0..bytes.len() {
+        assert!(
+            shard_persist::from_bytes(&bytes[..cut]).is_err(),
+            "truncation at {cut}/{} was accepted",
+            bytes.len()
+        );
+    }
+    // The untruncated bytes still load, so the sweep tested real data.
+    shard_persist::from_bytes(&bytes).expect("pristine bytes load");
 }
 
 proptest! {
@@ -82,6 +149,22 @@ proptest! {
         bytes[i] ^= xor;
         if let Ok(loaded) = persist::from_bytes(&bytes) {
             // Survived the validator — must actually be structurally sound.
+            loaded.validate();
+        }
+    }
+
+    /// Random-mask companion of the exhaustive QDS1 flip sweep: arbitrary
+    /// `(position, mask)` corruptions load as a typed error or a set that
+    /// still passes the full invariant check.
+    #[test]
+    fn qds1_random_corruptions_never_yield_invalid_sets(
+        at in any::<prop::sample::Index>(),
+        xor in 1u8..=255,
+    ) {
+        let mut bytes = tiny_qds1();
+        let i = at.index(bytes.len());
+        bytes[i] ^= xor;
+        if let Ok(loaded) = shard_persist::from_bytes(&bytes) {
             loaded.validate();
         }
     }

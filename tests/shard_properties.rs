@@ -1,0 +1,522 @@
+//! Sharded-RFS differential harness (the standing gate behind `qd-shard`).
+//!
+//! The corpus can now be partitioned into K deterministic shards, each with
+//! its own R\*-tree arena, served through a scatter-gather merge that must
+//! be indistinguishable from the monolithic index. This suite pins that
+//! contract differentially, against the live monolithic implementation —
+//! no goldens, because the reference is always available:
+//!
+//! 1. **K=1 transparency**: a single-shard set is handle-transparent, so
+//!    whole sessions — results, grouping scores, counters, span trees —
+//!    are byte-identical to the unsharded RFS at every distance budget.
+//! 2. **Scatter-gather exactness**: at K ∈ {1, 2, 4, 7} the unbudgeted
+//!    global k-NN answer is the same `(distance bits, id)` ranking the
+//!    monolithic tree produces.
+//! 3. **Determinism**: budgeted scatter results and whole sharded sessions
+//!    are byte-identical at `QD_THREADS` 1 and 8, across reruns, and under
+//!    every chaos seed (the CI chaos job reruns this suite under eight
+//!    `QD_FAULT_SEED`s).
+//! 4. **Incremental updates**: insert-then-query equals
+//!    rebuild-from-scratch-then-query exactly (the ascending-insertion
+//!    rebuild contract makes representative refresh lossless), and a
+//!    deleted image is never returned again.
+//! 5. **Snapshot swaps**: `Server::run_with_swaps` publishes a new
+//!    snapshot mid-run without perturbing any session that was in flight —
+//!    fingerprints stay byte-identical to the swap-free run.
+
+use qd_fault::{FaultPlan, Mode};
+use query_decomposition::index::KnnIndex;
+use query_decomposition::obs;
+use query_decomposition::prelude::*;
+use query_decomposition::shard::{build_sharded_rfs, ShardConfig, ShardSet};
+use std::fmt::Write as _;
+use std::sync::OnceLock;
+
+type SoloRfs = RfsStructure<RStarTree>;
+type ShardedRfs = RfsStructure<ShardSet>;
+/// The shared fixture tuple: corpus, monolithic RFS, and `(K, sharded RFS)`
+/// pairs for every shard count the suite sweeps.
+type Fixture = (Corpus, SoloRfs, Vec<(usize, ShardedRfs)>);
+
+const SHARD_SEED: u64 = 0x51ed;
+
+fn rfs_config() -> RfsConfig {
+    RfsConfig::test_small()
+}
+
+/// Shared fixture: corpus, the monolithic RFS, and sharded RFS structures
+/// at every K the suite sweeps.
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let corpus = Corpus::build(&CorpusConfig {
+            size: 300,
+            image_size: 24,
+            seed: 23,
+            filler_count: 5,
+            with_viewpoints: false,
+        });
+        let solo = SoloRfs::build_with(corpus.features(), &rfs_config());
+        let sharded = [1usize, 2, 4, 7]
+            .into_iter()
+            .map(|k| {
+                let rfs = build_sharded_rfs(
+                    corpus.features(),
+                    &rfs_config(),
+                    ShardConfig::new(k, SHARD_SEED),
+                );
+                (k, rfs)
+            })
+            .collect();
+        (corpus, solo, sharded)
+    })
+}
+
+/// The chaos seed: `QD_FAULT_SEED` when set (CI runs eight), 0 otherwise.
+fn fault_seed() -> u64 {
+    std::env::var(qd_fault::FAULT_SEED_ENV)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+const BUDGETS: [Option<u64>; 6] = [
+    None,
+    Some(0),
+    Some(10),
+    Some(200),
+    Some(5000),
+    Some(u64::MAX),
+];
+
+fn standard_query(corpus: &Corpus, name: &str) -> QuerySpec {
+    queries::standard_queries(corpus.taxonomy())
+        .into_iter()
+        .find(|q| q.name == name)
+        .expect("standard query")
+}
+
+/// Serializes a served session (or its typed error) deterministically;
+/// floats are raw bits.
+fn serialize_session(outcome: &Result<ServedOutcome, QdError>) -> String {
+    let mut s = String::new();
+    let served = match outcome {
+        Ok(served) => served,
+        Err(e) => return format!("error {e}\n"),
+    };
+    let o = served.outcome();
+    let results: Vec<String> = o.results.iter().map(|id| id.to_string()).collect();
+    writeln!(s, "results=[{}]", results.join(",")).unwrap();
+    for g in &o.groups {
+        let images: Vec<String> = g
+            .images
+            .iter()
+            .map(|(id, d)| format!("{id}:{:08x}", d.to_bits()))
+            .collect();
+        writeln!(
+            s,
+            "group home={} score={:016x} images=[{}]",
+            g.home.index(),
+            g.ranking_score.to_bits(),
+            images.join(",")
+        )
+        .unwrap();
+    }
+    writeln!(
+        s,
+        "feedback_accesses={} knn_accesses={} subquery_count={}",
+        o.feedback_accesses, o.knn_accesses, o.subquery_count
+    )
+    .unwrap();
+    match served.degradation() {
+        None => writeln!(s, "degradation=-").unwrap(),
+        Some(d) => writeln!(
+            s,
+            "degradation budget_spent={} nodes_skipped={} subqueries_dropped={} \
+             shard_legs_dropped={} displays_skipped={}",
+            d.budget_spent,
+            d.nodes_skipped,
+            d.subqueries_dropped,
+            d.shard_legs_dropped,
+            d.displays_skipped
+        )
+        .unwrap(),
+    }
+    s
+}
+
+/// One observed session over any hierarchy: serialized outcome, the full
+/// counter ledger, and the rendered span tree.
+fn observed_session<I: KnnIndex + Sync>(
+    corpus: &Corpus,
+    rfs: &RfsStructure<I>,
+    query_name: &str,
+    cfg: &QdConfig,
+    workers: usize,
+) -> String {
+    let query = standard_query(corpus, query_name);
+    let k = corpus.ground_truth(&query).len();
+    let (outcome, trace) = obs::with_recorder(|| {
+        qd_runtime::with_threads(workers, || {
+            let mut user = SimulatedUser::oracle(&query, 13);
+            qd_core::session::try_run_session(corpus, rfs, &query, &mut user, k, cfg)
+        })
+    });
+    let mut s = serialize_session(&outcome);
+    for (name, value) in &trace.counters {
+        writeln!(s, "counter {name}={value}").unwrap();
+    }
+    s.push_str(&trace.render());
+    s
+}
+
+fn sharded(k: usize) -> &'static ShardedRfs {
+    let (_, _, all) = fixture();
+    &all.iter().find(|(n, _)| *n == k).expect("K in fixture").1
+}
+
+/// Gate 1: K=1 is handle-transparent — whole sessions are byte-identical
+/// to the unsharded RFS across the budget sweep, counters and span trees
+/// included.
+#[test]
+fn single_shard_sessions_are_byte_identical_to_unsharded() {
+    let (corpus, solo, _) = fixture();
+    let one = sharded(1);
+    for budget in BUDGETS {
+        let cfg = QdConfig {
+            distance_budget: budget,
+            ..QdConfig::default()
+        };
+        for query in ["bird", "rose"] {
+            let a = observed_session(corpus, solo, query, &cfg, 1);
+            let b = observed_session(corpus, one, query, &cfg, 1);
+            assert_eq!(
+                a, b,
+                "K=1 session diverged from unsharded (query={query}, budget={budget:?})"
+            );
+        }
+    }
+}
+
+/// The `(distance bits, id)` ranking of a budgeted k-NN answer. Results
+/// are sorted by `(distance, id)` on both paths, so exact equality is the
+/// bar — not just the same multiset.
+fn ranking(knn: &qd_index::BudgetedKnn) -> Vec<(u32, u64)> {
+    knn.neighbors
+        .iter()
+        .map(|n| (n.distance.to_bits(), n.id))
+        .collect()
+}
+
+/// Gate 2: at every K the unbudgeted global k-NN through the scatter-gather
+/// merge ranks exactly like the monolithic tree.
+#[test]
+fn scatter_gather_knn_matches_unsharded_exactly() {
+    let (corpus, solo, all) = fixture();
+    let tree = solo.tree();
+    let probes: Vec<usize> = vec![0, 57, 137, 222, corpus.len() - 1];
+    for (k_shards, rfs) in all {
+        let set = rfs.tree();
+        for &p in &probes {
+            let q = corpus.features()[p].as_slice();
+            for k in [1usize, 5, 25] {
+                let a = set.knn_in_budgeted(set.root(), q, k, None);
+                let b = tree.knn_in_budgeted(tree.root(), q, k, None);
+                assert_eq!(
+                    ranking(&a),
+                    ranking(&b),
+                    "K={k_shards} probe={p} k={k} ranking diverged"
+                );
+                assert!(!a.exhausted);
+                assert_eq!(a.partitions_dropped, 0);
+            }
+        }
+    }
+}
+
+/// Serializes every observable field of a budgeted k-NN answer.
+fn serialize_knn(knn: &qd_index::BudgetedKnn) -> String {
+    format!(
+        "accesses={} charged={} pruned={} skipped={} dropped={} exhausted={} ids={:?}",
+        knn.accesses,
+        knn.distance_computations,
+        knn.distances_pruned,
+        knn.nodes_skipped,
+        knn.partitions_dropped,
+        knn.exhausted,
+        ranking(knn)
+    )
+}
+
+/// Gate 3a: budgeted scatter answers — results *and* accounting — are
+/// byte-identical across thread counts and reruns, and a large-enough
+/// budget converges on the exact unbudgeted answer.
+#[test]
+fn budgeted_scatter_is_thread_and_rerun_invariant() {
+    let (corpus, _, all) = fixture();
+    for (k_shards, rfs) in all {
+        let set = rfs.tree();
+        let q = corpus.features()[137].as_slice();
+        for budget in BUDGETS {
+            let runs: Vec<String> = [1usize, 8, 1]
+                .iter()
+                .map(|&w| {
+                    qd_runtime::with_threads(w, || {
+                        serialize_knn(&set.knn_in_budgeted(set.root(), q, 10, budget))
+                    })
+                })
+                .collect();
+            assert_eq!(runs[0], runs[1], "K={k_shards} budget={budget:?} threads");
+            assert_eq!(runs[0], runs[2], "K={k_shards} budget={budget:?} rerun");
+        }
+        let exact = ranking(&set.knn_in_budgeted(set.root(), q, 10, None));
+        let large = ranking(&set.knn_in_budgeted(set.root(), q, 10, Some(u64::MAX)));
+        assert_eq!(exact, large, "K={k_shards}: huge budget must be exact");
+    }
+}
+
+/// Gate 3b: whole sharded sessions stay byte-identical at `QD_THREADS` 1
+/// vs 8, fault-free and under an armed chaos plan covering every site —
+/// including the `shard.*` failpoints — at the active `QD_FAULT_SEED`.
+#[test]
+fn sharded_sessions_are_thread_invariant_under_chaos() {
+    let (corpus, _, _) = fixture();
+    let rfs = sharded(4);
+    let seed = fault_seed();
+    let plans = [
+        FaultPlan::new(seed), // no faults armed
+        FaultPlan::new(seed).all_sites(Mode::Probability(0.4)),
+    ];
+    for budget in [None, Some(200), Some(5000)] {
+        let cfg = QdConfig {
+            distance_budget: budget,
+            ..QdConfig::default()
+        };
+        for query in ["bird", "rose"] {
+            for (pi, plan) in plans.iter().enumerate() {
+                let runs: Vec<String> = [1usize, 8]
+                    .iter()
+                    .map(|&w| {
+                        qd_fault::with_plan(plan, || observed_session(corpus, rfs, query, &cfg, w))
+                    })
+                    .collect();
+                assert_eq!(
+                    runs[0], runs[1],
+                    "thread count left a fingerprint (query={query}, budget={budget:?}, \
+                     plan={pi}, seed={seed})"
+                );
+            }
+        }
+    }
+}
+
+/// Serializes everything a sharded RFS exposes: per-shard membership, the
+/// synthetic root view, every node's rectangle/children/items, the
+/// representative lists, and the `leaf_of` map.
+fn serialize_sharded(rfs: &ShardedRfs, corpus_len: usize) -> String {
+    let t = rfs.tree();
+    let mut s = String::new();
+    writeln!(
+        s,
+        "len={} dims={} height={} nodes={} root={} shards={}",
+        t.len(),
+        t.dims(),
+        t.height(),
+        t.node_count(),
+        t.root().index(),
+        t.shard_count()
+    )
+    .unwrap();
+    for shard in 0..t.shard_count() {
+        writeln!(s, "shard {shard} members={:?}", t.shard_members(shard)).unwrap();
+    }
+    let mut ids = t.node_ids();
+    ids.sort_unstable_by_key(|n| n.index());
+    for n in ids {
+        let rect = match t.node_rect(n) {
+            Some(r) => {
+                let bits = |v: &[f32]| {
+                    v.iter()
+                        .map(|x| format!("{:08x}", x.to_bits()))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                };
+                format!("{}|{}", bits(r.min()), bits(r.max()))
+            }
+            None => "-".to_string(),
+        };
+        let children: Vec<String> = t
+            .children(n)
+            .iter()
+            .map(|c| c.index().to_string())
+            .collect();
+        let items: Vec<String> = t
+            .leaf_items(n)
+            .iter()
+            .map(|(id, _)| id.to_string())
+            .collect();
+        let reps: Vec<String> = rfs
+            .representatives(n)
+            .iter()
+            .map(|r| r.to_string())
+            .collect();
+        writeln!(
+            s,
+            "node={} level={} subtree_len={} rect={} children=[{}] items=[{}] reps=[{}]",
+            n.index(),
+            t.level(n),
+            t.subtree_len(n),
+            rect,
+            children.join(","),
+            items.join(";"),
+            reps.join(",")
+        )
+        .unwrap();
+    }
+    for image in 0..corpus_len {
+        writeln!(s, "leaf_of {image}={}", rfs.leaf_of(image).index()).unwrap();
+    }
+    s
+}
+
+/// Gate 4a: inserting images one at a time (with representative refresh on
+/// every touched leaf) lands on the *same structure* — and therefore the
+/// same query answers — as rebuilding the whole sharded RFS from scratch.
+#[test]
+fn insert_then_query_equals_rebuild_then_query() {
+    let (corpus, _, _) = fixture();
+    let features = corpus.features();
+    let n0 = features.len() - 6;
+    let config = rfs_config();
+    let shard_cfg = ShardConfig::new(3, SHARD_SEED);
+
+    let mut incremental = build_sharded_rfs(&features[..n0], &config, shard_cfg.clone());
+    for id in n0..features.len() {
+        let grown = incremental.tree().insert(features, id as u64);
+        incremental = incremental.rebuild_with_refresh(grown, features, &config);
+    }
+    let scratch = build_sharded_rfs(features, &config, shard_cfg);
+
+    assert_eq!(
+        serialize_sharded(&incremental, features.len()),
+        serialize_sharded(&scratch, features.len()),
+        "incremental structure diverged from a from-scratch rebuild"
+    );
+    for query in ["bird", "rose"] {
+        let cfg = QdConfig::default();
+        let a = observed_session(corpus, &incremental, query, &cfg, 1);
+        let b = observed_session(corpus, &scratch, query, &cfg, 1);
+        assert_eq!(a, b, "insert-then-query diverged for {query}");
+    }
+}
+
+/// Gate 4b: a deleted image is gone from every observable surface — the
+/// membership check, the leaf union, and every k-NN answer.
+#[test]
+fn delete_then_query_never_returns_a_deleted_id() {
+    let (corpus, _, _) = fixture();
+    let features = corpus.features();
+    let base = build_sharded_rfs(features, &rfs_config(), ShardConfig::new(4, SHARD_SEED));
+    let victims: [u64; 3] = [3, 137, 250];
+    let mut set = base.tree().clone();
+    for &v in &victims {
+        set = set.remove(features, v);
+    }
+    set.validate();
+    assert_eq!(set.len(), features.len() - victims.len());
+    for &v in &victims {
+        assert!(!set.contains_image(v), "image {v} still a member");
+        for n in set.node_ids() {
+            assert!(
+                set.leaf_items(n).iter().all(|(id, _)| *id != v),
+                "image {v} still stored in a leaf"
+            );
+        }
+        let q = features[v as usize].as_slice();
+        for k in [1usize, 10, 50] {
+            let knn = set.knn_in_budgeted(set.root(), q, k, None);
+            assert!(
+                knn.neighbors.iter().all(|n| n.id != v),
+                "deleted image {v} returned by k-NN (k={k})"
+            );
+        }
+    }
+}
+
+/// Gate 5: a snapshot swap mid-run never perturbs in-flight sessions.
+/// Swapping in a byte-equivalent snapshot leaves *every* fingerprint
+/// byte-identical to the swap-free run; swapping in a mutated snapshot
+/// leaves every session that finished before the swap tick untouched.
+#[test]
+fn snapshot_swap_preserves_inflight_session_fingerprints() {
+    use qd_serve::{LoadConfig, LoadPlan, ServeConfig, Server};
+    use std::sync::Arc;
+
+    let (corpus, _, _) = fixture();
+    let features = corpus.features();
+    let config = rfs_config();
+    let shard_cfg = ShardConfig::new(3, SHARD_SEED);
+    let snapshot = Arc::new(build_sharded_rfs(features, &config, shard_cfg.clone()));
+    let corpus = Arc::new(Corpus::build(&CorpusConfig {
+        size: 300,
+        image_size: 24,
+        seed: 23,
+        filler_count: 5,
+        with_viewpoints: false,
+    }));
+    let plan = LoadPlan::generate(
+        &corpus,
+        &LoadConfig {
+            users: 10,
+            ..LoadConfig::default()
+        },
+    );
+    let server = Server::new(corpus.clone(), snapshot.clone(), ServeConfig::default());
+    let (baseline, _) = obs::with_recorder(|| server.run(&plan));
+
+    // An equivalent snapshot (an independent from-scratch build of the same
+    // corpus): every session fingerprint must stay byte-identical, and the
+    // swap must be visible in the counters.
+    let twin = Arc::new(build_sharded_rfs(features, &config, shard_cfg.clone()));
+    let swap_tick = baseline.ticks / 2;
+    let (swapped, trace) =
+        obs::with_recorder(|| server.run_with_swaps(&plan, &[(swap_tick, twin)]));
+    assert_eq!(
+        trace.counters.get(obs::ctr::SERVE_SWAPS).copied(),
+        Some(1),
+        "swap not applied"
+    );
+    for (a, b) in baseline.sessions.iter().zip(&swapped.sessions) {
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "equivalent-snapshot swap perturbed session {}",
+            a.id
+        );
+    }
+
+    // A mutated snapshot (one image removed and its shard rebuilt): the two
+    // runs are identical up to the swap tick, so every session that had
+    // already finished keeps its fingerprint.
+    let shrunk = base_minus_one(&snapshot, features, &config);
+    let (mutated, _) =
+        obs::with_recorder(|| server.run_with_swaps(&plan, &[(swap_tick, Arc::new(shrunk))]));
+    for a in &baseline.sessions {
+        if a.finished_tick < swap_tick {
+            let b = mutated.session(a.id).expect("session report");
+            assert_eq!(
+                a.fingerprint(),
+                b.fingerprint(),
+                "mutated-snapshot swap perturbed already-finished session {}",
+                a.id
+            );
+        }
+    }
+}
+
+/// The fixture snapshot with one image removed (copy-on-write: untouched
+/// shards stay shared) and representatives refreshed on the touched leaves.
+fn base_minus_one(base: &ShardedRfs, features: &[Vec<f32>], config: &RfsConfig) -> ShardedRfs {
+    let shrunk = base.tree().remove(features, 137);
+    base.rebuild_with_refresh(shrunk, features, config)
+}
